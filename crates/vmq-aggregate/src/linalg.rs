@@ -1,0 +1,201 @@
+//! Small dense linear algebra for the multiple-control-variate estimator.
+//!
+//! The covariance matrices involved have dimension equal to the number of
+//! control variates (a handful), so a straightforward `f64` implementation
+//! with partial-pivoting Gaussian elimination is entirely sufficient.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f64` matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// An identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        (0..self.rows).map(|r| (0..self.cols).map(|c| self.get(r, c) * x[c]).sum()).collect()
+    }
+
+    /// Solves `A x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is (numerically) singular.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(b.len(), self.rows, "rhs length mismatch");
+        let n = self.rows;
+        // augmented matrix
+        let mut a = vec![0.0f64; n * (n + 1)];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * (n + 1) + c] = self.get(r, c);
+            }
+            a[r * (n + 1) + n] = b[r];
+        }
+        for col in 0..n {
+            // pivot
+            let mut pivot = col;
+            for r in (col + 1)..n {
+                if a[r * (n + 1) + col].abs() > a[pivot * (n + 1) + col].abs() {
+                    pivot = r;
+                }
+            }
+            if a[pivot * (n + 1) + col].abs() < 1e-12 {
+                return None;
+            }
+            if pivot != col {
+                for c in 0..=n {
+                    a.swap(col * (n + 1) + c, pivot * (n + 1) + c);
+                }
+            }
+            let diag = a[col * (n + 1) + col];
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a[r * (n + 1) + col] / diag;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..=n {
+                    a[r * (n + 1) + c] -= factor * a[col * (n + 1) + c];
+                }
+            }
+        }
+        Some((0..n).map(|r| a[r * (n + 1) + n] / a[r * (n + 1) + r]).collect())
+    }
+
+    /// Ridge-regularised copy: adds `lambda` to the diagonal. Used to keep the
+    /// control-variate covariance matrix well conditioned when two controls
+    /// are (nearly) collinear.
+    pub fn ridge(&self, lambda: f64) -> Matrix {
+        assert_eq!(self.rows, self.cols);
+        let mut out = self.clone();
+        for i in 0..self.rows {
+            out.set(i, i, out.get(i, i) + lambda);
+        }
+        out
+    }
+}
+
+/// Sample covariance between two equally long series.
+pub fn covariance(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "covariance length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x.iter().sum::<f64>() / n as f64;
+    let my = y.iter().sum::<f64>() / n as f64;
+    x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum::<f64>() / (n - 1) as f64
+}
+
+/// Sample variance of a series (unbiased, divisor `n - 1`).
+pub fn variance(x: &[f64]) -> f64 {
+    covariance(x, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let m = Matrix::identity(3);
+        let x = m.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+        let m = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = m.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // zero on the leading diagonal forces a row swap
+        let m = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let x = m.solve(&[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(m.solve(&[1.0, 2.0]).is_none());
+        // ridge regularisation restores solvability
+        assert!(m.ridge(1e-3).solve(&[1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn solve_recovers_matvec_input() {
+        let m = Matrix::from_rows(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]);
+        let x_true = vec![0.3, -1.2, 2.5];
+        let b = m.matvec(&x_true);
+        let x = m.solve(&b).unwrap();
+        for (a, b) in x.iter().zip(&x_true) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_and_variance() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = vec![2.0, 4.0, 6.0, 8.0];
+        assert!((covariance(&x, &y) - 2.0 * variance(&x)).abs() < 1e-12);
+        assert!((variance(&x) - 5.0 / 3.0).abs() < 1e-9);
+        assert_eq!(variance(&[1.0]), 0.0);
+        // anti-correlated series have negative covariance
+        let z: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!(covariance(&x, &z) < 0.0);
+    }
+}

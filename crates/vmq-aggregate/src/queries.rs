@@ -1,0 +1,287 @@
+//! End-to-end aggregate estimation over frame collections (Sec. III / IV-C).
+//!
+//! The estimated quantity is the fraction (equivalently the number) of frames
+//! in a window that satisfy a frame-level [`Query`]. The expensive variable
+//! `Y` is the detector-based indicator evaluated on *sampled* frames only;
+//! the cheap control variates are filter-based indicators. Because the
+//! filters cost ~2 ms/frame versus 200 ms/frame for the detector, their
+//! indicator — and therefore the control mean `μ_X` — can be computed over
+//! the *entire* window, which is what gives the control-variate estimator its
+//! variance reduction. Each aggregate query is estimated repeatedly (the
+//! paper uses one hundred trials) and the empirical variance across trials of
+//! the plain, single-CV and multiple-CV estimators is compared (Table IV).
+
+use crate::cv::CvEstimate;
+use crate::linalg::variance;
+use crate::mcv::McvEstimate;
+use crate::sampler::FrameSampler;
+use serde::{Deserialize, Serialize};
+use vmq_detect::{CostLedger, Detector, Stage};
+use vmq_filters::FrameFilter;
+use vmq_query::{CascadeConfig, FilterCascade, Query};
+use vmq_video::Frame;
+
+/// Report of an aggregate estimation experiment (one Table IV row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregateReport {
+    /// Query name (a1 … a5 for the paper's queries).
+    pub query: String,
+    /// Number of estimation trials.
+    pub trials: usize,
+    /// Frames sampled (and detector-evaluated) per trial.
+    pub sample_size: usize,
+    /// Number of frames in the window.
+    pub window_frames: usize,
+    /// True fraction of frames satisfying the query (ground truth).
+    pub true_fraction: f64,
+    /// Mean of the plain estimator across trials.
+    pub plain_mean: f64,
+    /// Mean of the single-CV estimator across trials.
+    pub cv_mean: f64,
+    /// Mean of the multiple-CV estimator across trials.
+    pub mcv_mean: f64,
+    /// Empirical variance of the plain estimator across trials.
+    pub plain_variance: f64,
+    /// Empirical variance of the single-CV estimator across trials.
+    pub cv_variance: f64,
+    /// Empirical variance of the multiple-CV estimator across trials.
+    pub mcv_variance: f64,
+    /// Average correlation between the control and the detector indicator.
+    pub mean_correlation: f64,
+    /// Virtual milliseconds per *sampled* frame (filter + detector), the
+    /// "Filter + Mask RCNN" column of Table IV.
+    pub time_per_sample_ms: f64,
+    /// Real wall-clock milliseconds spent in filter inference over the window.
+    pub filter_wall_ms: f64,
+}
+
+impl AggregateReport {
+    /// Variance-reduction factor of the single-CV estimator.
+    pub fn cv_reduction(&self) -> f64 {
+        if self.cv_variance <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.plain_variance / self.cv_variance
+        }
+    }
+
+    /// Variance-reduction factor of the multiple-CV estimator.
+    pub fn mcv_reduction(&self) -> f64 {
+        if self.mcv_variance <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.plain_variance / self.mcv_variance
+        }
+    }
+
+    /// Best (largest) reduction across the two CV estimators — the paper's
+    /// single "Variance Reduction" column.
+    pub fn best_reduction(&self) -> f64 {
+        self.cv_reduction().max(self.mcv_reduction())
+    }
+
+    /// Formats the report as a Table IV style row.
+    pub fn table_row(&self) -> String {
+        let best = self.best_reduction();
+        let best_str = if best.is_finite() { format!("{best:.0}") } else { "inf".to_string() };
+        format!(
+            "{:<4} time/sample={:>7.1}ms  true={:.3} plain={:.3} cv={:.3} mcv={:.3}  variance reduction={}",
+            self.query, self.time_per_sample_ms, self.true_fraction, self.plain_mean, self.cv_mean, self.mcv_mean, best_str
+        )
+    }
+}
+
+/// Estimates window aggregates of a query with and without control variates.
+pub struct AggregateEstimator {
+    query: Query,
+    sample_size: usize,
+    cascade_config: CascadeConfig,
+    threshold_override: Option<f32>,
+    sampler: FrameSampler,
+    ledger: CostLedger,
+}
+
+impl AggregateEstimator {
+    /// Creates an estimator for a query.
+    pub fn new(query: Query, sample_size: usize, seed: u64) -> Self {
+        AggregateEstimator {
+            query,
+            sample_size: sample_size.max(2),
+            cascade_config: CascadeConfig::strict(),
+            threshold_override: None,
+            sampler: FrameSampler::new(seed),
+            ledger: CostLedger::paper(),
+        }
+    }
+
+    /// Uses a different cascade configuration for the filter indicator.
+    pub fn with_cascade(mut self, config: CascadeConfig) -> Self {
+        self.cascade_config = config;
+        self
+    }
+
+    /// Overrides the grid threshold used when deriving the control-variate
+    /// indicators. The control only needs to be *correlated* with the
+    /// detector's verdict (not conservative like the query cascade), so a
+    /// higher, precision-oriented threshold — calibrated on validation data —
+    /// typically yields better variance reduction.
+    pub fn with_indicator_threshold(mut self, threshold: f32) -> Self {
+        self.threshold_override = Some(threshold);
+        self
+    }
+
+    /// The cost ledger accumulated by estimation runs.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Runs `trials` independent estimations of the fraction of frames in
+    /// `frames` satisfying the query and reports the variance of each
+    /// estimator across trials.
+    pub fn run(&self, frames: &[Frame], filter: &dyn FrameFilter, detector: &dyn Detector, trials: usize) -> AggregateReport {
+        assert!(!frames.is_empty(), "cannot estimate an aggregate over an empty window");
+        let cascade = FilterCascade::new(self.query.clone(), self.cascade_config);
+        let n_controls = self.query.predicates.len();
+        let threshold = self.threshold_override.unwrap_or_else(|| filter.threshold());
+
+        // Pass 1: cheap filter indicators over the whole window.
+        let start = std::time::Instant::now();
+        let mut x_full = Vec::with_capacity(frames.len());
+        let mut z_full: Vec<Vec<f64>> = vec![Vec::with_capacity(frames.len()); n_controls];
+        for frame in frames {
+            self.ledger.charge(filter.kind().stage(), 1);
+            let est = filter.estimate(frame);
+            x_full.push(if cascade.passes(&est, threshold) { 1.0 } else { 0.0 });
+            for (k, ind) in cascade.predicate_indicators(&est, threshold).into_iter().enumerate() {
+                z_full[k].push(if ind { 1.0 } else { 0.0 });
+            }
+        }
+        let filter_wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let mu_x = x_full.iter().sum::<f64>() / frames.len() as f64;
+        let mu_z: Vec<f64> = z_full.iter().map(|s| s.iter().sum::<f64>() / frames.len() as f64).collect();
+
+        // Ground truth for reporting.
+        let true_fraction =
+            frames.iter().filter(|f| self.query.matches_ground_truth(f)).count() as f64 / frames.len() as f64;
+
+        // Pass 2: repeated sampled estimation with the expensive detector.
+        let mut plain_means = Vec::with_capacity(trials);
+        let mut cv_means = Vec::with_capacity(trials);
+        let mut mcv_means = Vec::with_capacity(trials);
+        let mut correlations = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let idx = self.sampler.sample_indices(frames.len(), self.sample_size, trial as u64);
+            let mut y = Vec::with_capacity(idx.len());
+            let mut x = Vec::with_capacity(idx.len());
+            let mut z: Vec<Vec<f64>> = vec![Vec::with_capacity(idx.len()); n_controls];
+            for &i in &idx {
+                self.ledger.charge(Stage::MaskRcnn, 1);
+                let detections = detector.detect(&frames[i]);
+                y.push(if self.query.matches_detections(&detections) { 1.0 } else { 0.0 });
+                x.push(x_full[i]);
+                for k in 0..n_controls {
+                    z[k].push(z_full[k][i]);
+                }
+            }
+            let cv = CvEstimate::from_pairs(&y, &x, mu_x);
+            let mcv = McvEstimate::from_samples(&y, &z, &mu_z);
+            plain_means.push(cv.plain.mean);
+            cv_means.push(cv.mean);
+            mcv_means.push(mcv.mean);
+            correlations.push(cv.correlation);
+        }
+
+        let filter_cost = self.ledger.model().cost_ms(filter.kind().stage());
+        let detector_cost = self.ledger.model().cost_ms(detector.stage());
+        AggregateReport {
+            query: self.query.name.clone(),
+            trials,
+            sample_size: self.sample_size.min(frames.len()),
+            window_frames: frames.len(),
+            true_fraction,
+            plain_mean: mean(&plain_means),
+            cv_mean: mean(&cv_means),
+            mcv_mean: mean(&mcv_means),
+            plain_variance: variance(&plain_means),
+            cv_variance: variance(&cv_means),
+            mcv_variance: variance(&mcv_means),
+            mean_correlation: mean(&correlations),
+            time_per_sample_ms: filter_cost + detector_cost,
+            filter_wall_ms,
+        }
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_detect::OracleDetector;
+    use vmq_filters::{CalibratedFilter, CalibrationProfile};
+    use vmq_video::{Dataset, DatasetProfile};
+
+    fn setup(frames: usize) -> (Dataset, CalibratedFilter, OracleDetector) {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 32, frames, 31);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 9);
+        (ds, filter, OracleDetector::perfect())
+    }
+
+    #[test]
+    fn cv_reduces_variance_for_correlated_query() {
+        let (ds, filter, oracle) = setup(400);
+        let est = AggregateEstimator::new(Query::paper_a1(), 40, 7);
+        let report = est.run(ds.test(), &filter, &oracle, 60);
+        assert!(report.plain_variance > 0.0, "plain estimator should have nonzero variance");
+        assert!(
+            report.best_reduction() > 2.0,
+            "control variates should reduce variance: plain {} cv {} mcv {}",
+            report.plain_variance,
+            report.cv_variance,
+            report.mcv_variance
+        );
+        // estimates stay close to the truth
+        assert!((report.plain_mean - report.true_fraction).abs() < 0.1);
+        assert!((report.cv_mean - report.true_fraction).abs() < 0.1);
+        assert!((report.mcv_mean - report.true_fraction).abs() < 0.1);
+        assert!(report.mean_correlation > 0.5);
+        // per-sample cost is filter + detector
+        assert!((report.time_per_sample_ms - 201.9).abs() < 1e-9);
+        assert!(report.table_row().contains("a1"));
+    }
+
+    #[test]
+    fn mcv_helps_multi_predicate_queries() {
+        let (ds, filter, oracle) = setup(400);
+        // a2-style query with spatial predicate involves multiple constraints
+        let est = AggregateEstimator::new(Query::paper_a2(), 40, 13);
+        let report = est.run(ds.test(), &filter, &oracle, 60);
+        assert!(report.mcv_variance.is_finite());
+        assert!(report.mcv_reduction() >= 1.0 || report.cv_reduction() >= 1.0);
+    }
+
+    #[test]
+    fn ledger_charges_filter_over_window_and_detector_over_samples() {
+        let (ds, filter, oracle) = setup(150);
+        let est = AggregateEstimator::new(Query::paper_a1(), 20, 3);
+        let trials = 5;
+        let _ = est.run(ds.test(), &filter, &oracle, trials);
+        assert_eq!(est.ledger().invocations(Stage::OdFilter) as usize, ds.test().len());
+        assert_eq!(est.ledger().invocations(Stage::MaskRcnn) as usize, 20 * trials);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_window_panics() {
+        let (_ds, filter, oracle) = setup(100);
+        let est = AggregateEstimator::new(Query::paper_a1(), 10, 1);
+        let _ = est.run(&[], &filter, &oracle, 3);
+    }
+}

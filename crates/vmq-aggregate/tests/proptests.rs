@@ -1,0 +1,91 @@
+//! Property-based tests of the estimators and the small linear algebra.
+
+use proptest::prelude::*;
+use vmq_aggregate::{CvEstimate, FrameSampler, HoppingWindow, Matrix, McvEstimate, SampleStats};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solving `A x = b` for a diagonally dominant matrix recovers the vector
+    /// used to produce `b`.
+    #[test]
+    fn solve_recovers_solution(off in prop::collection::vec(-1.0f64..1.0, 9), x_true in prop::collection::vec(-5.0f64..5.0, 3)) {
+        let mut m = Matrix::zeros(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                m.set(r, c, off[r * 3 + c]);
+            }
+            // make it diagonally dominant so it is well conditioned
+            m.set(r, r, 4.0 + off[r * 3 + r].abs());
+        }
+        let b = m.matvec(&x_true);
+        let x = m.solve(&b).expect("diagonally dominant matrices are solvable");
+        for (a, e) in x.iter().zip(&x_true) {
+            prop_assert!((a - e).abs() < 1e-6, "{a} vs {e}");
+        }
+    }
+
+    /// Sample statistics: the mean lies between min and max, the variance is
+    /// non-negative and the confidence interval brackets the mean.
+    #[test]
+    fn sample_stats_are_consistent(values in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let stats = SampleStats::from_sample(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(stats.mean >= min - 1e-9 && stats.mean <= max + 1e-9);
+        prop_assert!(stats.variance >= 0.0);
+        let (lo, hi) = stats.confidence_interval(1.96);
+        prop_assert!(lo <= stats.mean && stats.mean <= hi);
+    }
+
+    /// The CV estimator with the control's own sample mean as `μ_X` equals the
+    /// plain mean (algebraic identity), and its estimated variance never
+    /// exceeds the plain variance estimate.
+    #[test]
+    fn cv_identity_and_variance_bound(y in prop::collection::vec(0.0f64..1.0, 3..60), shift in -0.5f64..0.5) {
+        let x: Vec<f64> = y.iter().map(|v| v + shift * v).collect();
+        let est = CvEstimate::with_estimated_control_mean(&y, &x);
+        prop_assert!((est.mean - est.plain.mean).abs() < 1e-9);
+        prop_assert!(est.variance_of_mean <= est.plain.variance_of_mean + 1e-12);
+        prop_assert!(est.correlation.abs() <= 1.0 + 1e-9);
+    }
+
+    /// The MCV estimator is exact (zero variance, correct mean) when the
+    /// controls linearly determine Y.
+    #[test]
+    fn mcv_exact_for_linear_targets(z1 in prop::collection::vec(0.0f64..1.0, 12..40), a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let z2: Vec<f64> = z1.iter().map(|v| (v * 7.3).sin()).collect();
+        let y: Vec<f64> = z1.iter().zip(&z2).map(|(u, v)| a * u + b * v).collect();
+        let mu = [z1.iter().sum::<f64>() / z1.len() as f64, z2.iter().sum::<f64>() / z2.len() as f64];
+        let est = McvEstimate::from_samples(&y, &[z1, z2], &mu);
+        // R² should be (near) 1 and the estimate equal to the plain mean
+        prop_assert!(est.r_squared > 0.98 || est.plain.variance < 1e-12);
+        prop_assert!((est.mean - est.plain.mean).abs() < 1e-6);
+        prop_assert!(est.variance_of_mean <= est.plain.variance_of_mean + 1e-12);
+    }
+
+    /// The sampler returns distinct, in-range, sorted indices of the right
+    /// cardinality for every population / sample size / trial.
+    #[test]
+    fn sampler_invariants(n in 1usize..500, k in 1usize..100, trial in 0u64..50, seed in 0u64..50) {
+        let sampler = FrameSampler::new(seed);
+        let idx = sampler.sample_indices(n, k, trial);
+        prop_assert_eq!(idx.len(), k.min(n));
+        prop_assert!(idx.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        prop_assert!(idx.iter().all(|&i| i < n));
+    }
+
+    /// Hopping windows never overflow the stream and respect the advance.
+    #[test]
+    fn window_invariants(size in 1usize..50, advance in 1usize..50, n in 0usize..500) {
+        let w = HoppingWindow::new(size, advance);
+        let windows = w.windows(n);
+        for (start, end) in &windows {
+            prop_assert_eq!(end - start, size);
+            prop_assert!(*end <= n);
+        }
+        for pair in windows.windows(2) {
+            prop_assert_eq!(pair[1].0 - pair[0].0, advance);
+        }
+    }
+}

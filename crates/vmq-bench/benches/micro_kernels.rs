@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks of the hot paths: filter inference,
+//! rasterisation, convolution kernels, spatial predicate evaluation, grid
+//! operations and control-variate estimation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vmq_aggregate::{CvEstimate, McvEstimate};
+use vmq_detect::{Detector, OracleDetector};
+use vmq_filters::{CalibratedFilter, CalibrationProfile, ClassGrid, FilterConfig, FrameFilter, IcFilter, OdFilter};
+use vmq_nn::ops::{conv2d_forward, matmul, ConvSpec};
+use vmq_nn::Tensor;
+use vmq_query::{CascadeConfig, FilterCascade, Query, SpatialRelation};
+use vmq_video::{Dataset, DatasetProfile, RasterConfig};
+
+fn bench_nn_kernels(c: &mut Criterion) {
+    let a = Tensor::full(vec![64, 64], 0.5);
+    let b = Tensor::full(vec![64, 64], 0.25);
+    c.bench_function("nn/matmul 64x64", |bench| bench.iter(|| matmul(black_box(&a), black_box(&b))));
+
+    let spec = ConvSpec { in_channels: 8, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+    let input = Tensor::full(vec![8, 28, 28], 0.1);
+    let weight = Tensor::full(vec![16, 8 * 9], 0.01);
+    c.bench_function("nn/conv2d 8->16 @28x28", |bench| {
+        bench.iter(|| conv2d_forward(black_box(&input), black_box(&weight), &[0.0; 16], &spec))
+    });
+}
+
+fn bench_rasterisation(c: &mut Criterion) {
+    let profile = DatasetProfile::detrac();
+    let ds = Dataset::generate(&profile, 8, 8, 3);
+    let frame = ds.test()[0].clone();
+    let raster = RasterConfig::default();
+    c.bench_function("video/rasterise 56x56 (Detrac frame)", |bench| bench.iter(|| raster.render(black_box(&frame))));
+}
+
+fn bench_filter_inference(c: &mut Criterion) {
+    let profile = DatasetProfile::jackson();
+    let ds = Dataset::generate(&profile, 8, 8, 5);
+    let frame = ds.test()[0].clone();
+    let config = FilterConfig::experiment(profile.class_list());
+
+    let ic = IcFilter::new(config.clone());
+    c.bench_function("filters/IC inference (untrained weights, 56px raster)", |bench| {
+        bench.iter(|| ic.estimate(black_box(&frame)))
+    });
+    let od = OdFilter::new(config.clone());
+    c.bench_function("filters/OD inference (untrained weights, 56px raster)", |bench| {
+        bench.iter(|| od.estimate(black_box(&frame)))
+    });
+    let cal = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
+    c.bench_function("filters/calibrated inference", |bench| bench.iter(|| cal.estimate(black_box(&frame))));
+
+    let oracle = OracleDetector::perfect();
+    c.bench_function("detect/oracle detect", |bench| bench.iter(|| oracle.detect(black_box(&frame))));
+}
+
+fn bench_query_paths(c: &mut Criterion) {
+    let profile = DatasetProfile::jackson();
+    let ds = Dataset::generate(&profile, 8, 64, 7);
+    let frame = ds.test()[0].clone();
+    let cal = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
+    let estimate = cal.estimate(&frame);
+    let cascade = FilterCascade::new(Query::paper_q5(), CascadeConfig::tolerant());
+    c.bench_function("query/cascade decision (q5)", |bench| {
+        bench.iter(|| cascade.passes(black_box(&estimate), 0.5))
+    });
+
+    let left = ClassGrid::from_boxes(56, &[vmq_video::BoundingBox::new(0.1, 0.4, 0.1, 0.1)]);
+    let right = ClassGrid::from_boxes(56, &[vmq_video::BoundingBox::new(0.7, 0.4, 0.1, 0.1)]);
+    c.bench_function("query/grid left-of (56x56)", |bench| {
+        bench.iter(|| SpatialRelation::LeftOf.holds_grids(black_box(&left), black_box(&right)))
+    });
+
+    let q = Query::paper_q5();
+    c.bench_function("query/ground-truth match (q5)", |bench| bench.iter(|| q.matches_ground_truth(black_box(&frame))));
+}
+
+fn bench_control_variates(c: &mut Criterion) {
+    let y: Vec<f64> = (0..200).map(|i| ((i * 37) % 13) as f64 / 13.0).collect();
+    let x: Vec<f64> = y.iter().map(|v| v * 0.9 + 0.05).collect();
+    let z2: Vec<f64> = y.iter().map(|v| 1.0 - v).collect();
+    c.bench_function("aggregate/single control variate (n=200)", |bench| {
+        bench.iter(|| CvEstimate::from_pairs(black_box(&y), black_box(&x), 0.5))
+    });
+    let controls = vec![x.clone(), z2.clone()];
+    c.bench_function("aggregate/multiple control variates (d=2, n=200)", |bench| {
+        bench.iter(|| McvEstimate::from_samples(black_box(&y), black_box(&controls), &[0.5, 0.5]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_nn_kernels, bench_rasterisation, bench_filter_inference, bench_query_paths, bench_control_variates
+}
+criterion_main!(benches);

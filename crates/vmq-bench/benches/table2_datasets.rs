@@ -1,0 +1,48 @@
+//! E-T2 — Table II: dataset characteristics.
+//!
+//! Generates the three synthetic dataset profiles and reports the same
+//! columns as Table II of the paper (split sizes, objects/frame mean and
+//! standard deviation, class mix), next to the paper's target values.
+
+use vmq_bench::Scale;
+use vmq_core::Report;
+use vmq_video::{Dataset, DatasetProfile, DatasetStats};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut report = Report::new("Table II — dataset characteristics (paper target vs simulated)").header(&[
+        "dataset",
+        "paper train",
+        "paper test",
+        "paper obj/frame",
+        "paper std",
+        "sim frames",
+        "sim obj/frame",
+        "sim std",
+        "sim classes",
+    ]);
+
+    for profile in DatasetProfile::all() {
+        let ds = Dataset::generate(&profile, scale.train_frames() * 2, scale.test_frames(), 7);
+        let all_frames: Vec<_> = ds.train().iter().chain(ds.validation()).chain(ds.test()).cloned().collect();
+        let stats = DatasetStats::compute(&all_frames);
+        let classes: Vec<String> = stats
+            .class_shares
+            .iter()
+            .map(|(c, share)| format!("{} {:.0}%", c.name(), share * 100.0))
+            .collect();
+        report.row(&[
+            profile.kind.name().to_string(),
+            profile.paper_train_size.to_string(),
+            profile.paper_test_size.to_string(),
+            format!("{:.1}", profile.mean_objects),
+            format!("{:.1}", profile.std_objects),
+            stats.frames.to_string(),
+            format!("{:.1}", stats.mean_objects),
+            format!("{:.1}", stats.std_objects),
+            classes.join(", "),
+        ]);
+    }
+    report.note("simulated frame counts are the paper's splits scaled down; the simulator targets the paper's per-frame statistics");
+    println!("{}", report.render());
+}

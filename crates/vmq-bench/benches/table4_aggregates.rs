@@ -1,0 +1,69 @@
+//! E-T4 — Table IV: aggregate queries with control variates.
+//!
+//! Estimates the paper's aggregate queries a1–a5 by sampling frames from the
+//! test window, evaluating the sampled frames with the oracle detector and
+//! using the trained OD filter's indicators as (multiple) control variates.
+//! Each query is estimated repeatedly (100 trials by default) and the
+//! empirical variance of the plain and control-variate estimators is
+//! compared — the paper's "Variance Reduction" column.
+
+use vmq_aggregate::AggregateEstimator;
+use vmq_bench::{DatasetExperiment, Scale};
+use vmq_core::Report;
+use vmq_detect::OracleDetector;
+use vmq_filters::FrameFilter;
+use vmq_query::Query;
+use vmq_video::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    let trials = scale.trials();
+    let sample_size = 40;
+    let mut report = Report::new("Table IV — aggregate estimation with control variates").header(&[
+        "query",
+        "dataset",
+        "filter+detector ms/sample",
+        "true fraction",
+        "plain estimate",
+        "cv estimate",
+        "variance reduction",
+        "correlation",
+    ]);
+
+    let coral = DatasetExperiment::prepare_ic_od(DatasetKind::Coral, scale);
+    let jackson = DatasetExperiment::prepare_ic_od(DatasetKind::Jackson, scale);
+    let detrac = DatasetExperiment::prepare_ic_od(DatasetKind::Detrac, scale);
+
+    let cases: Vec<(&DatasetExperiment, Query)> = vec![
+        (&jackson, Query::paper_a1()),
+        (&jackson, Query::paper_a2()),
+        (&detrac, Query::paper_a3()),
+        (&detrac, Query::paper_a4()),
+        (&coral, Query::paper_a5()),
+    ];
+
+    let oracle = OracleDetector::perfect();
+    for (exp, query) in cases {
+        let filter: &dyn FrameFilter = &exp.filters.od;
+        // The control-variate indicator uses a precision-oriented grid
+        // threshold (0.5) calibrated on validation data; the query cascade
+        // keeps the recall-oriented 0.2 of the paper.
+        let estimator = AggregateEstimator::new(query.clone(), sample_size, 404).with_indicator_threshold(0.5);
+        let r = estimator.run(exp.dataset.test(), filter, &oracle, trials);
+        let reduction = r.best_reduction();
+        let reduction_str = if reduction.is_finite() { format!("{reduction:.0}x") } else { "inf".to_string() };
+        report.row(&[
+            query.name.clone(),
+            exp.name().to_string(),
+            format!("{:.1}", r.time_per_sample_ms),
+            format!("{:.3}", r.true_fraction),
+            format!("{:.3}", r.plain_mean),
+            format!("{:.3}", r.cv_mean),
+            reduction_str,
+            format!("{:.2}", r.mean_correlation),
+        ]);
+    }
+    report.note(&format!("{trials} trials of {sample_size} sampled frames each; control means computed by running the cheap filter over the whole window"));
+    report.note("paper shape: order-of-magnitude variance reductions at a ~1% increase in per-sample cost (filter ms on top of Mask R-CNN's 200 ms)");
+    println!("{}", report.render());
+}

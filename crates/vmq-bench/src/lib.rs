@@ -1,0 +1,162 @@
+//! # vmq-bench — experiment harnesses
+//!
+//! One benchmark target per table and figure of the paper's evaluation
+//! (Sec. IV), plus ablation studies and Criterion micro-benchmarks. Every
+//! harness prints the same rows/series the paper reports so results can be
+//! compared side by side; `EXPERIMENTS.md` records paper-vs-measured values.
+//!
+//! The harnesses honour the `VMQ_SCALE` environment variable:
+//!
+//! * `quick` — very small datasets / few epochs, for smoke-testing the
+//!   harness wiring (~seconds per experiment).
+//! * `default` (unset) — the documented experiment scale (tens of seconds to
+//!   a couple of minutes per experiment on one CPU core).
+//! * `full` — larger datasets and more epochs, closer to the paper's scale.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use vmq_detect::OracleDetector;
+use vmq_filters::{label::FrameLabels, FilterConfig, TrainedFilters};
+use vmq_video::{Dataset, DatasetKind, DatasetProfile};
+
+/// Experiment scale selected by the `VMQ_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale.
+    Quick,
+    /// Default experiment scale.
+    Default,
+    /// Larger, closer-to-paper scale.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment.
+    pub fn from_env() -> Scale {
+        match std::env::var("VMQ_SCALE").unwrap_or_default().to_ascii_lowercase().as_str() {
+            "quick" => Scale::Quick,
+            "full" => Scale::Full,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Number of training frames per dataset at this scale.
+    pub fn train_frames(self) -> usize {
+        match self {
+            Scale::Quick => 80,
+            Scale::Default => 400,
+            Scale::Full => 1200,
+        }
+    }
+
+    /// Number of test frames per dataset at this scale.
+    pub fn test_frames(self) -> usize {
+        match self {
+            Scale::Quick => 120,
+            Scale::Default => 400,
+            Scale::Full => 1000,
+        }
+    }
+
+    /// Number of training epochs at this scale.
+    pub fn epochs(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Default => 4,
+            Scale::Full => 8,
+        }
+    }
+
+    /// Number of aggregate-estimation trials at this scale.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Quick => 25,
+            Scale::Default => 100,
+            Scale::Full => 100,
+        }
+    }
+}
+
+/// Everything needed to run an experiment on one dataset: the materialised
+/// data, the filter configuration, the trained filters and test-split labels.
+pub struct DatasetExperiment {
+    /// The dataset profile (Table II row).
+    pub profile: DatasetProfile,
+    /// The materialised dataset.
+    pub dataset: Dataset,
+    /// The filter configuration used for training.
+    pub config: FilterConfig,
+    /// The trained IC / OD / OD-COF filters.
+    pub filters: TrainedFilters,
+    /// Oracle labels of the test split (for metric computation).
+    pub test_labels: Vec<FrameLabels>,
+}
+
+impl DatasetExperiment {
+    /// Generates the dataset and trains all filters for one benchmark dataset.
+    pub fn prepare(kind: DatasetKind, scale: Scale) -> Self {
+        Self::prepare_inner(kind, scale, true)
+    }
+
+    /// Like [`DatasetExperiment::prepare`] but only trains IC and OD (used by
+    /// experiments that do not involve OD-COF).
+    pub fn prepare_ic_od(kind: DatasetKind, scale: Scale) -> Self {
+        Self::prepare_inner(kind, scale, false)
+    }
+
+    fn prepare_inner(kind: DatasetKind, scale: Scale, with_cof: bool) -> Self {
+        let profile = DatasetProfile::for_kind(kind);
+        let dataset = Dataset::generate(&profile, scale.train_frames(), scale.test_frames(), 2026);
+        let mut config = FilterConfig::experiment(profile.class_list());
+        config.schedule.epochs = scale.epochs();
+        config.schedule.count_only_epochs = (scale.epochs() / 2).max(1);
+        let oracle = OracleDetector::perfect();
+        let filters = if with_cof {
+            TrainedFilters::train(&dataset, &config, &oracle)
+        } else {
+            TrainedFilters::train_ic_od(&dataset, &config, &oracle)
+        };
+        let test_labels = filters.label_split(dataset.test(), &oracle, &config);
+        DatasetExperiment { profile, dataset, config, filters, test_labels }
+    }
+
+    /// Dataset display name.
+    pub fn name(&self) -> &'static str {
+        self.profile.kind.name()
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_mappings_are_ordered() {
+        assert!(Scale::Quick.train_frames() < Scale::Default.train_frames());
+        assert!(Scale::Default.train_frames() < Scale::Full.train_frames());
+        assert!(Scale::Quick.epochs() <= Scale::Default.epochs());
+        assert!(Scale::Quick.test_frames() < Scale::Full.test_frames());
+        assert_eq!(Scale::Default.trials(), 100);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+
+    #[test]
+    fn prepare_quick_dataset_experiment() {
+        let exp = DatasetExperiment::prepare_ic_od(DatasetKind::Jackson, Scale::Quick);
+        assert_eq!(exp.dataset.train().len(), Scale::Quick.train_frames());
+        assert_eq!(exp.test_labels.len(), exp.dataset.test().len());
+        assert!(!exp.filters.ic.history().is_empty());
+        assert_eq!(exp.name(), "Jackson");
+    }
+}

@@ -1,0 +1,93 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+use vmq_filters::{CalibrationProfile, FilterConfig};
+use vmq_video::DatasetProfile;
+
+/// Which filter backs a query's cascade.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FilterChoice {
+    /// The learned IC filter.
+    Ic,
+    /// The learned OD filter.
+    Od,
+    /// The learned count-only OD-COF filter (count predicates only).
+    OdCof,
+    /// A calibrated analytic filter with the given error profile (no training
+    /// required; useful for fast experimentation and ablations).
+    Calibrated(CalibrationProfile),
+}
+
+/// Configuration of a [`crate::VmqEngine`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Dataset profile of the registered stream.
+    pub profile: DatasetProfile,
+    /// Number of training frames to materialise.
+    pub train_frames: usize,
+    /// Number of test frames to materialise.
+    pub test_frames: usize,
+    /// Filter architecture and training configuration.
+    pub filter: FilterConfig,
+    /// Seed controlling dataset generation.
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// A small configuration suitable for tests and examples: a few hundred
+    /// frames and the fast filter architecture.
+    pub fn small(profile: DatasetProfile) -> Self {
+        let filter = FilterConfig::fast_test(profile.class_list());
+        EngineConfig { profile, train_frames: 120, test_frames: 200, filter, seed: 17 }
+    }
+
+    /// The configuration used by the experiment harnesses: more frames and
+    /// the experiment filter architecture (56-pixel raster).
+    pub fn experiment(profile: DatasetProfile) -> Self {
+        let filter = FilterConfig::experiment(profile.class_list());
+        EngineConfig { profile, train_frames: 400, test_frames: 600, filter, seed: 17 }
+    }
+
+    /// Overrides the dataset sizes.
+    pub fn with_sizes(mut self, train_frames: usize, test_frames: usize) -> Self {
+        self.train_frames = train_frames;
+        self.test_frames = test_frames;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.filter.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_video::ObjectClass;
+
+    #[test]
+    fn small_config_uses_profile_classes() {
+        let c = EngineConfig::small(DatasetProfile::detrac());
+        assert!(c.filter.classes.contains(&ObjectClass::Car));
+        assert!(c.filter.classes.contains(&ObjectClass::Bus));
+        assert!(c.train_frames > 0 && c.test_frames > 0);
+    }
+
+    #[test]
+    fn builders() {
+        let c = EngineConfig::small(DatasetProfile::jackson()).with_sizes(50, 60).with_seed(99);
+        assert_eq!(c.train_frames, 50);
+        assert_eq!(c.test_frames, 60);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.filter.seed, 99);
+    }
+
+    #[test]
+    fn experiment_config_uses_larger_raster() {
+        let c = EngineConfig::experiment(DatasetProfile::coral());
+        assert_eq!(c.filter.raster.width, 56);
+    }
+}

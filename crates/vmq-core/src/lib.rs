@@ -1,0 +1,32 @@
+//! # vmq-core — the high-level Video Monitoring Queries engine
+//!
+//! [`VmqEngine`] ties the workspace together behind one API:
+//!
+//! 1. register a video source (a dataset profile → simulated stream),
+//! 2. train the approximate filters on its training split (labels produced by
+//!    the expensive oracle detector, as in the paper),
+//! 3. run monitoring queries with a filter cascade in front of the detector,
+//!    and
+//! 4. estimate windowed aggregates with control variates.
+//!
+//! ```no_run
+//! use vmq_core::{EngineConfig, FilterChoice, VmqEngine};
+//! use vmq_query::{CascadeConfig, Query};
+//! use vmq_video::DatasetProfile;
+//!
+//! let mut engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()));
+//! engine.train_filters();
+//! let outcome = engine.run_query(&Query::paper_q3(), FilterChoice::Od, CascadeConfig::strict());
+//! println!("{}", outcome.summary());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod report;
+
+pub use config::{EngineConfig, FilterChoice};
+pub use engine::{QueryOutcome, VmqEngine};
+pub use report::Report;

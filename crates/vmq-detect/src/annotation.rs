@@ -1,0 +1,100 @@
+//! Detections produced by detectors (the "schema" extracted from video).
+
+use serde::{Deserialize, Serialize};
+use vmq_video::{BoundingBox, Color, ObjectClass};
+
+/// A single detected object in a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Detected object class.
+    pub class: ObjectClass,
+    /// Detected colour attribute, when the detector extracts it.
+    pub color: Option<Color>,
+    /// Detected bounding box in normalised frame coordinates.
+    pub bbox: BoundingBox,
+    /// Detector confidence in `[0, 1]`.
+    pub score: f32,
+    /// Track id when the detector propagates one (the oracle does).
+    pub track_id: Option<u64>,
+}
+
+/// All detections for one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameDetections {
+    /// Frame id the detections belong to.
+    pub frame_id: u64,
+    /// The detections.
+    pub detections: Vec<Detection>,
+}
+
+impl FrameDetections {
+    /// An empty detection set for a frame.
+    pub fn empty(frame_id: u64) -> Self {
+        FrameDetections { frame_id, detections: Vec::new() }
+    }
+
+    /// Total number of detections.
+    pub fn count(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// Number of detections of a class.
+    pub fn class_count(&self, class: ObjectClass) -> usize {
+        self.detections.iter().filter(|d| d.class == class).count()
+    }
+
+    /// Detections of a class.
+    pub fn of_class(&self, class: ObjectClass) -> Vec<&Detection> {
+        self.detections.iter().filter(|d| d.class == class).collect()
+    }
+
+    /// Detections of a class restricted to a given colour.
+    pub fn of_class_and_color(&self, class: ObjectClass, color: Color) -> Vec<&Detection> {
+        self.detections.iter().filter(|d| d.class == class && d.color == Some(color)).collect()
+    }
+
+    /// Per-class counts indexed by canonical class id.
+    pub fn class_count_vector(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; ObjectClass::ALL.len()];
+        for d in &self.detections {
+            counts[d.class.id()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(class: ObjectClass, color: Option<Color>, x: f32) -> Detection {
+        Detection { class, color, bbox: BoundingBox::new(x, 0.4, 0.1, 0.1), score: 0.9, track_id: None }
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let d = FrameDetections {
+            frame_id: 3,
+            detections: vec![
+                det(ObjectClass::Car, Some(Color::Red), 0.1),
+                det(ObjectClass::Car, Some(Color::Blue), 0.3),
+                det(ObjectClass::Person, None, 0.6),
+            ],
+        };
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.class_count(ObjectClass::Car), 2);
+        assert_eq!(d.of_class(ObjectClass::Person).len(), 1);
+        assert_eq!(d.of_class_and_color(ObjectClass::Car, Color::Red).len(), 1);
+        let v = d.class_count_vector();
+        assert_eq!(v[ObjectClass::Car.id()], 2);
+        assert_eq!(v[ObjectClass::Person.id()], 1);
+    }
+
+    #[test]
+    fn empty_detections() {
+        let d = FrameDetections::empty(9);
+        assert_eq!(d.frame_id, 9);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.class_count(ObjectClass::Bus), 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The virtual-time cost model.
+//!
+//! The paper reports end-to-end query times that are dominated by *how many
+//! frames reach each processing stage*, priced at the per-frame costs
+//! measured on their hardware (Sec. IV): ~1.5 ms for an IC filter, ~1.9 ms
+//! for an OD filter, ~15 ms for full YOLOv2 and ~200 ms for Mask R-CNN. To
+//! reproduce the *shape* of Tables III and IV on any machine, every stage
+//! charges its per-frame cost to a shared [`CostLedger`] (a virtual clock);
+//! the executor additionally measures real wall-clock time of our own filter
+//! implementations so both numbers can be reported side by side.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A processing stage with an associated per-frame virtual cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Decode / bookkeeping per frame (negligible but non-zero).
+    Decode,
+    /// An IC-family filter evaluation (branch at VGG19 layer 5 in the paper).
+    IcFilter,
+    /// An OD-family filter evaluation (branch at YOLOv2 layer 8 in the paper).
+    OdFilter,
+    /// The full YOLOv2 detector.
+    FullYolo,
+    /// The full Mask R-CNN detector (final stage / ground-truth annotator).
+    MaskRcnn,
+}
+
+impl Stage {
+    /// All stages.
+    pub const ALL: [Stage; 5] = [Stage::Decode, Stage::IcFilter, Stage::OdFilter, Stage::FullYolo, Stage::MaskRcnn];
+
+    /// Short stage name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::IcFilter => "ic-filter",
+            Stage::OdFilter => "od-filter",
+            Stage::FullYolo => "yolo-full",
+            Stage::MaskRcnn => "mask-rcnn",
+        }
+    }
+}
+
+/// Per-frame costs (in milliseconds of virtual time) for each stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CostModel {
+    costs: BTreeMap<Stage, f64>,
+}
+
+impl CostModel {
+    /// The per-frame costs reported in Sec. IV of the paper.
+    pub fn paper() -> Self {
+        let mut costs = BTreeMap::new();
+        costs.insert(Stage::Decode, 0.05);
+        costs.insert(Stage::IcFilter, 1.5);
+        costs.insert(Stage::OdFilter, 1.9);
+        costs.insert(Stage::FullYolo, 15.0);
+        costs.insert(Stage::MaskRcnn, 200.0);
+        CostModel { costs }
+    }
+
+    /// Cost model with a custom cost for one stage (others from the paper).
+    pub fn with_cost(mut self, stage: Stage, ms: f64) -> Self {
+        self.costs.insert(stage, ms);
+        self
+    }
+
+    /// Per-frame cost of a stage in milliseconds.
+    pub fn cost_ms(&self, stage: Stage) -> f64 {
+        *self.costs.get(&stage).unwrap_or(&0.0)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper()
+    }
+}
+
+/// Accumulated virtual time and per-stage invocation counts.
+///
+/// Cheap to clone (`Arc` internally); clones share the same ledger.
+#[derive(Debug, Clone)]
+pub struct CostLedger {
+    model: CostModel,
+    inner: Arc<Mutex<LedgerInner>>,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    total_ms: f64,
+    invocations: BTreeMap<Stage, u64>,
+    stage_ms: BTreeMap<Stage, f64>,
+}
+
+impl CostLedger {
+    /// Creates a ledger with the given cost model.
+    pub fn new(model: CostModel) -> Self {
+        CostLedger { model, inner: Arc::new(Mutex::new(LedgerInner::default())) }
+    }
+
+    /// Creates a ledger priced with the paper's costs.
+    pub fn paper() -> Self {
+        CostLedger::new(CostModel::paper())
+    }
+
+    /// Charges one invocation of `stage` for `frames` frames.
+    pub fn charge(&self, stage: Stage, frames: u64) {
+        let cost = self.model.cost_ms(stage) * frames as f64;
+        let mut inner = self.inner.lock();
+        inner.total_ms += cost;
+        *inner.invocations.entry(stage).or_insert(0) += frames;
+        *inner.stage_ms.entry(stage).or_insert(0.0) += cost;
+    }
+
+    /// Total accumulated virtual time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.inner.lock().total_ms
+    }
+
+    /// Total accumulated virtual time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_ms() / 1000.0
+    }
+
+    /// Number of frames charged to a stage.
+    pub fn invocations(&self, stage: Stage) -> u64 {
+        *self.inner.lock().invocations.get(&stage).unwrap_or(&0)
+    }
+
+    /// Virtual milliseconds charged to a stage.
+    pub fn stage_ms(&self, stage: Stage) -> f64 {
+        *self.inner.lock().stage_ms.get(&stage).unwrap_or(&0.0)
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Resets the ledger to zero (the cost model is kept).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        *inner = LedgerInner::default();
+    }
+
+    /// A multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let inner = self.inner.lock();
+        let mut lines = vec![format!("total virtual time: {:.2} s", inner.total_ms / 1000.0)];
+        for stage in Stage::ALL {
+            let n = inner.invocations.get(&stage).copied().unwrap_or(0);
+            if n > 0 {
+                lines.push(format!(
+                    "  {:<10} frames={:<8} time={:.2} s",
+                    stage.name(),
+                    n,
+                    inner.stage_ms.get(&stage).copied().unwrap_or(0.0) / 1000.0
+                ));
+            }
+        }
+        lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_costs_match_section_iv() {
+        let m = CostModel::paper();
+        assert_eq!(m.cost_ms(Stage::MaskRcnn), 200.0);
+        assert_eq!(m.cost_ms(Stage::FullYolo), 15.0);
+        assert_eq!(m.cost_ms(Stage::IcFilter), 1.5);
+        assert_eq!(m.cost_ms(Stage::OdFilter), 1.9);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let ledger = CostLedger::paper();
+        ledger.charge(Stage::MaskRcnn, 10);
+        ledger.charge(Stage::IcFilter, 100);
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 10);
+        assert_eq!(ledger.invocations(Stage::IcFilter), 100);
+        assert!((ledger.total_ms() - (2000.0 + 150.0)).abs() < 1e-9);
+        assert!((ledger.stage_ms(Stage::IcFilter) - 150.0).abs() < 1e-9);
+        assert!((ledger.total_seconds() - 2.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let ledger = CostLedger::paper();
+        let clone = ledger.clone();
+        clone.charge(Stage::FullYolo, 2);
+        assert_eq!(ledger.invocations(Stage::FullYolo), 2);
+    }
+
+    #[test]
+    fn reset_clears_totals() {
+        let ledger = CostLedger::paper();
+        ledger.charge(Stage::Decode, 5);
+        ledger.reset();
+        assert_eq!(ledger.total_ms(), 0.0);
+        assert_eq!(ledger.invocations(Stage::Decode), 0);
+    }
+
+    #[test]
+    fn custom_costs() {
+        let model = CostModel::paper().with_cost(Stage::MaskRcnn, 100.0);
+        assert_eq!(model.cost_ms(Stage::MaskRcnn), 100.0);
+        assert_eq!(model.cost_ms(Stage::FullYolo), 15.0);
+    }
+
+    #[test]
+    fn summary_mentions_used_stages() {
+        let ledger = CostLedger::paper();
+        ledger.charge(Stage::MaskRcnn, 1);
+        let s = ledger.summary();
+        assert!(s.contains("mask-rcnn"));
+        assert!(!s.contains("yolo-full"));
+    }
+}

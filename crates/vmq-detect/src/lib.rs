@@ -1,0 +1,52 @@
+//! # vmq-detect — detector substrates and the virtual-time cost model
+//!
+//! In the paper the expensive stage of every query is a full object detector:
+//! Mask R-CNN (~200 ms/frame) produces both the ground-truth annotations used
+//! for training and the final, authoritative answer for frames that survive
+//! the cheap filters; the full YOLOv2 network (~15 ms/frame) is used as a
+//! comparison point. Neither network can run here (no GPU, no pretrained
+//! weights), so this crate provides stand-ins that preserve exactly what the
+//! downstream layers rely on:
+//!
+//! * [`oracle::OracleDetector`] — returns the simulator's ground truth,
+//!   optionally perturbed by a [`noise::NoiseModel`], and charges the paper's
+//!   Mask R-CNN per-frame cost to a [`cost::CostLedger`]. In the paper, Mask
+//!   R-CNN output *is* treated as ground truth, so this substitution is
+//!   faithful by construction.
+//! * [`mid::MidDetector`] — a noisier, colour-blind detector standing in for
+//!   full YOLOv2 at its 15 ms/frame price point.
+//! * [`cost`] — a virtual clock: every stage charges its per-frame cost so
+//!   end-to-end times (Table III, Table IV) can be reproduced deterministically
+//!   on any machine, alongside real wall-clock measurements of our own filters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod annotation;
+pub mod cost;
+pub mod mid;
+pub mod noise;
+pub mod oracle;
+
+pub use annotation::{Detection, FrameDetections};
+pub use cost::{CostLedger, CostModel, Stage};
+pub use mid::MidDetector;
+pub use noise::NoiseModel;
+pub use oracle::OracleDetector;
+
+use vmq_video::Frame;
+
+/// A frame-level object detector.
+///
+/// Detectors are `Send + Sync` so the streaming executor can share one across
+/// worker threads; internal randomness is behind a lock.
+pub trait Detector: Send + Sync {
+    /// Detects objects in a frame.
+    fn detect(&self, frame: &Frame) -> FrameDetections;
+
+    /// The cost-model stage this detector charges per frame.
+    fn stage(&self) -> Stage;
+
+    /// Human-readable detector name.
+    fn name(&self) -> &'static str;
+}

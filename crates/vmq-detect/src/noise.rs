@@ -1,0 +1,114 @@
+//! Detector noise models.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use vmq_video::BoundingBox;
+
+/// A simple noise model applied to ground-truth annotations to emulate an
+/// imperfect detector.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Probability that a true object is missed entirely.
+    pub miss_rate: f32,
+    /// Expected number of spurious (false-positive) detections per frame.
+    pub false_positives_per_frame: f32,
+    /// Standard deviation of positional jitter applied to box corners
+    /// (normalised frame units).
+    pub box_jitter: f32,
+    /// Probability that the class label of a detection is corrupted to a
+    /// different class present in the frame's vocabulary.
+    pub class_confusion: f32,
+    /// Probability that the colour attribute is dropped (not reported).
+    pub color_drop: f32,
+}
+
+impl NoiseModel {
+    /// A perfect detector: no noise at all. This is how the paper uses Mask
+    /// R-CNN — its detections are the ground truth by definition.
+    pub fn perfect() -> Self {
+        NoiseModel { miss_rate: 0.0, false_positives_per_frame: 0.0, box_jitter: 0.0, class_confusion: 0.0, color_drop: 0.0 }
+    }
+
+    /// A mildly imperfect detector, suitable for robustness experiments.
+    pub fn mild() -> Self {
+        NoiseModel { miss_rate: 0.02, false_positives_per_frame: 0.05, box_jitter: 0.01, class_confusion: 0.01, color_drop: 0.05 }
+    }
+
+    /// The mid-tier (YOLO-like) noise level: more misses, more jitter and no
+    /// colour attribute extraction.
+    pub fn mid_tier() -> Self {
+        NoiseModel { miss_rate: 0.08, false_positives_per_frame: 0.15, box_jitter: 0.02, class_confusion: 0.03, color_drop: 1.0 }
+    }
+
+    /// True when the model introduces no randomness.
+    pub fn is_perfect(&self) -> bool {
+        self.miss_rate == 0.0
+            && self.false_positives_per_frame == 0.0
+            && self.box_jitter == 0.0
+            && self.class_confusion == 0.0
+            && self.color_drop == 0.0
+    }
+
+    /// Applies positional jitter to a box.
+    pub fn jitter_box(&self, bbox: &BoundingBox, rng: &mut StdRng) -> BoundingBox {
+        if self.box_jitter == 0.0 {
+            return *bbox;
+        }
+        let j = self.box_jitter;
+        BoundingBox::new(
+            bbox.x + rng.gen_range(-j..=j),
+            bbox.y + rng.gen_range(-j..=j),
+            (bbox.w * (1.0 + rng.gen_range(-j..=j))).max(0.005),
+            (bbox.h * (1.0 + rng.gen_range(-j..=j))).max(0.005),
+        )
+    }
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_is_perfect() {
+        assert!(NoiseModel::perfect().is_perfect());
+        assert!(!NoiseModel::mild().is_perfect());
+        assert!(NoiseModel::default().is_perfect());
+    }
+
+    #[test]
+    fn jitter_noop_when_zero() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let b = BoundingBox::new(0.2, 0.2, 0.1, 0.1);
+        assert_eq!(NoiseModel::perfect().jitter_box(&b, &mut rng), b);
+    }
+
+    #[test]
+    fn jitter_moves_box_but_keeps_it_valid() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = NoiseModel { box_jitter: 0.05, ..NoiseModel::perfect() };
+        let b = BoundingBox::new(0.5, 0.5, 0.2, 0.2);
+        let mut any_moved = false;
+        for _ in 0..20 {
+            let j = model.jitter_box(&b, &mut rng);
+            if j != b {
+                any_moved = true;
+            }
+            assert!(j.x >= 0.0 && j.right() <= 1.0 + 1e-6);
+            assert!(j.w > 0.0 && j.h > 0.0);
+        }
+        assert!(any_moved);
+    }
+
+    #[test]
+    fn mid_tier_never_reports_color() {
+        assert_eq!(NoiseModel::mid_tier().color_drop, 1.0);
+    }
+}

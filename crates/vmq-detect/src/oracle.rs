@@ -1,0 +1,184 @@
+//! The oracle detector — the Mask R-CNN stand-in.
+
+use crate::annotation::{Detection, FrameDetections};
+use crate::cost::{CostLedger, Stage};
+use crate::noise::NoiseModel;
+use crate::Detector;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vmq_video::{BoundingBox, Frame, ObjectClass};
+
+/// The expensive, authoritative detector.
+///
+/// It plays two roles, exactly as Mask R-CNN does in the paper: it annotates
+/// training frames (producing the count and location labels the filters are
+/// trained against), and it makes the final decision for frames that pass the
+/// filter cascade. By default it is noise-free (its output *defines* ground
+/// truth); a [`NoiseModel`] can be attached for robustness studies.
+pub struct OracleDetector {
+    noise: NoiseModel,
+    ledger: Option<CostLedger>,
+    rng: Mutex<StdRng>,
+}
+
+impl OracleDetector {
+    /// A perfect oracle with no cost accounting.
+    pub fn perfect() -> Self {
+        OracleDetector { noise: NoiseModel::perfect(), ledger: None, rng: Mutex::new(StdRng::seed_from_u64(0x0AC1E)) }
+    }
+
+    /// A perfect oracle that charges Mask R-CNN cost to `ledger` per frame.
+    pub fn with_ledger(ledger: CostLedger) -> Self {
+        OracleDetector { noise: NoiseModel::perfect(), ledger: Some(ledger), rng: Mutex::new(StdRng::seed_from_u64(0x0AC1E)) }
+    }
+
+    /// An oracle with a noise model (and optional ledger).
+    pub fn with_noise(noise: NoiseModel, ledger: Option<CostLedger>, seed: u64) -> Self {
+        OracleDetector { noise, ledger, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    fn apply_noise(&self, frame: &Frame) -> Vec<Detection> {
+        let mut rng = self.rng.lock();
+        let mut out = Vec::with_capacity(frame.objects.len());
+        for obj in &frame.objects {
+            if self.noise.miss_rate > 0.0 && rng.gen::<f32>() < self.noise.miss_rate {
+                continue;
+            }
+            let mut class = obj.class;
+            if self.noise.class_confusion > 0.0 && rng.gen::<f32>() < self.noise.class_confusion {
+                // confuse with a neighbouring class id
+                let next = (class.id() + 1) % ObjectClass::ALL.len();
+                class = ObjectClass::from_id(next).unwrap_or(class);
+            }
+            let color = if self.noise.color_drop > 0.0 && rng.gen::<f32>() < self.noise.color_drop {
+                None
+            } else {
+                Some(obj.color)
+            };
+            out.push(Detection {
+                class,
+                color,
+                bbox: self.noise.jitter_box(&obj.bbox, &mut rng),
+                score: if self.noise.is_perfect() { 1.0 } else { rng.gen_range(0.6..1.0) },
+                track_id: Some(obj.track_id),
+            });
+        }
+        // Spurious detections.
+        if self.noise.false_positives_per_frame > 0.0 {
+            let n_fp = {
+                let lambda = self.noise.false_positives_per_frame;
+                let whole = lambda.floor() as usize;
+                let extra = if rng.gen::<f32>() < lambda.fract() { 1 } else { 0 };
+                whole + extra
+            };
+            for _ in 0..n_fp {
+                let class = ObjectClass::ALL[rng.gen_range(0..ObjectClass::ALL.len())];
+                let (w, h) = class.typical_size();
+                out.push(Detection {
+                    class,
+                    color: None,
+                    bbox: BoundingBox::from_center(rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9), w, h),
+                    score: rng.gen_range(0.3..0.7),
+                    track_id: None,
+                });
+            }
+        }
+        out
+    }
+}
+
+impl Detector for OracleDetector {
+    fn detect(&self, frame: &Frame) -> FrameDetections {
+        if let Some(ledger) = &self.ledger {
+            ledger.charge(Stage::MaskRcnn, 1);
+        }
+        let detections = if self.noise.is_perfect() {
+            frame
+                .objects
+                .iter()
+                .map(|o| Detection { class: o.class, color: Some(o.color), bbox: o.bbox, score: 1.0, track_id: Some(o.track_id) })
+                .collect()
+        } else {
+            self.apply_noise(frame)
+        };
+        FrameDetections { frame_id: frame.frame_id, detections }
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::MaskRcnn
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle (Mask R-CNN stand-in)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_video::{Color, SceneObject};
+
+    fn frame(n: usize) -> Frame {
+        let objects = (0..n)
+            .map(|i| SceneObject {
+                track_id: i as u64,
+                class: ObjectClass::Car,
+                color: Color::Red,
+                bbox: BoundingBox::new(0.1 * i as f32, 0.2, 0.1, 0.1),
+                velocity: (0.0, 0.0),
+            })
+            .collect();
+        Frame { camera_id: 0, frame_id: 42, timestamp: 0.0, objects }
+    }
+
+    #[test]
+    fn perfect_oracle_reproduces_ground_truth() {
+        let oracle = OracleDetector::perfect();
+        let f = frame(4);
+        let d = oracle.detect(&f);
+        assert_eq!(d.count(), 4);
+        assert_eq!(d.frame_id, 42);
+        for (det, obj) in d.detections.iter().zip(&f.objects) {
+            assert_eq!(det.class, obj.class);
+            assert_eq!(det.bbox, obj.bbox);
+            assert_eq!(det.color, Some(obj.color));
+            assert_eq!(det.track_id, Some(obj.track_id));
+            assert_eq!(det.score, 1.0);
+        }
+    }
+
+    #[test]
+    fn oracle_charges_mask_rcnn_cost() {
+        let ledger = CostLedger::paper();
+        let oracle = OracleDetector::with_ledger(ledger.clone());
+        for _ in 0..5 {
+            let _ = oracle.detect(&frame(1));
+        }
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 5);
+        assert!((ledger.total_ms() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_oracle_misses_objects() {
+        let noise = NoiseModel { miss_rate: 1.0, ..NoiseModel::perfect() };
+        let oracle = OracleDetector::with_noise(noise, None, 7);
+        assert_eq!(oracle.detect(&frame(5)).count(), 0);
+    }
+
+    #[test]
+    fn noisy_oracle_adds_false_positives() {
+        let noise = NoiseModel { false_positives_per_frame: 2.0, ..NoiseModel::perfect() };
+        let oracle = OracleDetector::with_noise(noise, None, 7);
+        let d = oracle.detect(&frame(0));
+        assert_eq!(d.count(), 2);
+        assert!(d.detections.iter().all(|det| det.track_id.is_none()));
+    }
+
+    #[test]
+    fn detector_trait_metadata() {
+        let oracle = OracleDetector::perfect();
+        assert_eq!(oracle.stage(), Stage::MaskRcnn);
+        assert!(oracle.name().contains("oracle"));
+    }
+}

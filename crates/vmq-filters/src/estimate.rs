@@ -1,0 +1,179 @@
+//! Filter outputs and the common filter trait.
+
+use crate::grid::ClassGrid;
+use serde::{Deserialize, Serialize};
+use vmq_detect::Stage;
+use vmq_video::{Frame, Image, ObjectClass};
+use vmq_nn::Tensor;
+
+/// Which filter family produced an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FilterKind {
+    /// Image-classification-based filters (Sec. II-A).
+    Ic,
+    /// Object-detection-based filters (Sec. II-B).
+    Od,
+    /// The count-optimised classification filter OD-COF (Sec. II-B-1).
+    OdCof,
+    /// The calibrated analytic stand-in used for fast tests.
+    Calibrated,
+}
+
+impl FilterKind {
+    /// Short name as used in the paper's figures ("IC", "OD", "OD-COF").
+    pub fn name(self) -> &'static str {
+        match self {
+            FilterKind::Ic => "IC",
+            FilterKind::Od => "OD",
+            FilterKind::OdCof => "OD-COF",
+            FilterKind::Calibrated => "CAL",
+        }
+    }
+
+    /// The cost-model stage charged per evaluated frame.
+    pub fn stage(self) -> Stage {
+        match self {
+            FilterKind::Ic => Stage::IcFilter,
+            FilterKind::Od | FilterKind::OdCof => Stage::OdFilter,
+            // The calibrated filter emulates an OD filter's price point.
+            FilterKind::Calibrated => Stage::OdFilter,
+        }
+    }
+}
+
+/// The output of evaluating a filter on one frame: per-class count estimates
+/// plus per-class activation grids. This is the raw material from which the
+/// paper's CF / CCF / CLF filters are all derived.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FilterEstimate {
+    /// Classes the filter was trained on, parallel to `counts` and `grids`.
+    pub classes: Vec<ObjectClass>,
+    /// Raw (non-negative, real-valued) per-class count estimates.
+    pub counts: Vec<f32>,
+    /// Raw per-class activation grids (values in `[0, 1]` for OD, unbounded
+    /// CAM activations rescaled to `[0, 1]` for IC).
+    pub grids: Vec<ClassGrid>,
+    /// Which family produced the estimate.
+    pub kind: FilterKind,
+    /// Direct total-count prediction, set by filters (such as OD-COF) whose
+    /// head predicts the total rather than per-class counts.
+    pub total_hint: Option<f32>,
+}
+
+impl FilterEstimate {
+    /// Total estimated object count over all classes (the CF estimate).
+    ///
+    /// Uses the direct total prediction when the filter provides one
+    /// (OD-COF), otherwise the sum of per-class counts.
+    pub fn total_count(&self) -> f32 {
+        self.total_hint.unwrap_or_else(|| self.counts.iter().sum())
+    }
+
+    /// Total count rounded to the nearest integer.
+    pub fn total_count_rounded(&self) -> i64 {
+        self.total_count().round() as i64
+    }
+
+    /// Count estimate for a class (the CCF estimate); `None` when the filter
+    /// was not trained for that class.
+    pub fn count_for(&self, class: ObjectClass) -> Option<f32> {
+        self.classes.iter().position(|&c| c == class).map(|i| self.counts[i])
+    }
+
+    /// Rounded count estimate for a class (0 floor).
+    pub fn count_for_rounded(&self, class: ObjectClass) -> Option<i64> {
+        self.count_for(class).map(|c| c.max(0.0).round() as i64)
+    }
+
+    /// Raw activation grid for a class (the CLF estimate).
+    pub fn grid_for(&self, class: ObjectClass) -> Option<&ClassGrid> {
+        self.classes.iter().position(|&c| c == class).map(|i| &self.grids[i])
+    }
+
+    /// Thresholded binary occupancy grid for a class.
+    pub fn binary_grid_for(&self, class: ObjectClass, threshold: f32) -> Option<ClassGrid> {
+        self.grid_for(class).map(|g| g.threshold(threshold))
+    }
+}
+
+/// A per-frame approximate filter (IC, OD, OD-COF or calibrated).
+pub trait FrameFilter: Send + Sync {
+    /// Produces count and localisation estimates for a frame.
+    fn estimate(&self, frame: &Frame) -> FilterEstimate;
+
+    /// Filter family.
+    fn kind(&self) -> FilterKind;
+
+    /// Grid side length of the localisation maps.
+    fn grid_size(&self) -> usize;
+
+    /// Threshold used to binarise activation grids.
+    fn threshold(&self) -> f32;
+
+    /// Classes the filter can estimate.
+    fn classes(&self) -> &[ObjectClass];
+}
+
+/// Converts a rasterised [`Image`] into an input tensor for the networks.
+pub fn image_to_tensor(image: &Image) -> Tensor {
+    Tensor::from_vec(image.data.clone(), vec![image.channels, image.height, image.width])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimate() -> FilterEstimate {
+        FilterEstimate {
+            classes: vec![ObjectClass::Car, ObjectClass::Person],
+            counts: vec![2.4, 0.6],
+            grids: vec![ClassGrid::from_values(2, vec![0.9, 0.1, 0.0, 0.3]), ClassGrid::empty(2)],
+            kind: FilterKind::Od,
+            total_hint: None,
+        }
+    }
+
+    #[test]
+    fn total_hint_overrides_sum() {
+        let mut e = estimate();
+        e.total_hint = Some(5.2);
+        assert_eq!(e.total_count_rounded(), 5);
+    }
+
+    #[test]
+    fn totals_and_rounding() {
+        let e = estimate();
+        assert!((e.total_count() - 3.0).abs() < 1e-6);
+        assert_eq!(e.total_count_rounded(), 3);
+        assert_eq!(e.count_for_rounded(ObjectClass::Car), Some(2));
+        assert_eq!(e.count_for_rounded(ObjectClass::Person), Some(1));
+        assert_eq!(e.count_for(ObjectClass::Bus), None);
+    }
+
+    #[test]
+    fn grids_and_thresholding() {
+        let e = estimate();
+        assert!(e.grid_for(ObjectClass::Car).is_some());
+        assert!(e.grid_for(ObjectClass::Truck).is_none());
+        let bin = e.binary_grid_for(ObjectClass::Car, 0.2).unwrap();
+        assert_eq!(bin.occupied(), 2);
+        let bin_strict = e.binary_grid_for(ObjectClass::Car, 0.5).unwrap();
+        assert_eq!(bin_strict.occupied(), 1);
+    }
+
+    #[test]
+    fn kind_names_and_stages() {
+        assert_eq!(FilterKind::Ic.name(), "IC");
+        assert_eq!(FilterKind::Od.name(), "OD");
+        assert_eq!(FilterKind::OdCof.name(), "OD-COF");
+        assert_eq!(FilterKind::Ic.stage(), Stage::IcFilter);
+        assert_eq!(FilterKind::OdCof.stage(), Stage::OdFilter);
+    }
+
+    #[test]
+    fn image_to_tensor_shape() {
+        let img = Image::zeros(3, 4, 5);
+        let t = image_to_tensor(&img);
+        assert_eq!(t.shape(), &[3, 4, 5]);
+    }
+}

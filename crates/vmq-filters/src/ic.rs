@@ -1,0 +1,386 @@
+//! IC filters — the image-classification-based branch of Sec. II-A / Fig. 2.
+//!
+//! The network is a convolutional trunk (the stand-in for the first five
+//! VGG19 layers) whose final feature map `fm` (`[d, g, g]`) feeds:
+//!
+//! * a **count head**: global average pooling followed by a fully-connected
+//!   layer with ReLU, producing one count per class, and
+//! * **class activation maps** (Eq. 1): `M_c(i,j) = Σ_k w_ck · fm_k(i,j)`
+//!   computed with the *same* weights `w` as the count head, thresholded to
+//!   localise objects of class `c`.
+//!
+//! Training minimises the multi-task loss of Eq. 2 with the paper's schedule:
+//! count-only for the first epochs, then `(α, β) = (1, β₀)` with `β` decaying,
+//! and — as in the paper — the map term back-propagates only into the trunk
+//! (the fully-connected weights are held fixed with respect to it).
+
+use crate::arch::build_trunk;
+use crate::config::FilterConfig;
+use crate::estimate::{image_to_tensor, FilterEstimate, FilterKind, FrameFilter};
+use crate::grid::ClassGrid;
+use crate::label::{class_presence_counts, FrameLabels};
+use parking_lot::Mutex;
+use vmq_nn::init::seeded_rng;
+use vmq_nn::layer::Act;
+use vmq_nn::loss::{class_weights_from_presence, multi_task_loss};
+use vmq_nn::net::{Param, Sequential};
+use vmq_nn::ops::{global_avg_pool, global_avg_pool_backward, matvec};
+use vmq_nn::optim::{Adam, Optimizer};
+use vmq_nn::train::{batches, sample_order, EpochStats};
+use vmq_nn::Tensor;
+use vmq_video::{Frame, ObjectClass};
+
+/// The count head + class-activation-map head sharing one weight matrix.
+pub struct CamCountHead {
+    weight: Param,
+    bias: Param,
+    n_classes: usize,
+    d: usize,
+    cached_gap: Vec<f32>,
+    cached_pre: Vec<f32>,
+}
+
+impl CamCountHead {
+    /// Creates a head for `n_classes` classes over `d` feature channels.
+    pub fn new(n_classes: usize, d: usize, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed.wrapping_mul(31).wrapping_add(5));
+        let weight = Param::new(vmq_nn::init::xavier_uniform(vec![n_classes, d], d, n_classes, &mut rng));
+        let bias = Param::new(Tensor::zeros(vec![n_classes]));
+        CamCountHead { weight, bias, n_classes, d, cached_gap: Vec::new(), cached_pre: Vec::new() }
+    }
+
+    /// Forward pass: returns `(counts [n], cams [n, g, g])`.
+    pub fn forward(&mut self, fm: &Tensor) -> (Tensor, Tensor) {
+        assert_eq!(fm.shape()[0], self.d, "feature channel mismatch");
+        let (g_h, g_w) = (fm.shape()[1], fm.shape()[2]);
+        let gap = global_avg_pool(fm);
+        let mut pre = matvec(&self.weight.value, gap.data());
+        for (p, b) in pre.iter_mut().zip(self.bias.value.data()) {
+            *p += b;
+        }
+        let counts: Vec<f32> = pre.iter().map(|&v| v.max(0.0)).collect();
+        // CAMs: M_c(i,j) = sum_k w[c][k] * fm[k][i][j]
+        let mut cams = vec![0.0f32; self.n_classes * g_h * g_w];
+        let wd = self.weight.value.data();
+        let fmd = fm.data();
+        let cell_count = g_h * g_w;
+        for c in 0..self.n_classes {
+            let cam = &mut cams[c * cell_count..(c + 1) * cell_count];
+            for k in 0..self.d {
+                let w = wd[c * self.d + k];
+                if w == 0.0 {
+                    continue;
+                }
+                let ch = &fmd[k * cell_count..(k + 1) * cell_count];
+                for (o, &v) in cam.iter_mut().zip(ch) {
+                    *o += w * v;
+                }
+            }
+        }
+        self.cached_gap = gap.data().to_vec();
+        self.cached_pre = pre;
+        (Tensor::from_vec(counts, vec![self.n_classes]), Tensor::from_vec(cams, vec![self.n_classes, g_h, g_w]))
+    }
+
+    /// Backward pass.
+    ///
+    /// `d_counts` is the loss gradient w.r.t. the count output and `d_cams`
+    /// w.r.t. the activation maps. Following Sec. II-A, the map term only
+    /// back-propagates into the feature map, not into the head weights.
+    /// Returns the gradient w.r.t. `fm`.
+    pub fn backward(&mut self, fm: &Tensor, d_counts: &Tensor, d_cams: &Tensor) -> Tensor {
+        let (g_h, g_w) = (fm.shape()[1], fm.shape()[2]);
+        let cell_count = g_h * g_w;
+        // Through the ReLU of the count head.
+        let d_pre: Vec<f32> = d_counts
+            .data()
+            .iter()
+            .zip(&self.cached_pre)
+            .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
+            .collect();
+        // Count-head parameter gradients.
+        let gw = self.weight.grad.data_mut();
+        for (c, &g) in d_pre.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            for (k, &a) in self.cached_gap.iter().enumerate() {
+                gw[c * self.d + k] += g * a;
+            }
+        }
+        for (b, &g) in self.bias.grad.data_mut().iter_mut().zip(&d_pre) {
+            *b += g;
+        }
+        // Gradient into the feature map from the count head (through GAP).
+        let wd = self.weight.value.data();
+        let mut d_gap = vec![0.0f32; self.d];
+        for (c, &g) in d_pre.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            for (k, dg) in d_gap.iter_mut().enumerate() {
+                *dg += g * wd[c * self.d + k];
+            }
+        }
+        let mut d_fm = global_avg_pool_backward(&Tensor::from_vec(d_gap, vec![self.d]), fm.shape());
+        // Gradient into the feature map from the CAM term (weights fixed).
+        let dcam = d_cams.data();
+        let dfm = d_fm.data_mut();
+        for k in 0..self.d {
+            let out = &mut dfm[k * cell_count..(k + 1) * cell_count];
+            for c in 0..self.n_classes {
+                let w = wd[c * self.d + k];
+                if w == 0.0 {
+                    continue;
+                }
+                let src = &dcam[c * cell_count..(c + 1) * cell_count];
+                for (o, &v) in out.iter_mut().zip(src) {
+                    *o += w * v;
+                }
+            }
+        }
+        d_fm
+    }
+
+    /// Trainable parameters of the head.
+    pub fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Zeroes the head's gradients.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+}
+
+struct IcNet {
+    trunk: Sequential,
+    head: CamCountHead,
+}
+
+/// A trained (or trainable) IC filter.
+pub struct IcFilter {
+    config: FilterConfig,
+    net: Mutex<IcNet>,
+    /// Per-epoch training history (empty before training).
+    history: Vec<EpochStats>,
+}
+
+impl IcFilter {
+    /// Creates an untrained IC filter.
+    pub fn new(config: FilterConfig) -> Self {
+        let trunk = build_trunk(&config, Act::Relu, config.seed);
+        let head = CamCountHead::new(config.num_classes(), config.feature_channels(), config.seed);
+        IcFilter { config, net: Mutex::new(IcNet { trunk, head }), history: Vec::new() }
+    }
+
+    /// The filter configuration.
+    pub fn config(&self) -> &FilterConfig {
+        &self.config
+    }
+
+    /// Per-epoch loss history recorded by [`IcFilter::train`].
+    pub fn history(&self) -> &[EpochStats] {
+        &self.history
+    }
+
+    /// Trains the filter on rasterised frames and oracle labels, using the
+    /// multi-task loss and schedule of Eq. 2 / Sec. II-A.
+    pub fn train(&mut self, frames: &[Frame], labels: &[FrameLabels]) -> Vec<EpochStats> {
+        assert_eq!(frames.len(), labels.len(), "frames and labels must be parallel");
+        if frames.is_empty() {
+            return Vec::new();
+        }
+        let schedule = self.config.schedule;
+        let presence = class_presence_counts(labels);
+        let class_weights = class_weights_from_presence(&presence, labels.len());
+        let inputs: Vec<Tensor> = frames.iter().map(|f| image_to_tensor(&self.config.raster.render(f))).collect();
+        let count_targets: Vec<Tensor> = labels.iter().map(|l| l.count_tensor()).collect();
+        let map_targets: Vec<Tensor> = labels.iter().map(|l| l.maps_tensor()).collect();
+
+        let mut rng = seeded_rng(self.config.seed.wrapping_add(0x1C));
+        let mut opt = Adam::with_weight_decay(schedule.learning_rate, schedule.weight_decay);
+        let mut history = Vec::with_capacity(schedule.epochs);
+        let net = self.net.get_mut();
+        for epoch in 0..schedule.epochs {
+            let beta = schedule.beta_at(epoch);
+            let order = sample_order(frames.len(), true, &mut rng);
+            let mut epoch_loss = 0.0f64;
+            for batch in batches(&order, schedule.batch_size) {
+                net.trunk.zero_grad();
+                net.head.zero_grad();
+                for &i in &batch {
+                    let fm = net.trunk.forward(&inputs[i]);
+                    let (counts, cams) = net.head.forward(&fm);
+                    let (loss, d_counts, d_cams) = multi_task_loss(
+                        &counts,
+                        &count_targets[i],
+                        &cams,
+                        &map_targets[i],
+                        &class_weights,
+                        schedule.alpha,
+                        beta,
+                    );
+                    epoch_loss += loss as f64;
+                    let scale = 1.0 / batch.len() as f32;
+                    let d_fm = net.head.backward(&fm, &d_counts.scale(scale), &d_cams.scale(scale));
+                    net.trunk.backward(&d_fm);
+                }
+                let mut params = net.trunk.parameters();
+                params.extend(net.head.params());
+                opt.step(&mut params);
+            }
+            history.push(EpochStats { epoch, mean_loss: (epoch_loss / frames.len() as f64) as f32, samples: frames.len() });
+        }
+        self.history = history.clone();
+        history
+    }
+}
+
+impl FrameFilter for IcFilter {
+    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+        let input = image_to_tensor(&self.config.raster.render(frame));
+        let mut net = self.net.lock();
+        let fm = net.trunk.forward(&input);
+        let (counts, cams) = net.head.forward(&fm);
+        let g = self.config.grid;
+        let n = self.config.num_classes();
+        let grids: Vec<ClassGrid> = (0..n)
+            .map(|c| {
+                let cells: Vec<f32> =
+                    cams.data()[c * g * g..(c + 1) * g * g].iter().map(|&v| v.clamp(0.0, 1.0)).collect();
+                ClassGrid::from_values(g, cells)
+            })
+            .collect();
+        FilterEstimate {
+            classes: self.config.classes.clone(),
+            counts: counts.data().iter().map(|&v| v.max(0.0)).collect(),
+            grids,
+            kind: FilterKind::Ic,
+            total_hint: None,
+        }
+    }
+
+    fn kind(&self) -> FilterKind {
+        FilterKind::Ic
+    }
+
+    fn grid_size(&self) -> usize {
+        self.config.grid
+    }
+
+    fn threshold(&self) -> f32 {
+        self.config.threshold
+    }
+
+    fn classes(&self) -> &[ObjectClass] {
+        &self.config.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::label_frames;
+    use vmq_detect::OracleDetector;
+    use vmq_video::{Dataset, DatasetProfile};
+
+    fn small_dataset() -> Dataset {
+        Dataset::generate(&DatasetProfile::jackson(), 60, 24, 3)
+    }
+
+    #[test]
+    fn head_forward_shapes() {
+        let mut head = CamCountHead::new(2, 4, 0);
+        let fm = Tensor::full(vec![4, 3, 3], 0.5);
+        let (counts, cams) = head.forward(&fm);
+        assert_eq!(counts.shape(), &[2]);
+        assert_eq!(cams.shape(), &[2, 3, 3]);
+        assert!(counts.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn head_backward_gradient_check_weights() {
+        // Loss = sum(counts): finite-difference check of head weight grads.
+        let mut head = CamCountHead::new(2, 3, 1);
+        let fm = Tensor::from_vec((0..3 * 4).map(|v| 0.2 + v as f32 * 0.05).collect(), vec![3, 2, 2]);
+        let (counts, cams) = head.forward(&fm);
+        let d_counts = Tensor::full(vec![2], 1.0);
+        let d_cams = Tensor::zeros(cams.shape().to_vec());
+        let _ = head.backward(&fm, &d_counts, &d_cams);
+        let analytic = head.weight.grad.clone();
+        let eps = 1e-3;
+        let base: f32 = counts.sum();
+        let _ = base;
+        for idx in 0..head.weight.value.len() {
+            let orig = head.weight.value.data()[idx];
+            head.weight.value.data_mut()[idx] = orig + eps;
+            let (cp, _) = head.forward(&fm);
+            head.weight.value.data_mut()[idx] = orig - eps;
+            let (cm, _) = head.forward(&fm);
+            head.weight.value.data_mut()[idx] = orig;
+            let numeric = (cp.sum() - cm.sum()) / (2.0 * eps);
+            assert!((numeric - analytic.data()[idx]).abs() < 2e-2, "idx {idx}: {numeric} vs {}", analytic.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn cam_gradient_reaches_feature_map_but_not_weights() {
+        let mut head = CamCountHead::new(1, 2, 2);
+        let fm = Tensor::full(vec![2, 2, 2], 1.0);
+        let (_counts, cams) = head.forward(&fm);
+        let d_counts = Tensor::zeros(vec![1]);
+        let d_cams = Tensor::full(cams.shape().to_vec(), 1.0);
+        let d_fm = head.backward(&fm, &d_counts, &d_cams);
+        // Weight gradients must stay zero (map term does not update the head).
+        assert_eq!(head.weight.grad.norm(), 0.0);
+        // Feature-map gradient must be nonzero.
+        assert!(d_fm.norm() > 0.0);
+    }
+
+    #[test]
+    fn untrained_filter_produces_valid_estimates() {
+        let config = FilterConfig::fast_test(vec![ObjectClass::Car, ObjectClass::Person]);
+        let filter = IcFilter::new(config);
+        let ds = small_dataset();
+        let est = filter.estimate(&ds.test()[0]);
+        assert_eq!(est.classes.len(), 2);
+        assert_eq!(est.grids[0].size(), 14);
+        assert!(est.counts.iter().all(|&c| c >= 0.0));
+        assert_eq!(est.kind, FilterKind::Ic);
+        assert_eq!(filter.kind(), FilterKind::Ic);
+        assert_eq!(filter.grid_size(), 14);
+        assert_eq!(filter.threshold(), 0.2);
+        assert_eq!(filter.classes().len(), 2);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = small_dataset();
+        let classes = ds.profile().class_list();
+        let mut config = FilterConfig::fast_test(classes.clone());
+        config.schedule.epochs = 3;
+        config.schedule.count_only_epochs = 1;
+        let oracle = OracleDetector::perfect();
+        let labels = label_frames(ds.train(), &oracle, &classes, config.grid);
+        let mut filter = IcFilter::new(config);
+        let history = filter.train(ds.train(), &labels);
+        assert_eq!(history.len(), 3);
+        // Epoch 0 is count-only (β = 0); the loss jumps when the map term is
+        // enabled at epoch 1, so compare epochs with the same loss definition.
+        assert!(
+            history[2].mean_loss < history[1].mean_loss,
+            "loss should decrease once the full objective is active: {:?}",
+            history
+        );
+        assert_eq!(filter.history().len(), 3);
+    }
+
+    #[test]
+    fn training_on_empty_data_is_noop() {
+        let config = FilterConfig::fast_test(vec![ObjectClass::Car]);
+        let mut filter = IcFilter::new(config);
+        assert!(filter.train(&[], &[]).is_empty());
+    }
+}

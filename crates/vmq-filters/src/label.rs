@@ -1,0 +1,151 @@
+//! Training-label generation.
+//!
+//! As in the paper, labels for both counts and location maps are produced by
+//! running the expensive detector (the Mask R-CNN stand-in) over the training
+//! frames: per-class counts come from counting its detections, and the ground
+//! truth location map is obtained by down-scaling its bounding boxes to the
+//! `g×g` grid (Sec. II-A / II-B).
+
+use crate::grid::ClassGrid;
+use vmq_detect::Detector;
+use vmq_video::{Frame, ObjectClass};
+use vmq_nn::Tensor;
+
+/// Labels for one frame: per-class counts and per-class occupancy grids.
+#[derive(Debug, Clone)]
+pub struct FrameLabels {
+    /// Classes the labels cover, parallel to `counts` and `grids`.
+    pub classes: Vec<ObjectClass>,
+    /// Ground-truth per-class counts.
+    pub counts: Vec<f32>,
+    /// Ground-truth per-class binary occupancy grids.
+    pub grids: Vec<ClassGrid>,
+}
+
+impl FrameLabels {
+    /// Total object count over the labelled classes.
+    pub fn total_count(&self) -> f32 {
+        self.counts.iter().sum()
+    }
+
+    /// The count vector as a tensor (training target of the count head).
+    pub fn count_tensor(&self) -> Tensor {
+        Tensor::from_vec(self.counts.clone(), vec![self.counts.len()])
+    }
+
+    /// The location maps as an `[n_classes, g, g]` tensor (training target of
+    /// the grid head / class activation maps).
+    pub fn maps_tensor(&self) -> Tensor {
+        let g = self.grids.first().map(|gr| gr.size()).unwrap_or(1);
+        let mut data = Vec::with_capacity(self.grids.len() * g * g);
+        for grid in &self.grids {
+            data.extend_from_slice(grid.cells());
+        }
+        Tensor::from_vec(data, vec![self.grids.len(), g, g])
+    }
+}
+
+/// Annotates a frame with a detector and converts the detections to labels.
+pub fn label_frame(frame: &Frame, detector: &dyn Detector, classes: &[ObjectClass], grid: usize) -> FrameLabels {
+    let detections = detector.detect(frame);
+    let mut counts = Vec::with_capacity(classes.len());
+    let mut grids = Vec::with_capacity(classes.len());
+    for &class in classes {
+        let boxes: Vec<_> = detections.of_class(class).iter().map(|d| d.bbox).collect();
+        counts.push(boxes.len() as f32);
+        grids.push(ClassGrid::from_boxes(grid, &boxes));
+    }
+    FrameLabels { classes: classes.to_vec(), counts, grids }
+}
+
+/// Annotates every frame in a slice.
+pub fn label_frames(frames: &[Frame], detector: &dyn Detector, classes: &[ObjectClass], grid: usize) -> Vec<FrameLabels> {
+    frames.iter().map(|f| label_frame(f, detector, classes, grid)).collect()
+}
+
+/// Number of frames in which each class appears at least once — the paper's
+/// `weight_c` for the multi-task loss (Eq. 2) is this divided by the number
+/// of frames.
+pub fn class_presence_counts(labels: &[FrameLabels]) -> Vec<usize> {
+    if labels.is_empty() {
+        return Vec::new();
+    }
+    let n_classes = labels[0].classes.len();
+    let mut presence = vec![0usize; n_classes];
+    for l in labels {
+        for (i, &c) in l.counts.iter().enumerate() {
+            if c > 0.0 {
+                presence[i] += 1;
+            }
+        }
+    }
+    presence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_detect::OracleDetector;
+    use vmq_video::{BoundingBox, Color, SceneObject};
+
+    fn frame_with_car_and_person() -> Frame {
+        Frame {
+            camera_id: 0,
+            frame_id: 0,
+            timestamp: 0.0,
+            objects: vec![
+                SceneObject {
+                    track_id: 1,
+                    class: ObjectClass::Car,
+                    color: Color::Red,
+                    bbox: BoundingBox::new(0.1, 0.1, 0.2, 0.2),
+                    velocity: (0.0, 0.0),
+                },
+                SceneObject {
+                    track_id: 2,
+                    class: ObjectClass::Person,
+                    color: Color::Blue,
+                    bbox: BoundingBox::new(0.7, 0.6, 0.1, 0.2),
+                    velocity: (0.0, 0.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn labels_counts_and_grids() {
+        let oracle = OracleDetector::perfect();
+        let classes = vec![ObjectClass::Car, ObjectClass::Person, ObjectClass::Bus];
+        let labels = label_frame(&frame_with_car_and_person(), &oracle, &classes, 8);
+        assert_eq!(labels.counts, vec![1.0, 1.0, 0.0]);
+        assert_eq!(labels.total_count(), 2.0);
+        assert!(!labels.grids[0].is_empty());
+        assert!(!labels.grids[1].is_empty());
+        assert!(labels.grids[2].is_empty());
+        // car occupies upper-left cells, person lower-right
+        assert!(labels.grids[0].get(1, 1) > 0.5);
+        assert!(labels.grids[1].get(5, 6) > 0.5);
+    }
+
+    #[test]
+    fn tensors_have_right_shapes() {
+        let oracle = OracleDetector::perfect();
+        let classes = vec![ObjectClass::Car, ObjectClass::Person];
+        let labels = label_frame(&frame_with_car_and_person(), &oracle, &classes, 4);
+        assert_eq!(labels.count_tensor().shape(), &[2]);
+        assert_eq!(labels.maps_tensor().shape(), &[2, 4, 4]);
+        assert_eq!(labels.maps_tensor().sum(), (labels.grids[0].occupied() + labels.grids[1].occupied()) as f32);
+    }
+
+    #[test]
+    fn presence_counts() {
+        let oracle = OracleDetector::perfect();
+        let classes = vec![ObjectClass::Car, ObjectClass::Bus];
+        let frames = vec![frame_with_car_and_person(), frame_with_car_and_person()];
+        let labels = label_frames(&frames, &oracle, &classes, 4);
+        assert_eq!(labels.len(), 2);
+        let presence = class_presence_counts(&labels);
+        assert_eq!(presence, vec![2, 0]);
+        assert!(class_presence_counts(&[]).is_empty());
+    }
+}

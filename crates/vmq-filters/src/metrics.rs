@@ -1,0 +1,229 @@
+//! Filter accuracy metrics, defined exactly as in Sec. IV-A of the paper.
+//!
+//! * **Count accuracy** — the fraction of frames whose estimated count equals
+//!   the true count; the `-1` and `-2` variants accept estimates within ±1 /
+//!   ±2 of the truth (Fig. 7, Figs. 8–11).
+//! * **CLF F1** — per-class precision/recall/F1 of grid-cell localisation,
+//!   where a predicted cell counts as correct when a ground-truth cell of the
+//!   same class lies within Manhattan distance 0 / 1 / 2 (Figs. 12–15).
+
+use crate::estimate::FilterEstimate;
+use crate::grid::ClassGrid;
+use crate::label::FrameLabels;
+use serde::{Deserialize, Serialize};
+use vmq_video::ObjectClass;
+
+/// Count-filter accuracy at the three tolerance levels of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CountMetrics {
+    /// Fraction of frames with an exactly correct count.
+    pub exact: f32,
+    /// Fraction of frames within ±1 of the true count (`*-1` filters).
+    pub within_one: f32,
+    /// Fraction of frames within ±2 of the true count (`*-2` filters).
+    pub within_two: f32,
+    /// Number of frames evaluated.
+    pub frames: usize,
+}
+
+impl CountMetrics {
+    /// Computes count metrics from `(predicted, true)` count pairs.
+    pub fn from_pairs(pairs: &[(i64, i64)]) -> Self {
+        let n = pairs.len();
+        if n == 0 {
+            return CountMetrics { exact: 0.0, within_one: 0.0, within_two: 0.0, frames: 0 };
+        }
+        let count_within = |d: i64| pairs.iter().filter(|(p, t)| (p - t).abs() <= d).count() as f32 / n as f32;
+        CountMetrics { exact: count_within(0), within_one: count_within(1), within_two: count_within(2), frames: n }
+    }
+
+    /// Total-count (CF) accuracy of a set of estimates against labels.
+    pub fn total_count(estimates: &[FilterEstimate], labels: &[FrameLabels]) -> Self {
+        let pairs: Vec<(i64, i64)> = estimates
+            .iter()
+            .zip(labels)
+            .map(|(e, l)| (e.total_count_rounded(), l.total_count().round() as i64))
+            .collect();
+        Self::from_pairs(&pairs)
+    }
+
+    /// Per-class (CCF) accuracy for one class.
+    pub fn class_count(estimates: &[FilterEstimate], labels: &[FrameLabels], class: ObjectClass) -> Self {
+        let pairs: Vec<(i64, i64)> = estimates
+            .iter()
+            .zip(labels)
+            .map(|(e, l)| {
+                let pred = e.count_for_rounded(class).unwrap_or(0);
+                let truth = l
+                    .classes
+                    .iter()
+                    .position(|&c| c == class)
+                    .map(|i| l.counts[i].round() as i64)
+                    .unwrap_or(0);
+                (pred, truth)
+            })
+            .collect();
+        Self::from_pairs(&pairs)
+    }
+}
+
+/// Precision / recall / F1 of grid-cell localisation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClfMetrics {
+    /// Precision: fraction of predicted cells matched by ground truth.
+    pub precision: f32,
+    /// Recall: fraction of ground-truth cells matched by a prediction.
+    pub recall: f32,
+    /// F1 score (harmonic mean of precision and recall).
+    pub f1: f32,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ClfMetrics {
+    /// Computes metrics from accumulated counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Self {
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f32 / (tp + fp) as f32 };
+        let recall = if tp + fn_ == 0 { 0.0 } else { tp as f32 / (tp + fn_) as f32 };
+        let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+        ClfMetrics { precision, recall, f1, tp, fp, fn_ }
+    }
+
+    /// Accumulates one frame's prediction / truth grids for a class.
+    ///
+    /// A predicted cell is a true positive when a ground-truth cell lies
+    /// within Manhattan distance `tolerance`; a ground-truth cell missing any
+    /// prediction within `tolerance` is a false negative.
+    pub fn accumulate(pred: &ClassGrid, truth: &ClassGrid, tolerance: usize) -> (usize, usize, usize) {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for cell in pred.occupied_cells() {
+            if truth.occupied_within(cell, tolerance) {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        for cell in truth.occupied_cells() {
+            if !pred.occupied_within(cell, tolerance) {
+                fn_ += 1;
+            }
+        }
+        (tp, fp, fn_)
+    }
+
+    /// CLF metrics of a class over a whole evaluation set at a given Manhattan
+    /// distance tolerance (0 for CLF, 1 for CLF-1, 2 for CLF-2) and threshold.
+    pub fn class_location(
+        estimates: &[FilterEstimate],
+        labels: &[FrameLabels],
+        class: ObjectClass,
+        threshold: f32,
+        tolerance: usize,
+    ) -> Self {
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        for (e, l) in estimates.iter().zip(labels) {
+            let pred = match e.binary_grid_for(class, threshold) {
+                Some(g) => g,
+                None => continue,
+            };
+            let truth = match l.classes.iter().position(|&c| c == class) {
+                Some(i) => l.grids[i].clone(),
+                None => continue,
+            };
+            let (t, f, n) = Self::accumulate(&pred, &truth, tolerance);
+            tp += t;
+            fp += f;
+            fn_ += n;
+        }
+        Self::from_counts(tp, fp, fn_)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::FilterKind;
+
+    #[test]
+    fn count_metrics_from_pairs() {
+        let pairs = vec![(3, 3), (2, 3), (5, 3), (3, 3)];
+        let m = CountMetrics::from_pairs(&pairs);
+        assert_eq!(m.frames, 4);
+        assert!((m.exact - 0.5).abs() < 1e-6);
+        assert!((m.within_one - 0.75).abs() < 1e-6);
+        assert!((m.within_two - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn count_metrics_empty() {
+        let m = CountMetrics::from_pairs(&[]);
+        assert_eq!(m.frames, 0);
+        assert_eq!(m.exact, 0.0);
+    }
+
+    #[test]
+    fn monotone_in_tolerance() {
+        let pairs: Vec<(i64, i64)> = (0..20).map(|i| (i, i + (i % 3))).collect();
+        let m = CountMetrics::from_pairs(&pairs);
+        assert!(m.exact <= m.within_one);
+        assert!(m.within_one <= m.within_two);
+    }
+
+    #[test]
+    fn clf_from_counts() {
+        let m = ClfMetrics::from_counts(8, 2, 2);
+        assert!((m.precision - 0.8).abs() < 1e-6);
+        assert!((m.recall - 0.8).abs() < 1e-6);
+        assert!((m.f1 - 0.8).abs() < 1e-6);
+        let zero = ClfMetrics::from_counts(0, 0, 0);
+        assert_eq!(zero.f1, 0.0);
+    }
+
+    #[test]
+    fn clf_accumulate_with_tolerance() {
+        let mut truth = ClassGrid::empty(8);
+        truth.set(4, 4, 1.0);
+        let mut pred = ClassGrid::empty(8);
+        pred.set(4, 5, 1.0); // one cell off
+        let (tp0, fp0, fn0) = ClfMetrics::accumulate(&pred, &truth, 0);
+        assert_eq!((tp0, fp0, fn0), (0, 1, 1));
+        let (tp1, fp1, fn1) = ClfMetrics::accumulate(&pred, &truth, 1);
+        assert_eq!((tp1, fp1, fn1), (1, 0, 0));
+    }
+
+    #[test]
+    fn class_metrics_from_estimates() {
+        let truth_grid = ClassGrid::from_values(4, {
+            let mut v = vec![0.0; 16];
+            v[5] = 1.0;
+            v
+        });
+        let labels = vec![FrameLabels {
+            classes: vec![ObjectClass::Car],
+            counts: vec![1.0],
+            grids: vec![truth_grid.clone()],
+        }];
+        let estimates = vec![FilterEstimate {
+            classes: vec![ObjectClass::Car],
+            counts: vec![1.2],
+            grids: vec![truth_grid],
+            kind: FilterKind::Od,
+            total_hint: None,
+        }];
+        let cm = CountMetrics::class_count(&estimates, &labels, ObjectClass::Car);
+        assert_eq!(cm.exact, 1.0);
+        let lm = ClfMetrics::class_location(&estimates, &labels, ObjectClass::Car, 0.5, 0);
+        assert_eq!(lm.f1, 1.0);
+        // class absent from both estimate and labels → counts treated as zero
+        let absent = CountMetrics::class_count(&estimates, &labels, ObjectClass::Bus);
+        assert_eq!(absent.exact, 1.0);
+    }
+}

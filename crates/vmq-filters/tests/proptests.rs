@@ -1,0 +1,111 @@
+//! Property-based tests of grids, metrics and the calibrated filter.
+
+use proptest::prelude::*;
+use vmq_filters::{CalibratedFilter, CalibrationProfile, ClassGrid, ClfMetrics, CountMetrics, FrameFilter};
+use vmq_video::{BoundingBox, Color, Frame, ObjectClass, SceneObject};
+
+fn bbox_strategy() -> impl Strategy<Value = BoundingBox> {
+    (0.0f32..0.9, 0.0f32..0.9, 0.02f32..0.3, 0.02f32..0.3).prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
+}
+
+fn frame_strategy(max_objects: usize) -> impl Strategy<Value = Frame> {
+    prop::collection::vec((bbox_strategy(), 0usize..3), 0..max_objects).prop_map(|objs| Frame {
+        camera_id: 0,
+        frame_id: 1,
+        timestamp: 0.0,
+        objects: objs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bbox, class_idx))| SceneObject {
+                track_id: i as u64,
+                class: [ObjectClass::Car, ObjectClass::Person, ObjectClass::Bus][class_idx],
+                color: Color::Red,
+                bbox,
+                velocity: (0.0, 0.0),
+            })
+            .collect(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every non-degenerate box marks at least one grid cell, and the number
+    /// of occupied cells grows (weakly) with the grid resolution.
+    #[test]
+    fn grid_from_boxes_covers_boxes(b in bbox_strategy(), g in 4usize..20) {
+        let grid = ClassGrid::from_boxes(g, &[b]);
+        prop_assert!(grid.occupied() >= 1);
+        let finer = ClassGrid::from_boxes(g * 2, &[b]);
+        prop_assert!(finer.occupied() >= grid.occupied());
+    }
+
+    /// Thresholding is monotone: a higher threshold never occupies more cells.
+    #[test]
+    fn threshold_monotonicity(cells in prop::collection::vec(0.0f32..1.0, 16), t1 in 0.0f32..1.0, t2 in 0.0f32..1.0) {
+        let grid = ClassGrid::from_values(4, cells);
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(grid.threshold(lo).occupied() >= grid.threshold(hi).occupied());
+    }
+
+    /// Dilation is extensive (never loses cells) and monotone in the radius.
+    #[test]
+    fn dilation_monotone(b in bbox_strategy(), d1 in 0usize..3, d2 in 0usize..3) {
+        let grid = ClassGrid::from_boxes(8, &[b]);
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        prop_assert!(grid.dilate(lo).occupied() >= grid.occupied());
+        prop_assert!(grid.dilate(hi).occupied() >= grid.dilate(lo).occupied());
+    }
+
+    /// Region masking never adds cells and the full frame is the identity.
+    #[test]
+    fn region_mask_shrinks(b in bbox_strategy(), region in bbox_strategy()) {
+        let grid = ClassGrid::from_boxes(10, &[b]);
+        let masked = grid.masked_by_region(&region);
+        prop_assert!(masked.occupied() <= grid.occupied());
+        let full = grid.masked_by_region(&BoundingBox::full_frame());
+        prop_assert_eq!(full.occupied(), grid.occupied());
+    }
+
+    /// CLF metrics are monotone in the Manhattan tolerance and bounded by 1.
+    #[test]
+    fn clf_metrics_monotone_in_tolerance(a in bbox_strategy(), b in bbox_strategy()) {
+        let pred = ClassGrid::from_boxes(10, &[a]);
+        let truth = ClassGrid::from_boxes(10, &[b]);
+        let f1 = |tol: usize| {
+            let (tp, fp, fn_) = ClfMetrics::accumulate(&pred, &truth, tol);
+            ClfMetrics::from_counts(tp, fp, fn_).f1
+        };
+        prop_assert!(f1(0) <= f1(1) + 1e-6);
+        prop_assert!(f1(1) <= f1(2) + 1e-6);
+        prop_assert!(f1(2) <= 1.0 + 1e-6);
+    }
+
+    /// Count metrics are monotone in the tolerance band.
+    #[test]
+    fn count_metrics_monotone(pairs in prop::collection::vec((0i64..10, 0i64..10), 1..40)) {
+        let m = CountMetrics::from_pairs(&pairs);
+        prop_assert!(m.exact <= m.within_one + 1e-6);
+        prop_assert!(m.within_one <= m.within_two + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&m.exact));
+    }
+
+    /// A perfect calibrated filter reproduces the ground-truth counts and a
+    /// noisy one still produces valid estimates (non-negative counts, grids
+    /// bounded in [0, 1], same classes).
+    #[test]
+    fn calibrated_filter_estimates_are_valid(frame in frame_strategy(8), noisy in proptest::bool::ANY) {
+        let profile = if noisy { CalibrationProfile::od_like() } else { CalibrationProfile::perfect() };
+        let classes = vec![ObjectClass::Car, ObjectClass::Person, ObjectClass::Bus];
+        let filter = CalibratedFilter::new(classes.clone(), 12, profile, 5);
+        let est = filter.estimate(&frame);
+        prop_assert_eq!(est.classes.clone(), classes.clone());
+        prop_assert!(est.counts.iter().all(|&c| c >= 0.0));
+        prop_assert!(est.grids.iter().all(|g| g.cells().iter().all(|&v| (0.0..=1.0).contains(&v))));
+        if !noisy {
+            for &class in &classes {
+                prop_assert_eq!(est.count_for_rounded(class).unwrap(), frame.class_count(class) as i64);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Weight initialisation schemes (Kaiming / Xavier uniform) and RNG helpers.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a seed; all training in the workspace is
+/// seeded so experiments are reproducible run-to-run.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Kaiming (He) uniform initialisation, appropriate for ReLU family networks.
+///
+/// `fan_in` is the number of input connections per output unit.
+pub fn kaiming_uniform(shape: Vec<usize>, fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0f32 / fan_in.max(1) as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+/// Xavier (Glorot) uniform initialisation, appropriate for linear / sigmoid
+/// output heads.
+pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let bound = (6.0f32 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform(shape, -bound, bound, rng)
+}
+
+/// Uniform initialisation in `[low, high)`.
+pub fn uniform(shape: Vec<usize>, low: f32, high: f32, rng: &mut StdRng) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(low..high)).collect();
+    Tensor::from_vec(data, shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = kaiming_uniform(vec![4, 4], 4, &mut seeded_rng(1));
+        let b = kaiming_uniform(vec![4, 4], 4, &mut seeded_rng(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn kaiming_bound_shrinks_with_fan_in() {
+        let mut rng = seeded_rng(2);
+        let t = kaiming_uniform(vec![1000], 600, &mut rng);
+        let bound = (6.0f32 / 600.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+        // not all zero
+        assert!(t.norm() > 0.0);
+    }
+
+    #[test]
+    fn xavier_respects_bounds() {
+        let mut rng = seeded_rng(3);
+        let t = xavier_uniform(vec![100], 30, 50, &mut rng);
+        let bound = (6.0f32 / 80.0).sqrt();
+        assert!(t.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut rng = seeded_rng(4);
+        let t = uniform(vec![200], -0.5, 0.5, &mut rng);
+        assert!(t.max() < 0.5 && t.min() >= -0.5);
+    }
+}

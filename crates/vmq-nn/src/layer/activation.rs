@@ -1,0 +1,162 @@
+//! Element-wise activation layers (ReLU, LeakyReLU, Sigmoid, Tanh).
+
+use crate::layer::Layer;
+use crate::ops::sigmoid;
+use crate::tensor::Tensor;
+
+/// Supported activation functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Act {
+    /// Rectified linear unit, used by the IC count head (Fig. 2).
+    Relu,
+    /// Leaky ReLU with the given negative slope, used by the OD-COF head
+    /// (Table I uses LeakyReLU throughout).
+    LeakyRelu(f32),
+    /// Logistic sigmoid, used by the OD grid head so each cell is a
+    /// probability of object presence.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+/// An element-wise activation layer.
+pub struct Activation {
+    act: Act,
+    cached_input: Option<Tensor>,
+    cached_output: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates an activation layer.
+    pub fn new(act: Act) -> Self {
+        Activation { act, cached_input: None, cached_output: None }
+    }
+
+    /// The activation function used.
+    pub fn act(&self) -> Act {
+        self.act
+    }
+
+    fn apply(&self, x: f32) -> f32 {
+        match self.act {
+            Act::Relu => x.max(0.0),
+            Act::LeakyRelu(slope) => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    slope * x
+                }
+            }
+            Act::Sigmoid => sigmoid(x),
+            Act::Tanh => x.tanh(),
+        }
+    }
+
+    fn derivative(&self, x: f32, y: f32) -> f32 {
+        match self.act {
+            Act::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Act::LeakyRelu(slope) => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    slope
+                }
+            }
+            Act::Sigmoid => y * (1.0 - y),
+            Act::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(|v| self.apply(v));
+        self.cached_input = Some(input.clone());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("Activation::backward before forward");
+        let output = self.cached_output.as_ref().expect("Activation::backward before forward");
+        assert_eq!(grad_out.shape(), input.shape());
+        let data: Vec<f32> = grad_out
+            .data()
+            .iter()
+            .zip(input.data().iter().zip(output.data()))
+            .map(|(&g, (&x, &y))| g * self.derivative(x, y))
+            .collect();
+        Tensor::from_vec(data, input.shape().to_vec())
+    }
+
+    fn name(&self) -> &'static str {
+        "Activation"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut a = Activation::new(Act::Relu);
+        let x = Tensor::from_vec(vec![-1.0, 0.5, 2.0], vec![3]);
+        let y = a.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.5, 2.0]);
+        let g = a.backward(&Tensor::full(vec![3], 1.0));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let mut a = Activation::new(Act::LeakyRelu(0.1));
+        let x = Tensor::from_vec(vec![-2.0, 3.0], vec![2]);
+        let y = a.forward(&x);
+        assert!((y.data()[0] + 0.2).abs() < 1e-6);
+        assert_eq!(y.data()[1], 3.0);
+        let g = a.backward(&Tensor::full(vec![2], 2.0));
+        assert!((g.data()[0] - 0.2).abs() < 1e-6);
+        assert_eq!(g.data()[1], 2.0);
+    }
+
+    #[test]
+    fn sigmoid_gradient_check() {
+        let mut a = Activation::new(Act::Sigmoid);
+        let x = Tensor::from_vec(vec![0.3, -1.2, 2.0], vec![3]);
+        let _ = a.forward(&x);
+        let g = a.backward(&Tensor::full(vec![3], 1.0));
+        let eps = 1e-3;
+        for i in 0..3 {
+            let fp = sigmoid(x.data()[i] + eps);
+            let fm = sigmoid(x.data()[i] - eps);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn tanh_gradient_check() {
+        let mut a = Activation::new(Act::Tanh);
+        let x = Tensor::from_vec(vec![0.5, -0.5], vec![2]);
+        let _ = a.forward(&x);
+        let g = a.backward(&Tensor::full(vec![2], 1.0));
+        let eps = 1e-3;
+        for i in 0..2 {
+            let numeric = ((x.data()[i] + eps).tanh() - (x.data()[i] - eps).tanh()) / (2.0 * eps);
+            assert!((numeric - g.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn act_is_reported() {
+        let a = Activation::new(Act::LeakyRelu(0.01));
+        assert_eq!(a.act(), Act::LeakyRelu(0.01));
+    }
+}

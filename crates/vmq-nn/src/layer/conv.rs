@@ -1,0 +1,143 @@
+//! 2-D convolution layer built on the im2col kernels in [`crate::ops`].
+
+use crate::init::{kaiming_uniform, seeded_rng};
+use crate::layer::Layer;
+use crate::net::Param;
+use crate::ops::{conv2d_backward, conv2d_forward, ConvSpec};
+use crate::tensor::Tensor;
+
+/// A 2-D convolution over `CHW` tensors with square kernels.
+///
+/// The weight tensor is stored in the im2col-friendly layout
+/// `[out_channels, in_channels * kernel * kernel]`.
+pub struct Conv2d {
+    spec: ConvSpec,
+    weight: Param,
+    bias: Param,
+    cached_cols: Option<Tensor>,
+    cached_in_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Creates a convolution layer.
+    ///
+    /// `seed` makes the Kaiming initialisation deterministic.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
+        let spec = ConvSpec { in_channels, out_channels, kernel, stride, padding };
+        let fan_in = in_channels * kernel * kernel;
+        let mut rng = seeded_rng(seed.wrapping_mul(0x51_7C_C1_B7).wrapping_add(3));
+        let weight = Param::new(kaiming_uniform(vec![out_channels, fan_in], fan_in, &mut rng));
+        let bias = Param::new(Tensor::zeros(vec![out_channels]));
+        Conv2d { spec, weight, bias, cached_cols: None, cached_in_hw: (0, 0) }
+    }
+
+    /// Convenience constructor for the common 3×3 / stride-1 / pad-1 shape,
+    /// which preserves spatial dimensions.
+    pub fn same(in_channels: usize, out_channels: usize, seed: u64) -> Self {
+        Conv2d::new(in_channels, out_channels, 3, 1, 1, seed)
+    }
+
+    /// The convolution specification (channels, kernel, stride, padding).
+    pub fn spec(&self) -> &ConvSpec {
+        &self.spec
+    }
+
+    /// Number of trainable scalars in this layer.
+    pub fn num_weights(&self) -> usize {
+        self.weight.value.len() + self.bias.value.len()
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().len(), 3, "Conv2d expects CHW input");
+        assert_eq!(input.shape()[0], self.spec.in_channels, "Conv2d channel mismatch");
+        self.cached_in_hw = (input.shape()[1], input.shape()[2]);
+        let (out, cols) = conv2d_forward(input, &self.weight.value, self.bias.value.data(), &self.spec);
+        self.cached_cols = Some(cols);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cols = self.cached_cols.as_ref().expect("Conv2d::backward called before forward");
+        let (h, w) = self.cached_in_hw;
+        let (grad_in, grad_w, grad_b) = conv2d_backward(grad_out, &self.weight.value, cols, &self.spec, h, w);
+        self.weight.grad.add_scaled(&grad_w, 1.0);
+        for (g, gb) in self.bias.grad.data_mut().iter_mut().zip(&grad_b) {
+            *g += gb;
+        }
+        grad_in
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_conv_preserves_shape() {
+        let mut c = Conv2d::same(2, 4, 0);
+        let x = Tensor::full(vec![2, 8, 8], 1.0);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[4, 8, 8]);
+    }
+
+    #[test]
+    fn stride_two_halves_spatial_dims() {
+        let mut c = Conv2d::new(1, 3, 3, 2, 1, 0);
+        let x = Tensor::full(vec![1, 8, 8], 1.0);
+        let y = c.forward(&x);
+        assert_eq!(y.shape(), &[3, 4, 4]);
+    }
+
+    #[test]
+    fn gradient_check_small_conv() {
+        // L = sum(conv(x)); finite-difference check of a few weight entries.
+        let mut c = Conv2d::new(1, 2, 3, 1, 1, 5);
+        let x = Tensor::from_vec((0..16).map(|v| (v as f32 * 0.21).sin()).collect(), vec![1, 4, 4]);
+        let _y = c.forward(&x);
+        let gout = Tensor::full(vec![2, 4, 4], 1.0);
+        let gx = c.backward(&gout);
+        let analytic_w = c.weight.grad.clone();
+        let eps = 1e-3;
+        for idx in [0usize, 3, 7, 12, 17] {
+            let orig = c.weight.value.data()[idx];
+            c.weight.value.data_mut()[idx] = orig + eps;
+            let lp = c.forward(&x).sum();
+            c.weight.value.data_mut()[idx] = orig - eps;
+            let lm = c.forward(&x).sum();
+            c.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - analytic_w.data()[idx]).abs() < 2e-2, "w[{idx}] {numeric} vs {}", analytic_w.data()[idx]);
+        }
+        // input gradient check (a couple of positions)
+        for i in [0usize, 5, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = c.forward(&xp).sum();
+            let lm = c.forward(&xm).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gx.data()[i]).abs() < 2e-2, "x[{i}] {numeric} vs {}", gx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn bias_gradient_accumulates_over_cells() {
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, 0);
+        let x = Tensor::full(vec![1, 3, 3], 1.0);
+        let _ = c.forward(&x);
+        let _ = c.backward(&Tensor::full(vec![1, 3, 3], 1.0));
+        // 9 output cells each contribute 1 to the single bias gradient.
+        assert_eq!(c.bias.grad.data()[0], 9.0);
+    }
+}

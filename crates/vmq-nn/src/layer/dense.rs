@@ -1,0 +1,166 @@
+//! Fully-connected (dense) layer.
+
+use crate::init::{kaiming_uniform, seeded_rng};
+use crate::layer::Layer;
+use crate::net::Param;
+use crate::ops::matvec;
+use crate::tensor::Tensor;
+
+/// A fully-connected layer `y = W x + b` over flat vectors.
+///
+/// Weights are stored as an `[out, in]` matrix. The layer operates on a single
+/// sample at a time (mini-batching is done by the training loop, which
+/// accumulates gradients over repeated forward/backward calls).
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Kaiming-uniform weights seeded by `seed`.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed.wrapping_mul(0x9E37_79B9).wrapping_add(17));
+        let weight = Param::new(kaiming_uniform(vec![out_dim, in_dim], in_dim, &mut rng));
+        let bias = Param::new(Tensor::zeros(vec![out_dim]));
+        Dense { weight, bias, in_dim, out_dim, cached_input: None }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Read-only access to the weight matrix (used by the CAM head, which
+    /// shares the count head's weights as per Eq. 1 of the paper).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Read-only access to the bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias.value
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.len(), self.in_dim, "Dense expected input of length {}, got {:?}", self.in_dim, input.shape());
+        self.cached_input = Some(input.reshape(vec![self.in_dim]));
+        let mut y = matvec(&self.weight.value, input.data());
+        for (v, b) in y.iter_mut().zip(self.bias.value.data()) {
+            *v += b;
+        }
+        Tensor::from_vec(y, vec![self.out_dim])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.out_dim);
+        let input = self.cached_input.as_ref().expect("Dense::backward called before forward");
+        // dW[o][i] += g[o] * x[i]
+        let gw = self.weight.grad.data_mut();
+        for (o, &g) in grad_out.data().iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let row = &mut gw[o * self.in_dim..(o + 1) * self.in_dim];
+            for (w, &x) in row.iter_mut().zip(input.data()) {
+                *w += g * x;
+            }
+        }
+        // db += g
+        self.bias.grad.add_scaled(grad_out, 1.0);
+        // dx[i] = sum_o g[o] * W[o][i]
+        let wd = self.weight.value.data();
+        let mut gx = vec![0.0f32; self.in_dim];
+        for (o, &g) in grad_out.data().iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let row = &wd[o * self.in_dim..(o + 1) * self.in_dim];
+            for (x, &w) in gx.iter_mut().zip(row) {
+                *x += g * w;
+            }
+        }
+        Tensor::from_vec(gx, vec![self.in_dim])
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut d = Dense::new(2, 2, 0);
+        // overwrite with known weights
+        d.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]);
+        d.bias.value = Tensor::from_vec(vec![0.5, -0.5], vec![2]);
+        let y = d.forward(&Tensor::from_vec(vec![1.0, 1.0], vec![2]));
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // finite-difference check of dL/dW for L = sum(y)
+        let mut d = Dense::new(3, 2, 1);
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.2], vec![3]);
+        let _ = d.forward(&x);
+        let _ = d.backward(&Tensor::full(vec![2], 1.0));
+        let analytic = d.weight.grad.clone();
+        let eps = 1e-3;
+        for idx in 0..d.weight.value.len() {
+            let orig = d.weight.value.data()[idx];
+            d.weight.value.data_mut()[idx] = orig + eps;
+            let lp = d.forward(&x).sum();
+            d.weight.value.data_mut()[idx] = orig - eps;
+            let lm = d.forward(&x).sum();
+            d.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - analytic.data()[idx]).abs() < 1e-2, "idx {idx}: {numeric} vs {}", analytic.data()[idx]);
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut d = Dense::new(3, 2, 2);
+        let x = Tensor::from_vec(vec![0.1, 0.2, -0.3], vec![3]);
+        let _ = d.forward(&x);
+        let gx = d.backward(&Tensor::full(vec![2], 1.0));
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp = d.forward(&xp).sum();
+            let lm = d.forward(&xm).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gx.data()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn params_exposed() {
+        let mut d = Dense::new(4, 3, 0);
+        let ps = d.params();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].value.shape(), &[3, 4]);
+        assert_eq!(ps[1].value.shape(), &[3]);
+    }
+}

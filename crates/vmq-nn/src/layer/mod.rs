@@ -1,0 +1,93 @@
+//! Neural-network layers with explicit forward / backward passes.
+//!
+//! Every layer caches whatever it needs from the forward pass (inputs, column
+//! matrices, pooling indices) so the subsequent backward call can compute
+//! parameter and input gradients without a general autograd graph.
+
+mod activation;
+mod conv;
+mod dense;
+mod pool;
+
+pub use activation::{Act, Activation};
+pub use conv::Conv2d;
+pub use dense::Dense;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+
+use crate::net::Param;
+use crate::tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// `forward` must be called before `backward`; layers are stateful and keep
+/// the activations of the most recent forward pass. Layers are `Send` so
+/// trained networks can be moved into (or shared behind locks by) the
+/// streaming executor's worker threads.
+pub trait Layer: Send {
+    /// Computes the layer output for `input`, caching anything needed by
+    /// [`Layer::backward`].
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Given the gradient of the loss w.r.t. the layer output, accumulates
+    /// parameter gradients and returns the gradient w.r.t. the layer input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable references to the layer's trainable parameters (empty for
+    /// parameter-free layers).
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Short layer name for architecture summaries.
+    fn name(&self) -> &'static str;
+}
+
+/// Reshapes any tensor into a flat vector (and restores the shape on backward).
+pub struct Flatten {
+    in_shape: Vec<usize>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: Vec::new() }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.in_shape = input.shape().to_vec();
+        input.reshape(vec![input.len()])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.reshape(self.in_shape.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..12).map(|v| v as f32).collect(), vec![3, 2, 2]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[12]);
+        let gx = f.backward(&y);
+        assert_eq!(gx.shape(), &[3, 2, 2]);
+        assert_eq!(gx.data(), x.data());
+        assert_eq!(f.name(), "Flatten");
+    }
+}

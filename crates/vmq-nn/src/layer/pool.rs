@@ -1,0 +1,114 @@
+//! Pooling layers: max pooling and global average pooling.
+
+use crate::layer::Layer;
+use crate::net::Param;
+use crate::ops::{global_avg_pool, global_avg_pool_backward, maxpool2d_backward, maxpool2d_forward};
+use crate::tensor::Tensor;
+
+/// Square, non-overlapping max pooling (window == stride).
+pub struct MaxPool2d {
+    size: usize,
+    cached_idx: Vec<usize>,
+    cached_in_shape: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with the given window size.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "pool size must be >= 1");
+        MaxPool2d { size, cached_idx: Vec::new(), cached_in_shape: Vec::new() }
+    }
+
+    /// Pool window size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_in_shape = input.shape().to_vec();
+        let (out, idx) = maxpool2d_forward(input, self.size);
+        self.cached_idx = idx;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        maxpool2d_backward(grad_out, &self.cached_idx, &self.cached_in_shape)
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Global average pooling `[C, H, W] -> [C]` (the GAP block of Figs. 2, 4, 5).
+pub struct GlobalAvgPool {
+    cached_in_shape: Vec<usize>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_in_shape: Vec::new() }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.cached_in_shape = input.shape().to_vec();
+        global_avg_pool(input)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        global_avg_pool_backward(grad_out, &self.cached_in_shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut p = MaxPool2d::new(2);
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), vec![1, 4, 4]);
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+        let g = p.backward(&Tensor::full(vec![1, 2, 2], 1.0));
+        assert_eq!(g.shape(), &[1, 4, 4]);
+        assert_eq!(g.sum(), 4.0);
+        assert_eq!(p.size(), 2);
+    }
+
+    #[test]
+    fn gap_layer_roundtrip() {
+        let mut g = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], vec![1, 2, 2]);
+        let y = g.forward(&x);
+        assert_eq!(y.data(), &[4.0]);
+        let gx = g.backward(&Tensor::from_vec(vec![8.0], vec![1]));
+        assert_eq!(gx.data(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size")]
+    fn zero_pool_size_rejected() {
+        let _ = MaxPool2d::new(0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Loss functions used by the paper's filters.
+//!
+//! * [`mse_loss`] — mean squared error, used for the class-activation-map
+//!   regularisation term of Eq. 2.
+//! * [`smooth_l1_loss`] — SmoothL1 (Huber), used for count regression in both
+//!   Eq. 2 and Eq. 3, following Fast R-CNN.
+//! * [`masked_grid_loss`] — the grid term of Eq. 3: squared error over grid
+//!   cells with separate weights for cells that contain an object
+//!   (`lambda_obj`) and cells that do not (`lambda_noobj`).
+//! * [`multi_task_loss`] — the per-class weighted combination of Eq. 2.
+//!
+//! Every function returns `(loss_value, gradient_wrt_prediction)` so callers
+//! can feed the gradient straight into a backward pass.
+
+use crate::tensor::Tensor;
+
+/// Mean squared error `1/n Σ (pred - target)²` and its gradient.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse_loss shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Tensor::zeros(pred.shape().to_vec());
+    let mut loss = 0.0f32;
+    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// SmoothL1 (Huber) loss with transition point `beta = 1`:
+///
+/// `0.5 d²` for `|d| < 1`, `|d| - 0.5` otherwise, averaged over elements.
+pub fn smooth_l1_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "smooth_l1_loss shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Tensor::zeros(pred.shape().to_vec());
+    let mut loss = 0.0f32;
+    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+        let d = p - t;
+        if d.abs() < 1.0 {
+            loss += 0.5 * d * d;
+            *g = d / n;
+        } else {
+            loss += d.abs() - 0.5;
+            *g = d.signum() / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// The grid term of Eq. 3.
+///
+/// `pred` and `target` are `[g*g]` (or `[g, g]`) tensors for one class;
+/// `target` must be a 0/1 occupancy map. Cells with an object are weighted by
+/// `lambda_obj`, empty cells by `lambda_noobj`, and the sum is normalised by
+/// `g²` as in the paper.
+pub fn masked_grid_loss(pred: &Tensor, target: &Tensor, lambda_obj: f32, lambda_noobj: f32) -> (f32, Tensor) {
+    assert_eq!(pred.len(), target.len(), "masked_grid_loss length mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut grad = Tensor::zeros(pred.shape().to_vec());
+    let mut loss = 0.0f32;
+    for ((g, &p), &t) in grad.data_mut().iter_mut().zip(pred.data()).zip(target.data()) {
+        let lambda = if t > 0.5 { lambda_obj } else { lambda_noobj };
+        let d = p - t;
+        loss += lambda * d * d;
+        *g = 2.0 * lambda * d / n;
+    }
+    (loss / n, grad)
+}
+
+/// Per-class weights used by the multi-task loss of Eq. 2.
+///
+/// The paper computes `weight_c` as the fraction of training frames that
+/// contain class `c`.
+pub fn class_weights_from_presence(frames_with_class: &[usize], total_frames: usize) -> Vec<f32> {
+    let total = total_frames.max(1) as f32;
+    frames_with_class.iter().map(|&f| (f as f32 / total).max(1e-3)).collect()
+}
+
+/// The multi-task loss of Eq. 2 for a single frame.
+///
+/// For each class `c`: `weight_c * (alpha * SmoothL1(count_c, count̂_c) +
+/// beta * MSE(map_c, map̂_c))`. Returns the total loss, the gradient w.r.t.
+/// the count vector (`[n_classes]`) and the gradient w.r.t. the activation
+/// maps (`[n_classes, g, g]`).
+#[allow(clippy::too_many_arguments)]
+pub fn multi_task_loss(
+    count_pred: &Tensor,
+    count_target: &Tensor,
+    maps_pred: &Tensor,
+    maps_target: &Tensor,
+    class_weights: &[f32],
+    alpha: f32,
+    beta: f32,
+) -> (f32, Tensor, Tensor) {
+    let n_classes = count_pred.len();
+    assert_eq!(count_target.len(), n_classes);
+    assert_eq!(class_weights.len(), n_classes, "class weight count mismatch");
+    assert_eq!(maps_pred.shape(), maps_target.shape());
+    assert_eq!(maps_pred.shape()[0], n_classes, "map class dimension mismatch");
+    let g2 = (maps_pred.len() / n_classes.max(1)).max(1) as f32;
+
+    let mut total = 0.0f32;
+    let mut count_grad = Tensor::zeros(count_pred.shape().to_vec());
+    let mut maps_grad = Tensor::zeros(maps_pred.shape().to_vec());
+
+    for c in 0..n_classes {
+        let w = class_weights[c];
+        // SmoothL1 on the scalar count for this class.
+        let d = count_pred.data()[c] - count_target.data()[c];
+        let (l_cnt, g_cnt) = if d.abs() < 1.0 { (0.5 * d * d, d) } else { (d.abs() - 0.5, d.signum()) };
+        total += w * alpha * l_cnt;
+        count_grad.data_mut()[c] = w * alpha * g_cnt;
+
+        if beta != 0.0 {
+            // MSE on the class activation map of this class.
+            let per_class = maps_pred.len() / n_classes;
+            let mp = &maps_pred.data()[c * per_class..(c + 1) * per_class];
+            let mt = &maps_target.data()[c * per_class..(c + 1) * per_class];
+            let mg = &mut maps_grad.data_mut()[c * per_class..(c + 1) * per_class];
+            let mut l_map = 0.0f32;
+            for ((g, &p), &t) in mg.iter_mut().zip(mp).zip(mt) {
+                let dd = p - t;
+                l_map += dd * dd;
+                *g = w * beta * 2.0 * dd / g2;
+            }
+            total += w * beta * l_map / g2;
+        }
+    }
+    (total, count_grad, maps_grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_known_value() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], vec![2]);
+        let t = Tensor::from_vec(vec![0.0, 4.0], vec![2]);
+        let (l, g) = mse_loss(&p, &t);
+        assert!((l - 2.5).abs() < 1e-6);
+        assert_eq!(g.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn smooth_l1_quadratic_and_linear_regions() {
+        let p = Tensor::from_vec(vec![0.5, 3.0], vec![2]);
+        let t = Tensor::from_vec(vec![0.0, 0.0], vec![2]);
+        let (l, g) = smooth_l1_loss(&p, &t);
+        // 0.5*0.25 + (3 - 0.5) = 0.125 + 2.5 = 2.625, averaged over 2 = 1.3125
+        assert!((l - 1.3125).abs() < 1e-6);
+        assert!((g.data()[0] - 0.25).abs() < 1e-6);
+        assert!((g.data()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smooth_l1_gradient_is_bounded() {
+        let p = Tensor::from_vec(vec![100.0], vec![1]);
+        let t = Tensor::from_vec(vec![0.0], vec![1]);
+        let (_, g) = smooth_l1_loss(&p, &t);
+        assert_eq!(g.data()[0], 1.0);
+    }
+
+    #[test]
+    fn masked_grid_loss_weights_cells() {
+        let p = Tensor::from_vec(vec![0.0, 1.0], vec![2]);
+        let t = Tensor::from_vec(vec![1.0, 0.0], vec![2]);
+        // false negative weighted 5, false positive weighted 0.5
+        let (l, g) = masked_grid_loss(&p, &t, 5.0, 0.5);
+        assert!((l - (5.0 + 0.5) / 2.0).abs() < 1e-6);
+        assert!(g.data()[0] < 0.0 && g.data()[1] > 0.0);
+        assert!(g.data()[0].abs() > g.data()[1].abs());
+    }
+
+    #[test]
+    fn class_weights_fraction() {
+        let w = class_weights_from_presence(&[50, 10, 0], 100);
+        assert!((w[0] - 0.5).abs() < 1e-6);
+        assert!((w[1] - 0.1).abs() < 1e-6);
+        assert!(w[2] > 0.0, "weights are floored away from zero");
+    }
+
+    #[test]
+    fn multi_task_loss_count_only_when_beta_zero() {
+        let cp = Tensor::from_vec(vec![2.0, 0.0], vec![2]);
+        let ct = Tensor::from_vec(vec![1.0, 0.0], vec![2]);
+        let mp = Tensor::zeros(vec![2, 2, 2]);
+        let mt = Tensor::full(vec![2, 2, 2], 1.0);
+        let (l, gc, gm) = multi_task_loss(&cp, &ct, &mp, &mt, &[1.0, 1.0], 1.0, 0.0);
+        assert!((l - 0.5).abs() < 1e-6, "only the count term should contribute, got {l}");
+        assert!(gc.data()[0] > 0.0);
+        assert_eq!(gm.sum(), 0.0);
+    }
+
+    #[test]
+    fn multi_task_loss_adds_map_term() {
+        let cp = Tensor::from_vec(vec![1.0], vec![1]);
+        let ct = Tensor::from_vec(vec![1.0], vec![1]);
+        let mp = Tensor::zeros(vec![1, 2, 2]);
+        let mt = Tensor::full(vec![1, 2, 2], 1.0);
+        let (l, _gc, gm) = multi_task_loss(&cp, &ct, &mp, &mt, &[1.0], 1.0, 10.0);
+        assert!(l > 0.0);
+        assert!(gm.data().iter().all(|&v| v < 0.0), "map gradient should push predictions up");
+    }
+
+    #[test]
+    fn multi_task_loss_respects_class_weights() {
+        let cp = Tensor::from_vec(vec![2.0, 2.0], vec![2]);
+        let ct = Tensor::from_vec(vec![0.0, 0.0], vec![2]);
+        let mp = Tensor::zeros(vec![2, 1, 1]);
+        let mt = Tensor::zeros(vec![2, 1, 1]);
+        let (_, gc, _) = multi_task_loss(&cp, &ct, &mp, &mt, &[1.0, 0.1], 1.0, 0.0);
+        assert!(gc.data()[0].abs() > gc.data()[1].abs());
+    }
+}

@@ -1,0 +1,166 @@
+//! Trainable parameters and the sequential network container.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter: its current value and the accumulated gradient.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated since the last [`Param::zero_grad`].
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient of matching shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Param { value, grad }
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar parameters held.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// A plain stack of layers executed in order.
+///
+/// `Sequential` is used both as a full network (for the count-only OD-COF
+/// head) and as the shared trunk of the multi-head IC / OD filter networks.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Builds a sequential network from a list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// An empty network (identity function).
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the forward pass, caching intermediates inside each layer.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Runs the backward pass given the gradient of the loss w.r.t. the
+    /// network output, returning the gradient w.r.t. the input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Mutable references to every trainable parameter in layer order.
+    pub fn parameters(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params()).collect()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_parameters(&mut self) -> usize {
+        self.parameters().iter().map(|p| p.len()).sum()
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for p in self.parameters() {
+            p.zero_grad();
+        }
+    }
+
+    /// Layer names, useful for describing architectures in reports.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential{:?}", self.layer_names())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Act, Activation, Dense};
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::full(vec![3], 1.0));
+        p.grad = Tensor::full(vec![3], 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn sequential_forward_backward_shapes() {
+        let mut net = Sequential::new(vec![
+            Box::new(Dense::new(4, 8, 0)),
+            Box::new(Activation::new(Act::Relu)),
+            Box::new(Dense::new(8, 2, 1)),
+        ]);
+        let x = Tensor::full(vec![4], 0.5);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[2]);
+        let gx = net.backward(&Tensor::full(vec![2], 1.0));
+        assert_eq!(gx.shape(), &[4]);
+        assert!(net.num_parameters() > 0);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut net = Sequential::new(vec![Box::new(Dense::new(2, 2, 0))]);
+        let x = Tensor::full(vec![2], 1.0);
+        let _ = net.forward(&x);
+        let _ = net.backward(&Tensor::full(vec![2], 1.0));
+        assert!(net.parameters().iter().any(|p| p.grad.norm() > 0.0));
+        net.zero_grad();
+        assert!(net.parameters().iter().all(|p| p.grad.norm() == 0.0));
+    }
+
+    #[test]
+    fn layer_names_reported() {
+        let net = Sequential::new(vec![Box::new(Dense::new(1, 1, 0)), Box::new(Activation::new(Act::Relu))]);
+        assert_eq!(net.layer_names(), vec!["Dense", "Activation"]);
+    }
+}

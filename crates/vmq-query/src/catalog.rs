@@ -1,0 +1,103 @@
+//! Named screen regions.
+//!
+//! The paper's queries constrain objects to areas of the visible screen
+//! (e.g. "two people in the lower-left quadrant", "bicycle in the bike lane
+//! identified by a rectangle on the screen"). A [`RegionCatalog`] maps names
+//! to rectangles so queries can refer to regions symbolically.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use vmq_video::BoundingBox;
+
+/// A catalogue of named screen regions in normalised frame coordinates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegionCatalog {
+    regions: BTreeMap<String, BoundingBox>,
+}
+
+impl RegionCatalog {
+    /// An empty catalogue.
+    pub fn new() -> Self {
+        RegionCatalog { regions: BTreeMap::new() }
+    }
+
+    /// A catalogue pre-populated with the four quadrants, screen halves and
+    /// the full frame — the regions used by the paper's example queries.
+    pub fn standard() -> Self {
+        let mut c = RegionCatalog::new();
+        c.insert("full", BoundingBox::full_frame());
+        c.insert("upper-left", BoundingBox::new(0.0, 0.0, 0.5, 0.5));
+        c.insert("upper-right", BoundingBox::new(0.5, 0.0, 0.5, 0.5));
+        c.insert("lower-left", BoundingBox::new(0.0, 0.5, 0.5, 0.5));
+        c.insert("lower-right", BoundingBox::new(0.5, 0.5, 0.5, 0.5));
+        c.insert("left-half", BoundingBox::new(0.0, 0.0, 0.5, 1.0));
+        c.insert("right-half", BoundingBox::new(0.5, 0.0, 0.5, 1.0));
+        c.insert("top-half", BoundingBox::new(0.0, 0.0, 1.0, 0.5));
+        c.insert("bottom-half", BoundingBox::new(0.0, 0.5, 1.0, 0.5));
+        c
+    }
+
+    /// Adds or replaces a named region.
+    pub fn insert(&mut self, name: &str, region: BoundingBox) {
+        self.regions.insert(name.to_string(), region);
+    }
+
+    /// Looks up a region by name.
+    pub fn get(&self, name: &str) -> Option<BoundingBox> {
+        self.regions.get(name).copied()
+    }
+
+    /// All region names.
+    pub fn names(&self) -> Vec<&str> {
+        self.regions.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True when the catalogue has no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
+impl Default for RegionCatalog {
+    fn default() -> Self {
+        RegionCatalog::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_has_quadrants() {
+        let c = RegionCatalog::standard();
+        assert!(c.len() >= 9);
+        let ll = c.get("lower-left").unwrap();
+        assert!(ll.contains_point(0.25, 0.75));
+        assert!(!ll.contains_point(0.75, 0.25));
+        assert!(c.get("bike-lane").is_none());
+    }
+
+    #[test]
+    fn quadrants_tile_the_frame() {
+        let c = RegionCatalog::standard();
+        let quads = ["upper-left", "upper-right", "lower-left", "lower-right"];
+        let total: f32 = quads.iter().map(|q| c.get(q).unwrap().area()).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn custom_regions() {
+        let mut c = RegionCatalog::new();
+        assert!(c.is_empty());
+        c.insert("bike-lane", BoundingBox::new(0.0, 0.8, 1.0, 0.2));
+        assert_eq!(c.len(), 1);
+        assert!(c.get("bike-lane").unwrap().contains_point(0.5, 0.9));
+        assert_eq!(c.names(), vec!["bike-lane"]);
+    }
+}

@@ -1,0 +1,305 @@
+//! The streaming query executor.
+//!
+//! Frames flow through the cascade: a cheap filter estimate is computed for
+//! every frame and the cascade decides whether the frame can possibly satisfy
+//! the query; only surviving frames are evaluated with the expensive detector
+//! (Mask R-CNN stand-in) to produce the final answer. Every stage is charged
+//! to a virtual-time [`CostLedger`] with the paper's per-frame costs, and the
+//! executor additionally records the real wall-clock time spent inside our
+//! filter implementations.
+
+use crate::ast::Query;
+use crate::metrics::QueryAccuracy;
+use crate::plan::{CascadeConfig, FilterCascade};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vmq_detect::{CostLedger, Detector, Stage};
+use vmq_filters::FrameFilter;
+use vmq_video::Frame;
+
+/// How a query is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Run the expensive detector on every frame (the baseline of Table III).
+    BruteForce,
+    /// Run the filter cascade first and the detector only on survivors.
+    Filtered(CascadeConfig),
+}
+
+/// The result of running a query over a set of frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryRun {
+    /// Query name.
+    pub query: String,
+    /// Human-readable description of the execution mode / filter combination
+    /// (e.g. "brute-force" or "OD-CCF-1/OD-CLF-2").
+    pub mode: String,
+    /// Frame ids reported as satisfying the query.
+    pub matched_frames: Vec<u64>,
+    /// Total number of frames processed.
+    pub frames_total: usize,
+    /// Number of frames that passed the filter cascade (equals
+    /// `frames_total` for brute force).
+    pub frames_passed_filter: usize,
+    /// Number of frames evaluated by the expensive detector.
+    pub frames_detected: usize,
+    /// End-to-end virtual time in milliseconds (the paper's cost model).
+    pub virtual_ms: f64,
+    /// Real wall-clock milliseconds spent in filter inference.
+    pub filter_wall_ms: f64,
+}
+
+impl QueryRun {
+    /// Virtual execution time in seconds (comparable to Table III rows).
+    pub fn virtual_seconds(&self) -> f64 {
+        self.virtual_ms / 1000.0
+    }
+
+    /// Fraction of frames that the cascade allowed through.
+    pub fn filter_pass_rate(&self) -> f64 {
+        if self.frames_total == 0 {
+            0.0
+        } else {
+            self.frames_passed_filter as f64 / self.frames_total as f64
+        }
+    }
+}
+
+/// Executes queries over frame collections.
+pub struct QueryExecutor {
+    query: Query,
+    ledger: CostLedger,
+}
+
+impl QueryExecutor {
+    /// Creates an executor for a query with the paper's cost model.
+    pub fn new(query: Query) -> Self {
+        QueryExecutor { query, ledger: CostLedger::paper() }
+    }
+
+    /// Creates an executor with a custom cost ledger.
+    pub fn with_ledger(query: Query, ledger: CostLedger) -> Self {
+        QueryExecutor { query, ledger }
+    }
+
+    /// The query being executed.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The cost ledger accumulated over all runs of this executor.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Runs the query in brute-force mode: the expensive detector evaluates
+    /// every frame. `detector` should not carry its own ledger (the executor
+    /// does the charging).
+    pub fn run_brute_force(&self, frames: &[Frame], detector: &dyn Detector) -> QueryRun {
+        let mut matched = Vec::new();
+        for frame in frames {
+            self.ledger.charge(Stage::Decode, 1);
+            self.ledger.charge(detector.stage(), 1);
+            let detections = detector.detect(frame);
+            if self.query.matches_detections(&detections) {
+                matched.push(frame.frame_id);
+            }
+        }
+        QueryRun {
+            query: self.query.name.clone(),
+            mode: "brute-force".to_string(),
+            matched_frames: matched,
+            frames_total: frames.len(),
+            frames_passed_filter: frames.len(),
+            frames_detected: frames.len(),
+            virtual_ms: self.ledger.total_ms(),
+            filter_wall_ms: 0.0,
+        }
+    }
+
+    /// Runs the query with a filter cascade in front of the detector.
+    pub fn run_filtered(
+        &self,
+        frames: &[Frame],
+        filter: &dyn FrameFilter,
+        detector: &dyn Detector,
+        config: CascadeConfig,
+    ) -> QueryRun {
+        let cascade = FilterCascade::new(self.query.clone(), config);
+        let mut matched = Vec::new();
+        let mut passed = 0usize;
+        let mut filter_wall_ms = 0.0f64;
+        for frame in frames {
+            self.ledger.charge(Stage::Decode, 1);
+            self.ledger.charge(filter.kind().stage(), 1);
+            let start = Instant::now();
+            let estimate = filter.estimate(frame);
+            filter_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
+            if !cascade.passes(&estimate, filter.threshold()) {
+                continue;
+            }
+            passed += 1;
+            self.ledger.charge(detector.stage(), 1);
+            let detections = detector.detect(frame);
+            if self.query.matches_detections(&detections) {
+                matched.push(frame.frame_id);
+            }
+        }
+        QueryRun {
+            query: self.query.name.clone(),
+            mode: cascade.label(filter),
+            matched_frames: matched,
+            frames_total: frames.len(),
+            frames_passed_filter: passed,
+            frames_detected: passed,
+            virtual_ms: self.ledger.total_ms(),
+            filter_wall_ms,
+        }
+    }
+
+    /// Ground-truth answer set of the query over a set of frames.
+    pub fn ground_truth(&self, frames: &[Frame]) -> Vec<u64> {
+        frames.iter().filter(|f| self.query.matches_ground_truth(f)).map(|f| f.frame_id).collect()
+    }
+
+    /// Accuracy of a run against the ground truth of the same frames.
+    pub fn accuracy(&self, run: &QueryRun, frames: &[Frame]) -> QueryAccuracy {
+        QueryAccuracy::compare(&run.matched_frames, &self.ground_truth(frames))
+    }
+}
+
+/// Runs a query over a frame *stream* using a bounded producer/consumer
+/// pipeline: a producer thread pulls frames from the iterator while the
+/// caller's thread runs the filter cascade and detector. This mirrors how a
+/// continuously arriving camera stream is consumed.
+pub fn run_streaming<I>(
+    query: &Query,
+    frames: I,
+    filter: &dyn FrameFilter,
+    detector: &dyn Detector,
+    config: CascadeConfig,
+    channel_capacity: usize,
+) -> QueryRun
+where
+    I: IntoIterator<Item = Frame> + Send,
+    I::IntoIter: Send,
+{
+    let (tx, rx) = crossbeam::channel::bounded::<Frame>(channel_capacity.max(1));
+    let executor = QueryExecutor::new(query.clone());
+    let cascade = FilterCascade::new(query.clone(), config);
+    let mut matched = Vec::new();
+    let mut total = 0usize;
+    let mut passed = 0usize;
+    let mut filter_wall_ms = 0.0f64;
+
+    crossbeam::thread::scope(|scope| {
+        scope.spawn(move |_| {
+            for frame in frames {
+                if tx.send(frame).is_err() {
+                    break;
+                }
+            }
+        });
+        for frame in rx.iter() {
+            total += 1;
+            executor.ledger.charge(Stage::Decode, 1);
+            executor.ledger.charge(filter.kind().stage(), 1);
+            let start = Instant::now();
+            let estimate = filter.estimate(&frame);
+            filter_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
+            if !cascade.passes(&estimate, filter.threshold()) {
+                continue;
+            }
+            passed += 1;
+            executor.ledger.charge(detector.stage(), 1);
+            if query.matches_detections(&detector.detect(&frame)) {
+                matched.push(frame.frame_id);
+            }
+        }
+    })
+    .expect("streaming pipeline thread panicked");
+
+    QueryRun {
+        query: query.name.clone(),
+        mode: format!("streaming {}", config.label(query.has_spatial_constraints())),
+        matched_frames: matched,
+        frames_total: total,
+        frames_passed_filter: passed,
+        frames_detected: passed,
+        virtual_ms: executor.ledger.total_ms(),
+        filter_wall_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_detect::OracleDetector;
+    use vmq_filters::{CalibratedFilter, CalibrationProfile};
+    use vmq_video::{Dataset, DatasetProfile};
+
+    fn setup() -> (Dataset, CalibratedFilter, OracleDetector) {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 40, 120, 21);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::perfect(), 5);
+        (ds, filter, OracleDetector::perfect())
+    }
+
+    #[test]
+    fn brute_force_matches_ground_truth_exactly() {
+        let (ds, _filter, oracle) = setup();
+        let exec = QueryExecutor::new(Query::paper_q4());
+        let run = exec.run_brute_force(ds.test(), &oracle);
+        assert_eq!(run.matched_frames, exec.ground_truth(ds.test()));
+        assert_eq!(run.frames_detected, ds.test().len());
+        let acc = exec.accuracy(&run, ds.test());
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.precision, 1.0);
+    }
+
+    #[test]
+    fn filtered_run_is_cheaper_and_still_correct_with_perfect_filter() {
+        let (ds, filter, oracle) = setup();
+        let exec_bf = QueryExecutor::new(Query::paper_q3());
+        let brute = exec_bf.run_brute_force(ds.test(), &oracle);
+        let exec_f = QueryExecutor::new(Query::paper_q3());
+        // The filter is perfect, so the strict (exact-count) cascade is safe
+        // and highly selective — this mirrors Table III's per-query choice of
+        // the most selective combination that keeps 100 % accuracy.
+        let filtered = exec_f.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::strict());
+        // With a perfect calibrated filter nothing true is dropped.
+        assert_eq!(filtered.matched_frames, brute.matched_frames);
+        assert!(filtered.frames_detected <= brute.frames_detected);
+        assert!(filtered.virtual_ms < brute.virtual_ms, "filtered {} vs brute {}", filtered.virtual_ms, brute.virtual_ms);
+        assert!(filtered.filter_pass_rate() <= 1.0);
+        assert!(filtered.mode.contains("CCF"));
+    }
+
+    #[test]
+    fn ledger_tracks_detector_invocations() {
+        let (ds, filter, oracle) = setup();
+        let exec = QueryExecutor::new(Query::paper_q5());
+        let run = exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant());
+        assert_eq!(exec.ledger().invocations(Stage::MaskRcnn) as usize, run.frames_detected);
+        assert_eq!(exec.ledger().invocations(Stage::OdFilter) as usize, run.frames_total);
+        assert!(run.virtual_seconds() > 0.0);
+    }
+
+    #[test]
+    fn streaming_pipeline_agrees_with_batch() {
+        let (ds, filter, oracle) = setup();
+        let exec = QueryExecutor::new(Query::paper_q4());
+        let batch = exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant());
+        let stream_run = run_streaming(
+            &Query::paper_q4(),
+            ds.test().to_vec(),
+            &filter,
+            &oracle,
+            CascadeConfig::tolerant(),
+            8,
+        );
+        assert_eq!(stream_run.frames_total, ds.test().len());
+        assert_eq!(stream_run.matched_frames, batch.matched_frames);
+        assert!(stream_run.mode.contains("streaming"));
+    }
+}

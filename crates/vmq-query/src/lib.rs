@@ -1,0 +1,43 @@
+//! # vmq-query — declarative video monitoring queries
+//!
+//! The paper's queries select frames of a video stream that satisfy count and
+//! spatial predicates over detected objects (Sec. I, IV-B), e.g. *"frames
+//! with exactly one car and exactly one person, with the car left of the
+//! person"* (query q5). This crate provides:
+//!
+//! * [`ast`] — the query representation: count predicates (total, per-class,
+//!   per-class-and-colour), spatial predicates between object classes
+//!   (left/right/above/below) and screen-region predicates, with a builder
+//!   API and the named queries q1–q7 of Sec. IV-B.
+//! * [`spatial`] — evaluation of spatial relations on exact detections and on
+//!   filter grids.
+//! * [`catalog`] — named screen regions (quadrants, custom rectangles).
+//! * [`plan`] — the filter cascade: which approximate filters apply to a
+//!   query and with what tolerances, mirroring the filter combinations of
+//!   Table III.
+//! * [`exec`] — the streaming executor: frames flow through the cascade and
+//!   only survivors are sent to the expensive detector, with every stage
+//!   charged to the virtual-time cost ledger.
+//! * [`metrics`] — accuracy / F1 against ground truth and speedup
+//!   vs. brute-force evaluation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod catalog;
+pub mod exec;
+pub mod metrics;
+pub mod order;
+pub mod parser;
+pub mod plan;
+pub mod spatial;
+
+pub use ast::{CountTarget, ObjectRef, Predicate, Query};
+pub use catalog::RegionCatalog;
+pub use exec::{ExecutionMode, QueryExecutor, QueryRun};
+pub use metrics::{QueryAccuracy, SpeedupReport};
+pub use order::{FilterOrdering, PredicateStats};
+pub use parser::{parse_statement, ParseError, ParsedStatement};
+pub use plan::{CascadeConfig, FilterCascade};
+pub use spatial::SpatialRelation;

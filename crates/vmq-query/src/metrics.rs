@@ -1,0 +1,124 @@
+//! Query-level accuracy and speedup reporting (the measurements of Table III).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Accuracy of a query run against the ground-truth answer set.
+///
+/// The paper reports "accuracy" for count-only queries as the fraction of
+/// true frames that the filtered execution identifies (recall), and the F1
+/// measure for queries with spatial constraints; both are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueryAccuracy {
+    /// Frames reported and actually true.
+    pub true_positives: usize,
+    /// Frames reported but not true.
+    pub false_positives: usize,
+    /// True frames that were missed.
+    pub false_negatives: usize,
+    /// Recall (the paper's "accuracy" for count queries).
+    pub recall: f32,
+    /// Precision.
+    pub precision: f32,
+    /// F1 measure (reported for spatial queries).
+    pub f1: f32,
+}
+
+impl QueryAccuracy {
+    /// Compares a reported answer set against the ground truth.
+    pub fn compare(reported: &[u64], truth: &[u64]) -> Self {
+        let reported: BTreeSet<u64> = reported.iter().copied().collect();
+        let truth: BTreeSet<u64> = truth.iter().copied().collect();
+        let tp = reported.intersection(&truth).count();
+        let fp = reported.difference(&truth).count();
+        let fn_ = truth.difference(&reported).count();
+        let recall = if truth.is_empty() { 1.0 } else { tp as f32 / truth.len() as f32 };
+        let precision = if reported.is_empty() { if truth.is_empty() { 1.0 } else { 0.0 } } else { tp as f32 / reported.len() as f32 };
+        let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
+        QueryAccuracy { true_positives: tp, false_positives: fp, false_negatives: fn_, recall, precision, f1 }
+    }
+
+    /// True when every true frame was found and nothing false was reported.
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+/// Speedup of filtered execution over the brute-force baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupReport {
+    /// Virtual milliseconds of the brute-force run.
+    pub brute_force_ms: f64,
+    /// Virtual milliseconds of the filtered run.
+    pub filtered_ms: f64,
+    /// `brute_force_ms / filtered_ms`.
+    pub speedup: f64,
+}
+
+impl SpeedupReport {
+    /// Builds a report from the two execution times.
+    pub fn new(brute_force_ms: f64, filtered_ms: f64) -> Self {
+        let speedup = if filtered_ms <= 0.0 { f64::INFINITY } else { brute_force_ms / filtered_ms };
+        SpeedupReport { brute_force_ms, filtered_ms, speedup }
+    }
+
+    /// Formats the report as a Table III style row.
+    pub fn table_row(&self, query: &str, combo: &str, accuracy: f32) -> String {
+        format!(
+            "{:<4} {:<22} filtered={:>9.1}s brute-force={:>9.1}s speedup={:>7.1}x accuracy={:.1}%",
+            query,
+            combo,
+            self.filtered_ms / 1000.0,
+            self.brute_force_ms / 1000.0,
+            self.speedup,
+            accuracy * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_match() {
+        let acc = QueryAccuracy::compare(&[1, 2, 3], &[1, 2, 3]);
+        assert!(acc.is_perfect());
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.precision, 1.0);
+        assert_eq!(acc.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_match() {
+        let acc = QueryAccuracy::compare(&[1, 2, 9], &[1, 2, 3, 4]);
+        assert_eq!(acc.true_positives, 2);
+        assert_eq!(acc.false_positives, 1);
+        assert_eq!(acc.false_negatives, 2);
+        assert!((acc.recall - 0.5).abs() < 1e-6);
+        assert!((acc.precision - 2.0 / 3.0).abs() < 1e-6);
+        assert!(!acc.is_perfect());
+    }
+
+    #[test]
+    fn empty_truth_is_perfect_recall() {
+        let acc = QueryAccuracy::compare(&[], &[]);
+        assert_eq!(acc.recall, 1.0);
+        assert_eq!(acc.precision, 1.0);
+        let acc2 = QueryAccuracy::compare(&[5], &[]);
+        assert_eq!(acc2.recall, 1.0);
+        assert_eq!(acc2.false_positives, 1);
+    }
+
+    #[test]
+    fn speedup_report() {
+        let r = SpeedupReport::new(2000.0, 20.0);
+        assert!((r.speedup - 100.0).abs() < 1e-9);
+        let row = r.table_row("q1", "OD-CCF-1", 1.0);
+        assert!(row.contains("q1"));
+        assert!(row.contains("100.0x"));
+        assert!(row.contains("100.0%"));
+        let degenerate = SpeedupReport::new(100.0, 0.0);
+        assert!(degenerate.speedup.is_infinite());
+    }
+}

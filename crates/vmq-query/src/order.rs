@@ -1,0 +1,202 @@
+//! Cost-based predicate ordering for the filter cascade.
+//!
+//! The paper leaves filter ordering to future work but points at the classic
+//! stream-processing results (Babcock et al.'s Chain scheduling, Lu et al.'s
+//! probabilistic predicates) as directly applicable. This module implements
+//! the standard greedy rule for ordering independent, commutative filters:
+//! evaluate predicates in increasing *rank* `cost / (1 − selectivity)` — the
+//! cheapest, most selective predicates first — which minimises the expected
+//! evaluation cost per frame when predicates drop frames independently.
+//!
+//! Statistics are estimated empirically: a sample of frames is run through
+//! the filter once per predicate and the pass rate and per-predicate
+//! evaluation cost are measured.
+
+use crate::ast::Query;
+use crate::plan::{CascadeConfig, FilterCascade};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vmq_filters::FrameFilter;
+use vmq_video::Frame;
+
+/// Empirical statistics of one predicate of a query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredicateStats {
+    /// Index of the predicate in the query's predicate list.
+    pub index: usize,
+    /// Fraction of sampled frames whose filter indicator passed the predicate.
+    pub selectivity: f32,
+    /// Measured evaluation cost of the predicate indicator in microseconds.
+    pub cost_us: f64,
+}
+
+impl PredicateStats {
+    /// The greedy ordering rank `cost / (1 − selectivity)`; lower ranks are
+    /// evaluated first. Predicates that never drop anything get an infinite
+    /// rank (they might as well run last).
+    pub fn rank(&self) -> f64 {
+        let drop_rate = (1.0 - self.selectivity as f64).max(0.0);
+        if drop_rate <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            self.cost_us / drop_rate
+        }
+    }
+}
+
+/// A cost-based ordering of a query's predicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterOrdering {
+    /// Per-predicate statistics (in original predicate order).
+    pub stats: Vec<PredicateStats>,
+    /// Predicate indices in the order they should be evaluated.
+    pub order: Vec<usize>,
+}
+
+impl FilterOrdering {
+    /// Estimates predicate statistics on a sample of frames and derives the
+    /// greedy ordering.
+    pub fn estimate(query: &Query, frames: &[Frame], filter: &dyn FrameFilter, config: CascadeConfig) -> Self {
+        let cascade = FilterCascade::new(query.clone(), config);
+        let n = query.predicates.len();
+        let mut passes = vec![0usize; n];
+        let mut cost_us = vec![0.0f64; n];
+        let mut evaluated = 0usize;
+        for frame in frames {
+            let estimate = filter.estimate(frame);
+            let start = Instant::now();
+            let indicators = cascade.predicate_indicators(&estimate, filter.threshold());
+            let elapsed = start.elapsed().as_secs_f64() * 1e6;
+            // The per-indicator cost is approximated by an even share of the
+            // measured evaluation time (individual predicates are too cheap to
+            // time separately without distortion).
+            let share = if n == 0 { 0.0 } else { elapsed / n as f64 };
+            for (k, &ind) in indicators.iter().enumerate() {
+                if ind {
+                    passes[k] += 1;
+                }
+                cost_us[k] += share;
+            }
+            evaluated += 1;
+        }
+        let stats: Vec<PredicateStats> = (0..n)
+            .map(|i| PredicateStats {
+                index: i,
+                selectivity: if evaluated == 0 { 1.0 } else { passes[i] as f32 / evaluated as f32 },
+                cost_us: if evaluated == 0 { 0.0 } else { cost_us[i] / evaluated as f64 },
+            })
+            .collect();
+        FilterOrdering { order: Self::order_from_stats(&stats), stats }
+    }
+
+    /// Builds an ordering directly from known statistics (useful for planning
+    /// with externally supplied selectivities, and for tests).
+    pub fn from_stats(stats: Vec<PredicateStats>) -> Self {
+        FilterOrdering { order: Self::order_from_stats(&stats), stats }
+    }
+
+    fn order_from_stats(stats: &[PredicateStats]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..stats.len()).collect();
+        order.sort_by(|&a, &b| stats[a].rank().partial_cmp(&stats[b].rank()).unwrap_or(std::cmp::Ordering::Equal));
+        order
+    }
+
+    /// Expected per-frame evaluation cost (in microseconds) of checking the
+    /// predicates in the given order, assuming independent pass decisions:
+    /// each predicate is only evaluated if all earlier ones passed.
+    pub fn expected_cost_us(&self, order: &[usize]) -> f64 {
+        let mut reach_probability = 1.0f64;
+        let mut cost = 0.0f64;
+        for &idx in order {
+            let s = &self.stats[idx];
+            cost += reach_probability * s.cost_us;
+            reach_probability *= s.selectivity as f64;
+        }
+        cost
+    }
+
+    /// Expected cost of the optimised order.
+    pub fn optimized_cost_us(&self) -> f64 {
+        self.expected_cost_us(&self.order)
+    }
+
+    /// Expected cost of evaluating predicates in their original query order.
+    pub fn naive_cost_us(&self) -> f64 {
+        let naive: Vec<usize> = (0..self.stats.len()).collect();
+        self.expected_cost_us(&naive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_filters::{CalibratedFilter, CalibrationProfile};
+    use vmq_video::{Dataset, DatasetProfile};
+
+    fn stats(selectivities: &[f32], costs: &[f64]) -> Vec<PredicateStats> {
+        selectivities
+            .iter()
+            .zip(costs)
+            .enumerate()
+            .map(|(i, (&s, &c))| PredicateStats { index: i, selectivity: s, cost_us: c })
+            .collect()
+    }
+
+    #[test]
+    fn rank_prefers_cheap_and_selective() {
+        let cheap_selective = PredicateStats { index: 0, selectivity: 0.1, cost_us: 1.0 };
+        let expensive_unselective = PredicateStats { index: 1, selectivity: 0.9, cost_us: 5.0 };
+        assert!(cheap_selective.rank() < expensive_unselective.rank());
+        let never_drops = PredicateStats { index: 2, selectivity: 1.0, cost_us: 0.1 };
+        assert!(never_drops.rank().is_infinite());
+    }
+
+    #[test]
+    fn ordering_minimises_expected_cost_on_examples() {
+        // Predicate 1 is selective and cheap; it should be evaluated first.
+        let ordering = FilterOrdering::from_stats(stats(&[0.9, 0.1, 0.5], &[2.0, 1.0, 1.5]));
+        assert_eq!(ordering.order[0], 1);
+        assert!(ordering.optimized_cost_us() <= ordering.naive_cost_us());
+        // Exhaustively verify optimality for this 3-predicate case.
+        let perms: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![0, 2, 1], vec![1, 0, 2], vec![1, 2, 0], vec![2, 0, 1], vec![2, 1, 0]];
+        let best = perms.iter().map(|p| ordering.expected_cost_us(p)).fold(f64::INFINITY, f64::min);
+        assert!((ordering.optimized_cost_us() - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_cost_accounts_for_short_circuiting() {
+        let ordering = FilterOrdering::from_stats(stats(&[0.0, 1.0], &[1.0, 100.0]));
+        // With the selective predicate first the expensive one is never reached.
+        assert!((ordering.optimized_cost_us() - 1.0).abs() < 1e-9);
+        assert!((ordering.naive_cost_us() - 1.0).abs() < 1e-9); // already first in query order
+    }
+
+    #[test]
+    fn estimate_from_frames_produces_valid_stats() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 20, 80, 3);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
+        let query = Query::paper_q5();
+        let ordering = FilterOrdering::estimate(&query, ds.test(), &filter, CascadeConfig::strict());
+        assert_eq!(ordering.stats.len(), query.predicates.len());
+        assert_eq!(ordering.order.len(), query.predicates.len());
+        for s in &ordering.stats {
+            assert!((0.0..=1.0).contains(&s.selectivity));
+            assert!(s.cost_us >= 0.0);
+        }
+        // the order is a permutation
+        let mut sorted = ordering.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..query.predicates.len()).collect::<Vec<_>>());
+        assert!(ordering.optimized_cost_us() <= ordering.naive_cost_us() + 1e-9);
+    }
+
+    #[test]
+    fn empty_sample_is_handled() {
+        let filter = CalibratedFilter::new(vec![], 8, CalibrationProfile::perfect(), 0);
+        let ordering = FilterOrdering::estimate(&Query::paper_q1(), &[], &filter, CascadeConfig::strict());
+        assert_eq!(ordering.stats.len(), 1);
+        assert_eq!(ordering.stats[0].selectivity, 1.0);
+    }
+}

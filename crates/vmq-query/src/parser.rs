@@ -1,0 +1,428 @@
+//! A small parser for the paper's declarative query syntax.
+//!
+//! The paper expresses monitoring queries in an SQL-like language (Sec. I):
+//!
+//! ```text
+//! SELECT cameraID, frameID
+//! FROM (PROCESS inputVideo PRODUCE cameraID, frameID USING VehDetector)
+//! WHERE vehType1 = car AND vehColor1 = red
+//!   AND ORDER(vehType1, vehType2) = RIGHT
+//!   AND COUNT(car) = 2
+//!   AND IN(person, lower-left) >= 1
+//! WINDOW HOPPING (SIZE 5000, ADVANCE BY 5000)
+//! ```
+//!
+//! This module parses a pragmatic subset of that syntax into a [`Query`] (and
+//! an optional window clause). The `SELECT`/`FROM` clauses are accepted and
+//! ignored — projection is always `(cameraID, frameID)` in this system — and
+//! the `WHERE` clause supports:
+//!
+//! * `COUNT(class) <op> <n>` and `COUNT(*) <op> <n>` with `=`, `>=`, `<=`,
+//! * `COUNT(color class) <op> <n>` for colour-qualified counts,
+//! * `ORDER(a, b) = LEFT | RIGHT | ABOVE | BELOW` spatial constraints,
+//! * `IN(class, region) >= n` screen-region constraints,
+//!
+//! joined by `AND`. Class, colour and region names follow
+//! [`vmq_video::ObjectClass`], [`vmq_video::Color`] and the query's
+//! [`crate::catalog::RegionCatalog`].
+
+use crate::ast::{CountOp, ObjectRef, Query};
+use crate::spatial::SpatialRelation;
+use vmq_video::{Color, ObjectClass};
+
+/// A parsed statement: the frame-level query plus an optional window clause.
+#[derive(Debug, Clone)]
+pub struct ParsedStatement {
+    /// The frame-level query.
+    pub query: Query,
+    /// Window `(size, advance)` in frames when a `WINDOW HOPPING` clause was
+    /// present.
+    pub window: Option<(usize, usize)>,
+}
+
+/// Errors produced while parsing a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The statement had no `WHERE` clause.
+    MissingWhere,
+    /// A predicate could not be understood.
+    BadPredicate(String),
+    /// An unknown object class name.
+    UnknownClass(String),
+    /// An unknown colour name.
+    UnknownColor(String),
+    /// An unknown comparison operator.
+    UnknownOperator(String),
+    /// An unknown spatial relation keyword.
+    UnknownRelation(String),
+    /// A malformed window clause.
+    BadWindow(String),
+    /// A number failed to parse.
+    BadNumber(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingWhere => write!(f, "statement has no WHERE clause"),
+            ParseError::BadPredicate(p) => write!(f, "cannot parse predicate `{p}`"),
+            ParseError::UnknownClass(c) => write!(f, "unknown object class `{c}`"),
+            ParseError::UnknownColor(c) => write!(f, "unknown colour `{c}`"),
+            ParseError::UnknownOperator(o) => write!(f, "unknown comparison operator `{o}`"),
+            ParseError::UnknownRelation(r) => write!(f, "unknown spatial relation `{r}`"),
+            ParseError::BadWindow(w) => write!(f, "cannot parse window clause `{w}`"),
+            ParseError::BadNumber(n) => write!(f, "cannot parse number `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a statement in the paper's SQL-like syntax into a query.
+pub fn parse_statement(name: &str, text: &str) -> Result<ParsedStatement, ParseError> {
+    let normalized = text.replace(['\n', '\t'], " ");
+    let upper = normalized.to_ascii_uppercase();
+
+    // Split off the optional WINDOW clause first.
+    let (body_upper, window) = match upper.find("WINDOW") {
+        Some(pos) => {
+            let window = parse_window(&normalized[pos..])?;
+            (upper[..pos].to_string(), Some(window))
+        }
+        None => (upper.clone(), None),
+    };
+
+    let where_pos = body_upper.find("WHERE").ok_or(ParseError::MissingWhere)?;
+    let where_clause = &normalized[where_pos + "WHERE".len()..match upper.find("WINDOW") {
+        Some(p) => p,
+        None => normalized.len(),
+    }];
+
+    let mut query = Query::new(name);
+    for raw in split_top_level_and(where_clause) {
+        let predicate = raw.trim();
+        if predicate.is_empty() {
+            continue;
+        }
+        query = parse_predicate(query, predicate)?;
+    }
+    Ok(ParsedStatement { query, window })
+}
+
+/// Splits a WHERE clause on `AND` keywords that are not inside parentheses.
+fn split_top_level_and(clause: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut current = String::new();
+    let tokens: Vec<&str> = clause.split_whitespace().collect();
+    for token in tokens {
+        depth += token.matches('(').count();
+        depth = depth.saturating_sub(token.matches(')').count());
+        if depth == 0 && token.eq_ignore_ascii_case("and") {
+            parts.push(std::mem::take(&mut current));
+        } else {
+            if !current.is_empty() {
+                current.push(' ');
+            }
+            current.push_str(token);
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_predicate(query: Query, text: &str) -> Result<Query, ParseError> {
+    let upper = text.to_ascii_uppercase();
+    if upper.starts_with("COUNT") {
+        parse_count(query, text)
+    } else if upper.starts_with("ORDER") {
+        parse_order(query, text)
+    } else if upper.starts_with("IN") {
+        parse_in(query, text)
+    } else {
+        Err(ParseError::BadPredicate(text.to_string()))
+    }
+}
+
+/// `COUNT(<target>) <op> <n>` where `<target>` is `*`, a class, or
+/// `<color> <class>`.
+fn parse_count(query: Query, text: &str) -> Result<Query, ParseError> {
+    let (inner, rest) = parse_call(text, "COUNT").ok_or_else(|| ParseError::BadPredicate(text.to_string()))?;
+    let (op, value) = parse_comparison(&rest)?;
+    let inner = inner.trim();
+    if inner == "*" {
+        return Ok(query.total_count(op, value));
+    }
+    let words: Vec<&str> = inner.split_whitespace().collect();
+    match words.as_slice() {
+        [class] => {
+            let class = parse_class(class)?;
+            Ok(query.class_count(class, op, value))
+        }
+        [color, class] => {
+            let color = parse_color(color)?;
+            let class = parse_class(class)?;
+            Ok(query.colored_count(class, color, op, value))
+        }
+        _ => Err(ParseError::BadPredicate(text.to_string())),
+    }
+}
+
+/// `ORDER(a, b) = LEFT|RIGHT|ABOVE|BELOW`: following the paper's example,
+/// `ORDER(a, b) = RIGHT` means "b is to the right of a", i.e. `a left-of b`.
+fn parse_order(query: Query, text: &str) -> Result<Query, ParseError> {
+    let (inner, rest) = parse_call(text, "ORDER").ok_or_else(|| ParseError::BadPredicate(text.to_string()))?;
+    let args: Vec<&str> = inner.split(',').map(|s| s.trim()).collect();
+    if args.len() != 2 {
+        return Err(ParseError::BadPredicate(text.to_string()));
+    }
+    let first = parse_object_ref(args[0])?;
+    let second = parse_object_ref(args[1])?;
+    let rest = rest.trim();
+    let keyword = rest.trim_start_matches('=').trim();
+    let relation = match keyword.to_ascii_uppercase().as_str() {
+        // ORDER(a, b) = RIGHT : the second object is to the right of the first.
+        "RIGHT" => SpatialRelation::LeftOf,
+        "LEFT" => SpatialRelation::RightOf,
+        "BELOW" => SpatialRelation::Above,
+        "ABOVE" => SpatialRelation::Below,
+        other => return Err(ParseError::UnknownRelation(other.to_string())),
+    };
+    Ok(query.spatial(first, relation, second))
+}
+
+/// `IN(class, region) >= n` (also accepts `=`; `n` defaults to 1 when the
+/// comparison is omitted).
+fn parse_in(query: Query, text: &str) -> Result<Query, ParseError> {
+    let (inner, rest) = parse_call(text, "IN").ok_or_else(|| ParseError::BadPredicate(text.to_string()))?;
+    let args: Vec<&str> = inner.split(',').map(|s| s.trim()).collect();
+    if args.len() != 2 {
+        return Err(ParseError::BadPredicate(text.to_string()));
+    }
+    let object = parse_object_ref(args[0])?;
+    let region = args[1].to_ascii_lowercase();
+    let rest = rest.trim();
+    let min_count = if rest.is_empty() {
+        1
+    } else {
+        let (_op, value) = parse_comparison(rest)?;
+        value
+    };
+    Ok(query.in_region(object, &region, min_count))
+}
+
+/// Parses `NAME( ... )` returning the inside of the parentheses and the text
+/// after the closing parenthesis.
+fn parse_call(text: &str, keyword: &str) -> Option<(String, String)> {
+    let upper = text.to_ascii_uppercase();
+    if !upper.trim_start().starts_with(keyword) {
+        return None;
+    }
+    let open = text.find('(')?;
+    let close = text.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    Some((text[open + 1..close].to_string(), text[close + 1..].to_string()))
+}
+
+fn parse_comparison(text: &str) -> Result<(CountOp, u32), ParseError> {
+    let t = text.trim();
+    let (op, rest) = if let Some(r) = t.strip_prefix(">=") {
+        (CountOp::AtLeast, r)
+    } else if let Some(r) = t.strip_prefix("<=") {
+        (CountOp::AtMost, r)
+    } else if let Some(r) = t.strip_prefix('=') {
+        (CountOp::Exactly, r)
+    } else {
+        return Err(ParseError::UnknownOperator(t.to_string()));
+    };
+    let value: u32 = rest.trim().parse().map_err(|_| ParseError::BadNumber(rest.trim().to_string()))?;
+    Ok((op, value))
+}
+
+fn parse_object_ref(text: &str) -> Result<ObjectRef, ParseError> {
+    let words: Vec<&str> = text.split_whitespace().collect();
+    match words.as_slice() {
+        [class] => Ok(ObjectRef::class(parse_class(class)?)),
+        [color, class] => Ok(ObjectRef::colored(parse_class(class)?, parse_color(color)?)),
+        _ => Err(ParseError::BadPredicate(text.to_string())),
+    }
+}
+
+fn parse_class(name: &str) -> Result<ObjectClass, ParseError> {
+    ObjectClass::parse(name).ok_or_else(|| ParseError::UnknownClass(name.to_string()))
+}
+
+fn parse_color(name: &str) -> Result<Color, ParseError> {
+    let n = name.to_ascii_lowercase();
+    Color::ALL.into_iter().find(|c| c.name() == n).ok_or_else(|| ParseError::UnknownColor(name.to_string()))
+}
+
+/// `WINDOW HOPPING (SIZE n, ADVANCE BY m)`.
+fn parse_window(text: &str) -> Result<(usize, usize), ParseError> {
+    let upper = text.to_ascii_uppercase();
+    let size = extract_number_after(&upper, "SIZE").ok_or_else(|| ParseError::BadWindow(text.to_string()))?;
+    let advance = extract_number_after(&upper, "ADVANCE BY")
+        .or_else(|| extract_number_after(&upper, "ADVANCE"))
+        .unwrap_or(size);
+    if size == 0 || advance == 0 {
+        return Err(ParseError::BadWindow(text.to_string()));
+    }
+    Ok((size, advance))
+}
+
+fn extract_number_after(text: &str, keyword: &str) -> Option<usize> {
+    let pos = text.find(keyword)? + keyword.len();
+    let rest: String = text[pos..]
+        .chars()
+        .skip_while(|c| !c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    rest.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{CountTarget, Predicate};
+    use vmq_video::{BoundingBox, Frame, SceneObject};
+
+    fn frame_with_car_left_of_truck() -> Frame {
+        Frame {
+            camera_id: 0,
+            frame_id: 0,
+            timestamp: 0.0,
+            objects: vec![
+                SceneObject {
+                    track_id: 1,
+                    class: ObjectClass::Car,
+                    color: Color::Red,
+                    bbox: BoundingBox::from_center(0.2, 0.5, 0.1, 0.1),
+                    velocity: (0.0, 0.0),
+                },
+                SceneObject {
+                    track_id: 2,
+                    class: ObjectClass::Truck,
+                    color: Color::White,
+                    bbox: BoundingBox::from_center(0.8, 0.5, 0.2, 0.1),
+                    velocity: (0.0, 0.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn parses_paper_style_statement() {
+        let text = "SELECT cameraID, frameID \
+                    FROM (PROCESS inputVideo PRODUCE cameraID, frameID USING VehDetector) \
+                    WHERE COUNT(red car) >= 1 AND COUNT(truck) = 1 AND ORDER(car, truck) = RIGHT";
+        let parsed = parse_statement("fig1a", text).expect("parse");
+        assert_eq!(parsed.query.predicates.len(), 3);
+        assert!(parsed.window.is_none());
+        // The example frame (red car left of a truck) satisfies the query.
+        assert!(parsed.query.matches_ground_truth(&frame_with_car_left_of_truck()));
+    }
+
+    #[test]
+    fn parses_window_clause() {
+        let text = "SELECT cameraID FROM video WHERE COUNT(car) >= 1 \
+                    WINDOW HOPPING (SIZE 5000, ADVANCE BY 2500)";
+        let parsed = parse_statement("w", text).expect("parse");
+        assert_eq!(parsed.window, Some((5000, 2500)));
+    }
+
+    #[test]
+    fn window_advance_defaults_to_size() {
+        let text = "SELECT x FROM v WHERE COUNT(*) >= 1 WINDOW HOPPING (SIZE 100)";
+        let parsed = parse_statement("w", text).expect("parse");
+        assert_eq!(parsed.window, Some((100, 100)));
+    }
+
+    #[test]
+    fn count_star_and_operators() {
+        let parsed = parse_statement("t", "WHERE COUNT(*) <= 3 AND COUNT(bus) = 2").expect("parse");
+        assert_eq!(parsed.query.predicates.len(), 2);
+        match &parsed.query.predicates[0] {
+            Predicate::Count { target, op, value } => {
+                assert_eq!(*target, CountTarget::Total);
+                assert_eq!(*op, CountOp::AtMost);
+                assert_eq!(*value, 3);
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn in_region_predicate() {
+        let parsed = parse_statement("r", "WHERE IN(person, lower-left) >= 2").expect("parse");
+        match &parsed.query.predicates[0] {
+            Predicate::Region { object, region, min_count } => {
+                assert_eq!(object.class, ObjectClass::Person);
+                assert_eq!(region, "lower-left");
+                assert_eq!(*min_count, 2);
+            }
+            other => panic!("unexpected predicate {other:?}"),
+        }
+        // default min count
+        let parsed = parse_statement("r2", "WHERE IN(bicycle, right-half)").expect("parse");
+        match &parsed.query.predicates[0] {
+            Predicate::Region { min_count, .. } => assert_eq!(*min_count, 1),
+            other => panic!("unexpected predicate {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_left_is_converse_of_right() {
+        let right = parse_statement("a", "WHERE ORDER(car, truck) = RIGHT").unwrap();
+        let left = parse_statement("b", "WHERE ORDER(truck, car) = LEFT").unwrap();
+        let f = frame_with_car_left_of_truck();
+        assert!(right.query.matches_ground_truth(&f));
+        assert!(left.query.matches_ground_truth(&f));
+        let above = parse_statement("c", "WHERE ORDER(car, truck) = ABOVE").unwrap();
+        assert!(!above.query.matches_ground_truth(&f) || f.objects[1].bbox.above(&f.objects[0].bbox));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(parse_statement("e", "SELECT x FROM y"), Err(ParseError::MissingWhere)));
+        assert!(matches!(parse_statement("e", "WHERE COUNT(dragon) = 1"), Err(ParseError::UnknownClass(_))));
+        assert!(matches!(parse_statement("e", "WHERE COUNT(purple car) = 1"), Err(ParseError::UnknownColor(_))));
+        assert!(matches!(parse_statement("e", "WHERE COUNT(car) != 1"), Err(ParseError::UnknownOperator(_))));
+        assert!(matches!(parse_statement("e", "WHERE ORDER(car, bus) = DIAGONAL"), Err(ParseError::UnknownRelation(_))));
+        assert!(matches!(parse_statement("e", "WHERE FOO(car) = 1"), Err(ParseError::BadPredicate(_))));
+        assert!(matches!(parse_statement("e", "WHERE COUNT(car) = x"), Err(ParseError::BadNumber(_))));
+        assert!(matches!(
+            parse_statement("e", "WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 0)"),
+            Err(ParseError::BadWindow(_))
+        ));
+        // Display impl covers every variant
+        for err in [
+            ParseError::MissingWhere,
+            ParseError::BadPredicate("x".into()),
+            ParseError::UnknownClass("x".into()),
+            ParseError::UnknownColor("x".into()),
+            ParseError::UnknownOperator("x".into()),
+            ParseError::UnknownRelation("x".into()),
+            ParseError::BadWindow("x".into()),
+            ParseError::BadNumber("x".into()),
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn parsed_query_equivalent_to_builder_query() {
+        // q3: exactly one car and exactly one person
+        let parsed = parse_statement("q3", "WHERE COUNT(car) = 1 AND COUNT(person) = 1").unwrap();
+        let built = Query::paper_q3();
+        // Evaluate both on a few frames and verify agreement.
+        let frames = [frame_with_car_left_of_truck()];
+        for f in &frames {
+            assert_eq!(parsed.query.matches_ground_truth(f), built.matches_ground_truth(f));
+        }
+        assert_eq!(parsed.query.predicates.len(), built.predicates.len());
+    }
+}

@@ -1,0 +1,276 @@
+//! Filter-cascade planning: deciding whether a frame can possibly satisfy a
+//! query from the cheap filter estimate alone.
+//!
+//! The paper's Table III pairs each query with the most selective filter
+//! combination that still reaches 100 % accuracy — e.g. `OD-CCF-1 / OD-CLF-2`
+//! means per-class counts are checked with a ±1 tolerance and spatial
+//! constraints with a 2-cell location tolerance. [`CascadeConfig`] carries
+//! those tolerances and [`FilterCascade`] performs the approximate check; a
+//! frame that fails is dropped without ever reaching the expensive detector.
+
+use crate::ast::{CountOp, CountTarget, Predicate, Query};
+use serde::{Deserialize, Serialize};
+use vmq_filters::{FilterEstimate, FrameFilter};
+
+/// Tolerances of the approximate cascade check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CascadeConfig {
+    /// Count tolerance: a count predicate is considered possibly-satisfied
+    /// when the estimate is within this distance of satisfying it
+    /// (0 ⇒ `CCF`, 1 ⇒ `CCF-1`, 2 ⇒ `CCF-2`).
+    pub count_tolerance: u32,
+    /// Location tolerance in grid cells: predicted occupancy grids are
+    /// dilated by this Manhattan radius before spatial predicates are
+    /// evaluated (0 ⇒ `CLF`, 1 ⇒ `CLF-1`, 2 ⇒ `CLF-2`).
+    pub location_tolerance: usize,
+}
+
+impl CascadeConfig {
+    /// Exact counts, exact locations (the most selective, least safe combo).
+    pub fn strict() -> Self {
+        CascadeConfig { count_tolerance: 0, location_tolerance: 0 }
+    }
+
+    /// The combination most of Table III settles on: counts within ±1,
+    /// locations dilated by one cell.
+    pub fn tolerant() -> Self {
+        CascadeConfig { count_tolerance: 1, location_tolerance: 1 }
+    }
+
+    /// The loosest combination used in Table III (q7): ±1 counts, 2-cell
+    /// location tolerance.
+    pub fn loose() -> Self {
+        CascadeConfig { count_tolerance: 1, location_tolerance: 2 }
+    }
+
+    /// A short name in the style of Table III, e.g. "CCF-1/CLF-2".
+    pub fn label(&self, has_spatial: bool) -> String {
+        let ccf = if self.count_tolerance == 0 { "CCF".to_string() } else { format!("CCF-{}", self.count_tolerance) };
+        if has_spatial {
+            let clf =
+                if self.location_tolerance == 0 { "CLF".to_string() } else { format!("CLF-{}", self.location_tolerance) };
+            format!("{ccf}/{clf}")
+        } else {
+            ccf
+        }
+    }
+}
+
+impl Default for CascadeConfig {
+    fn default() -> Self {
+        CascadeConfig::tolerant()
+    }
+}
+
+/// A planned cascade: the query plus the tolerances to apply to a filter's
+/// estimates.
+#[derive(Debug, Clone)]
+pub struct FilterCascade {
+    query: Query,
+    config: CascadeConfig,
+}
+
+impl FilterCascade {
+    /// Plans a cascade for a query.
+    pub fn new(query: Query, config: CascadeConfig) -> Self {
+        FilterCascade { query, config }
+    }
+
+    /// The cascade configuration.
+    pub fn config(&self) -> &CascadeConfig {
+        &self.config
+    }
+
+    /// The query being filtered.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// A Table III style label, e.g. "OD-CCF-1/OD-CLF-2" for an OD filter.
+    pub fn label(&self, filter: &dyn FrameFilter) -> String {
+        let prefix = filter.kind().name();
+        self.config
+            .label(self.query.has_spatial_constraints())
+            .split('/')
+            .map(|part| format!("{prefix}-{part}"))
+            .collect::<Vec<_>>()
+            .join("/")
+    }
+
+    /// Decides whether the frame could satisfy the query, given only the
+    /// filter estimate. Returning `false` means the frame is safely dropped;
+    /// returning `true` sends it to the expensive detector.
+    pub fn passes(&self, estimate: &FilterEstimate, threshold: f32) -> bool {
+        self.query.predicates.iter().all(|p| self.predicate_possible(p, estimate, threshold))
+    }
+
+    /// Per-predicate approximate indicators (one boolean per query predicate,
+    /// in declaration order). These are the control variates used by the
+    /// multiple-control-variate estimator of Sec. III-A: each predicate's
+    /// filter-based indicator is a separate correlated variable.
+    pub fn predicate_indicators(&self, estimate: &FilterEstimate, threshold: f32) -> Vec<bool> {
+        self.query.predicates.iter().map(|p| self.predicate_possible(p, estimate, threshold)).collect()
+    }
+
+    fn count_possible(&self, op: CountOp, estimated: i64, value: i64) -> bool {
+        let tol = self.config.count_tolerance as i64;
+        match op {
+            CountOp::Exactly => (estimated - value).abs() <= tol,
+            CountOp::AtLeast => estimated >= value - tol,
+            CountOp::AtMost => estimated <= value + tol,
+        }
+    }
+
+    fn predicate_possible(&self, predicate: &Predicate, estimate: &FilterEstimate, threshold: f32) -> bool {
+        match predicate {
+            Predicate::Count { target, op, value } => match target {
+                CountTarget::Total => self.count_possible(*op, estimate.total_count_rounded(), *value as i64),
+                CountTarget::Class(c) => match estimate.count_for_rounded(*c) {
+                    Some(est) => self.count_possible(*op, est, *value as i64),
+                    None => true, // the filter cannot rule the frame out
+                },
+                CountTarget::ClassColor(c, _) => match estimate.count_for_rounded(*c) {
+                    // Filters are colour-blind: the class count upper-bounds
+                    // the coloured count, so only lower-bound requirements can
+                    // be refuted.
+                    Some(est) => match op {
+                        CountOp::Exactly | CountOp::AtLeast => est >= *value as i64 - self.config.count_tolerance as i64,
+                        CountOp::AtMost => true,
+                    },
+                    None => true,
+                },
+            },
+            Predicate::Spatial { first, relation, second } => {
+                let (Some(a), Some(b)) =
+                    (estimate.binary_grid_for(first.class, threshold), estimate.binary_grid_for(second.class, threshold))
+                else {
+                    return true;
+                };
+                let a = a.dilate(self.config.location_tolerance);
+                let b = b.dilate(self.config.location_tolerance);
+                relation.holds_grids(&a, &b)
+            }
+            Predicate::Region { object, region, min_count } => {
+                let Some(grid) = estimate.binary_grid_for(object.class, threshold) else { return true };
+                let Some(r) = self.query.catalog.get(region) else { return false };
+                if *min_count == 0 {
+                    return true;
+                }
+                // A grid cannot count objects inside the region reliably, so
+                // the cascade only requires presence (≥ 1 occupied cell after
+                // dilation and masking) — a conservative, no-false-drop check
+                // for any min_count ≥ 1.
+                !grid.dilate(self.config.location_tolerance).masked_by_region(&r).is_empty()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ObjectRef;
+    
+    use vmq_filters::{ClassGrid, FilterKind};
+    use vmq_video::{BoundingBox, ObjectClass};
+
+    fn estimate(car_count: f32, car_box: Option<BoundingBox>, person_box: Option<BoundingBox>) -> FilterEstimate {
+        let g = 8;
+        FilterEstimate {
+            classes: vec![ObjectClass::Car, ObjectClass::Person],
+            counts: vec![car_count, if person_box.is_some() { 1.0 } else { 0.0 }],
+            grids: vec![
+                ClassGrid::from_boxes(g, &car_box.into_iter().collect::<Vec<_>>()),
+                ClassGrid::from_boxes(g, &person_box.into_iter().collect::<Vec<_>>()),
+            ],
+            kind: FilterKind::Od,
+            total_hint: None,
+        }
+    }
+
+    #[test]
+    fn exact_count_with_tolerance() {
+        let q = Query::paper_q3();
+        let strict = FilterCascade::new(q.clone(), CascadeConfig::strict());
+        let tolerant = FilterCascade::new(q, CascadeConfig::tolerant());
+        // estimate says 2 cars, query wants exactly 1
+        let e = estimate(2.0, Some(BoundingBox::new(0.1, 0.1, 0.1, 0.1)), Some(BoundingBox::new(0.6, 0.6, 0.1, 0.1)));
+        assert!(!strict.passes(&e, 0.5));
+        assert!(tolerant.passes(&e, 0.5));
+        // estimate says 4 cars: even the tolerant cascade drops it
+        let e4 = estimate(4.0, Some(BoundingBox::new(0.1, 0.1, 0.1, 0.1)), Some(BoundingBox::new(0.6, 0.6, 0.1, 0.1)));
+        assert!(!tolerant.passes(&e4, 0.5));
+    }
+
+    #[test]
+    fn spatial_predicate_uses_grids() {
+        let q = Query::paper_q5();
+        let cascade = FilterCascade::new(q, CascadeConfig::tolerant());
+        let car_left = estimate(1.0, Some(BoundingBox::new(0.05, 0.4, 0.1, 0.1)), Some(BoundingBox::new(0.8, 0.4, 0.1, 0.1)));
+        let car_right = estimate(1.0, Some(BoundingBox::new(0.8, 0.4, 0.1, 0.1)), Some(BoundingBox::new(0.05, 0.4, 0.1, 0.1)));
+        assert!(cascade.passes(&car_left, 0.5));
+        assert!(!cascade.passes(&car_right, 0.5));
+    }
+
+    #[test]
+    fn location_tolerance_is_more_permissive() {
+        // Car and person in the same column: strictly "left of" fails, but a
+        // 2-cell dilation makes the cascade keep the frame.
+        let q = Query::paper_q5();
+        let same_col = estimate(1.0, Some(BoundingBox::new(0.5, 0.2, 0.05, 0.05)), Some(BoundingBox::new(0.5, 0.7, 0.05, 0.05)));
+        let strict = FilterCascade::new(q.clone(), CascadeConfig::strict());
+        let loose = FilterCascade::new(q, CascadeConfig::loose());
+        assert!(!strict.passes(&same_col, 0.5));
+        assert!(loose.passes(&same_col, 0.5));
+    }
+
+    #[test]
+    fn region_predicate_presence_check() {
+        let q = Query::new("region").in_region(ObjectRef::class(ObjectClass::Car), "lower-right", 1);
+        let cascade = FilterCascade::new(q, CascadeConfig::strict());
+        let in_region = estimate(1.0, Some(BoundingBox::new(0.7, 0.7, 0.1, 0.1)), None);
+        let out_of_region = estimate(1.0, Some(BoundingBox::new(0.1, 0.1, 0.1, 0.1)), None);
+        assert!(cascade.passes(&in_region, 0.5));
+        assert!(!cascade.passes(&out_of_region, 0.5));
+    }
+
+    #[test]
+    fn untrained_class_never_drops_frames() {
+        // Query on buses, estimate trained only on cars/persons -> must pass.
+        let q = Query::paper_q6();
+        let cascade = FilterCascade::new(q, CascadeConfig::strict());
+        let e = estimate(1.0, Some(BoundingBox::new(0.1, 0.1, 0.1, 0.1)), None);
+        assert!(cascade.passes(&e, 0.5));
+    }
+
+    #[test]
+    fn colored_counts_only_refute_lower_bounds() {
+        use vmq_video::Color;
+        let wants_red_car = Query::new("red").colored_count(ObjectClass::Car, Color::Red, CountOp::AtLeast, 1);
+        let cascade = FilterCascade::new(wants_red_car, CascadeConfig::strict());
+        let no_cars = estimate(0.0, None, None);
+        let some_cars = estimate(2.0, Some(BoundingBox::new(0.1, 0.1, 0.1, 0.1)), None);
+        assert!(!cascade.passes(&no_cars, 0.5), "zero cars cannot contain a red car");
+        assert!(cascade.passes(&some_cars, 0.5));
+    }
+
+    #[test]
+    fn labels_follow_table3_convention() {
+        assert_eq!(CascadeConfig::tolerant().label(false), "CCF-1");
+        assert_eq!(CascadeConfig::loose().label(true), "CCF-1/CLF-2");
+        assert_eq!(CascadeConfig::strict().label(true), "CCF/CLF");
+        let q = Query::paper_q5();
+        let cascade = FilterCascade::new(q, CascadeConfig::loose());
+        assert!(cascade.config().count_tolerance == 1);
+        assert_eq!(cascade.query().name, "q5");
+    }
+
+    #[test]
+    fn spatial_rejects_when_object_absent_from_grid() {
+        // Query needs car left of person but the car grid is empty.
+        let q = Query::paper_q5();
+        let cascade = FilterCascade::new(q, CascadeConfig::tolerant());
+        let e = estimate(0.0, None, Some(BoundingBox::new(0.8, 0.4, 0.1, 0.1)));
+        assert!(!cascade.passes(&e, 0.5));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of query evaluation and the filter cascade.
+
+use proptest::prelude::*;
+use vmq_detect::OracleDetector;
+use vmq_detect::Detector;
+use vmq_filters::{CalibratedFilter, CalibrationProfile, FrameFilter};
+use vmq_query::{CascadeConfig, CountTarget, FilterCascade, ObjectRef, Predicate, Query, SpatialRelation};
+use vmq_video::{BoundingBox, Color, Frame, ObjectClass, SceneObject};
+
+fn bbox_strategy() -> impl Strategy<Value = BoundingBox> {
+    (0.0f32..0.9, 0.0f32..0.9, 0.03f32..0.25, 0.03f32..0.25).prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    prop::collection::vec((bbox_strategy(), 0usize..2, 0usize..3), 0..6).prop_map(|objs| Frame {
+        camera_id: 0,
+        frame_id: 7,
+        timestamp: 0.0,
+        objects: objs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bbox, class_idx, color_idx))| SceneObject {
+                track_id: i as u64,
+                class: [ObjectClass::Car, ObjectClass::Person][class_idx],
+                color: [Color::Red, Color::Blue, Color::White][color_idx],
+                bbox,
+                velocity: (0.0, 0.0),
+            })
+            .collect(),
+    })
+}
+
+fn paper_query_strategy() -> impl Strategy<Value = Query> {
+    (0usize..5).prop_map(|i| match i {
+        0 => Query::paper_q1(),
+        1 => Query::paper_q3(),
+        2 => Query::paper_q4(),
+        3 => Query::paper_q5(),
+        _ => Query::paper_a1(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Ground-truth evaluation agrees with evaluating the perfect detector's
+    /// output (they are the same information through two code paths).
+    #[test]
+    fn ground_truth_matches_perfect_detector(frame in frame_strategy(), query in paper_query_strategy()) {
+        let oracle = OracleDetector::perfect();
+        let detections = oracle.detect(&frame);
+        prop_assert_eq!(query.matches_ground_truth(&frame), query.matches_detections(&detections));
+    }
+
+    /// Spatial relations between two distinct single objects: exactly one of
+    /// `left-of` / `right-of` holds unless the centres share a column.
+    #[test]
+    fn spatial_relations_are_exclusive(a in bbox_strategy(), b in bbox_strategy()) {
+        let l = SpatialRelation::LeftOf.holds_boxes(&a, &b);
+        let r = SpatialRelation::RightOf.holds_boxes(&a, &b);
+        prop_assert!(!(l && r));
+        if (a.center().0 - b.center().0).abs() > 1e-6 {
+            prop_assert!(l || r);
+        }
+    }
+
+    /// The cascade with a *perfect* filter and any tolerance never drops a
+    /// frame that truly satisfies the query (no false negatives), for all of
+    /// the paper's count/spatial/region predicate shapes.
+    #[test]
+    fn cascade_is_safe_with_perfect_filter(
+        frame in frame_strategy(),
+        query in paper_query_strategy(),
+        count_tol in 0u32..3,
+        loc_tol in 0usize..3,
+    ) {
+        let filter = CalibratedFilter::new(vec![ObjectClass::Car, ObjectClass::Person], 16, CalibrationProfile::perfect(), 3);
+        let cascade = FilterCascade::new(query.clone(), CascadeConfig { count_tolerance: count_tol, location_tolerance: loc_tol });
+        if query.matches_ground_truth(&frame) {
+            let est = filter.estimate(&frame);
+            prop_assert!(cascade.passes(&est, filter.threshold()),
+                "cascade dropped a true frame for query {} with {} objects", query.name, frame.objects.len());
+        }
+    }
+
+    /// Loosening the cascade tolerances never turns a pass into a drop.
+    #[test]
+    fn cascade_monotone_in_tolerance(frame in frame_strategy(), query in paper_query_strategy()) {
+        let filter = CalibratedFilter::new(vec![ObjectClass::Car, ObjectClass::Person], 16, CalibrationProfile::od_like(), 9);
+        let est = filter.estimate(&frame);
+        let strict = FilterCascade::new(query.clone(), CascadeConfig::strict());
+        let loose = FilterCascade::new(query.clone(), CascadeConfig::loose());
+        if strict.passes(&est, filter.threshold()) {
+            prop_assert!(loose.passes(&est, filter.threshold()));
+        }
+    }
+
+    /// Per-predicate indicators are consistent with the overall cascade
+    /// decision (the conjunction of the indicators).
+    #[test]
+    fn indicators_conjunction_equals_pass(frame in frame_strategy(), query in paper_query_strategy()) {
+        let filter = CalibratedFilter::new(vec![ObjectClass::Car, ObjectClass::Person], 16, CalibrationProfile::od_like(), 11);
+        let est = filter.estimate(&frame);
+        let cascade = FilterCascade::new(query.clone(), CascadeConfig::tolerant());
+        let indicators = cascade.predicate_indicators(&est, filter.threshold());
+        prop_assert_eq!(indicators.len(), query.predicates.len());
+        prop_assert_eq!(indicators.iter().all(|&b| b), cascade.passes(&est, filter.threshold()));
+    }
+
+    /// Queries built from arbitrary count predicates evaluate consistently
+    /// with a manual count of the frame's objects.
+    #[test]
+    fn count_predicates_match_manual_count(frame in frame_strategy(), value in 0u32..4) {
+        let query = Query::new("manual").class_count(ObjectClass::Car, vmq_query::ast::CountOp::AtLeast, value);
+        let manual = frame.class_count(ObjectClass::Car) >= value as usize;
+        prop_assert_eq!(query.matches_ground_truth(&frame), manual);
+        // the predicate list reflects what was added
+        prop_assert_eq!(query.predicates.len(), 1);
+        match &query.predicates[0] {
+            Predicate::Count { target, .. } => prop_assert_eq!(*target, CountTarget::Class(ObjectClass::Car)),
+            _ => prop_assert!(false, "unexpected predicate shape"),
+        }
+        let _ = ObjectRef::class(ObjectClass::Car);
+    }
+}

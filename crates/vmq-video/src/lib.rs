@@ -1,0 +1,41 @@
+//! # vmq-video — synthetic single-camera video streams
+//!
+//! The paper evaluates on three fixed-camera surveillance videos (Coral,
+//! Jackson town square, Detrac). Those videos, and the Mask R-CNN annotations
+//! derived from them, are not available in this environment, so this crate
+//! provides the substitute substrate: a **scene simulator** that produces
+//! frames with ground-truth object annotations whose statistics match the
+//! characteristics reported in Table II of the paper, plus a **rasteriser**
+//! that renders each frame into a small multi-channel image so the filters in
+//! `vmq-filters` have a genuine visual learning problem (objects must be
+//! recognised, counted and localised from pixels, not read off the ground
+//! truth).
+//!
+//! Modules:
+//!
+//! * [`object`] — object classes, colours and bounding-box geometry.
+//! * [`scene`] — the per-frame scene simulator (arrivals, motion, departures).
+//! * [`profile`] — dataset profiles reproducing Table II (Coral, Jackson, Detrac).
+//! * [`stream`] — [`stream::Frame`] and streaming iteration.
+//! * [`raster`] — frame → image rendering with noise and clutter.
+//! * [`dataset`] — materialised train/validation/test splits.
+//! * [`stats`] — summary statistics (objects/frame mean & std, class mix).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod object;
+pub mod profile;
+pub mod raster;
+pub mod scene;
+pub mod stats;
+pub mod stream;
+
+pub use dataset::{Dataset, Split};
+pub use object::{BoundingBox, Color, ObjectClass, SceneObject};
+pub use profile::{DatasetKind, DatasetProfile};
+pub use raster::{Image, RasterConfig};
+pub use scene::{Scene, SceneConfig};
+pub use stats::DatasetStats;
+pub use stream::{Frame, FrameStream};

@@ -1,0 +1,325 @@
+//! The per-frame scene simulator.
+//!
+//! A [`Scene`] models a single static camera. Object population follows a
+//! mean-reverting (Ornstein–Uhlenbeck-like) target-count process whose
+//! stationary mean and standard deviation are taken from the dataset profile
+//! (Table II); objects enter and leave to track that target, and move with
+//! per-object constant velocity plus jitter while visible. This gives streams
+//! whose per-frame object-count distribution and temporal coherence resemble
+//! the fixed-camera surveillance videos used in the paper.
+
+use crate::object::{BoundingBox, Color, ObjectClass, SceneObject};
+use crate::profile::{ClassMix, DatasetProfile};
+use crate::stream::Frame;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`Scene`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SceneConfig {
+    /// Identifier reported on every produced frame.
+    pub camera_id: u32,
+    /// Frames per second (drives timestamps).
+    pub fps: f32,
+    /// Stationary mean of the object-count process.
+    pub mean_objects: f32,
+    /// Stationary standard deviation of the object-count process.
+    pub std_objects: f32,
+    /// Mean-reversion rate of the count process in `(0, 1]`.
+    pub count_reversion: f32,
+    /// Class mixture used when spawning objects.
+    pub classes: Vec<ClassMix>,
+    /// Typical object speed (normalised units per frame).
+    pub speed: f32,
+    /// Fractional jitter applied to object sizes.
+    pub size_jitter: f32,
+}
+
+impl SceneConfig {
+    /// Builds a scene configuration from a dataset profile.
+    pub fn from_profile(profile: &DatasetProfile) -> Self {
+        SceneConfig {
+            camera_id: 0,
+            fps: profile.fps,
+            mean_objects: profile.mean_objects,
+            std_objects: profile.std_objects,
+            count_reversion: profile.count_reversion,
+            classes: profile.classes.clone(),
+            speed: profile.speed,
+            size_jitter: 0.25,
+        }
+    }
+
+    /// Overrides the camera id.
+    pub fn with_camera(mut self, camera_id: u32) -> Self {
+        self.camera_id = camera_id;
+        self
+    }
+}
+
+/// A stateful scene simulator producing one [`Frame`] per [`Scene::step`].
+pub struct Scene {
+    config: SceneConfig,
+    rng: StdRng,
+    objects: Vec<SceneObject>,
+    next_track_id: u64,
+    next_frame_id: u64,
+    /// Latent (real-valued) target object count.
+    latent_count: f32,
+}
+
+impl Scene {
+    /// Creates a scene with a deterministic seed.
+    pub fn new(config: SceneConfig, seed: u64) -> Self {
+        let latent = config.mean_objects;
+        let mut scene = Scene {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+            objects: Vec::new(),
+            next_track_id: 1,
+            next_frame_id: 0,
+            latent_count: latent,
+        };
+        // Warm up so the first delivered frame is already at steady state.
+        for _ in 0..50 {
+            let _ = scene.step();
+        }
+        scene.next_frame_id = 0;
+        scene
+    }
+
+    /// The scene configuration.
+    pub fn config(&self) -> &SceneConfig {
+        &self.config
+    }
+
+    /// Advances the simulation by one frame and returns it.
+    pub fn step(&mut self) -> Frame {
+        self.advance_latent_count();
+        self.move_objects();
+        self.retire_departed();
+        self.balance_population();
+
+        let frame = Frame {
+            camera_id: self.config.camera_id,
+            frame_id: self.next_frame_id,
+            timestamp: self.next_frame_id as f64 / self.config.fps as f64,
+            objects: self.objects.clone(),
+        };
+        self.next_frame_id += 1;
+        frame
+    }
+
+    /// Ornstein–Uhlenbeck-like update of the latent count.
+    fn advance_latent_count(&mut self) {
+        let theta = self.config.count_reversion;
+        let mu = self.config.mean_objects;
+        // Choose the innovation so the stationary std matches the profile:
+        // Var_stat ≈ sigma² / (2 theta)  =>  sigma = std * sqrt(2 theta).
+        let sigma = self.config.std_objects * (2.0 * theta).sqrt();
+        let noise: f32 = self.gaussian() * sigma;
+        self.latent_count += theta * (mu - self.latent_count) + noise;
+        if self.latent_count < 0.0 {
+            self.latent_count = -self.latent_count * 0.5; // soft reflection at zero
+        }
+    }
+
+    fn gaussian(&mut self) -> f32 {
+        // Box-Muller transform.
+        let u1: f32 = self.rng.gen_range(1e-6..1.0f32);
+        let u2: f32 = self.rng.gen_range(0.0..1.0f32);
+        (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+    }
+
+    fn move_objects(&mut self) {
+        let jitter = self.config.speed * 0.3;
+        let mut jitters = Vec::with_capacity(self.objects.len());
+        for _ in 0..self.objects.len() {
+            jitters.push((self.rng.gen_range(-jitter..=jitter), self.rng.gen_range(-jitter..=jitter)));
+        }
+        for (obj, (jx, jy)) in self.objects.iter_mut().zip(jitters) {
+            let (vx, vy) = obj.velocity;
+            let nx = obj.bbox.x + vx + jx;
+            let ny = obj.bbox.y + vy + jy;
+            obj.bbox = BoundingBox { x: nx, y: ny, w: obj.bbox.w, h: obj.bbox.h };
+        }
+    }
+
+    fn retire_departed(&mut self) {
+        self.objects.retain(|o| {
+            o.bbox.right() > -0.05 && o.bbox.x < 1.05 && o.bbox.bottom() > -0.05 && o.bbox.y < 1.05
+        });
+        // Clamp boxes that poke slightly outside back into the frame for
+        // downstream consumers expecting normalised coordinates.
+        for o in &mut self.objects {
+            o.bbox = BoundingBox::new(o.bbox.x, o.bbox.y, o.bbox.w, o.bbox.h);
+        }
+    }
+
+    fn balance_population(&mut self) {
+        let target = self.latent_count.round().max(0.0) as usize;
+        while self.objects.len() < target {
+            let obj = self.spawn_object();
+            self.objects.push(obj);
+        }
+        while self.objects.len() > target {
+            // Remove the oldest object (front of the vector) — models a
+            // departure; keeps track ids of survivors stable.
+            self.objects.remove(0);
+        }
+    }
+
+    fn spawn_object(&mut self) -> SceneObject {
+        let mix = self.pick_class();
+        let class = mix.class;
+        let color = if mix.colors.is_empty() {
+            Color::White
+        } else {
+            mix.colors[self.rng.gen_range(0..mix.colors.len())]
+        };
+        let (bw, bh) = class.typical_size();
+        let jitter = self.config.size_jitter;
+        let w = bw * (1.0 + self.rng.gen_range(-jitter..=jitter));
+        let h = bh * (1.0 + self.rng.gen_range(-jitter..=jitter));
+        let cx = self.rng.gen_range(0.05..0.95f32);
+        let cy = self.rng.gen_range(0.05..0.95f32);
+        let speed = self.config.speed * self.rng.gen_range(0.4..1.6f32);
+        let angle = self.rng.gen_range(0.0..std::f32::consts::TAU);
+        let obj = SceneObject {
+            track_id: self.next_track_id,
+            class,
+            color,
+            bbox: BoundingBox::from_center(cx, cy, w, h),
+            velocity: (speed * angle.cos(), speed * angle.sin()),
+        };
+        self.next_track_id += 1;
+        obj
+    }
+
+    fn pick_class(&mut self) -> ClassMix {
+        let total: f32 = self.config.classes.iter().map(|c| c.fraction).sum();
+        let mut r = self.rng.gen_range(0.0..total.max(1e-6));
+        for mix in &self.config.classes {
+            if r < mix.fraction {
+                return mix.clone();
+            }
+            r -= mix.fraction;
+        }
+        self.config.classes.last().cloned().unwrap_or(ClassMix {
+            class: ObjectClass::Person,
+            fraction: 1.0,
+            colors: vec![Color::White],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+
+    fn collect_counts(profile: &DatasetProfile, seed: u64, n: usize) -> Vec<usize> {
+        let mut scene = Scene::new(SceneConfig::from_profile(profile), seed);
+        (0..n).map(|_| scene.step().object_count()).collect()
+    }
+
+    #[test]
+    fn objects_stay_inside_frame() {
+        let mut scene = Scene::new(SceneConfig::from_profile(&DatasetProfile::detrac()), 7);
+        for _ in 0..200 {
+            let frame = scene.step();
+            for o in &frame.objects {
+                assert!(o.bbox.x >= 0.0 && o.bbox.right() <= 1.0 + 1e-5);
+                assert!(o.bbox.y >= 0.0 && o.bbox.bottom() <= 1.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn track_ids_are_unique_per_frame() {
+        let mut scene = Scene::new(SceneConfig::from_profile(&DatasetProfile::coral()), 11);
+        for _ in 0..100 {
+            let frame = scene.step();
+            let mut ids: Vec<u64> = frame.objects.iter().map(|o| o.track_id).collect();
+            let before = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), before);
+        }
+    }
+
+    #[test]
+    fn mean_count_tracks_profile() {
+        for profile in DatasetProfile::all() {
+            let counts = collect_counts(&profile, 42, 3000);
+            let mean = counts.iter().sum::<usize>() as f32 / counts.len() as f32;
+            let tolerance = (profile.mean_objects * 0.35).max(0.6);
+            assert!(
+                (mean - profile.mean_objects).abs() < tolerance,
+                "{:?}: simulated mean {mean:.2} vs profile {:.2}",
+                profile.kind,
+                profile.mean_objects
+            );
+        }
+    }
+
+    #[test]
+    fn count_variability_is_nontrivial() {
+        // Detrac must show much more variability than Jackson (paper: 9.8 vs 0.5).
+        let detrac = collect_counts(&DatasetProfile::detrac(), 5, 2000);
+        let jackson = collect_counts(&DatasetProfile::jackson(), 5, 2000);
+        let std = |xs: &[usize]| {
+            let m = xs.iter().sum::<usize>() as f32 / xs.len() as f32;
+            (xs.iter().map(|&x| (x as f32 - m).powi(2)).sum::<f32>() / xs.len() as f32).sqrt()
+        };
+        assert!(std(&detrac) > 2.0 * std(&jackson), "detrac std {} jackson std {}", std(&detrac), std(&jackson));
+    }
+
+    #[test]
+    fn class_mix_roughly_respected() {
+        let mut scene = Scene::new(SceneConfig::from_profile(&DatasetProfile::jackson()), 13);
+        let mut car = 0usize;
+        let mut person = 0usize;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..3000 {
+            let frame = scene.step();
+            for o in &frame.objects {
+                if seen.insert(o.track_id) {
+                    match o.class {
+                        ObjectClass::Car => car += 1,
+                        ObjectClass::Person => person += 1,
+                        other => panic!("unexpected class {other:?} in Jackson"),
+                    }
+                }
+            }
+        }
+        let frac_car = car as f32 / (car + person).max(1) as f32;
+        assert!((frac_car - 0.8).abs() < 0.12, "car fraction {frac_car}");
+    }
+
+    #[test]
+    fn scenes_are_deterministic_per_seed() {
+        let a = collect_counts(&DatasetProfile::jackson(), 99, 50);
+        let b = collect_counts(&DatasetProfile::jackson(), 99, 50);
+        let c = collect_counts(&DatasetProfile::jackson(), 100, 50);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn motion_changes_positions_over_time() {
+        let mut scene = Scene::new(SceneConfig::from_profile(&DatasetProfile::detrac()), 3);
+        let f0 = scene.step();
+        let f1 = scene.step();
+        // at least one surviving track moved
+        let moved = f0.objects.iter().any(|a| {
+            f1.objects
+                .iter()
+                .find(|b| b.track_id == a.track_id)
+                .map(|b| (b.bbox.x - a.bbox.x).abs() + (b.bbox.y - a.bbox.y).abs() > 0.0)
+                .unwrap_or(false)
+        });
+        assert!(moved);
+    }
+}

@@ -1,0 +1,133 @@
+//! Frames and streaming iteration over a simulated camera.
+
+use crate::object::{ObjectClass, SceneObject};
+use crate::scene::Scene;
+use serde::{Deserialize, Serialize};
+
+/// One video frame: its position in the stream plus the ground-truth objects
+/// visible in it.
+///
+/// Ground truth is carried on every frame because the *oracle* detector in
+/// `vmq-detect` (the Mask R-CNN stand-in) needs it; filters never look at it
+/// directly — they only see the rasterised image.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Frame {
+    /// Identifier of the camera that produced the frame.
+    pub camera_id: u32,
+    /// Zero-based frame index within the stream.
+    pub frame_id: u64,
+    /// Timestamp in seconds from the start of the stream.
+    pub timestamp: f64,
+    /// Ground-truth objects visible in the frame.
+    pub objects: Vec<SceneObject>,
+}
+
+impl Frame {
+    /// Total number of objects in the frame.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of objects of a given class.
+    pub fn class_count(&self, class: ObjectClass) -> usize {
+        self.objects.iter().filter(|o| o.class == class).count()
+    }
+
+    /// Objects of a given class.
+    pub fn objects_of(&self, class: ObjectClass) -> Vec<&SceneObject> {
+        self.objects.iter().filter(|o| o.class == class).collect()
+    }
+
+    /// Per-class counts as a vector indexed by the canonical class id.
+    pub fn class_count_vector(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; ObjectClass::ALL.len()];
+        for o in &self.objects {
+            counts[o.class.id()] += 1;
+        }
+        counts
+    }
+}
+
+/// An iterator of frames produced by stepping a [`Scene`].
+pub struct FrameStream {
+    scene: Scene,
+    remaining: Option<u64>,
+}
+
+impl FrameStream {
+    /// A stream that produces exactly `n` frames.
+    pub fn with_length(scene: Scene, n: u64) -> Self {
+        FrameStream { scene, remaining: Some(n) }
+    }
+
+    /// An unbounded stream (callers use `take`).
+    pub fn unbounded(scene: Scene) -> Self {
+        FrameStream { scene, remaining: None }
+    }
+
+    /// Access to the underlying scene (e.g. to inspect its configuration).
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+}
+
+impl Iterator for FrameStream {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        if let Some(rem) = &mut self.remaining {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        Some(self.scene.step())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DatasetProfile;
+    use crate::scene::{Scene, SceneConfig};
+
+    fn tiny_scene(seed: u64) -> Scene {
+        Scene::new(SceneConfig::from_profile(&DatasetProfile::jackson()), seed)
+    }
+
+    #[test]
+    fn frame_counts_by_class() {
+        let mut scene = tiny_scene(1);
+        // step a few frames so objects appear
+        let frame = (0..20).map(|_| scene.step()).last().unwrap();
+        let total: usize = frame.class_count_vector().iter().sum();
+        assert_eq!(total, frame.object_count());
+        for c in ObjectClass::ALL {
+            assert_eq!(frame.class_count(c), frame.objects_of(c).len());
+        }
+    }
+
+    #[test]
+    fn stream_with_length_stops() {
+        let stream = FrameStream::with_length(tiny_scene(2), 5);
+        let frames: Vec<Frame> = stream.collect();
+        assert_eq!(frames.len(), 5);
+        // frame ids are consecutive
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(f.frame_id, i as u64);
+        }
+    }
+
+    #[test]
+    fn unbounded_stream_with_take() {
+        let stream = FrameStream::unbounded(tiny_scene(3));
+        assert_eq!(stream.take(7).count(), 7);
+    }
+
+    #[test]
+    fn timestamps_increase_with_fps() {
+        let frames: Vec<Frame> = FrameStream::with_length(tiny_scene(4), 3).collect();
+        assert!(frames[1].timestamp > frames[0].timestamp);
+        assert!(frames[2].timestamp > frames[1].timestamp);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the video substrate: bounding-box geometry, scene
+//! invariants and rasterisation.
+
+use proptest::prelude::*;
+use vmq_video::{BoundingBox, Dataset, DatasetProfile, DatasetStats, ObjectClass, RasterConfig, Scene, SceneConfig};
+
+fn bbox_strategy() -> impl Strategy<Value = BoundingBox> {
+    (0.0f32..1.0, 0.0f32..1.0, 0.01f32..0.5, 0.01f32..0.5).prop_map(|(x, y, w, h)| BoundingBox::new(x, y, w, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Constructed boxes are always inside the unit frame.
+    #[test]
+    fn boxes_stay_in_frame(b in bbox_strategy()) {
+        prop_assert!(b.x >= 0.0 && b.y >= 0.0);
+        prop_assert!(b.right() <= 1.0 + 1e-6 && b.bottom() <= 1.0 + 1e-6);
+        prop_assert!(b.area() >= 0.0);
+    }
+
+    /// IoU is symmetric, bounded by one and exactly one for identical boxes.
+    #[test]
+    fn iou_properties(a in bbox_strategy(), b in bbox_strategy()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+        prop_assert!((a.iou(&a) - 1.0).abs() < 1e-5);
+    }
+
+    /// Intersection area never exceeds either box's own area.
+    #[test]
+    fn intersection_is_bounded(a in bbox_strategy(), b in bbox_strategy()) {
+        let inter = a.intersection_area(&b);
+        prop_assert!(inter <= a.area() + 1e-6);
+        prop_assert!(inter <= b.area() + 1e-6);
+        prop_assert_eq!(inter > 0.0, a.intersects(&b));
+    }
+
+    /// left_of / above are irreflexive and antisymmetric for distinct centres.
+    #[test]
+    fn spatial_orientation_antisymmetry(a in bbox_strategy(), b in bbox_strategy()) {
+        prop_assert!(!a.left_of(&a));
+        prop_assert!(!a.above(&a));
+        if a.left_of(&b) {
+            prop_assert!(!b.left_of(&a));
+        }
+        if a.above(&b) {
+            prop_assert!(!b.above(&a));
+        }
+    }
+
+    /// Scene frames keep every object inside the frame and track ids unique,
+    /// for any profile and seed.
+    #[test]
+    fn scene_invariants(seed in 0u64..5000, profile_idx in 0usize..3, steps in 5usize..40) {
+        let profile = DatasetProfile::all()[profile_idx].clone();
+        let mut scene = Scene::new(SceneConfig::from_profile(&profile), seed);
+        for _ in 0..steps {
+            let frame = scene.step();
+            let mut ids: Vec<u64> = frame.objects.iter().map(|o| o.track_id).collect();
+            let n = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), n, "duplicate track ids");
+            for o in &frame.objects {
+                prop_assert!(o.bbox.x >= 0.0 && o.bbox.right() <= 1.0 + 1e-5);
+                prop_assert!(o.bbox.y >= 0.0 && o.bbox.bottom() <= 1.0 + 1e-5);
+                prop_assert!(profile.class_list().contains(&o.class));
+            }
+            // class-count vector is consistent with the object list
+            let total: usize = frame.class_count_vector().iter().sum();
+            prop_assert_eq!(total, frame.objects.len());
+        }
+    }
+
+    /// Rendered images always have values in [0, 1] and the configured shape.
+    #[test]
+    fn raster_output_is_bounded(seed in 0u64..1000, width in 3usize..6) {
+        let profile = DatasetProfile::jackson();
+        let mut scene = Scene::new(SceneConfig::from_profile(&profile), seed);
+        let frame = scene.step();
+        let size = width * 8; // 24..40 pixels
+        let cfg = RasterConfig { width: size, height: size, noise: 0.05, clutter: 2, seed };
+        let img = cfg.render(&frame);
+        prop_assert_eq!(img.width, size);
+        prop_assert_eq!(img.height, size);
+        prop_assert_eq!(img.channels, 3);
+        prop_assert!(img.data.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    /// Dataset splits are disjoint in frame ids and cover the requested sizes.
+    #[test]
+    fn dataset_split_invariants(seed in 0u64..200, train in 20usize..60, test in 10usize..40) {
+        let ds = Dataset::generate(&DatasetProfile::jackson(), train, test, seed);
+        prop_assert_eq!(ds.train().len(), train);
+        prop_assert_eq!(ds.test().len(), test);
+        let mut ids: Vec<u64> = ds.train().iter().chain(ds.validation()).chain(ds.test()).map(|f| f.frame_id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "frame ids must be unique across splits");
+        let stats = DatasetStats::compute(ds.train());
+        prop_assert!(stats.mean_objects >= 0.0);
+        prop_assert!(stats.class_shares.keys().all(|c| ObjectClass::ALL.contains(c)));
+    }
+}

@@ -1,0 +1,50 @@
+//! Aggregate monitoring with control variates (Section III of the paper).
+//!
+//! Estimates how often a car appears in the lower-right quadrant of a traffic
+//! camera (the paper's aggregate query a1), comparing the plain sampling
+//! estimator against the single- and multiple-control-variate estimators.
+//! The experiment repeats the estimation many times to show the variance
+//! reduction the control variates deliver.
+//!
+//! ```bash
+//! cargo run --release --example aggregate_monitoring
+//! ```
+
+use vmq::engine::{EngineConfig, FilterChoice, VmqEngine};
+use vmq::filters::CalibrationProfile;
+use vmq::query::Query;
+use vmq::video::DatasetProfile;
+
+fn main() {
+    let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(60, 600));
+
+    for (query, label) in [
+        (Query::paper_a1(), "a1: car in the lower-right quadrant"),
+        (Query::paper_a2(), "a2: car left of a person"),
+    ] {
+        println!("== {label} ==");
+        let report = engine.estimate_aggregate(
+            &query,
+            FilterChoice::Calibrated(CalibrationProfile::od_like()),
+            40,  // frames evaluated by the expensive detector per trial
+            100, // independent trials
+        );
+        println!("  window:                {} frames", report.window_frames);
+        println!("  true fraction:         {:.3}", report.true_fraction);
+        println!("  plain estimator:       mean {:.3}, variance {:.6}", report.plain_mean, report.plain_variance);
+        println!("  single control variate: mean {:.3}, variance {:.6}", report.cv_mean, report.cv_variance);
+        println!("  multiple control variates: mean {:.3}, variance {:.6}", report.mcv_mean, report.mcv_variance);
+        let best = report.best_reduction();
+        if best.is_finite() {
+            println!("  variance reduction:    {best:.1}x");
+        } else {
+            println!("  variance reduction:    infinite (CV estimator had zero variance)");
+        }
+        println!("  cost per sampled frame: {:.1} ms (filter + detector)", report.time_per_sample_ms);
+        println!("  filter correlation:     {:.2}", report.mean_correlation);
+        println!();
+    }
+    println!("The control variate is the cheap filter's verdict on each sampled frame; its mean over the whole window");
+    println!("is known almost for free (the filter costs ~2 ms/frame vs 200 ms/frame for the detector), which is what");
+    println!("turns the correlation into a variance reduction, exactly as in Table IV of the paper.");
+}

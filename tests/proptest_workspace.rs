@@ -1,0 +1,86 @@
+//! Workspace-level property tests: invariants that span multiple crates
+//! (simulator → detector → filters → query → aggregates).
+
+use proptest::prelude::*;
+use vmq::detect::{Detector, OracleDetector};
+use vmq::filters::{CalibratedFilter, CalibrationProfile, FrameFilter};
+use vmq::query::{CascadeConfig, FilterCascade, Query, QueryExecutor};
+use vmq::video::{DatasetProfile, Scene, SceneConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any simulated Jackson segment and any paper query on that dataset,
+    /// a perfect calibrated filter with a tolerant cascade reports exactly
+    /// the brute-force answer set (no false drops, no spurious matches).
+    #[test]
+    fn filtered_equals_brute_force_with_perfect_filter(seed in 0u64..500, query_idx in 0usize..3) {
+        let profile = DatasetProfile::jackson();
+        let mut scene = Scene::new(SceneConfig::from_profile(&profile), seed);
+        let frames: Vec<_> = (0..60).map(|_| scene.step()).collect();
+        let query = [Query::paper_q3(), Query::paper_q4(), Query::paper_q5()][query_idx].clone();
+        let filter = CalibratedFilter::new(profile.class_list(), 16, CalibrationProfile::perfect(), seed);
+        let oracle = OracleDetector::perfect();
+
+        let brute = QueryExecutor::new(query.clone()).run_brute_force(&frames, &oracle);
+        let filtered = QueryExecutor::new(query).run_filtered(&frames, &filter, &oracle, CascadeConfig::tolerant());
+        prop_assert_eq!(brute.matched_frames, filtered.matched_frames);
+        prop_assert!(filtered.frames_detected <= brute.frames_detected);
+    }
+
+    /// The oracle detector is exactly faithful to the simulator's ground
+    /// truth for every frame the scene produces.
+    #[test]
+    fn oracle_is_faithful(seed in 0u64..500, profile_idx in 0usize..3) {
+        let profile = DatasetProfile::all()[profile_idx].clone();
+        let mut scene = Scene::new(SceneConfig::from_profile(&profile), seed);
+        let oracle = OracleDetector::perfect();
+        for _ in 0..20 {
+            let frame = scene.step();
+            let detections = oracle.detect(&frame);
+            prop_assert_eq!(detections.count(), frame.object_count());
+            for c in profile.class_list() {
+                prop_assert_eq!(detections.class_count(c), frame.class_count(c));
+            }
+        }
+    }
+
+    /// The cascade's virtual cost is monotone in the number of frames: a
+    /// prefix of the stream never costs more than the whole stream.
+    #[test]
+    fn cost_monotone_in_stream_length(seed in 0u64..200, cut in 5usize..40) {
+        let profile = DatasetProfile::detrac();
+        let mut scene = Scene::new(SceneConfig::from_profile(&profile), seed);
+        let frames: Vec<_> = (0..50).map(|_| scene.step()).collect();
+        let oracle = OracleDetector::perfect();
+        let query = Query::paper_q6();
+
+        // Use two identically seeded filters so the (stochastic) calibrated
+        // filter makes the same per-frame decisions on the shared prefix.
+        let filter_full = CalibratedFilter::new(profile.class_list(), 16, CalibrationProfile::od_like(), seed);
+        let filter_prefix = CalibratedFilter::new(profile.class_list(), 16, CalibrationProfile::od_like(), seed);
+        let full = QueryExecutor::new(query.clone()).run_filtered(&frames, &filter_full, &oracle, CascadeConfig::tolerant());
+        let prefix = QueryExecutor::new(query).run_filtered(&frames[..cut.min(frames.len())], &filter_prefix, &oracle, CascadeConfig::tolerant());
+        prop_assert!(prefix.virtual_ms <= full.virtual_ms + 1e-9);
+        prop_assert!(prefix.matched_frames.len() <= full.matched_frames.len());
+    }
+
+    /// Per-predicate cascade indicators never contradict ground truth when the
+    /// filter is perfect: if the full query truly holds, every indicator is 1.
+    #[test]
+    fn indicators_respect_ground_truth(seed in 0u64..300) {
+        let profile = DatasetProfile::jackson();
+        let mut scene = Scene::new(SceneConfig::from_profile(&profile), seed);
+        let filter = CalibratedFilter::new(profile.class_list(), 16, CalibrationProfile::perfect(), 1);
+        let query = Query::paper_q5();
+        let cascade = FilterCascade::new(query.clone(), CascadeConfig::tolerant());
+        for _ in 0..30 {
+            let frame = scene.step();
+            if query.matches_ground_truth(&frame) {
+                let est = filter.estimate(&frame);
+                let indicators = cascade.predicate_indicators(&est, filter.threshold());
+                prop_assert!(indicators.iter().all(|&b| b), "indicators {indicators:?} on a true frame");
+            }
+        }
+    }
+}
