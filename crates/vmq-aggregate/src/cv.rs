@@ -37,12 +37,24 @@ impl CvEstimate {
         let plain = SampleStats::from_sample(y);
         let n = y.len();
         if n < 2 {
-            return CvEstimate { mean: plain.mean, variance_of_mean: plain.variance_of_mean, beta: 0.0, correlation: 0.0, plain };
+            return CvEstimate {
+                mean: plain.mean,
+                variance_of_mean: plain.variance_of_mean,
+                beta: 0.0,
+                correlation: 0.0,
+                plain,
+            };
         }
         let var_x = variance(x);
         let var_y = variance(y);
         if var_x <= 1e-15 || var_y <= 1e-15 {
-            return CvEstimate { mean: plain.mean, variance_of_mean: plain.variance_of_mean, beta: 0.0, correlation: 0.0, plain };
+            return CvEstimate {
+                mean: plain.mean,
+                variance_of_mean: plain.variance_of_mean,
+                beta: 0.0,
+                correlation: 0.0,
+                plain,
+            };
         }
         let cov = covariance(y, x);
         let beta = cov / var_x;

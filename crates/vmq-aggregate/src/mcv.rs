@@ -43,7 +43,13 @@ impl McvEstimate {
             assert_eq!(series.len(), n, "every control series must be parallel to y");
         }
         if d == 0 || n < d + 2 {
-            return McvEstimate { mean: plain.mean, variance_of_mean: plain.variance_of_mean, beta: vec![0.0; d], r_squared: 0.0, plain };
+            return McvEstimate {
+                mean: plain.mean,
+                variance_of_mean: plain.variance_of_mean,
+                beta: vec![0.0; d],
+                r_squared: 0.0,
+                plain,
+            };
         }
         let var_y = variance(y);
         if var_y <= 1e-15 {
@@ -104,7 +110,7 @@ mod tests {
         let z1: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
         let z2: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
         let y: Vec<f64> = (0..n).map(|i| z1[i] + z2[i] + rng.gen_range(-0.05..0.05)).collect();
-        let one = McvEstimate::from_samples(&y, &[z1.clone()], &[0.5]);
+        let one = McvEstimate::from_samples(&y, std::slice::from_ref(&z1), &[0.5]);
         let both = McvEstimate::from_samples(&y, &[z1, z2], &[0.5, 0.5]);
         assert!(both.r_squared > one.r_squared);
         assert!(both.variance_of_mean < one.variance_of_mean);

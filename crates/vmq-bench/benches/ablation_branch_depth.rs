@@ -19,7 +19,11 @@ fn main() {
     let oracle = OracleDetector::perfect();
 
     let mut report = Report::new("Ablation — IC branch depth vs count accuracy vs latency").header(&[
-        "trunk convolutions", "parameters", "exact", "within ±1", "inference ms/frame",
+        "trunk convolutions",
+        "parameters",
+        "exact",
+        "within ±1",
+        "inference ms/frame",
     ]);
 
     for depth in [2usize, 3, 4] {

@@ -18,7 +18,11 @@ fn main() {
     let oracle = OracleDetector::perfect();
 
     let mut report = Report::new("Ablation — grid size vs count accuracy and localisation F1 (OD, Jackson)").header(&[
-        "grid", "count exact", "count ±1", "car CLF F1 (MD0)", "car CLF F1 (MD1)",
+        "grid",
+        "count exact",
+        "count ±1",
+        "car CLF F1 (MD0)",
+        "car CLF F1 (MD1)",
     ]);
 
     for grid in [7usize, 14, 28] {

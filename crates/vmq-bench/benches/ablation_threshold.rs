@@ -15,7 +15,11 @@ fn main() {
     let estimates = TrainedFilters::evaluate(&exp.filters.od, exp.dataset.test());
 
     let mut report = Report::new("Ablation — OD grid threshold sweep (Jackson, car)").header(&[
-        "threshold", "precision", "recall", "F1 (MD0)", "F1 (MD1)",
+        "threshold",
+        "precision",
+        "recall",
+        "F1 (MD0)",
+        "F1 (MD1)",
     ]);
     for threshold in [0.05f32, 0.1, 0.2, 0.3, 0.5, 0.7] {
         let m0 = ClfMetrics::class_location(&estimates, &exp.test_labels, ObjectClass::Car, threshold, 0);

@@ -11,7 +11,12 @@ use vmq_video::DatasetKind;
 fn main() {
     let scale = Scale::from_env();
     let mut report = Report::new("Figures 8-11 — per-class count filter (CCF) accuracy").header(&[
-        "dataset", "class", "filter", "exact", "within ±1", "within ±2",
+        "dataset",
+        "class",
+        "filter",
+        "exact",
+        "within ±1",
+        "within ±2",
     ]);
 
     for kind in DatasetKind::ALL {

@@ -10,9 +10,8 @@ use vmq_video::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    let mut report = Report::new("Figures 12-15 — class location filter (CLF) F1 at Manhattan distance 0/1/2").header(&[
-        "dataset", "class", "filter", "F1 (exact)", "F1 (MD 1)", "F1 (MD 2)", "precision", "recall",
-    ]);
+    let mut report = Report::new("Figures 12-15 — class location filter (CLF) F1 at Manhattan distance 0/1/2")
+        .header(&["dataset", "class", "filter", "F1 (exact)", "F1 (MD 1)", "F1 (MD 2)", "precision", "recall"]);
 
     for kind in DatasetKind::ALL {
         let exp = DatasetExperiment::prepare_ic_od(kind, scale);

@@ -12,7 +12,12 @@ use vmq_video::DatasetKind;
 fn main() {
     let scale = Scale::from_env();
     let mut report = Report::new("Figure 7 — count filter accuracy (exact / ±1 / ±2)").header(&[
-        "dataset", "filter", "exact", "within ±1", "within ±2", "frames",
+        "dataset",
+        "filter",
+        "exact",
+        "within ±1",
+        "within ±2",
+        "frames",
     ]);
 
     for kind in DatasetKind::ALL {

@@ -8,7 +8,7 @@ use vmq_detect::{Detector, OracleDetector};
 use vmq_filters::{CalibratedFilter, CalibrationProfile, ClassGrid, FilterConfig, FrameFilter, IcFilter, OdFilter};
 use vmq_nn::ops::{conv2d_forward, matmul, ConvSpec};
 use vmq_nn::Tensor;
-use vmq_query::{CascadeConfig, FilterCascade, Query, SpatialRelation};
+use vmq_query::{CascadeConfig, FilterCascade, Query, QueryExecutor, SpatialRelation};
 use vmq_video::{Dataset, DatasetProfile, RasterConfig};
 
 fn bench_nn_kernels(c: &mut Criterion) {
@@ -60,9 +60,7 @@ fn bench_query_paths(c: &mut Criterion) {
     let cal = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
     let estimate = cal.estimate(&frame);
     let cascade = FilterCascade::new(Query::paper_q5(), CascadeConfig::tolerant());
-    c.bench_function("query/cascade decision (q5)", |bench| {
-        bench.iter(|| cascade.passes(black_box(&estimate), 0.5))
-    });
+    c.bench_function("query/cascade decision (q5)", |bench| bench.iter(|| cascade.passes(black_box(&estimate), 0.5)));
 
     let left = ClassGrid::from_boxes(56, &[vmq_video::BoundingBox::new(0.1, 0.4, 0.1, 0.1)]);
     let right = ClassGrid::from_boxes(56, &[vmq_video::BoundingBox::new(0.7, 0.4, 0.1, 0.1)]);
@@ -72,6 +70,24 @@ fn bench_query_paths(c: &mut Criterion) {
 
     let q = Query::paper_q5();
     c.bench_function("query/ground-truth match (q5)", |bench| bench.iter(|| q.matches_ground_truth(black_box(&frame))));
+}
+
+fn bench_operator_pipeline(c: &mut Criterion) {
+    // End-to-end batched pipeline on an in-memory segment: calibrated filter
+    // cascade in front of the oracle, per batch size.
+    let profile = DatasetProfile::jackson();
+    let ds = Dataset::generate(&profile, 8, 256, 9);
+    let oracle = OracleDetector::perfect();
+    for batch_size in [1usize, 32, 256] {
+        let name = format!("pipeline/filtered q3 (256 frames, batch={batch_size})");
+        c.bench_function(&name, |bench| {
+            bench.iter(|| {
+                let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
+                let exec = QueryExecutor::new(Query::paper_q3()).with_batch_size(batch_size);
+                exec.run_filtered(black_box(ds.test()), &filter, &oracle, CascadeConfig::tolerant())
+            })
+        });
+    }
 }
 
 fn bench_control_variates(c: &mut Criterion) {
@@ -90,6 +106,6 @@ fn bench_control_variates(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_nn_kernels, bench_rasterisation, bench_filter_inference, bench_query_paths, bench_control_variates
+    targets = bench_nn_kernels, bench_rasterisation, bench_filter_inference, bench_query_paths, bench_operator_pipeline, bench_control_variates
 }
 criterion_main!(benches);

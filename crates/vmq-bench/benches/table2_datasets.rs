@@ -26,11 +26,8 @@ fn main() {
         let ds = Dataset::generate(&profile, scale.train_frames() * 2, scale.test_frames(), 7);
         let all_frames: Vec<_> = ds.train().iter().chain(ds.validation()).chain(ds.test()).cloned().collect();
         let stats = DatasetStats::compute(&all_frames);
-        let classes: Vec<String> = stats
-            .class_shares
-            .iter()
-            .map(|(c, share)| format!("{} {:.0}%", c.name(), share * 100.0))
-            .collect();
+        let classes: Vec<String> =
+            stats.class_shares.iter().map(|(c, share)| format!("{} {:.0}%", c.name(), share * 100.0)).collect();
         report.row(&[
             profile.kind.name().to_string(),
             profile.paper_train_size.to_string(),

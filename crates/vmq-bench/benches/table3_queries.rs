@@ -1,18 +1,25 @@
 //! E-T3 — Table III: end-to-end query execution times.
 //!
 //! Runs the paper's queries q1–q7 on their respective datasets with the
-//! trained OD filters in front of the oracle detector. Exactly as the paper
-//! does ("we present the most selective filter combinations that yield 100 %
-//! accuracy"), for every query the harness tries cascade configurations from
-//! the most selective to the most tolerant and reports the most selective one
-//! that loses no true frames (falling back to the best-recall configuration
-//! when none is lossless), then compares against brute-force evaluation.
+//! trained OD filters in front of the oracle detector, all through the
+//! batched operator pipeline (`Source → CascadeFilter → Detect →
+//! PredicateEval → Sink`). Exactly as the paper does ("we present the most
+//! selective filter combinations that yield 100 % accuracy"), for every
+//! query the harness tries cascade configurations from the most selective to
+//! the most tolerant and reports the most selective one that loses no true
+//! frames (falling back to the best-recall configuration when none is
+//! lossless), then compares against brute-force evaluation.
+//!
+//! Setting `VMQ_BENCH_JSON=<path>` additionally records the per-query
+//! baseline (virtual + wall times, speedup, per-operator stage metrics) as a
+//! JSON file, so successive PRs have a perf trajectory (`BENCH_pipeline.json`
+//! at the repo root is the committed baseline, recorded at quick scale).
 
 use vmq_bench::{DatasetExperiment, Scale};
 use vmq_core::Report;
 use vmq_detect::OracleDetector;
 use vmq_filters::FrameFilter;
-use vmq_query::{CascadeConfig, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport};
+use vmq_query::{CascadeConfig, PipelineConfig, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport};
 use vmq_video::DatasetKind;
 
 /// Candidate cascade configurations, ordered from most to least selective.
@@ -26,16 +33,16 @@ fn candidate_configs() -> Vec<CascadeConfig> {
     ]
 }
 
-fn best_run(
-    exp: &DatasetExperiment,
-    query: &Query,
-    oracle: &OracleDetector,
-) -> (QueryRun, QueryAccuracy) {
+fn batched_executor(query: &Query) -> QueryExecutor {
+    QueryExecutor::new(query.clone()).with_batch_size(PipelineConfig::DEFAULT_BATCH_SIZE)
+}
+
+fn best_run(exp: &DatasetExperiment, query: &Query, oracle: &OracleDetector) -> (QueryRun, QueryAccuracy) {
     let frames = exp.dataset.test();
     let filter: &dyn FrameFilter = &exp.filters.od;
     let mut best: Option<(QueryRun, QueryAccuracy)> = None;
     for config in candidate_configs() {
-        let exec = QueryExecutor::new(query.clone());
+        let exec = batched_executor(query);
         let run = exec.run_filtered(frames, filter, oracle, config);
         let accuracy = exec.accuracy(&run, frames);
         let better = match &best {
@@ -56,6 +63,84 @@ fn best_run(
         }
     }
     best.expect("at least one configuration evaluated")
+}
+
+/// One per-query record of the JSON baseline.
+struct BenchRecord {
+    query: String,
+    dataset: String,
+    mode: String,
+    filtered_virtual_ms: f64,
+    brute_virtual_ms: f64,
+    speedup: f64,
+    recall: f32,
+    f1: f32,
+    pass_rate: f64,
+    filtered_wall_ms: f64,
+    brute_wall_ms: f64,
+    stages: String,
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Total wall-clock milliseconds one pipeline execution spent across its
+/// operators (from the run's own stage metrics).
+fn pipeline_wall_ms(run: &QueryRun) -> f64 {
+    run.stage_metrics.iter().map(|m| m.wall_ms).sum()
+}
+
+fn stages_json(run: &QueryRun) -> String {
+    let entries: Vec<String> = run
+        .stage_metrics
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"operator\":\"{}\",\"frames_in\":{},\"frames_out\":{},\"virtual_ms\":{:.3},\"wall_ms\":{:.3}}}",
+                json_escape(&m.operator),
+                m.frames_in,
+                m.frames_out,
+                m.virtual_ms,
+                m.wall_ms
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
+}
+
+fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"query\":\"{}\",\"dataset\":\"{}\",\"mode\":\"{}\",",
+                    "\"filtered_virtual_ms\":{:.3},\"brute_virtual_ms\":{:.3},\"speedup\":{:.3},",
+                    "\"recall\":{:.4},\"f1\":{:.4},\"pass_rate\":{:.4},",
+                    "\"filtered_wall_ms\":{:.3},\"brute_wall_ms\":{:.3},\"stages\":{}}}"
+                ),
+                json_escape(&r.query),
+                json_escape(&r.dataset),
+                json_escape(&r.mode),
+                r.filtered_virtual_ms,
+                r.brute_virtual_ms,
+                r.speedup,
+                r.recall,
+                r.f1,
+                r.pass_rate,
+                r.filtered_wall_ms,
+                r.brute_wall_ms,
+                r.stages,
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"table3_queries\",\n  \"executor\": \"batched operator pipeline\",\n  \"scale\": \"{}\",\n  \"batch_size\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        scale,
+        batch_size,
+        rows.join(",\n")
+    )
 }
 
 fn main() {
@@ -87,11 +172,17 @@ fn main() {
     ];
 
     let oracle = OracleDetector::perfect();
+    let mut records = Vec::new();
     for (exp, query) in cases {
         let frames = exp.dataset.test();
-        let brute_exec = QueryExecutor::new(query.clone());
+        let brute_exec = batched_executor(&query);
         let brute = brute_exec.run_brute_force(frames, &oracle);
         let (run, accuracy) = best_run(exp, &query, &oracle);
+        // Wall times come from the reported runs' own operator metrics, so
+        // they measure exactly one pipeline execution each — not the
+        // best_run() configuration search around the filtered run.
+        let brute_wall_ms = pipeline_wall_ms(&brute);
+        let filtered_wall_ms = pipeline_wall_ms(&run);
         let speedup = SpeedupReport::new(brute.virtual_ms, run.virtual_ms);
 
         report.row(&[
@@ -105,8 +196,36 @@ fn main() {
             format!("{:.3}", accuracy.f1),
             format!("{:.1}%", run.filter_pass_rate() * 100.0),
         ]);
+        records.push(BenchRecord {
+            query: query.name.clone(),
+            dataset: exp.name().to_string(),
+            mode: run.mode.clone(),
+            filtered_virtual_ms: run.virtual_ms,
+            brute_virtual_ms: brute.virtual_ms,
+            speedup: speedup.speedup,
+            recall: accuracy.recall,
+            f1: accuracy.f1,
+            pass_rate: run.filter_pass_rate(),
+            filtered_wall_ms,
+            brute_wall_ms,
+            stages: stages_json(&run),
+        });
     }
     report.note("for each query the most selective filter combination that keeps 100% recall is chosen, as in the paper; otherwise the best-recall combination is shown");
     report.note("times use the paper's virtual cost model (Mask R-CNN 200 ms, OD filter 1.9 ms per frame); speedup is governed by the cascade's selectivity");
+    report.note(
+        "all runs execute on the batched operator pipeline (Source → CascadeFilter → Detect → PredicateEval → Sink)",
+    );
     println!("{}", report.render());
+
+    if let Ok(path) = std::env::var("VMQ_BENCH_JSON") {
+        let scale_name = match scale {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Full => "full",
+        };
+        let json = records_json(scale_name, PipelineConfig::DEFAULT_BATCH_SIZE, &records);
+        std::fs::write(&path, json).expect("write VMQ_BENCH_JSON output");
+        eprintln!("wrote pipeline baseline to {path}");
+    }
 }

@@ -1,10 +1,11 @@
 //! The engine: dataset + trained filters + query / aggregate execution.
 
 use crate::config::{EngineConfig, FilterChoice};
+use crate::report::Report;
 use vmq_aggregate::{AggregateEstimator, AggregateReport};
 use vmq_detect::OracleDetector;
 use vmq_filters::{CalibratedFilter, FrameFilter, TrainedFilters};
-use vmq_query::{CascadeConfig, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport};
+use vmq_query::{exec, CascadeConfig, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport};
 use vmq_video::Dataset;
 
 /// The combined outcome of a filtered query run: the run itself, its accuracy
@@ -25,6 +26,15 @@ impl QueryOutcome {
     /// A one-line human-readable summary (a Table III style row).
     pub fn summary(&self) -> String {
         self.speedup.table_row(&self.run.query, &self.run.mode, self.accuracy.recall)
+    }
+
+    /// Per-operator breakdown of the filtered run, rendered from the
+    /// pipeline's unified [`StageMetrics`](vmq_query::StageMetrics).
+    pub fn stage_report(&self) -> Report {
+        Report::from_stage_metrics(
+            &format!("{} [{}] — operator pipeline", self.run.query, self.run.mode),
+            &self.run.stage_metrics,
+        )
     }
 }
 
@@ -73,7 +83,9 @@ impl VmqEngine {
         match choice {
             FilterChoice::Ic => Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").ic)),
             FilterChoice::Od => Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").od)),
-            FilterChoice::OdCof => Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").cof)),
+            FilterChoice::OdCof => {
+                Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").cof))
+            }
             FilterChoice::Calibrated(profile) => Box::new(CalibratedFilter::new(
                 self.config.filter.classes.clone(),
                 self.config.filter.grid,
@@ -99,6 +111,23 @@ impl VmqEngine {
         QueryOutcome { run, brute_force, accuracy, speedup }
     }
 
+    /// Runs a query over the test split as a bounded producer/consumer
+    /// *stream* (the same batched operator pipeline as [`VmqEngine::run_query`],
+    /// fed by a producer thread), plus accuracy against ground truth.
+    pub fn run_streaming(
+        &self,
+        query: &Query,
+        choice: FilterChoice,
+        cascade: CascadeConfig,
+        channel_capacity: usize,
+    ) -> (QueryRun, QueryAccuracy) {
+        let frames = self.dataset.test();
+        let filter = self.resolve_filter(choice);
+        let run = exec::run_streaming(query, frames.to_vec(), filter.as_ref(), &self.oracle, cascade, channel_capacity);
+        let accuracy = QueryExecutor::new(query.clone()).accuracy(&run, frames);
+        (run, accuracy)
+    }
+
     /// Estimates a windowed aggregate over the test split with control
     /// variates; `sample_size` frames per trial, `trials` repetitions.
     pub fn estimate_aggregate(
@@ -121,6 +150,10 @@ struct EngineFilterRef<'a, F: FrameFilter>(&'a F);
 impl<F: FrameFilter> FrameFilter for EngineFilterRef<'_, F> {
     fn estimate(&self, frame: &vmq_video::Frame) -> vmq_filters::FilterEstimate {
         self.0.estimate(frame)
+    }
+
+    fn estimate_batch(&self, frames: &[vmq_video::Frame]) -> Vec<vmq_filters::FilterEstimate> {
+        self.0.estimate_batch(frames)
     }
 
     fn kind(&self) -> vmq_filters::FilterKind {
@@ -175,6 +208,36 @@ mod tests {
         assert!(outcome.run.frames_total == engine.dataset().test().len());
         assert!(outcome.speedup.speedup >= 0.95, "speedup {:?}", outcome.speedup);
         assert!(outcome.accuracy.recall >= 0.0);
+    }
+
+    #[test]
+    fn engine_streams_through_the_same_pipeline() {
+        let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(30, 100));
+        let (run, accuracy) = engine.run_streaming(
+            &Query::paper_q4(),
+            FilterChoice::Calibrated(CalibrationProfile::perfect()),
+            CascadeConfig::strict(),
+            8,
+        );
+        assert!(run.mode.contains("streaming"));
+        assert_eq!(run.frames_total, 100);
+        assert!(accuracy.is_perfect(), "perfect filter + strict cascade must stay exact: {accuracy:?}");
+        let operators: Vec<&str> = run.stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+        assert_eq!(operators, ["source", "cascade-filter", "detect", "predicate-eval", "sink"]);
+    }
+
+    #[test]
+    fn stage_report_renders_operator_rows() {
+        let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(30, 80));
+        let outcome = engine.run_query(
+            &Query::paper_q3(),
+            FilterChoice::Calibrated(CalibrationProfile::perfect()),
+            CascadeConfig::strict(),
+        );
+        let rendered = outcome.stage_report().render();
+        assert!(rendered.contains("cascade-filter"));
+        assert!(rendered.contains("mask-rcnn"));
+        assert!(rendered.contains("pass rate"));
     }
 
     #[test]

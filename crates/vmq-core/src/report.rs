@@ -5,6 +5,7 @@
 //! header row and aligned data rows.
 
 use std::fmt::Write as _;
+use vmq_query::StageMetrics;
 
 /// A simple text report: a titled table with aligned columns.
 #[derive(Debug, Clone)]
@@ -47,6 +48,34 @@ impl Report {
         self.rows.is_empty()
     }
 
+    /// Builds a per-operator table from the execution pipeline's unified
+    /// [`StageMetrics`]: one row per operator with frames in/out, pass rate
+    /// and virtual / wall-clock time. This is the single reporting path for
+    /// all execution modes.
+    pub fn from_stage_metrics(title: &str, metrics: &[StageMetrics]) -> Report {
+        let mut report = Report::new(title).header(&[
+            "operator",
+            "stage",
+            "frames in",
+            "frames out",
+            "pass rate",
+            "virtual ms",
+            "wall ms",
+        ]);
+        for m in metrics {
+            report.row(&[
+                m.operator.clone(),
+                m.stage.map_or_else(|| "-".to_string(), |s| s.name().to_string()),
+                m.frames_in.to_string(),
+                m.frames_out.to_string(),
+                format!("{:.1}%", m.pass_rate() * 100.0),
+                format!("{:.2}", m.virtual_ms),
+                format!("{:.3}", m.wall_ms),
+            ]);
+        }
+        report
+    }
+
     /// Renders the report as aligned plain text.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
@@ -62,14 +91,21 @@ impl Report {
         let mut out = String::new();
         let _ = writeln!(out, "=== {} ===", self.title);
         if !self.header.is_empty() {
-            let line: Vec<String> =
-                self.header.iter().enumerate().map(|(i, h)| format!("{:<width$}", h, width = widths.get(i).copied().unwrap_or(h.len()))).collect();
+            let line: Vec<String> = self
+                .header
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{:<width$}", h, width = widths.get(i).copied().unwrap_or(h.len())))
+                .collect();
             let _ = writeln!(out, "{}", line.join("  "));
             let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
         }
         for row in &self.rows {
-            let line: Vec<String> =
-                row.iter().enumerate().map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))).collect();
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect();
             let _ = writeln!(out, "{}", line.join("  "));
         }
         for note in &self.notes {

@@ -81,9 +81,27 @@ impl Default for CostModel {
     }
 }
 
+/// Virtual cost charged to one stage: the [`Stage`]-tagged entry of a
+/// ledger's per-operator cost breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    /// The stage the cost was charged to.
+    pub stage: Stage,
+    /// Number of frames charged.
+    pub frames: u64,
+    /// Virtual milliseconds charged (`frames × per-frame cost`).
+    pub virtual_ms: f64,
+}
+
 /// Accumulated virtual time and per-stage invocation counts.
 ///
 /// Cheap to clone (`Arc` internally); clones share the same ledger.
+///
+/// The ledger stores only *frame counts* per stage; all millisecond totals
+/// are derived as `count × per-frame cost` on read. This makes charging
+/// exactly associative: charging a stage once for a whole batch produces the
+/// same totals, bit for bit, as charging it frame by frame — the property
+/// the batched operator pipeline's parity guarantee rests on.
 #[derive(Debug, Clone)]
 pub struct CostLedger {
     model: CostModel,
@@ -92,9 +110,13 @@ pub struct CostLedger {
 
 #[derive(Debug, Default)]
 struct LedgerInner {
-    total_ms: f64,
     invocations: BTreeMap<Stage, u64>,
-    stage_ms: BTreeMap<Stage, f64>,
+}
+
+impl LedgerInner {
+    fn frames(&self, stage: Stage) -> u64 {
+        self.invocations.get(&stage).copied().unwrap_or(0)
+    }
 }
 
 impl CostLedger {
@@ -108,18 +130,16 @@ impl CostLedger {
         CostLedger::new(CostModel::paper())
     }
 
-    /// Charges one invocation of `stage` for `frames` frames.
+    /// Charges `frames` frames to `stage` (a batch of one for the eager,
+    /// per-frame call sites).
     pub fn charge(&self, stage: Stage, frames: u64) {
-        let cost = self.model.cost_ms(stage) * frames as f64;
-        let mut inner = self.inner.lock();
-        inner.total_ms += cost;
-        *inner.invocations.entry(stage).or_insert(0) += frames;
-        *inner.stage_ms.entry(stage).or_insert(0.0) += cost;
+        *self.inner.lock().invocations.entry(stage).or_insert(0) += frames;
     }
 
     /// Total accumulated virtual time in milliseconds.
     pub fn total_ms(&self) -> f64 {
-        self.inner.lock().total_ms
+        let inner = self.inner.lock();
+        Stage::ALL.iter().map(|&s| self.model.cost_ms(s) * inner.frames(s) as f64).sum()
     }
 
     /// Total accumulated virtual time in seconds.
@@ -129,12 +149,25 @@ impl CostLedger {
 
     /// Number of frames charged to a stage.
     pub fn invocations(&self, stage: Stage) -> u64 {
-        *self.inner.lock().invocations.get(&stage).unwrap_or(&0)
+        self.inner.lock().frames(stage)
     }
 
     /// Virtual milliseconds charged to a stage.
     pub fn stage_ms(&self, stage: Stage) -> f64 {
-        *self.inner.lock().stage_ms.get(&stage).unwrap_or(&0.0)
+        self.model.cost_ms(stage) * self.invocations(stage) as f64
+    }
+
+    /// The [`Stage`]-tagged cost breakdown: one entry per stage that was
+    /// charged at least one frame, in [`Stage::ALL`] order.
+    pub fn breakdown(&self) -> Vec<StageCost> {
+        let inner = self.inner.lock();
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let frames = inner.frames(stage);
+                (frames > 0).then(|| StageCost { stage, frames, virtual_ms: self.model.cost_ms(stage) * frames as f64 })
+            })
+            .collect()
     }
 
     /// The underlying cost model.
@@ -150,18 +183,14 @@ impl CostLedger {
 
     /// A multi-line human-readable summary.
     pub fn summary(&self) -> String {
-        let inner = self.inner.lock();
-        let mut lines = vec![format!("total virtual time: {:.2} s", inner.total_ms / 1000.0)];
-        for stage in Stage::ALL {
-            let n = inner.invocations.get(&stage).copied().unwrap_or(0);
-            if n > 0 {
-                lines.push(format!(
-                    "  {:<10} frames={:<8} time={:.2} s",
-                    stage.name(),
-                    n,
-                    inner.stage_ms.get(&stage).copied().unwrap_or(0.0) / 1000.0
-                ));
-            }
+        let mut lines = vec![format!("total virtual time: {:.2} s", self.total_seconds())];
+        for cost in self.breakdown() {
+            lines.push(format!(
+                "  {:<10} frames={:<8} time={:.2} s",
+                cost.stage.name(),
+                cost.frames,
+                cost.virtual_ms / 1000.0
+            ));
         }
         lines.join("\n")
     }
@@ -214,6 +243,34 @@ mod tests {
         let model = CostModel::paper().with_cost(Stage::MaskRcnn, 100.0);
         assert_eq!(model.cost_ms(Stage::MaskRcnn), 100.0);
         assert_eq!(model.cost_ms(Stage::FullYolo), 15.0);
+    }
+
+    #[test]
+    fn batch_charging_matches_eager_charging_exactly() {
+        let eager = CostLedger::paper();
+        for _ in 0..7 {
+            eager.charge(Stage::OdFilter, 1);
+            eager.charge(Stage::Decode, 1);
+        }
+        let batched = CostLedger::paper();
+        batched.charge(Stage::OdFilter, 7);
+        batched.charge(Stage::Decode, 7);
+        assert_eq!(eager.total_ms().to_bits(), batched.total_ms().to_bits());
+        assert_eq!(eager.stage_ms(Stage::OdFilter).to_bits(), batched.stage_ms(Stage::OdFilter).to_bits());
+    }
+
+    #[test]
+    fn breakdown_is_stage_tagged_and_ordered() {
+        let ledger = CostLedger::paper();
+        ledger.charge(Stage::MaskRcnn, 3);
+        ledger.charge(Stage::Decode, 10);
+        let breakdown = ledger.breakdown();
+        assert_eq!(breakdown.len(), 2);
+        assert_eq!(breakdown[0].stage, Stage::Decode);
+        assert_eq!(breakdown[0].frames, 10);
+        assert!((breakdown[0].virtual_ms - 0.5).abs() < 1e-12);
+        assert_eq!(breakdown[1].stage, Stage::MaskRcnn);
+        assert!((breakdown[1].virtual_ms - 600.0).abs() < 1e-12);
     }
 
     #[test]

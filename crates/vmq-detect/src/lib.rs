@@ -29,7 +29,7 @@ pub mod noise;
 pub mod oracle;
 
 pub use annotation::{Detection, FrameDetections};
-pub use cost::{CostLedger, CostModel, Stage};
+pub use cost::{CostLedger, CostModel, Stage, StageCost};
 pub use mid::MidDetector;
 pub use noise::NoiseModel;
 pub use oracle::OracleDetector;

@@ -27,18 +27,36 @@ impl NoiseModel {
     /// A perfect detector: no noise at all. This is how the paper uses Mask
     /// R-CNN — its detections are the ground truth by definition.
     pub fn perfect() -> Self {
-        NoiseModel { miss_rate: 0.0, false_positives_per_frame: 0.0, box_jitter: 0.0, class_confusion: 0.0, color_drop: 0.0 }
+        NoiseModel {
+            miss_rate: 0.0,
+            false_positives_per_frame: 0.0,
+            box_jitter: 0.0,
+            class_confusion: 0.0,
+            color_drop: 0.0,
+        }
     }
 
     /// A mildly imperfect detector, suitable for robustness experiments.
     pub fn mild() -> Self {
-        NoiseModel { miss_rate: 0.02, false_positives_per_frame: 0.05, box_jitter: 0.01, class_confusion: 0.01, color_drop: 0.05 }
+        NoiseModel {
+            miss_rate: 0.02,
+            false_positives_per_frame: 0.05,
+            box_jitter: 0.01,
+            class_confusion: 0.01,
+            color_drop: 0.05,
+        }
     }
 
     /// The mid-tier (YOLO-like) noise level: more misses, more jitter and no
     /// colour attribute extraction.
     pub fn mid_tier() -> Self {
-        NoiseModel { miss_rate: 0.08, false_positives_per_frame: 0.15, box_jitter: 0.02, class_confusion: 0.03, color_drop: 1.0 }
+        NoiseModel {
+            miss_rate: 0.08,
+            false_positives_per_frame: 0.15,
+            box_jitter: 0.02,
+            class_confusion: 0.03,
+            color_drop: 1.0,
+        }
     }
 
     /// True when the model introduces no randomness.

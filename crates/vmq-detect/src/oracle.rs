@@ -30,7 +30,11 @@ impl OracleDetector {
 
     /// A perfect oracle that charges Mask R-CNN cost to `ledger` per frame.
     pub fn with_ledger(ledger: CostLedger) -> Self {
-        OracleDetector { noise: NoiseModel::perfect(), ledger: Some(ledger), rng: Mutex::new(StdRng::seed_from_u64(0x0AC1E)) }
+        OracleDetector {
+            noise: NoiseModel::perfect(),
+            ledger: Some(ledger),
+            rng: Mutex::new(StdRng::seed_from_u64(0x0AC1E)),
+        }
     }
 
     /// An oracle with a noise model (and optional ledger).
@@ -97,7 +101,13 @@ impl Detector for OracleDetector {
             frame
                 .objects
                 .iter()
-                .map(|o| Detection { class: o.class, color: Some(o.color), bbox: o.bbox, score: 1.0, track_id: Some(o.track_id) })
+                .map(|o| Detection {
+                    class: o.class,
+                    color: Some(o.color),
+                    bbox: o.bbox,
+                    score: 1.0,
+                    track_id: Some(o.track_id),
+                })
                 .collect()
         } else {
             self.apply_noise(frame)

@@ -77,20 +77,23 @@ impl CalibratedFilter {
         let u2: f32 = rng.gen_range(0.0..1.0f32);
         (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
     }
-}
 
-impl FrameFilter for CalibratedFilter {
-    fn estimate(&self, frame: &Frame) -> FilterEstimate {
-        let mut rng = self.rng.lock();
+    /// Ground-truth boxes per class, in class order (one group per class).
+    fn truth_box_groups(&self, frame: &Frame) -> Vec<Vec<vmq_video::BoundingBox>> {
+        self.classes.iter().map(|&class| frame.objects_of(class).iter().map(|o| o.bbox).collect()).collect()
+    }
+
+    /// Perturbs per-class truth (counts + `truth_grids`, parallel to
+    /// `self.classes`) into an estimate, consuming `rng` in the fixed
+    /// class-major order both the per-frame and batched paths share.
+    fn noisy_estimate(&self, frame: &Frame, truth_grids: &[ClassGrid], rng: &mut StdRng) -> FilterEstimate {
         let mut counts = Vec::with_capacity(self.classes.len());
         let mut grids = Vec::with_capacity(self.classes.len());
-        for &class in &self.classes {
+        for (&class, truth) in self.classes.iter().zip(truth_grids) {
             let true_count = frame.class_count(class) as f32;
-            let noisy = (true_count + Self::gaussian(&mut rng) * self.profile.count_std).max(0.0);
+            let noisy = (true_count + Self::gaussian(rng) * self.profile.count_std).max(0.0);
             counts.push(noisy);
 
-            let boxes: Vec<_> = frame.objects_of(class).iter().map(|o| o.bbox).collect();
-            let truth = ClassGrid::from_boxes(self.grid, &boxes);
             let mut cells = Vec::with_capacity(self.grid * self.grid);
             for &v in truth.cells() {
                 let occupied = v > 0.5;
@@ -104,6 +107,33 @@ impl FrameFilter for CalibratedFilter {
             grids.push(ClassGrid::from_values(self.grid, cells));
         }
         FilterEstimate { classes: self.classes.clone(), counts, grids, kind: self.profile.kind, total_hint: None }
+    }
+}
+
+impl FrameFilter for CalibratedFilter {
+    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+        let truth = ClassGrid::from_boxes_batch(self.grid, &self.truth_box_groups(frame));
+        let mut rng = self.rng.lock();
+        self.noisy_estimate(frame, &truth, &mut rng)
+    }
+
+    fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
+        // Amortised batch path: all `frames × classes` ground-truth grids are
+        // built in one pass (sharing the cell-rectangle table) and the RNG is
+        // locked once. Noise is still drawn frame by frame in class-major
+        // order, so the stream of draws — and therefore every estimate — is
+        // identical to calling `estimate` per frame.
+        if self.classes.is_empty() {
+            return frames.iter().map(|frame| self.estimate(frame)).collect();
+        }
+        let groups: Vec<_> = frames.iter().flat_map(|frame| self.truth_box_groups(frame)).collect();
+        let truth = ClassGrid::from_boxes_batch(self.grid, &groups);
+        let mut rng = self.rng.lock();
+        frames
+            .iter()
+            .zip(truth.chunks(self.classes.len()))
+            .map(|(frame, truth_grids)| self.noisy_estimate(frame, truth_grids, &mut rng))
+            .collect()
     }
 
     fn kind(&self) -> FilterKind {
@@ -146,7 +176,10 @@ mod tests {
         let filter = CalibratedFilter::new(vec![ObjectClass::Car], 14, CalibrationProfile::perfect(), 1);
         let est = filter.estimate(&frame(3));
         assert_eq!(est.count_for_rounded(ObjectClass::Car), Some(3));
-        let truth = ClassGrid::from_boxes(14, &frame(3).objects_of(ObjectClass::Car).iter().map(|o| o.bbox).collect::<Vec<_>>());
+        let truth = ClassGrid::from_boxes(
+            14,
+            &frame(3).objects_of(ObjectClass::Car).iter().map(|o| o.bbox).collect::<Vec<_>>(),
+        );
         assert_eq!(est.grid_for(ObjectClass::Car).unwrap().occupied(), truth.occupied());
     }
 
@@ -189,7 +222,8 @@ mod tests {
 
     #[test]
     fn trait_metadata() {
-        let filter = CalibratedFilter::new(vec![ObjectClass::Car, ObjectClass::Bus], 8, CalibrationProfile::od_like(), 0);
+        let filter =
+            CalibratedFilter::new(vec![ObjectClass::Car, ObjectClass::Bus], 8, CalibrationProfile::od_like(), 0);
         assert_eq!(filter.grid_size(), 8);
         assert_eq!(filter.classes().len(), 2);
         assert_eq!(filter.kind(), FilterKind::Od);

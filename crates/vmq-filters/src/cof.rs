@@ -71,7 +71,7 @@ impl CofFilter {
         let seed = config.seed.wrapping_add(9000);
         let mut net = build_trunk(config, Act::LeakyRelu(cof.leaky_slope), seed);
         // Fig. 5: the detector features are max-pooled before the branch.
-        if config.grid % 2 == 0 && config.grid >= 4 {
+        if config.grid.is_multiple_of(2) && config.grid >= 4 {
             net.push(Box::new(MaxPool2d::new(2)));
         }
         let mut in_ch = config.feature_channels();
@@ -133,17 +133,21 @@ impl CofFilter {
                 }
                 opt.step(&mut net.parameters());
             }
-            history.push(EpochStats { epoch, mean_loss: (epoch_loss / frames.len() as f64) as f32, samples: frames.len() });
+            history.push(EpochStats {
+                epoch,
+                mean_loss: (epoch_loss / frames.len() as f64) as f32,
+                samples: frames.len(),
+            });
         }
         self.history = history.clone();
         history
     }
 }
 
-impl FrameFilter for CofFilter {
-    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+impl CofFilter {
+    fn estimate_locked(&self, net: &mut Sequential, frame: &Frame) -> FilterEstimate {
         let input = image_to_tensor(&self.config.raster.render(frame));
-        let total = self.net.lock().forward(&input).data()[0].max(0.0);
+        let total = net.forward(&input).data()[0].max(0.0);
         FilterEstimate {
             classes: Vec::new(),
             counts: Vec::new(),
@@ -151,6 +155,19 @@ impl FrameFilter for CofFilter {
             kind: FilterKind::OdCof,
             total_hint: Some(total),
         }
+    }
+}
+
+impl FrameFilter for CofFilter {
+    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+        let mut net = self.net.lock();
+        self.estimate_locked(&mut net, frame)
+    }
+
+    fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
+        // One lock acquisition for the whole batch.
+        let mut net = self.net.lock();
+        frames.iter().map(|frame| self.estimate_locked(&mut net, frame)).collect()
     }
 
     fn kind(&self) -> FilterKind {

@@ -165,7 +165,7 @@ impl FilterConfig {
         let mut size = self.raster.width;
         let mut pools = 0usize;
         while size > self.grid {
-            assert!(size % 2 == 0, "raster {} cannot be pooled down to grid {}", self.raster.width, self.grid);
+            assert!(size.is_multiple_of(2), "raster {} cannot be pooled down to grid {}", self.raster.width, self.grid);
             size /= 2;
             pools += 1;
         }

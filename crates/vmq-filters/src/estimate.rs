@@ -3,8 +3,8 @@
 use crate::grid::ClassGrid;
 use serde::{Deserialize, Serialize};
 use vmq_detect::Stage;
-use vmq_video::{Frame, Image, ObjectClass};
 use vmq_nn::Tensor;
+use vmq_video::{Frame, Image, ObjectClass};
 
 /// Which filter family produced an estimate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -100,6 +100,18 @@ impl FilterEstimate {
 pub trait FrameFilter: Send + Sync {
     /// Produces count and localisation estimates for a frame.
     fn estimate(&self, frame: &Frame) -> FilterEstimate;
+
+    /// Produces estimates for a whole batch of frames, in frame order.
+    ///
+    /// The default implementation loops over [`FrameFilter::estimate`];
+    /// concrete filters override it to amortise per-batch work (one lock
+    /// acquisition per batch instead of per frame, batched ground-truth grid
+    /// construction). Overrides must produce exactly the estimates the
+    /// per-frame path would produce, in the same order — the operator
+    /// pipeline's eager/batched parity guarantee depends on it.
+    fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
+        frames.iter().map(|frame| self.estimate(frame)).collect()
+    }
 
     /// Filter family.
     fn kind(&self) -> FilterKind;

@@ -54,6 +54,35 @@ impl ClassGrid {
         grid
     }
 
+    /// Builds ground-truth occupancy grids for many box groups at once, with
+    /// the same semantics as calling [`ClassGrid::from_boxes`] per group.
+    ///
+    /// The `g²` cell rectangles are constructed once and reused across the
+    /// whole batch — the per-batch amortisation the batched filter inference
+    /// path relies on (a calibrated filter builds `classes × batch` truth
+    /// grids per batch).
+    pub fn from_boxes_batch(g: usize, groups: &[Vec<BoundingBox>]) -> Vec<ClassGrid> {
+        assert!(g > 0, "grid size must be positive");
+        let cell_rects: Vec<BoundingBox> = (0..g * g)
+            .map(|i| BoundingBox {
+                x: (i % g) as f32 / g as f32,
+                y: (i / g) as f32 / g as f32,
+                w: 1.0 / g as f32,
+                h: 1.0 / g as f32,
+            })
+            .collect();
+        groups
+            .iter()
+            .map(|boxes| {
+                let cells = cell_rects
+                    .iter()
+                    .map(|cell| if boxes.iter().any(|b| b.intersects(cell)) { 1.0 } else { 0.0 })
+                    .collect();
+                ClassGrid { g, cells }
+            })
+            .collect()
+    }
+
     /// Grid side length.
     pub fn size(&self) -> usize {
         self.g
@@ -210,6 +239,20 @@ mod tests {
     #[test]
     fn from_boxes_empty_when_no_boxes() {
         assert!(ClassGrid::from_boxes(8, &[]).is_empty());
+    }
+
+    #[test]
+    fn from_boxes_batch_matches_per_group_construction() {
+        let groups = vec![
+            vec![],
+            vec![BoundingBox::new(0.0, 0.0, 0.5, 1.0)],
+            vec![BoundingBox::new(0.7, 0.4, 0.2, 0.2), BoundingBox::new(0.1, 0.1, 0.05, 0.05)],
+        ];
+        let batched = ClassGrid::from_boxes_batch(8, &groups);
+        assert_eq!(batched.len(), groups.len());
+        for (grid, group) in batched.iter().zip(&groups) {
+            assert_eq!(grid, &ClassGrid::from_boxes(8, group));
+        }
     }
 
     #[test]

@@ -92,12 +92,8 @@ impl CamCountHead {
         let (g_h, g_w) = (fm.shape()[1], fm.shape()[2]);
         let cell_count = g_h * g_w;
         // Through the ReLU of the count head.
-        let d_pre: Vec<f32> = d_counts
-            .data()
-            .iter()
-            .zip(&self.cached_pre)
-            .map(|(&g, &p)| if p > 0.0 { g } else { 0.0 })
-            .collect();
+        let d_pre: Vec<f32> =
+            d_counts.data().iter().zip(&self.cached_pre).map(|(&g, &p)| if p > 0.0 { g } else { 0.0 }).collect();
         // Count-head parameter gradients.
         let gw = self.weight.grad.data_mut();
         for (c, &g) in d_pre.iter().enumerate() {
@@ -231,17 +227,22 @@ impl IcFilter {
                 params.extend(net.head.params());
                 opt.step(&mut params);
             }
-            history.push(EpochStats { epoch, mean_loss: (epoch_loss / frames.len() as f64) as f32, samples: frames.len() });
+            history.push(EpochStats {
+                epoch,
+                mean_loss: (epoch_loss / frames.len() as f64) as f32,
+                samples: frames.len(),
+            });
         }
         self.history = history.clone();
         history
     }
 }
 
-impl FrameFilter for IcFilter {
-    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+impl IcFilter {
+    /// One inference pass with the net lock already held (shared by the
+    /// per-frame and batched entry points).
+    fn estimate_locked(&self, net: &mut IcNet, frame: &Frame) -> FilterEstimate {
         let input = image_to_tensor(&self.config.raster.render(frame));
-        let mut net = self.net.lock();
         let fm = net.trunk.forward(&input);
         let (counts, cams) = net.head.forward(&fm);
         let g = self.config.grid;
@@ -260,6 +261,20 @@ impl FrameFilter for IcFilter {
             kind: FilterKind::Ic,
             total_hint: None,
         }
+    }
+}
+
+impl FrameFilter for IcFilter {
+    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+        let mut net = self.net.lock();
+        self.estimate_locked(&mut net, frame)
+    }
+
+    fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
+        // One lock acquisition for the whole batch; inference itself is
+        // stateless, so the outputs match the per-frame path exactly.
+        let mut net = self.net.lock();
+        frames.iter().map(|frame| self.estimate_locked(&mut net, frame)).collect()
     }
 
     fn kind(&self) -> FilterKind {

@@ -8,8 +8,8 @@
 
 use crate::grid::ClassGrid;
 use vmq_detect::Detector;
-use vmq_video::{Frame, ObjectClass};
 use vmq_nn::Tensor;
+use vmq_video::{Frame, ObjectClass};
 
 /// Labels for one frame: per-class counts and per-class occupancy grids.
 #[derive(Debug, Clone)]
@@ -59,7 +59,12 @@ pub fn label_frame(frame: &Frame, detector: &dyn Detector, classes: &[ObjectClas
 }
 
 /// Annotates every frame in a slice.
-pub fn label_frames(frames: &[Frame], detector: &dyn Detector, classes: &[ObjectClass], grid: usize) -> Vec<FrameLabels> {
+pub fn label_frames(
+    frames: &[Frame],
+    detector: &dyn Detector,
+    classes: &[ObjectClass],
+    grid: usize,
+) -> Vec<FrameLabels> {
     frames.iter().map(|f| label_frame(f, detector, classes, grid)).collect()
 }
 

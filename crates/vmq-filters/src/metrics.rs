@@ -54,12 +54,7 @@ impl CountMetrics {
             .zip(labels)
             .map(|(e, l)| {
                 let pred = e.count_for_rounded(class).unwrap_or(0);
-                let truth = l
-                    .classes
-                    .iter()
-                    .position(|&c| c == class)
-                    .map(|i| l.counts[i].round() as i64)
-                    .unwrap_or(0);
+                let truth = l.classes.iter().position(|&c| c == class).map(|i| l.counts[i].round() as i64).unwrap_or(0);
                 (pred, truth)
             })
             .collect();
@@ -206,11 +201,8 @@ mod tests {
             v[5] = 1.0;
             v
         });
-        let labels = vec![FrameLabels {
-            classes: vec![ObjectClass::Car],
-            counts: vec![1.0],
-            grids: vec![truth_grid.clone()],
-        }];
+        let labels =
+            vec![FrameLabels { classes: vec![ObjectClass::Car], counts: vec![1.0], grids: vec![truth_grid.clone()] }];
         let estimates = vec![FilterEstimate {
             classes: vec![ObjectClass::Car],
             counts: vec![1.2],

@@ -155,23 +155,27 @@ impl OdFilter {
                 }
                 opt.step(&mut net.parameters());
             }
-            history.push(EpochStats { epoch, mean_loss: (epoch_loss / frames.len() as f64) as f32, samples: frames.len() });
+            history.push(EpochStats {
+                epoch,
+                mean_loss: (epoch_loss / frames.len() as f64) as f32,
+                samples: frames.len(),
+            });
         }
         self.history = history.clone();
         history
     }
 }
 
-impl FrameFilter for OdFilter {
-    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+impl OdFilter {
+    /// One inference pass with the net lock already held (shared by the
+    /// per-frame and batched entry points).
+    fn estimate_locked(&self, net: &mut OdNet, frame: &Frame) -> FilterEstimate {
         let input = image_to_tensor(&self.config.raster.render(frame));
-        let mut net = self.net.lock();
         let (counts, grids, _b) = net.forward(&input);
         let g = self.config.grid;
         let n = self.config.num_classes();
-        let class_grids: Vec<ClassGrid> = (0..n)
-            .map(|c| ClassGrid::from_values(g, grids.data()[c * g * g..(c + 1) * g * g].to_vec()))
-            .collect();
+        let class_grids: Vec<ClassGrid> =
+            (0..n).map(|c| ClassGrid::from_values(g, grids.data()[c * g * g..(c + 1) * g * g].to_vec())).collect();
         FilterEstimate {
             classes: self.config.classes.clone(),
             counts: counts.data().iter().map(|&v| v.max(0.0)).collect(),
@@ -179,6 +183,20 @@ impl FrameFilter for OdFilter {
             kind: FilterKind::Od,
             total_hint: None,
         }
+    }
+}
+
+impl FrameFilter for OdFilter {
+    fn estimate(&self, frame: &Frame) -> FilterEstimate {
+        let mut net = self.net.lock();
+        self.estimate_locked(&mut net, frame)
+    }
+
+    fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
+        // One lock acquisition for the whole batch; inference itself is
+        // stateless, so the outputs match the per-frame path exactly.
+        let mut net = self.net.lock();
+        frames.iter().map(|frame| self.estimate_locked(&mut net, frame)).collect()
     }
 
     fn kind(&self) -> FilterKind {

@@ -22,7 +22,14 @@ impl Conv2d {
     /// Creates a convolution layer.
     ///
     /// `seed` makes the Kaiming initialisation deterministic.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, padding: usize, seed: u64) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        seed: u64,
+    ) -> Self {
         let spec = ConvSpec { in_channels, out_channels, kernel, stride, padding };
         let fan_in = in_channels * kernel * kernel;
         let mut rng = seeded_rng(seed.wrapping_mul(0x51_7C_C1_B7).wrapping_add(3));
@@ -116,7 +123,11 @@ mod tests {
             let lm = c.forward(&x).sum();
             c.weight.value.data_mut()[idx] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
-            assert!((numeric - analytic_w.data()[idx]).abs() < 2e-2, "w[{idx}] {numeric} vs {}", analytic_w.data()[idx]);
+            assert!(
+                (numeric - analytic_w.data()[idx]).abs() < 2e-2,
+                "w[{idx}] {numeric} vs {}",
+                analytic_w.data()[idx]
+            );
         }
         // input gradient check (a couple of positions)
         for i in [0usize, 5, 11] {

@@ -105,8 +105,7 @@ pub fn multi_task_loss(
     let mut count_grad = Tensor::zeros(count_pred.shape().to_vec());
     let mut maps_grad = Tensor::zeros(maps_pred.shape().to_vec());
 
-    for c in 0..n_classes {
-        let w = class_weights[c];
+    for (c, &w) in class_weights.iter().enumerate().take(n_classes) {
         // SmoothL1 on the scalar count for this class.
         let d = count_pred.data()[c] - count_target.data()[c];
         let (l_cnt, g_cnt) = if d.abs() < 1.0 { (0.5 * d * d, d) } else { (d.abs() - 0.5, d.signum()) };

@@ -88,9 +88,7 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     assert_eq!(x.len(), k, "matvec dimension mismatch");
     let ad = a.data();
-    (0..m)
-        .map(|i| ad[i * k..(i + 1) * k].iter().zip(x).map(|(a, b)| a * b).sum())
-        .collect()
+    (0..m).map(|i| ad[i * k..(i + 1) * k].iter().zip(x).map(|(a, b)| a * b).sum()).collect()
 }
 
 /// Parameters describing a 2-D convolution.
@@ -406,7 +404,10 @@ mod tests {
 
     #[test]
     fn maxpool_forward_backward() {
-        let input = t(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], vec![1, 4, 4]);
+        let input = t(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            vec![1, 4, 4],
+        );
         let (out, idx) = maxpool2d_forward(&input, 2);
         assert_eq!(out.data(), &[6.0, 8.0, 14.0, 16.0]);
         let grad_out = t(vec![1.0, 2.0, 3.0, 4.0], vec![1, 2, 2]);

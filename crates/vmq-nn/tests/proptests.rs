@@ -1,7 +1,9 @@
 //! Property-based tests of the tensor and kernel layer.
 
 use proptest::prelude::*;
-use vmq_nn::ops::{conv2d_forward, global_avg_pool, matmul, matmul_a_bt, matmul_at_b, maxpool2d_forward, softmax, ConvSpec};
+use vmq_nn::ops::{
+    conv2d_forward, global_avg_pool, matmul, matmul_a_bt, matmul_at_b, maxpool2d_forward, softmax, ConvSpec,
+};
 use vmq_nn::Tensor;
 
 fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {

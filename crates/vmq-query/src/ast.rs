@@ -256,16 +256,20 @@ impl Query {
 
     /// q3 (Jackson): exactly one car and exactly one person.
     pub fn paper_q3() -> Self {
-        Query::new("q3")
-            .class_count(ObjectClass::Car, CountOp::Exactly, 1)
-            .class_count(ObjectClass::Person, CountOp::Exactly, 1)
+        Query::new("q3").class_count(ObjectClass::Car, CountOp::Exactly, 1).class_count(
+            ObjectClass::Person,
+            CountOp::Exactly,
+            1,
+        )
     }
 
     /// q4 (Jackson): at least one car and at least one person.
     pub fn paper_q4() -> Self {
-        Query::new("q4")
-            .class_count(ObjectClass::Car, CountOp::AtLeast, 1)
-            .class_count(ObjectClass::Person, CountOp::AtLeast, 1)
+        Query::new("q4").class_count(ObjectClass::Car, CountOp::AtLeast, 1).class_count(
+            ObjectClass::Person,
+            CountOp::AtLeast,
+            1,
+        )
     }
 
     /// q5 (Jackson): exactly one car, exactly one person, car left of person.
@@ -277,9 +281,11 @@ impl Query {
 
     /// q6 (Detrac): exactly one car and exactly one bus.
     pub fn paper_q6() -> Self {
-        Query::new("q6")
-            .class_count(ObjectClass::Car, CountOp::Exactly, 1)
-            .class_count(ObjectClass::Bus, CountOp::Exactly, 1)
+        Query::new("q6").class_count(ObjectClass::Car, CountOp::Exactly, 1).class_count(
+            ObjectClass::Bus,
+            CountOp::Exactly,
+            1,
+        )
     }
 
     /// q7 (Detrac): exactly one car, exactly one bus, car left of bus.
@@ -326,9 +332,11 @@ impl Query {
 
     /// a5 (Coral): three people with at least two in the lower-left quadrant.
     pub fn paper_a5() -> Self {
-        Query::new("a5")
-            .class_count(ObjectClass::Person, CountOp::Exactly, 3)
-            .in_region(ObjectRef::class(ObjectClass::Person), "lower-left", 2)
+        Query::new("a5").class_count(ObjectClass::Person, CountOp::Exactly, 3).in_region(
+            ObjectRef::class(ObjectClass::Person),
+            "lower-left",
+            2,
+        )
     }
 
     fn renamed(mut self, name: &str) -> Self {
@@ -343,7 +351,13 @@ mod tests {
     use vmq_video::SceneObject;
 
     fn obj(class: ObjectClass, color: Color, cx: f32, cy: f32, id: u64) -> SceneObject {
-        SceneObject { track_id: id, class, color, bbox: BoundingBox::from_center(cx, cy, 0.1, 0.1), velocity: (0.0, 0.0) }
+        SceneObject {
+            track_id: id,
+            class,
+            color,
+            bbox: BoundingBox::from_center(cx, cy, 0.1, 0.1),
+            velocity: (0.0, 0.0),
+        }
     }
 
     fn frame(objects: Vec<SceneObject>) -> Frame {
@@ -363,7 +377,10 @@ mod tests {
     #[test]
     fn class_count_predicate() {
         let q = Query::paper_q3();
-        let yes = frame(vec![obj(ObjectClass::Car, Color::Red, 0.3, 0.5, 1), obj(ObjectClass::Person, Color::Blue, 0.7, 0.5, 2)]);
+        let yes = frame(vec![
+            obj(ObjectClass::Car, Color::Red, 0.3, 0.5, 1),
+            obj(ObjectClass::Person, Color::Blue, 0.7, 0.5, 2),
+        ]);
         let no_extra_car = frame(vec![
             obj(ObjectClass::Car, Color::Red, 0.3, 0.5, 1),
             obj(ObjectClass::Car, Color::Blue, 0.5, 0.5, 2),
@@ -389,8 +406,14 @@ mod tests {
     #[test]
     fn spatial_predicate_q5() {
         let q = Query::paper_q5();
-        let car_left = frame(vec![obj(ObjectClass::Car, Color::Red, 0.2, 0.5, 1), obj(ObjectClass::Person, Color::Blue, 0.8, 0.5, 2)]);
-        let car_right = frame(vec![obj(ObjectClass::Car, Color::Red, 0.8, 0.5, 1), obj(ObjectClass::Person, Color::Blue, 0.2, 0.5, 2)]);
+        let car_left = frame(vec![
+            obj(ObjectClass::Car, Color::Red, 0.2, 0.5, 1),
+            obj(ObjectClass::Person, Color::Blue, 0.8, 0.5, 2),
+        ]);
+        let car_right = frame(vec![
+            obj(ObjectClass::Car, Color::Red, 0.8, 0.5, 1),
+            obj(ObjectClass::Person, Color::Blue, 0.2, 0.5, 2),
+        ]);
         assert!(q.matches_ground_truth(&car_left));
         assert!(!q.matches_ground_truth(&car_right));
         assert!(q.has_spatial_constraints());

@@ -1,19 +1,20 @@
-//! The streaming query executor.
+//! Query execution entry points.
 //!
-//! Frames flow through the cascade: a cheap filter estimate is computed for
-//! every frame and the cascade decides whether the frame can possibly satisfy
-//! the query; only surviving frames are evaluated with the expensive detector
-//! (Mask R-CNN stand-in) to produce the final answer. Every stage is charged
-//! to a virtual-time [`CostLedger`] with the paper's per-frame costs, and the
-//! executor additionally records the real wall-clock time spent inside our
-//! filter implementations.
+//! All execution modes — brute force, filtered and streaming — are thin
+//! front-ends over the batched operator pipeline of [`crate::pipeline`]: the
+//! executor compiles the query and mode into a
+//! [`PhysicalPlan`](crate::pipeline::PhysicalPlan)
+//! (`Source → CascadeFilter → Detect → PredicateEval → Sink`) and drains a
+//! frame source through it. Every operator charges whole batches to the
+//! virtual-time [`CostLedger`] with the paper's per-frame costs, and the run
+//! reports unified per-operator [`StageMetrics`].
 
 use crate::ast::Query;
 use crate::metrics::QueryAccuracy;
-use crate::plan::{CascadeConfig, FilterCascade};
+use crate::pipeline::{IterSource, PhysicalPlan, PipelineConfig, StageMetrics};
+use crate::plan::CascadeConfig;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
-use vmq_detect::{CostLedger, Detector, Stage};
+use vmq_detect::{CostLedger, Detector};
 use vmq_filters::FrameFilter;
 use vmq_video::Frame;
 
@@ -45,8 +46,11 @@ pub struct QueryRun {
     pub frames_detected: usize,
     /// End-to-end virtual time in milliseconds (the paper's cost model).
     pub virtual_ms: f64,
-    /// Real wall-clock milliseconds spent in filter inference.
+    /// Real wall-clock milliseconds spent in the cascade-filter operator
+    /// (batched filter inference plus the tolerance checks).
     pub filter_wall_ms: f64,
+    /// Per-operator metrics of the pipeline that produced this run.
+    pub stage_metrics: Vec<StageMetrics>,
 }
 
 impl QueryRun {
@@ -69,17 +73,24 @@ impl QueryRun {
 pub struct QueryExecutor {
     query: Query,
     ledger: CostLedger,
+    pipeline: PipelineConfig,
 }
 
 impl QueryExecutor {
     /// Creates an executor for a query with the paper's cost model.
     pub fn new(query: Query) -> Self {
-        QueryExecutor { query, ledger: CostLedger::paper() }
+        QueryExecutor { query, ledger: CostLedger::paper(), pipeline: PipelineConfig::default() }
     }
 
     /// Creates an executor with a custom cost ledger.
     pub fn with_ledger(query: Query, ledger: CostLedger) -> Self {
-        QueryExecutor { query, ledger }
+        QueryExecutor { query, ledger, pipeline: PipelineConfig::default() }
+    }
+
+    /// Overrides the pipeline's batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.pipeline = PipelineConfig::with_batch_size(batch_size);
+        self
     }
 
     /// The query being executed.
@@ -92,29 +103,24 @@ impl QueryExecutor {
         &self.ledger
     }
 
+    /// Compiles the physical plan for this executor's query under `mode` and
+    /// runs it over `frames`. `filter` is required for
+    /// [`ExecutionMode::Filtered`]; `detector` should not carry its own
+    /// ledger (the pipeline does the charging).
+    pub fn run(
+        &self,
+        frames: &[Frame],
+        filter: Option<&dyn FrameFilter>,
+        detector: &dyn Detector,
+        mode: ExecutionMode,
+    ) -> QueryRun {
+        PhysicalPlan::new(&self.query, mode, filter, detector, self.ledger.clone(), self.pipeline).execute_slice(frames)
+    }
+
     /// Runs the query in brute-force mode: the expensive detector evaluates
-    /// every frame. `detector` should not carry its own ledger (the executor
-    /// does the charging).
+    /// every frame.
     pub fn run_brute_force(&self, frames: &[Frame], detector: &dyn Detector) -> QueryRun {
-        let mut matched = Vec::new();
-        for frame in frames {
-            self.ledger.charge(Stage::Decode, 1);
-            self.ledger.charge(detector.stage(), 1);
-            let detections = detector.detect(frame);
-            if self.query.matches_detections(&detections) {
-                matched.push(frame.frame_id);
-            }
-        }
-        QueryRun {
-            query: self.query.name.clone(),
-            mode: "brute-force".to_string(),
-            matched_frames: matched,
-            frames_total: frames.len(),
-            frames_passed_filter: frames.len(),
-            frames_detected: frames.len(),
-            virtual_ms: self.ledger.total_ms(),
-            filter_wall_ms: 0.0,
-        }
+        self.run(frames, None, detector, ExecutionMode::BruteForce)
     }
 
     /// Runs the query with a filter cascade in front of the detector.
@@ -125,36 +131,7 @@ impl QueryExecutor {
         detector: &dyn Detector,
         config: CascadeConfig,
     ) -> QueryRun {
-        let cascade = FilterCascade::new(self.query.clone(), config);
-        let mut matched = Vec::new();
-        let mut passed = 0usize;
-        let mut filter_wall_ms = 0.0f64;
-        for frame in frames {
-            self.ledger.charge(Stage::Decode, 1);
-            self.ledger.charge(filter.kind().stage(), 1);
-            let start = Instant::now();
-            let estimate = filter.estimate(frame);
-            filter_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
-            if !cascade.passes(&estimate, filter.threshold()) {
-                continue;
-            }
-            passed += 1;
-            self.ledger.charge(detector.stage(), 1);
-            let detections = detector.detect(frame);
-            if self.query.matches_detections(&detections) {
-                matched.push(frame.frame_id);
-            }
-        }
-        QueryRun {
-            query: self.query.name.clone(),
-            mode: cascade.label(filter),
-            matched_frames: matched,
-            frames_total: frames.len(),
-            frames_passed_filter: passed,
-            frames_detected: passed,
-            virtual_ms: self.ledger.total_ms(),
-            filter_wall_ms,
-        }
+        self.run(frames, Some(filter), detector, ExecutionMode::Filtered(config))
     }
 
     /// Ground-truth answer set of the query over a set of frames.
@@ -169,9 +146,10 @@ impl QueryExecutor {
 }
 
 /// Runs a query over a frame *stream* using a bounded producer/consumer
-/// pipeline: a producer thread pulls frames from the iterator while the
-/// caller's thread runs the filter cascade and detector. This mirrors how a
-/// continuously arriving camera stream is consumed.
+/// pipeline: a producer thread pushes frames into a bounded channel while
+/// the caller's thread drains it through the same batched operator pipeline
+/// the in-memory modes use. This mirrors how a continuously arriving camera
+/// stream is consumed.
 pub fn run_streaming<I>(
     query: &Query,
     frames: I,
@@ -184,57 +162,32 @@ where
     I: IntoIterator<Item = Frame> + Send,
     I::IntoIter: Send,
 {
-    let (tx, rx) = crossbeam::channel::bounded::<Frame>(channel_capacity.max(1));
-    let executor = QueryExecutor::new(query.clone());
-    let cascade = FilterCascade::new(query.clone(), config);
-    let mut matched = Vec::new();
-    let mut total = 0usize;
-    let mut passed = 0usize;
-    let mut filter_wall_ms = 0.0f64;
-
-    crossbeam::thread::scope(|scope| {
-        scope.spawn(move |_| {
+    let (tx, rx) = std::sync::mpsc::sync_channel::<Frame>(channel_capacity.max(1));
+    let mut plan = PhysicalPlan::new(
+        query,
+        ExecutionMode::Filtered(config),
+        Some(filter),
+        detector,
+        CostLedger::paper(),
+        PipelineConfig::default(),
+    );
+    plan.set_mode_label(format!("streaming {}", config.label(query.has_spatial_constraints())));
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
             for frame in frames {
                 if tx.send(frame).is_err() {
                     break;
                 }
             }
         });
-        for frame in rx.iter() {
-            total += 1;
-            executor.ledger.charge(Stage::Decode, 1);
-            executor.ledger.charge(filter.kind().stage(), 1);
-            let start = Instant::now();
-            let estimate = filter.estimate(&frame);
-            filter_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
-            if !cascade.passes(&estimate, filter.threshold()) {
-                continue;
-            }
-            passed += 1;
-            executor.ledger.charge(detector.stage(), 1);
-            if query.matches_detections(&detector.detect(&frame)) {
-                matched.push(frame.frame_id);
-            }
-        }
+        plan.execute(&mut IterSource::new(rx.iter()))
     })
-    .expect("streaming pipeline thread panicked");
-
-    QueryRun {
-        query: query.name.clone(),
-        mode: format!("streaming {}", config.label(query.has_spatial_constraints())),
-        matched_frames: matched,
-        frames_total: total,
-        frames_passed_filter: passed,
-        frames_detected: passed,
-        virtual_ms: executor.ledger.total_ms(),
-        filter_wall_ms,
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vmq_detect::OracleDetector;
+    use vmq_detect::{OracleDetector, Stage};
     use vmq_filters::{CalibratedFilter, CalibrationProfile};
     use vmq_video::{Dataset, DatasetProfile};
 
@@ -270,7 +223,12 @@ mod tests {
         // With a perfect calibrated filter nothing true is dropped.
         assert_eq!(filtered.matched_frames, brute.matched_frames);
         assert!(filtered.frames_detected <= brute.frames_detected);
-        assert!(filtered.virtual_ms < brute.virtual_ms, "filtered {} vs brute {}", filtered.virtual_ms, brute.virtual_ms);
+        assert!(
+            filtered.virtual_ms < brute.virtual_ms,
+            "filtered {} vs brute {}",
+            filtered.virtual_ms,
+            brute.virtual_ms
+        );
         assert!(filtered.filter_pass_rate() <= 1.0);
         assert!(filtered.mode.contains("CCF"));
     }
@@ -290,10 +248,12 @@ mod tests {
         let (ds, filter, oracle) = setup();
         let exec = QueryExecutor::new(Query::paper_q4());
         let batch = exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant());
+        let stream_filter =
+            CalibratedFilter::new(DatasetProfile::jackson().class_list(), 14, CalibrationProfile::perfect(), 5);
         let stream_run = run_streaming(
             &Query::paper_q4(),
             ds.test().to_vec(),
-            &filter,
+            &stream_filter,
             &oracle,
             CascadeConfig::tolerant(),
             8,
@@ -301,5 +261,25 @@ mod tests {
         assert_eq!(stream_run.frames_total, ds.test().len());
         assert_eq!(stream_run.matched_frames, batch.matched_frames);
         assert!(stream_run.mode.contains("streaming"));
+    }
+
+    #[test]
+    fn custom_batch_sizes_reach_identical_answers() {
+        let (ds, _filter, oracle) = setup();
+        let classes = DatasetProfile::jackson().class_list();
+        let reference = QueryExecutor::new(Query::paper_q3()).with_batch_size(1).run_filtered(
+            ds.test(),
+            &CalibratedFilter::new(classes.clone(), 14, CalibrationProfile::perfect(), 5),
+            &oracle,
+            CascadeConfig::strict(),
+        );
+        let wide = QueryExecutor::new(Query::paper_q3()).with_batch_size(512).run_filtered(
+            ds.test(),
+            &CalibratedFilter::new(classes, 14, CalibrationProfile::perfect(), 5),
+            &oracle,
+            CascadeConfig::strict(),
+        );
+        assert_eq!(reference.matched_frames, wide.matched_frames);
+        assert_eq!(reference.virtual_ms.to_bits(), wide.virtual_ms.to_bits());
     }
 }

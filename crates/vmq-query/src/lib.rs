@@ -15,9 +15,13 @@
 //! * [`plan`] — the filter cascade: which approximate filters apply to a
 //!   query and with what tolerances, mirroring the filter combinations of
 //!   Table III.
-//! * [`exec`] — the streaming executor: frames flow through the cascade and
-//!   only survivors are sent to the expensive detector, with every stage
-//!   charged to the virtual-time cost ledger.
+//! * [`pipeline`] — the batched physical operator pipeline
+//!   (`Source → CascadeFilter → Detect → PredicateEval → Sink`): the single
+//!   execution path every mode runs on, with per-operator [`StageMetrics`].
+//! * [`exec`] — the execution front-ends (brute-force, filtered, streaming),
+//!   all thin wrappers compiling a [`PhysicalPlan`] and draining a frame
+//!   source through it, with every stage charged to the virtual-time cost
+//!   ledger.
 //! * [`metrics`] — accuracy / F1 against ground truth and speedup
 //!   vs. brute-force evaluation.
 
@@ -30,14 +34,16 @@ pub mod exec;
 pub mod metrics;
 pub mod order;
 pub mod parser;
+pub mod pipeline;
 pub mod plan;
 pub mod spatial;
 
 pub use ast::{CountTarget, ObjectRef, Predicate, Query};
 pub use catalog::RegionCatalog;
-pub use exec::{ExecutionMode, QueryExecutor, QueryRun};
+pub use exec::{run_streaming, ExecutionMode, QueryExecutor, QueryRun};
 pub use metrics::{QueryAccuracy, SpeedupReport};
 pub use order::{FilterOrdering, PredicateStats};
 pub use parser::{parse_statement, ParseError, ParsedStatement};
+pub use pipeline::{FrameBatch, FrameSource, Operator, PhysicalPlan, PipelineConfig, StageMetrics};
 pub use plan::{CascadeConfig, FilterCascade};
 pub use spatial::SpatialRelation;

@@ -33,7 +33,15 @@ impl QueryAccuracy {
         let fp = reported.difference(&truth).count();
         let fn_ = truth.difference(&reported).count();
         let recall = if truth.is_empty() { 1.0 } else { tp as f32 / truth.len() as f32 };
-        let precision = if reported.is_empty() { if truth.is_empty() { 1.0 } else { 0.0 } } else { tp as f32 / reported.len() as f32 };
+        let precision = if reported.is_empty() {
+            if truth.is_empty() {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            tp as f32 / reported.len() as f32
+        };
         let f1 = if precision + recall == 0.0 { 0.0 } else { 2.0 * precision * recall / (precision + recall) };
         QueryAccuracy { true_positives: tp, false_positives: fp, false_negatives: fn_, recall, precision, f1 }
     }

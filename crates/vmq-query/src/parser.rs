@@ -265,9 +265,8 @@ fn parse_color(name: &str) -> Result<Color, ParseError> {
 fn parse_window(text: &str) -> Result<(usize, usize), ParseError> {
     let upper = text.to_ascii_uppercase();
     let size = extract_number_after(&upper, "SIZE").ok_or_else(|| ParseError::BadWindow(text.to_string()))?;
-    let advance = extract_number_after(&upper, "ADVANCE BY")
-        .or_else(|| extract_number_after(&upper, "ADVANCE"))
-        .unwrap_or(size);
+    let advance =
+        extract_number_after(&upper, "ADVANCE BY").or_else(|| extract_number_after(&upper, "ADVANCE")).unwrap_or(size);
     if size == 0 || advance == 0 {
         return Err(ParseError::BadWindow(text.to_string()));
     }
@@ -276,11 +275,8 @@ fn parse_window(text: &str) -> Result<(usize, usize), ParseError> {
 
 fn extract_number_after(text: &str, keyword: &str) -> Option<usize> {
     let pos = text.find(keyword)? + keyword.len();
-    let rest: String = text[pos..]
-        .chars()
-        .skip_while(|c| !c.is_ascii_digit())
-        .take_while(|c| c.is_ascii_digit())
-        .collect();
+    let rest: String =
+        text[pos..].chars().skip_while(|c| !c.is_ascii_digit()).take_while(|c| c.is_ascii_digit()).collect();
     rest.parse().ok()
 }
 
@@ -391,7 +387,10 @@ mod tests {
         assert!(matches!(parse_statement("e", "WHERE COUNT(dragon) = 1"), Err(ParseError::UnknownClass(_))));
         assert!(matches!(parse_statement("e", "WHERE COUNT(purple car) = 1"), Err(ParseError::UnknownColor(_))));
         assert!(matches!(parse_statement("e", "WHERE COUNT(car) != 1"), Err(ParseError::UnknownOperator(_))));
-        assert!(matches!(parse_statement("e", "WHERE ORDER(car, bus) = DIAGONAL"), Err(ParseError::UnknownRelation(_))));
+        assert!(matches!(
+            parse_statement("e", "WHERE ORDER(car, bus) = DIAGONAL"),
+            Err(ParseError::UnknownRelation(_))
+        ));
         assert!(matches!(parse_statement("e", "WHERE FOO(car) = 1"), Err(ParseError::BadPredicate(_))));
         assert!(matches!(parse_statement("e", "WHERE COUNT(car) = x"), Err(ParseError::BadNumber(_))));
         assert!(matches!(

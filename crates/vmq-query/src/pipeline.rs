@@ -1,0 +1,558 @@
+//! The batched physical operator pipeline.
+//!
+//! Every execution mode — brute force, filtered, streaming — runs the same
+//! physical plan: frames are pulled from a [`FrameSource`] in
+//! [`FrameBatch`]es of a configurable size and pushed through a chain of
+//! [`Operator`]s:
+//!
+//! ```text
+//! Source ──▶ CascadeFilter ──▶ Detect ──▶ PredicateEval ──▶ Sink
+//! (decode)   (batched filter    (expensive  (exact query       (collect
+//!  charge)    inference +        detector    evaluation on      matched
+//!             tolerance check)   on          detections)        frame ids)
+//!                                survivors)
+//! ```
+//!
+//! Brute force is the same plan without the `CascadeFilter` stage. Each
+//! operator charges its whole batch to the virtual-time
+//! [`CostLedger`](vmq_detect::CostLedger) in one call — byte-identical to
+//! per-frame charging because the ledger derives totals from frame counts —
+//! and the driver records per-operator [`StageMetrics`] (frames in/out,
+//! virtual and wall-clock milliseconds) that the engine and reports consume.
+
+use crate::ast::Query;
+use crate::exec::{ExecutionMode, QueryRun};
+use crate::plan::FilterCascade;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vmq_detect::{CostLedger, Detector, FrameDetections, Stage};
+use vmq_filters::FrameFilter;
+use vmq_video::Frame;
+
+/// Tuning knobs of the physical pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Maximum number of frames per [`FrameBatch`].
+    pub batch_size: usize,
+}
+
+impl PipelineConfig {
+    /// Default batch size of the operator pipeline.
+    pub const DEFAULT_BATCH_SIZE: usize = 32;
+
+    /// Config with a custom batch size (clamped to at least one frame).
+    pub fn with_batch_size(batch_size: usize) -> Self {
+        PipelineConfig { batch_size: batch_size.max(1) }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { batch_size: Self::DEFAULT_BATCH_SIZE }
+    }
+}
+
+/// A batch of frames flowing through the pipeline, with the per-frame
+/// artefacts operators attach along the way (columnar so the filter stage
+/// can hand the whole frame column to `FrameFilter::estimate_batch`).
+///
+/// Filter estimates are consumed inside the `CascadeFilter` operator and not
+/// carried downstream — nothing after the cascade reads them today. When an
+/// operator that needs them lands (e.g. control-variate collection), add an
+/// `estimates` column here and keep it parallel in `retain_rows`.
+#[derive(Debug, Clone, Default)]
+pub struct FrameBatch {
+    /// The frames, in stream order.
+    pub frames: Vec<Frame>,
+    /// Detections attached by the `Detect` operator (parallel to `frames`;
+    /// `None` upstream of that operator).
+    pub detections: Vec<Option<FrameDetections>>,
+}
+
+impl FrameBatch {
+    /// Wraps raw frames into a batch with no attached artefacts.
+    pub fn from_frames(frames: Vec<Frame>) -> Self {
+        let n = frames.len();
+        FrameBatch { frames, detections: (0..n).map(|_| None).collect() }
+    }
+
+    /// Number of frames in the batch.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when the batch carries no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Keeps only the rows whose flag in `keep` is true (all columns stay
+    /// parallel).
+    fn retain_rows(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len());
+        let mut it = keep.iter();
+        self.frames.retain(|_| *it.next().unwrap());
+        let mut it = keep.iter();
+        self.detections.retain(|_| *it.next().unwrap());
+    }
+}
+
+/// Per-operator execution metrics, the unified currency of reporting:
+/// `QueryRun`, the engine's `QueryOutcome` and the Table III harnesses all
+/// derive their numbers from these.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Operator name (`source`, `cascade-filter`, `detect`,
+    /// `predicate-eval`, `sink`).
+    pub operator: String,
+    /// The cost-model stage the operator charges, if any.
+    pub stage: Option<Stage>,
+    /// Frames that entered the operator.
+    pub frames_in: usize,
+    /// Frames that left the operator (survivors).
+    pub frames_out: usize,
+    /// Virtual milliseconds charged by the operator (`frames_in × per-frame
+    /// stage cost`; zero for uncharged operators).
+    pub virtual_ms: f64,
+    /// Real wall-clock milliseconds spent inside the operator.
+    pub wall_ms: f64,
+}
+
+impl StageMetrics {
+    /// Fraction of entering frames that survived the operator.
+    pub fn pass_rate(&self) -> f64 {
+        if self.frames_in == 0 {
+            0.0
+        } else {
+            self.frames_out as f64 / self.frames_in as f64
+        }
+    }
+}
+
+/// Mutable state shared by the operators of one plan execution.
+pub struct ExecContext {
+    /// The (shared) virtual-time ledger operators charge batches to.
+    pub ledger: CostLedger,
+    /// Frame ids the sink has accepted so far, in stream order.
+    pub matched: Vec<u64>,
+}
+
+/// A physical operator: transforms one batch at a time.
+pub trait Operator {
+    /// Operator name used in [`StageMetrics`].
+    fn name(&self) -> &'static str;
+
+    /// The cost-model stage this operator charges per frame, if any.
+    fn stage(&self) -> Option<Stage> {
+        None
+    }
+
+    /// Processes one batch, returning the surviving rows.
+    fn process(&mut self, batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch;
+}
+
+/// `Source`: accounts for frame acquisition, charging the decode cost for
+/// the whole batch.
+struct SourceOp;
+
+impl Operator for SourceOp {
+    fn name(&self) -> &'static str {
+        "source"
+    }
+
+    fn stage(&self) -> Option<Stage> {
+        Some(Stage::Decode)
+    }
+
+    fn process(&mut self, batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
+        ctx.ledger.charge(Stage::Decode, batch.len() as u64);
+        batch
+    }
+}
+
+/// `CascadeFilter`: batched filter inference plus the tolerance-based
+/// cascade decision; frames that cannot satisfy the query are dropped
+/// before the expensive detector sees them.
+struct CascadeFilterOp<'a> {
+    filter: &'a dyn FrameFilter,
+    cascade: FilterCascade,
+}
+
+impl Operator for CascadeFilterOp<'_> {
+    fn name(&self) -> &'static str {
+        "cascade-filter"
+    }
+
+    fn stage(&self) -> Option<Stage> {
+        Some(self.filter.kind().stage())
+    }
+
+    fn process(&mut self, mut batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
+        ctx.ledger.charge(self.filter.kind().stage(), batch.len() as u64);
+        let estimates = self.filter.estimate_batch(&batch.frames);
+        let threshold = self.filter.threshold();
+        let keep: Vec<bool> = estimates.iter().map(|estimate| self.cascade.passes(estimate, threshold)).collect();
+        batch.retain_rows(&keep);
+        batch
+    }
+}
+
+/// `Detect`: runs the expensive detector on every surviving frame and
+/// attaches its detections.
+struct DetectOp<'a> {
+    detector: &'a dyn Detector,
+}
+
+impl Operator for DetectOp<'_> {
+    fn name(&self) -> &'static str {
+        "detect"
+    }
+
+    fn stage(&self) -> Option<Stage> {
+        Some(self.detector.stage())
+    }
+
+    fn process(&mut self, mut batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
+        ctx.ledger.charge(self.detector.stage(), batch.len() as u64);
+        for (frame, slot) in batch.frames.iter().zip(batch.detections.iter_mut()) {
+            *slot = Some(self.detector.detect(frame));
+        }
+        batch
+    }
+}
+
+/// `PredicateEval`: exact query evaluation on the detector's output.
+struct PredicateEvalOp {
+    query: Query,
+}
+
+impl Operator for PredicateEvalOp {
+    fn name(&self) -> &'static str {
+        "predicate-eval"
+    }
+
+    fn process(&mut self, mut batch: FrameBatch, _ctx: &mut ExecContext) -> FrameBatch {
+        let keep: Vec<bool> = batch
+            .detections
+            .iter()
+            .map(|detections| {
+                let detections = detections.as_ref().expect("predicate-eval requires the detect operator upstream");
+                self.query.matches_detections(detections)
+            })
+            .collect();
+        batch.retain_rows(&keep);
+        batch
+    }
+}
+
+/// `Sink`: collects the ids of frames that satisfied the query.
+struct SinkOp;
+
+impl Operator for SinkOp {
+    fn name(&self) -> &'static str {
+        "sink"
+    }
+
+    fn process(&mut self, batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
+        ctx.matched.extend(batch.frames.iter().map(|f| f.frame_id));
+        batch
+    }
+}
+
+/// Pull-based frame supply for the pipeline driver.
+pub trait FrameSource {
+    /// Returns the next batch of at most `max` frames, or `None` at end of
+    /// stream.
+    fn next_batch(&mut self, max: usize) -> Option<Vec<Frame>>;
+}
+
+/// Source over an in-memory slice of frames (batch execution).
+pub struct SliceSource<'a> {
+    frames: &'a [Frame],
+    pos: usize,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a slice of frames.
+    pub fn new(frames: &'a [Frame]) -> Self {
+        SliceSource { frames, pos: 0 }
+    }
+}
+
+impl FrameSource for SliceSource<'_> {
+    fn next_batch(&mut self, max: usize) -> Option<Vec<Frame>> {
+        if self.pos >= self.frames.len() {
+            return None;
+        }
+        let end = (self.pos + max.max(1)).min(self.frames.len());
+        let batch = self.frames[self.pos..end].to_vec();
+        self.pos = end;
+        Some(batch)
+    }
+}
+
+/// Source over an arbitrary frame iterator (streaming execution: the
+/// iterator is typically a bounded channel receiver fed by a producer
+/// thread).
+pub struct IterSource<I> {
+    iter: I,
+}
+
+impl<I: Iterator<Item = Frame>> IterSource<I> {
+    /// Wraps a frame iterator.
+    pub fn new(iter: I) -> Self {
+        IterSource { iter }
+    }
+}
+
+impl<I: Iterator<Item = Frame>> FrameSource for IterSource<I> {
+    fn next_batch(&mut self, max: usize) -> Option<Vec<Frame>> {
+        let mut batch = Vec::with_capacity(max.max(1));
+        for frame in self.iter.by_ref().take(max.max(1)) {
+            batch.push(frame);
+        }
+        if batch.is_empty() {
+            None
+        } else {
+            Some(batch)
+        }
+    }
+}
+
+/// Accumulated per-operator counters (turned into [`StageMetrics`] when the
+/// run finishes).
+#[derive(Debug, Default, Clone, Copy)]
+struct OperatorAccum {
+    frames_in: usize,
+    frames_out: usize,
+    wall_ms: f64,
+}
+
+/// A compiled physical plan: the operator chain for one query and execution
+/// mode. Every public execution entry point — `QueryExecutor::run_*` and
+/// `exec::run_streaming` — is a thin front-end over this.
+pub struct PhysicalPlan<'a> {
+    query_name: String,
+    mode_label: String,
+    config: PipelineConfig,
+    ledger: CostLedger,
+    operators: Vec<Box<dyn Operator + 'a>>,
+}
+
+impl<'a> PhysicalPlan<'a> {
+    /// Builds the plan for a query under an execution mode.
+    ///
+    /// `filter` is required for [`ExecutionMode::Filtered`] and ignored for
+    /// brute force. The `ledger` is shared: charges accumulate into it (the
+    /// executor passes its own so repeated runs keep accumulating, exactly
+    /// like the eager executor did).
+    pub fn new(
+        query: &Query,
+        mode: ExecutionMode,
+        filter: Option<&'a dyn FrameFilter>,
+        detector: &'a dyn Detector,
+        ledger: CostLedger,
+        config: PipelineConfig,
+    ) -> Self {
+        let mut operators: Vec<Box<dyn Operator + 'a>> = vec![Box::new(SourceOp)];
+        let mode_label = match mode {
+            ExecutionMode::BruteForce => "brute-force".to_string(),
+            ExecutionMode::Filtered(cascade_config) => {
+                let filter = filter.expect("ExecutionMode::Filtered requires a filter");
+                let cascade = FilterCascade::new(query.clone(), cascade_config);
+                let label = cascade.label(filter);
+                operators.push(Box::new(CascadeFilterOp { filter, cascade }));
+                label
+            }
+        };
+        operators.push(Box::new(DetectOp { detector }));
+        operators.push(Box::new(PredicateEvalOp { query: query.clone() }));
+        operators.push(Box::new(SinkOp));
+        PhysicalPlan { query_name: query.name.clone(), mode_label, config, ledger, operators }
+    }
+
+    /// Human-readable execution-mode label (e.g. `brute-force` or
+    /// `OD-CCF-1/OD-CLF-2`).
+    pub fn mode_label(&self) -> &str {
+        &self.mode_label
+    }
+
+    /// Overrides the execution-mode label (used by the streaming front-end).
+    pub fn set_mode_label(&mut self, label: String) {
+        self.mode_label = label;
+    }
+
+    /// Executes the plan over an in-memory slice of frames.
+    pub fn execute_slice(&mut self, frames: &[Frame]) -> QueryRun {
+        self.execute(&mut SliceSource::new(frames))
+    }
+
+    /// Executes the plan, draining `source` batch by batch.
+    pub fn execute(&mut self, source: &mut dyn FrameSource) -> QueryRun {
+        let mut ctx = ExecContext { ledger: self.ledger.clone(), matched: Vec::new() };
+        let mut accum = vec![OperatorAccum::default(); self.operators.len()];
+        let mut frames_total = 0usize;
+
+        while let Some(frames) = source.next_batch(self.config.batch_size) {
+            frames_total += frames.len();
+            let mut batch = FrameBatch::from_frames(frames);
+            for (op, acc) in self.operators.iter_mut().zip(accum.iter_mut()) {
+                let frames_in = batch.len();
+                let start = Instant::now();
+                batch = op.process(batch, &mut ctx);
+                acc.wall_ms += start.elapsed().as_secs_f64() * 1000.0;
+                acc.frames_in += frames_in;
+                acc.frames_out += batch.len();
+                if batch.is_empty() {
+                    break;
+                }
+            }
+        }
+
+        let stage_metrics: Vec<StageMetrics> = self
+            .operators
+            .iter()
+            .zip(&accum)
+            .map(|(op, acc)| {
+                let stage = op.stage();
+                let virtual_ms = stage.map_or(0.0, |s| self.ledger.model().cost_ms(s) * acc.frames_in as f64);
+                StageMetrics {
+                    operator: op.name().to_string(),
+                    stage,
+                    frames_in: acc.frames_in,
+                    frames_out: acc.frames_out,
+                    virtual_ms,
+                    wall_ms: acc.wall_ms,
+                }
+            })
+            .collect();
+
+        let metric = |name: &str| stage_metrics.iter().find(|m| m.operator == name);
+        let frames_passed_filter = metric("cascade-filter").map_or(frames_total, |m| m.frames_out);
+        let frames_detected = metric("detect").map_or(0, |m| m.frames_in);
+        let filter_wall_ms = metric("cascade-filter").map_or(0.0, |m| m.wall_ms);
+
+        QueryRun {
+            query: self.query_name.clone(),
+            mode: self.mode_label.clone(),
+            matched_frames: ctx.matched,
+            frames_total,
+            frames_passed_filter,
+            frames_detected,
+            virtual_ms: self.ledger.total_ms(),
+            filter_wall_ms,
+            stage_metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::CascadeConfig;
+    use vmq_detect::OracleDetector;
+    use vmq_filters::{CalibratedFilter, CalibrationProfile};
+    use vmq_video::{Dataset, DatasetProfile};
+
+    fn setup() -> (Dataset, CalibratedFilter, OracleDetector) {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 20, 90, 23);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::perfect(), 5);
+        (ds, filter, OracleDetector::perfect())
+    }
+
+    #[test]
+    fn brute_force_plan_has_no_cascade_stage() {
+        let (ds, _filter, oracle) = setup();
+        let mut plan = PhysicalPlan::new(
+            &Query::paper_q3(),
+            ExecutionMode::BruteForce,
+            None,
+            &oracle,
+            CostLedger::paper(),
+            PipelineConfig::default(),
+        );
+        let run = plan.execute_slice(ds.test());
+        let names: Vec<&str> = run.stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+        assert_eq!(names, ["source", "detect", "predicate-eval", "sink"]);
+        assert_eq!(run.frames_detected, ds.test().len());
+        assert_eq!(run.frames_passed_filter, ds.test().len());
+    }
+
+    #[test]
+    fn filtered_plan_metrics_are_consistent() {
+        let (ds, filter, oracle) = setup();
+        let mut plan = PhysicalPlan::new(
+            &Query::paper_q3(),
+            ExecutionMode::Filtered(CascadeConfig::strict()),
+            Some(&filter),
+            &oracle,
+            CostLedger::paper(),
+            PipelineConfig::with_batch_size(7),
+        );
+        let run = plan.execute_slice(ds.test());
+        let names: Vec<&str> = run.stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+        assert_eq!(names, ["source", "cascade-filter", "detect", "predicate-eval", "sink"]);
+
+        let source = &run.stage_metrics[0];
+        assert_eq!(source.frames_in, ds.test().len());
+        assert_eq!(source.frames_out, ds.test().len());
+        assert_eq!(source.stage, Some(Stage::Decode));
+
+        let cascade = &run.stage_metrics[1];
+        assert_eq!(cascade.frames_in, ds.test().len());
+        assert_eq!(cascade.frames_out, run.frames_passed_filter);
+        assert!((0.0..=1.0).contains(&cascade.pass_rate()));
+
+        let detect = &run.stage_metrics[2];
+        assert_eq!(detect.frames_in, run.frames_detected);
+        assert_eq!(run.frames_detected, run.frames_passed_filter);
+        assert!((detect.virtual_ms - 200.0 * run.frames_detected as f64).abs() < 1e-9);
+
+        let sink = &run.stage_metrics[4];
+        assert_eq!(sink.frames_in, run.matched_frames.len());
+
+        // Virtual total equals the sum of per-operator virtual charges.
+        let sum: f64 = run.stage_metrics.iter().map(|m| m.virtual_ms).sum();
+        assert!((sum - run.virtual_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let (ds, _filter, oracle) = setup();
+        let query = Query::paper_q4();
+        let runs: Vec<QueryRun> = [1usize, 8, 64, 1000]
+            .iter()
+            .map(|&bs| {
+                let filter =
+                    CalibratedFilter::new(DatasetProfile::jackson().class_list(), 14, CalibrationProfile::perfect(), 5);
+                let mut plan = PhysicalPlan::new(
+                    &query,
+                    ExecutionMode::Filtered(CascadeConfig::tolerant()),
+                    Some(&filter),
+                    &oracle,
+                    CostLedger::paper(),
+                    PipelineConfig::with_batch_size(bs),
+                );
+                plan.execute_slice(ds.test())
+            })
+            .collect();
+        for run in &runs[1..] {
+            assert_eq!(run.matched_frames, runs[0].matched_frames);
+            assert_eq!(run.frames_detected, runs[0].frames_detected);
+            assert_eq!(run.virtual_ms.to_bits(), runs[0].virtual_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn iter_source_batches_respect_max() {
+        let (ds, _filter, _oracle) = setup();
+        let mut source = IterSource::new(ds.test().to_vec().into_iter());
+        let mut seen = 0usize;
+        while let Some(batch) = source.next_batch(16) {
+            assert!(batch.len() <= 16 && !batch.is_empty());
+            seen += batch.len();
+        }
+        assert_eq!(seen, ds.test().len());
+    }
+}

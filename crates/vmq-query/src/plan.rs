@@ -47,8 +47,11 @@ impl CascadeConfig {
     pub fn label(&self, has_spatial: bool) -> String {
         let ccf = if self.count_tolerance == 0 { "CCF".to_string() } else { format!("CCF-{}", self.count_tolerance) };
         if has_spatial {
-            let clf =
-                if self.location_tolerance == 0 { "CLF".to_string() } else { format!("CLF-{}", self.location_tolerance) };
+            let clf = if self.location_tolerance == 0 {
+                "CLF".to_string()
+            } else {
+                format!("CLF-{}", self.location_tolerance)
+            };
             format!("{ccf}/{clf}")
         } else {
             ccf
@@ -134,16 +137,19 @@ impl FilterCascade {
                     // the coloured count, so only lower-bound requirements can
                     // be refuted.
                     Some(est) => match op {
-                        CountOp::Exactly | CountOp::AtLeast => est >= *value as i64 - self.config.count_tolerance as i64,
+                        CountOp::Exactly | CountOp::AtLeast => {
+                            est >= *value as i64 - self.config.count_tolerance as i64
+                        }
                         CountOp::AtMost => true,
                     },
                     None => true,
                 },
             },
             Predicate::Spatial { first, relation, second } => {
-                let (Some(a), Some(b)) =
-                    (estimate.binary_grid_for(first.class, threshold), estimate.binary_grid_for(second.class, threshold))
-                else {
+                let (Some(a), Some(b)) = (
+                    estimate.binary_grid_for(first.class, threshold),
+                    estimate.binary_grid_for(second.class, threshold),
+                ) else {
                     return true;
                 };
                 let a = a.dilate(self.config.location_tolerance);
@@ -170,7 +176,7 @@ impl FilterCascade {
 mod tests {
     use super::*;
     use crate::ast::ObjectRef;
-    
+
     use vmq_filters::{ClassGrid, FilterKind};
     use vmq_video::{BoundingBox, ObjectClass};
 
@@ -206,8 +212,10 @@ mod tests {
     fn spatial_predicate_uses_grids() {
         let q = Query::paper_q5();
         let cascade = FilterCascade::new(q, CascadeConfig::tolerant());
-        let car_left = estimate(1.0, Some(BoundingBox::new(0.05, 0.4, 0.1, 0.1)), Some(BoundingBox::new(0.8, 0.4, 0.1, 0.1)));
-        let car_right = estimate(1.0, Some(BoundingBox::new(0.8, 0.4, 0.1, 0.1)), Some(BoundingBox::new(0.05, 0.4, 0.1, 0.1)));
+        let car_left =
+            estimate(1.0, Some(BoundingBox::new(0.05, 0.4, 0.1, 0.1)), Some(BoundingBox::new(0.8, 0.4, 0.1, 0.1)));
+        let car_right =
+            estimate(1.0, Some(BoundingBox::new(0.8, 0.4, 0.1, 0.1)), Some(BoundingBox::new(0.05, 0.4, 0.1, 0.1)));
         assert!(cascade.passes(&car_left, 0.5));
         assert!(!cascade.passes(&car_right, 0.5));
     }
@@ -217,7 +225,8 @@ mod tests {
         // Car and person in the same column: strictly "left of" fails, but a
         // 2-cell dilation makes the cascade keep the frame.
         let q = Query::paper_q5();
-        let same_col = estimate(1.0, Some(BoundingBox::new(0.5, 0.2, 0.05, 0.05)), Some(BoundingBox::new(0.5, 0.7, 0.05, 0.05)));
+        let same_col =
+            estimate(1.0, Some(BoundingBox::new(0.5, 0.2, 0.05, 0.05)), Some(BoundingBox::new(0.5, 0.7, 0.05, 0.05)));
         let strict = FilterCascade::new(q.clone(), CascadeConfig::strict());
         let loose = FilterCascade::new(q, CascadeConfig::loose());
         assert!(!strict.passes(&same_col, 0.5));

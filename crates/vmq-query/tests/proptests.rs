@@ -1,8 +1,8 @@
 //! Property-based tests of query evaluation and the filter cascade.
 
 use proptest::prelude::*;
-use vmq_detect::OracleDetector;
 use vmq_detect::Detector;
+use vmq_detect::OracleDetector;
 use vmq_filters::{CalibratedFilter, CalibrationProfile, FrameFilter};
 use vmq_query::{CascadeConfig, CountTarget, FilterCascade, ObjectRef, Predicate, Query, SpatialRelation};
 use vmq_video::{BoundingBox, Color, Frame, ObjectClass, SceneObject};

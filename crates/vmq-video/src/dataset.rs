@@ -108,7 +108,7 @@ mod tests {
         let ds = Dataset::generate(&DatasetProfile::jackson(), 100, 40, 1);
         assert_eq!(ds.train().len(), 100);
         assert_eq!(ds.test().len(), 40);
-        assert_eq!(ds.validation().len(), 16.max(100 / 10));
+        assert_eq!(ds.validation().len(), 16);
         assert_eq!(ds.len(), 100 + 16 + 40);
         assert!(!ds.is_empty());
     }

@@ -27,8 +27,14 @@ pub enum ObjectClass {
 impl ObjectClass {
     /// All classes, in canonical order. The index of a class in this slice is
     /// its *class id* used by filters and metrics.
-    pub const ALL: [ObjectClass; 6] =
-        [ObjectClass::Person, ObjectClass::Car, ObjectClass::Bus, ObjectClass::Truck, ObjectClass::Bicycle, ObjectClass::StopSign];
+    pub const ALL: [ObjectClass; 6] = [
+        ObjectClass::Person,
+        ObjectClass::Car,
+        ObjectClass::Bus,
+        ObjectClass::Truck,
+        ObjectClass::Bicycle,
+        ObjectClass::StopSign,
+    ];
 
     /// Canonical class id (index into [`ObjectClass::ALL`]).
     pub fn id(self) -> usize {

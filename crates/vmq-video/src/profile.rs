@@ -106,7 +106,11 @@ impl DatasetProfile {
                     fraction: 0.8,
                     colors: vec![Color::Red, Color::Blue, Color::White, Color::Black, Color::Yellow],
                 },
-                ClassMix { class: ObjectClass::Person, fraction: 0.2, colors: vec![Color::Green, Color::Black, Color::White] },
+                ClassMix {
+                    class: ObjectClass::Person,
+                    fraction: 0.2,
+                    colors: vec![Color::Green, Color::Black, Color::White],
+                },
             ],
             paper_train_size: 14_094,
             paper_test_size: 3_000,
@@ -128,8 +132,16 @@ impl DatasetProfile {
                     fraction: 0.92,
                     colors: vec![Color::Red, Color::Blue, Color::White, Color::Black, Color::Yellow],
                 },
-                ClassMix { class: ObjectClass::Bus, fraction: 0.06, colors: vec![Color::White, Color::Yellow, Color::Blue] },
-                ClassMix { class: ObjectClass::Truck, fraction: 0.02, colors: vec![Color::White, Color::Red, Color::Black] },
+                ClassMix {
+                    class: ObjectClass::Bus,
+                    fraction: 0.06,
+                    colors: vec![Color::White, Color::Yellow, Color::Blue],
+                },
+                ClassMix {
+                    class: ObjectClass::Truck,
+                    fraction: 0.02,
+                    colors: vec![Color::White, Color::Red, Color::Black],
+                },
             ],
             paper_train_size: 55_020,
             paper_test_size: 9_971,

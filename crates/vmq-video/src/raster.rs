@@ -150,8 +150,8 @@ impl RasterConfig {
             for x in x0..x1 {
                 let (fy, fx) = ((y - y0) as f32 / (y1 - y0) as f32, (x - x0) as f32 / (x1 - x0) as f32);
                 let shade = self.class_texture(obj.class, fx, fy);
-                for c in 0..3 {
-                    *img.get_mut(c, y, x) = (rgb[c] * shade).clamp(0.0, 1.0);
+                for (c, &channel) in rgb.iter().enumerate() {
+                    *img.get_mut(c, y, x) = (channel * shade).clamp(0.0, 1.0);
                 }
             }
         }
@@ -176,7 +176,7 @@ impl RasterConfig {
             }
             // Bus: periodic bright window dots along the top half.
             ObjectClass::Bus => {
-                if fy < 0.5 && ((fx * 6.0) as usize) % 2 == 0 {
+                if fy < 0.5 && ((fx * 6.0) as usize).is_multiple_of(2) {
                     1.15
                 } else {
                     0.8

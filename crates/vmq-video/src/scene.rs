@@ -147,9 +147,8 @@ impl Scene {
     }
 
     fn retire_departed(&mut self) {
-        self.objects.retain(|o| {
-            o.bbox.right() > -0.05 && o.bbox.x < 1.05 && o.bbox.bottom() > -0.05 && o.bbox.y < 1.05
-        });
+        self.objects
+            .retain(|o| o.bbox.right() > -0.05 && o.bbox.x < 1.05 && o.bbox.bottom() > -0.05 && o.bbox.y < 1.05);
         // Clamp boxes that poke slightly outside back into the frame for
         // downstream consumers expecting normalised coordinates.
         for o in &mut self.objects {
@@ -173,11 +172,8 @@ impl Scene {
     fn spawn_object(&mut self) -> SceneObject {
         let mix = self.pick_class();
         let class = mix.class;
-        let color = if mix.colors.is_empty() {
-            Color::White
-        } else {
-            mix.colors[self.rng.gen_range(0..mix.colors.len())]
-        };
+        let color =
+            if mix.colors.is_empty() { Color::White } else { mix.colors[self.rng.gen_range(0..mix.colors.len())] };
         let (bw, bh) = class.typical_size();
         let jitter = self.config.size_jitter;
         let w = bw * (1.0 + self.rng.gen_range(-jitter..=jitter));

@@ -18,10 +18,9 @@ use vmq::video::DatasetProfile;
 fn main() {
     let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(60, 600));
 
-    for (query, label) in [
-        (Query::paper_a1(), "a1: car in the lower-right quadrant"),
-        (Query::paper_a2(), "a2: car left of a person"),
-    ] {
+    for (query, label) in
+        [(Query::paper_a1(), "a1: car in the lower-right quadrant"), (Query::paper_a2(), "a2: car left of a person")]
+    {
         println!("== {label} ==");
         let report = engine.estimate_aggregate(
             &query,

@@ -54,6 +54,9 @@ fn main() {
             if flagged { "VIOLATION" } else { "-" }
         );
     }
-    println!("\nA window is flagged when the estimated occupancy of the no-parking zone exceeds {:.0}%.", violation_threshold * 100.0);
+    println!(
+        "\nA window is flagged when the estimated occupancy of the no-parking zone exceeds {:.0}%.",
+        violation_threshold * 100.0
+    );
     println!("Each window samples only 60 frames with the expensive detector; the cheap filter runs on every frame as the control variate.");
 }

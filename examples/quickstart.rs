@@ -49,4 +49,7 @@ fn main() {
         outcome.speedup.speedup,
         outcome.accuracy.recall * 100.0
     );
+
+    // 4. Per-operator breakdown of the batched execution pipeline.
+    println!("\n{}", outcome.stage_report().render());
 }

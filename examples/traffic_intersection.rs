@@ -44,8 +44,16 @@ fn main() {
     println!("frames processed:      {}", run.frames_total);
     println!("passed filter cascade: {} ({:.1}%)", run.frames_passed_filter, run.filter_pass_rate() * 100.0);
     println!("frames matching query: {}", run.matched_frames.len());
-    println!("virtual time:          {:.1}s (brute force would cost {:.1}s)", run.virtual_seconds(), run.frames_total as f64 * 0.20005);
-    println!("filter wall-clock:     {:.1} ms total ({:.3} ms/frame)", run.filter_wall_ms, run.filter_wall_ms / run.frames_total as f64);
+    println!(
+        "virtual time:          {:.1}s (brute force would cost {:.1}s)",
+        run.virtual_seconds(),
+        run.frames_total as f64 * 0.20005
+    );
+    println!(
+        "filter wall-clock:     {:.1} ms total ({:.3} ms/frame)",
+        run.filter_wall_ms,
+        run.filter_wall_ms / run.frames_total as f64
+    );
     let first: Vec<u64> = run.matched_frames.iter().take(10).copied().collect();
     println!("first matches:         {first:?}");
 }

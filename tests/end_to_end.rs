@@ -72,12 +72,8 @@ fn filtered_execution_matches_brute_force_on_all_profiles() {
 #[test]
 fn aggregate_estimation_end_to_end() {
     let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(40, 400));
-    let report = engine.estimate_aggregate(
-        &Query::paper_a1(),
-        FilterChoice::Calibrated(CalibrationProfile::od_like()),
-        40,
-        80,
-    );
+    let report =
+        engine.estimate_aggregate(&Query::paper_a1(), FilterChoice::Calibrated(CalibrationProfile::od_like()), 40, 80);
     assert_eq!(report.window_frames, 400);
     assert!((report.plain_mean - report.true_fraction).abs() < 0.1);
     assert!((report.cv_mean - report.true_fraction).abs() < 0.1);

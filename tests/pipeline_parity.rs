@@ -1,0 +1,154 @@
+//! Parity tests of the batched operator pipeline against the eager,
+//! frame-at-a-time execution semantics the original executor implemented
+//! (one decode + filter charge per frame, detector charge per surviving
+//! frame, answers in stream order), plus a property test that recall is
+//! monotone in the cascade tolerances.
+
+use proptest::prelude::*;
+use vmq::detect::{CostLedger, Detector, Stage};
+use vmq::filters::{CalibratedFilter, CalibrationProfile, FrameFilter};
+use vmq::query::plan::FilterCascade;
+use vmq::query::{CascadeConfig, Query, QueryAccuracy, QueryExecutor};
+use vmq::video::{Dataset, DatasetKind, DatasetProfile, Frame};
+
+/// The eager reference semantics: the per-frame loop the seed's
+/// `run_filtered` / `run_brute_force` implemented, charging every stage one
+/// frame at a time. Returns `(matched_frames, frames_detected, virtual_ms)`.
+fn eager_reference(
+    query: &Query,
+    frames: &[Frame],
+    filter: Option<&dyn FrameFilter>,
+    detector: &dyn Detector,
+    cascade: Option<CascadeConfig>,
+) -> (Vec<u64>, usize, f64) {
+    let ledger = CostLedger::paper();
+    let cascade = cascade.map(|config| FilterCascade::new(query.clone(), config));
+    let mut matched = Vec::new();
+    let mut detected = 0usize;
+    for frame in frames {
+        ledger.charge(Stage::Decode, 1);
+        if let (Some(filter), Some(cascade)) = (filter, cascade.as_ref()) {
+            ledger.charge(filter.kind().stage(), 1);
+            let estimate = filter.estimate(frame);
+            if !cascade.passes(&estimate, filter.threshold()) {
+                continue;
+            }
+        }
+        ledger.charge(detector.stage(), 1);
+        detected += 1;
+        if query.matches_detections(&detector.detect(frame)) {
+            matched.push(frame.frame_id);
+        }
+    }
+    (matched, detected, ledger.total_ms())
+}
+
+fn scenario(kind: DatasetKind) -> (Dataset, Query) {
+    // The same dataset-to-query pairing end_to_end.rs exercises.
+    let query = match kind {
+        DatasetKind::Coral => Query::paper_q1(),
+        DatasetKind::Jackson => Query::paper_q3(),
+        DatasetKind::Detrac => Query::paper_q6(),
+    };
+    (Dataset::generate(&DatasetProfile::for_kind(kind), 40, 120, 17), query)
+}
+
+/// Filtered execution through the operator pipeline is byte-identical to the
+/// eager per-frame semantics — matched frame ids, detector invocations and
+/// the virtual-time total — on the end-to-end scenarios, for every batch
+/// size, with both a perfect and a noisy (stochastic) filter.
+#[test]
+fn filtered_pipeline_matches_eager_semantics_exactly() {
+    let oracle = vmq::detect::OracleDetector::perfect();
+    for kind in [DatasetKind::Coral, DatasetKind::Jackson, DatasetKind::Detrac] {
+        let (ds, query) = scenario(kind);
+        let classes = ds.profile().class_list();
+        for profile in [CalibrationProfile::perfect(), CalibrationProfile::od_like()] {
+            // The calibrated filter draws from a sequential RNG, so reference
+            // and pipeline runs each get their own identically seeded copy.
+            let fresh = || CalibratedFilter::new(classes.clone(), 16, profile, 99);
+            let reference_filter = fresh();
+            let (matched, detected, virtual_ms) =
+                eager_reference(&query, ds.test(), Some(&reference_filter), &oracle, Some(CascadeConfig::strict()));
+            for batch_size in [1usize, 7, 32, 1024] {
+                let filter = fresh();
+                let exec = QueryExecutor::new(query.clone()).with_batch_size(batch_size);
+                let run = exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::strict());
+                assert_eq!(run.matched_frames, matched, "{kind:?} batch {batch_size}");
+                assert_eq!(run.frames_detected, detected, "{kind:?} batch {batch_size}");
+                assert_eq!(
+                    run.virtual_ms.to_bits(),
+                    virtual_ms.to_bits(),
+                    "{kind:?} batch {batch_size}: {} vs {}",
+                    run.virtual_ms,
+                    virtual_ms
+                );
+            }
+        }
+    }
+}
+
+/// Brute-force execution through the pipeline matches the eager per-frame
+/// semantics exactly as well.
+#[test]
+fn brute_force_pipeline_matches_eager_semantics_exactly() {
+    let oracle = vmq::detect::OracleDetector::perfect();
+    for kind in [DatasetKind::Coral, DatasetKind::Jackson, DatasetKind::Detrac] {
+        let (ds, query) = scenario(kind);
+        let (matched, detected, virtual_ms) = eager_reference(&query, ds.test(), None, &oracle, None);
+        for batch_size in [1usize, 13, 64] {
+            let exec = QueryExecutor::new(query.clone()).with_batch_size(batch_size);
+            let run = exec.run_brute_force(ds.test(), &oracle);
+            assert_eq!(run.matched_frames, matched);
+            assert_eq!(run.frames_detected, detected);
+            assert_eq!(run.virtual_ms.to_bits(), virtual_ms.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recall is monotone in the cascade tolerances: loosening the count or
+    /// location tolerance never loses a frame the tighter cascade kept, so
+    /// recall (and the pass count) can only grow. Identically seeded filter
+    /// copies guarantee both runs see the same stochastic estimates.
+    #[test]
+    fn recall_is_monotone_in_cascade_tolerances(
+        seed in 0u64..300,
+        query_idx in 0usize..3,
+        count_tol in 0u32..3,
+        location_tol in 0usize..3,
+        count_bump in 0u32..3,
+        location_bump in 0usize..3,
+    ) {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 80, seed);
+        let query = [Query::paper_q3(), Query::paper_q4(), Query::paper_q5()][query_idx].clone();
+        let oracle = vmq::detect::OracleDetector::perfect();
+        let fresh = || CalibratedFilter::new(profile.class_list(), 16, CalibrationProfile::od_like(), seed ^ 0xF1);
+
+        let tight = CascadeConfig { count_tolerance: count_tol, location_tolerance: location_tol };
+        let loose = CascadeConfig {
+            count_tolerance: count_tol + count_bump,
+            location_tolerance: location_tol + location_bump,
+        };
+
+        let exec = QueryExecutor::new(query.clone());
+        let tight_run = exec.run_filtered(ds.test(), &fresh(), &oracle, tight);
+        let loose_run = exec.run_filtered(ds.test(), &fresh(), &oracle, loose);
+
+        let truth = exec.ground_truth(ds.test());
+        let tight_recall = QueryAccuracy::compare(&tight_run.matched_frames, &truth).recall;
+        let loose_recall = QueryAccuracy::compare(&loose_run.matched_frames, &truth).recall;
+
+        prop_assert!(tight_run.frames_passed_filter <= loose_run.frames_passed_filter,
+            "pass count must be monotone: {} > {}", tight_run.frames_passed_filter, loose_run.frames_passed_filter);
+        prop_assert!(tight_recall <= loose_recall + 1e-6,
+            "recall must be monotone: tight {tight_recall} vs loose {loose_recall}");
+        // The looser run's answer set contains the tighter run's.
+        for id in &tight_run.matched_frames {
+            prop_assert!(loose_run.matched_frames.contains(id), "frame {id} lost when loosening tolerances");
+        }
+    }
+}

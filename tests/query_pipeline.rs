@@ -32,8 +32,7 @@ fn all_paper_queries_keep_full_recall_with_perfect_filter() {
     let oracle = OracleDetector::perfect();
     for query in queries {
         let ds = dataset_for(&query.name);
-        let filter =
-            CalibratedFilter::new(ds.profile().class_list(), 16, CalibrationProfile::perfect(), 3);
+        let filter = CalibratedFilter::new(ds.profile().class_list(), 16, CalibrationProfile::perfect(), 3);
         let exec = QueryExecutor::new(query.clone());
         let run = exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant());
         let accuracy = exec.accuracy(&run, ds.test());
@@ -65,15 +64,20 @@ fn noisy_filter_trades_little_recall_for_selectivity() {
 }
 
 /// The streaming executor and the batch executor agree frame-for-frame.
+///
+/// The calibrated filter is stochastic with a sequential RNG, so each run
+/// gets its own identically seeded filter instance — otherwise the second
+/// run would continue the first run's noise stream and the comparison would
+/// be meaningless.
 #[test]
 fn streaming_and_batch_agree() {
     let ds = Dataset::generate(&DatasetProfile::detrac(), 30, 120, 19);
-    let filter = CalibratedFilter::new(ds.profile().class_list(), 16, CalibrationProfile::od_like(), 7);
+    let fresh_filter = || CalibratedFilter::new(ds.profile().class_list(), 16, CalibrationProfile::od_like(), 7);
     let oracle = OracleDetector::perfect();
     for query in [Query::paper_q6(), Query::paper_q7()] {
         let exec = QueryExecutor::new(query.clone());
-        let batch = exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::loose());
-        let stream = run_streaming(&query, ds.test().to_vec(), &filter, &oracle, CascadeConfig::loose(), 16);
+        let batch = exec.run_filtered(ds.test(), &fresh_filter(), &oracle, CascadeConfig::loose());
+        let stream = run_streaming(&query, ds.test().to_vec(), &fresh_filter(), &oracle, CascadeConfig::loose(), 16);
         assert_eq!(batch.matched_frames, stream.matched_frames, "query {}", query.name);
         assert_eq!(batch.frames_passed_filter, stream.frames_passed_filter);
     }
@@ -89,7 +93,8 @@ fn selectivity_is_monotone_in_tolerance() {
     let query = Query::paper_q3();
 
     let strict = QueryExecutor::new(query.clone()).run_filtered(ds.test(), &filter, &oracle, CascadeConfig::strict());
-    let tolerant = QueryExecutor::new(query.clone()).run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant());
+    let tolerant =
+        QueryExecutor::new(query.clone()).run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant());
     let loose = QueryExecutor::new(query.clone()).run_filtered(ds.test(), &filter, &oracle, CascadeConfig::loose());
     let brute = QueryExecutor::new(query).run_brute_force(ds.test(), &oracle);
 

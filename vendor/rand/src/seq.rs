@@ -1,0 +1,94 @@
+//! Sequence helpers (subset of `rand::seq`).
+
+use crate::{Rng, RngCore};
+
+/// Shuffling support for slices (subset of `rand::seq::SliceRandom`).
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Index sampling (subset of `rand::seq::index`).
+pub mod index {
+    use crate::{Rng, RngCore};
+
+    /// Result of [`sample`]; mirrors `rand::seq::index::IndexVec`.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The sampled indices as a vector.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// True when nothing was sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    /// Samples `min(k, n)` distinct indices from `0..n`, in random order
+    /// (partial Fisher–Yates over an index table).
+    pub fn sample<R: RngCore>(rng: &mut R, n: usize, k: usize) -> IndexVec {
+        let k = k.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = rng.gen_range(i..n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        IndexVec(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::index::sample;
+    use super::SliceRandom;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(5));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_yields_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let idx = sample(&mut rng, 100, 20).into_vec();
+        assert_eq!(idx.len(), 20);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_caps_at_population() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = sample(&mut rng, 5, 10);
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+    }
+}

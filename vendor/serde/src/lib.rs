@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derives from the vendored `serde_derive`, so workspace types can
+//! keep their `#[derive(Serialize, Deserialize)]` annotations while building
+//! without access to crates.io. No code in the workspace serialises data via
+//! serde yet; when a network-enabled build becomes possible this crate can be
+//! swapped for the real one without touching any call sites.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built without network access to a crates.io mirror, so
+//! the real `serde` cannot be vendored. Nothing in the workspace actually
+//! serialises data yet — the `#[derive(Serialize, Deserialize)]` annotations
+//! exist so the types are ready for a real backend — therefore the derives
+//! here accept the same syntax (including `#[serde(...)]` helper attributes)
+//! and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
