@@ -10,6 +10,12 @@
 //! frames (falling back to the best-recall configuration when none is
 //! lossless), then compares against brute-force evaluation.
 //!
+//! Each query is additionally run through the **adaptive cascade planner**
+//! (trained IC and OD backends × the full tolerance lattice, calibrated on a
+//! stream prefix), reporting the chosen plan and its total cost —
+//! calibration included — side by side with the fixed-preset search, so the
+//! cost of adaptivity is visible rather than hidden.
+//!
 //! Setting `VMQ_BENCH_JSON=<path>` additionally records the per-query
 //! baseline (virtual + wall times, speedup, per-operator stage metrics) as a
 //! JSON file, so successive PRs have a perf trajectory (`BENCH_pipeline.json`
@@ -65,6 +71,12 @@ fn best_run(exp: &DatasetExperiment, query: &Query, oracle: &OracleDetector) -> 
     best.expect("at least one configuration evaluated")
 }
 
+/// Calibration prefix length used by the adaptive runs: an eighth of the
+/// stream, clamped to a sensible range.
+fn adaptive_prefix(frames: usize) -> usize {
+    (frames / 8).clamp(8, 64)
+}
+
 /// One per-query record of the JSON baseline.
 struct BenchRecord {
     query: String,
@@ -78,6 +90,11 @@ struct BenchRecord {
     pass_rate: f64,
     filtered_wall_ms: f64,
     brute_wall_ms: f64,
+    adaptive_mode: String,
+    adaptive_virtual_ms: f64,
+    adaptive_speedup: f64,
+    adaptive_recall: f32,
+    calibration_ms: f64,
     stages: String,
 }
 
@@ -118,7 +135,9 @@ fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord]) -> Stri
                     "    {{\"query\":\"{}\",\"dataset\":\"{}\",\"mode\":\"{}\",",
                     "\"filtered_virtual_ms\":{:.3},\"brute_virtual_ms\":{:.3},\"speedup\":{:.3},",
                     "\"recall\":{:.4},\"f1\":{:.4},\"pass_rate\":{:.4},",
-                    "\"filtered_wall_ms\":{:.3},\"brute_wall_ms\":{:.3},\"stages\":{}}}"
+                    "\"filtered_wall_ms\":{:.3},\"brute_wall_ms\":{:.3},",
+                    "\"adaptive_mode\":\"{}\",\"adaptive_virtual_ms\":{:.3},\"adaptive_speedup\":{:.3},",
+                    "\"adaptive_recall\":{:.4},\"calibration_ms\":{:.3},\"stages\":{}}}"
                 ),
                 json_escape(&r.query),
                 json_escape(&r.dataset),
@@ -131,6 +150,11 @@ fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord]) -> Stri
                 r.pass_rate,
                 r.filtered_wall_ms,
                 r.brute_wall_ms,
+                json_escape(&r.adaptive_mode),
+                r.adaptive_virtual_ms,
+                r.adaptive_speedup,
+                r.adaptive_recall,
+                r.calibration_ms,
                 r.stages,
             )
         })
@@ -155,6 +179,10 @@ fn main() {
         "accuracy (recall)",
         "f1",
         "pass rate",
+        "adaptive plan",
+        "adaptive (virtual s)",
+        "adaptive speedup",
+        "adaptive recall",
     ]);
 
     let coral = DatasetExperiment::prepare_ic_od(DatasetKind::Coral, scale);
@@ -185,6 +213,21 @@ fn main() {
         let filtered_wall_ms = pipeline_wall_ms(&run);
         let speedup = SpeedupReport::new(brute.virtual_ms, run.virtual_ms);
 
+        // Adaptive run: trained IC and OD backends × the full tolerance
+        // lattice, calibrated on a stream prefix; total cost includes the
+        // calibration bill.
+        let backends: Vec<&dyn FrameFilter> = vec![&exp.filters.ic, &exp.filters.od];
+        let adaptive_exec = batched_executor(&query);
+        let (adaptive_run, calibration) = adaptive_exec.run_adaptive(
+            frames,
+            adaptive_prefix(frames.len()),
+            &backends,
+            &CascadeConfig::lattice(),
+            &oracle,
+        );
+        let adaptive_accuracy = adaptive_exec.accuracy(&adaptive_run, frames);
+        let adaptive_speedup = SpeedupReport::new(brute.virtual_ms, adaptive_run.virtual_ms);
+
         report.row(&[
             query.name.clone(),
             exp.name().to_string(),
@@ -195,6 +238,10 @@ fn main() {
             format!("{:.1}%", accuracy.recall * 100.0),
             format!("{:.3}", accuracy.f1),
             format!("{:.1}%", run.filter_pass_rate() * 100.0),
+            adaptive_run.mode.clone(),
+            format!("{:.1}", adaptive_run.virtual_seconds()),
+            format!("{:.1}x", adaptive_speedup.speedup),
+            format!("{:.1}%", adaptive_accuracy.recall * 100.0),
         ]);
         records.push(BenchRecord {
             query: query.name.clone(),
@@ -208,10 +255,16 @@ fn main() {
             pass_rate: run.filter_pass_rate(),
             filtered_wall_ms,
             brute_wall_ms,
+            adaptive_mode: adaptive_run.mode.clone(),
+            adaptive_virtual_ms: adaptive_run.virtual_ms,
+            adaptive_speedup: adaptive_speedup.speedup,
+            adaptive_recall: adaptive_accuracy.recall,
+            calibration_ms: calibration.calibration_ms,
             stages: stages_json(&run),
         });
     }
     report.note("for each query the most selective filter combination that keeps 100% recall is chosen, as in the paper; otherwise the best-recall combination is shown");
+    report.note("the adaptive columns run the calibration-driven planner (IC+OD backends x full CCF/CLF lattice); adaptive virtual time includes the calibration prefix cost, so the speedup is what a caller would actually observe");
     report.note("times use the paper's virtual cost model (Mask R-CNN 200 ms, OD filter 1.9 ms per frame); speedup is governed by the cascade's selectivity");
     report.note(
         "all runs execute on the batched operator pipeline (Source → CascadeFilter → Detect → PredicateEval → Sink)",

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use vmq_filters::{CalibrationProfile, FilterConfig};
+use vmq_query::CascadeConfig;
 use vmq_video::DatasetProfile;
 
 /// Which filter backs a query's cascade.
@@ -16,6 +17,61 @@ pub enum FilterChoice {
     /// A calibrated analytic filter with the given error profile (no training
     /// required; useful for fast experimentation and ablations).
     Calibrated(CalibrationProfile),
+}
+
+/// Configuration of the adaptive planner's calibration phase: how much of
+/// the stream to annotate with the expensive detector and which
+/// `(backend × tolerance)` candidates to profile on it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Number of leading stream frames annotated with the expensive detector
+    /// to form the calibration prefix.
+    pub prefix_frames: usize,
+    /// Candidate filter backends, profiled once each over the prefix.
+    pub candidate_backends: Vec<FilterChoice>,
+    /// Candidate cascade tolerances, each crossed with every backend.
+    pub candidate_tolerances: Vec<CascadeConfig>,
+}
+
+impl CalibrationConfig {
+    /// Calibration over the learned IC and OD filters (requires
+    /// [`crate::VmqEngine::train_filters`]) with the full Table III tolerance
+    /// lattice and a 48-frame prefix.
+    pub fn learned() -> Self {
+        CalibrationConfig {
+            prefix_frames: 48,
+            candidate_backends: vec![FilterChoice::Ic, FilterChoice::Od],
+            candidate_tolerances: CascadeConfig::lattice(),
+        }
+    }
+
+    /// Calibration over calibrated analytic backends (no training needed):
+    /// one profile per given backend, full tolerance lattice.
+    pub fn calibrated(profiles: Vec<CalibrationProfile>) -> Self {
+        CalibrationConfig {
+            prefix_frames: 48,
+            candidate_backends: profiles.into_iter().map(FilterChoice::Calibrated).collect(),
+            candidate_tolerances: CascadeConfig::lattice(),
+        }
+    }
+
+    /// Overrides the calibration prefix length.
+    pub fn with_prefix(mut self, prefix_frames: usize) -> Self {
+        self.prefix_frames = prefix_frames;
+        self
+    }
+
+    /// Overrides the candidate tolerances.
+    pub fn with_tolerances(mut self, tolerances: Vec<CascadeConfig>) -> Self {
+        self.candidate_tolerances = tolerances;
+        self
+    }
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig::learned()
+    }
 }
 
 /// Configuration of a [`crate::VmqEngine`].
@@ -89,5 +145,19 @@ mod tests {
     fn experiment_config_uses_larger_raster() {
         let c = EngineConfig::experiment(DatasetProfile::coral());
         assert_eq!(c.filter.raster.width, 56);
+    }
+
+    #[test]
+    fn calibration_config_builders() {
+        let learned = CalibrationConfig::learned();
+        assert_eq!(learned.candidate_backends.len(), 2);
+        assert_eq!(learned.candidate_tolerances.len(), 9);
+        let custom = CalibrationConfig::calibrated(vec![CalibrationProfile::od_like()])
+            .with_prefix(16)
+            .with_tolerances(vec![CascadeConfig::tolerant()]);
+        assert_eq!(custom.prefix_frames, 16);
+        assert_eq!(custom.candidate_tolerances, vec![CascadeConfig::tolerant()]);
+        assert!(matches!(custom.candidate_backends[0], FilterChoice::Calibrated(_)));
+        assert_eq!(CalibrationConfig::default().prefix_frames, 48);
     }
 }

@@ -1,11 +1,13 @@
 //! The engine: dataset + trained filters + query / aggregate execution.
 
-use crate::config::{EngineConfig, FilterChoice};
+use crate::config::{CalibrationConfig, EngineConfig, FilterChoice};
 use crate::report::Report;
 use vmq_aggregate::{AggregateEstimator, AggregateReport};
 use vmq_detect::OracleDetector;
 use vmq_filters::{CalibratedFilter, FrameFilter, TrainedFilters};
-use vmq_query::{exec, CascadeConfig, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport};
+use vmq_query::{
+    exec, CalibrationReport, CascadeConfig, PlanChoice, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport,
+};
 use vmq_video::Dataset;
 
 /// The combined outcome of a filtered query run: the run itself, its accuracy
@@ -35,6 +37,37 @@ impl QueryOutcome {
             &format!("{} [{}] — operator pipeline", self.run.query, self.run.mode),
             &self.run.stage_metrics,
         )
+    }
+}
+
+/// The outcome of an adaptive query run: the standard [`QueryOutcome`] plus
+/// the calibration report describing how the plan was chosen.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// The filtered-vs-brute-force outcome of executing the chosen plan.
+    /// The filtered run's virtual time *includes* the calibration cost and
+    /// its stage metrics carry a `calibrate` row.
+    pub outcome: QueryOutcome,
+    /// Every candidate profile and the selected plan.
+    pub calibration: CalibrationReport,
+}
+
+impl AdaptiveOutcome {
+    /// The plan the calibration selected.
+    pub fn plan(&self) -> &PlanChoice {
+        &self.calibration.choice
+    }
+
+    /// A one-line Table III style summary; the mode column carries the
+    /// chosen plan label (e.g. `adaptive OD-CCF-1/OD-CLF-2`).
+    pub fn summary(&self) -> String {
+        self.outcome.summary()
+    }
+
+    /// Per-operator breakdown including the `calibrate` pseudo-operator row,
+    /// so the report shows exactly what the adaptivity cost.
+    pub fn stage_report(&self) -> Report {
+        self.outcome.stage_report()
     }
 }
 
@@ -109,6 +142,38 @@ impl VmqEngine {
         let accuracy = filtered_exec.accuracy(&run, frames);
         let speedup = SpeedupReport::new(brute_force.virtual_ms, run.virtual_ms);
         QueryOutcome { run, brute_force, accuracy, speedup }
+    }
+
+    /// Runs a query over the test split *adaptively*: the leading
+    /// `calibration.prefix_frames` frames are annotated once with the
+    /// expensive detector, every candidate `(backend × tolerance)`
+    /// combination is profiled on them, and the cheapest combination that
+    /// kept 100 % recall on the prefix is executed over the whole split.
+    /// The filtered run's virtual time includes the calibration cost, so the
+    /// reported speedup is what a caller would actually observe.
+    pub fn run_adaptive(&self, query: &Query, calibration: &CalibrationConfig) -> AdaptiveOutcome {
+        let frames = self.dataset.test();
+        let filters: Vec<Box<dyn FrameFilter + '_>> =
+            calibration.candidate_backends.iter().map(|&choice| self.resolve_filter(choice)).collect();
+        let backends: Vec<&dyn FrameFilter> = filters.iter().map(|f| f.as_ref()).collect();
+
+        let brute_exec = QueryExecutor::new(query.clone());
+        let brute_force = brute_exec.run_brute_force(frames, &self.oracle);
+
+        let adaptive_exec = QueryExecutor::new(query.clone());
+        let (run, calibration_report) = adaptive_exec.run_adaptive(
+            frames,
+            calibration.prefix_frames,
+            &backends,
+            &calibration.candidate_tolerances,
+            &self.oracle,
+        );
+        let accuracy = adaptive_exec.accuracy(&run, frames);
+        let speedup = SpeedupReport::new(brute_force.virtual_ms, run.virtual_ms);
+        AdaptiveOutcome {
+            outcome: QueryOutcome { run, brute_force, accuracy, speedup },
+            calibration: calibration_report,
+        }
     }
 
     /// Runs a query over the test split as a bounded producer/consumer
@@ -238,6 +303,31 @@ mod tests {
         assert!(rendered.contains("cascade-filter"));
         assert!(rendered.contains("mask-rcnn"));
         assert!(rendered.contains("pass rate"));
+    }
+
+    #[test]
+    fn engine_runs_adaptive_queries_with_calibrated_backends() {
+        use vmq_filters::FilterKind;
+        let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(30, 200));
+        let calibration = CalibrationConfig::calibrated(vec![
+            CalibrationProfile::perfect().emulating(FilterKind::Od),
+            CalibrationProfile::perfect().emulating(FilterKind::Ic),
+        ])
+        .with_prefix(24);
+        let outcome = engine.run_adaptive(&Query::paper_q3(), &calibration);
+        assert!(outcome.outcome.accuracy.is_perfect(), "perfect backends stay exact: {:?}", outcome.outcome.accuracy);
+        // Identical estimates from both backends: the cheaper IC price wins.
+        assert_eq!(outcome.plan().backend, "IC");
+        assert!(outcome.outcome.run.mode.starts_with("adaptive IC-CCF"), "mode {}", outcome.outcome.run.mode);
+        assert_eq!(outcome.calibration.prefix_frames, 24);
+        assert!(outcome.calibration.calibration_ms > 0.0);
+        let rendered = outcome.stage_report().render();
+        assert!(rendered.contains("calibrate"));
+        assert!(outcome.summary().contains("adaptive"));
+        // Calibration cost is part of the filtered bill: speedup is computed
+        // against virtual_ms that already includes it.
+        let stage_sum: f64 = outcome.outcome.run.stage_metrics.iter().map(|m| m.virtual_ms).sum();
+        assert!((stage_sum - outcome.outcome.speedup.filtered_ms).abs() < 1e-9);
     }
 
     #[test]

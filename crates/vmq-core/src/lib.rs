@@ -27,6 +27,6 @@ pub mod config;
 pub mod engine;
 pub mod report;
 
-pub use config::{EngineConfig, FilterChoice};
-pub use engine::{QueryOutcome, VmqEngine};
+pub use config::{CalibrationConfig, EngineConfig, FilterChoice};
+pub use engine::{AdaptiveOutcome, QueryOutcome, VmqEngine};
 pub use report::Report;

@@ -111,11 +111,16 @@ pub struct CostLedger {
 #[derive(Debug, Default)]
 struct LedgerInner {
     invocations: BTreeMap<Stage, u64>,
+    calibration: BTreeMap<Stage, u64>,
 }
 
 impl LedgerInner {
     fn frames(&self, stage: Stage) -> u64 {
         self.invocations.get(&stage).copied().unwrap_or(0)
+    }
+
+    fn calibration_frames(&self, stage: Stage) -> u64 {
+        self.calibration.get(&stage).copied().unwrap_or(0)
     }
 }
 
@@ -134,6 +139,42 @@ impl CostLedger {
     /// per-frame call sites).
     pub fn charge(&self, stage: Stage, frames: u64) {
         *self.inner.lock().invocations.entry(stage).or_insert(0) += frames;
+    }
+
+    /// Charges `frames` frames to `stage` as *calibration* work: the charge
+    /// counts towards all totals exactly like [`CostLedger::charge`] (so
+    /// speedup accounting stays honest), but is additionally tracked
+    /// separately so reports can state how much of the bill the adaptive
+    /// planner's calibration phase was responsible for.
+    pub fn charge_calibration(&self, stage: Stage, frames: u64) {
+        let mut inner = self.inner.lock();
+        *inner.invocations.entry(stage).or_insert(0) += frames;
+        *inner.calibration.entry(stage).or_insert(0) += frames;
+    }
+
+    /// Number of frames charged to a stage during calibration.
+    pub fn calibration_invocations(&self, stage: Stage) -> u64 {
+        self.inner.lock().calibration_frames(stage)
+    }
+
+    /// Virtual milliseconds charged during the calibration phase (a subset of
+    /// [`CostLedger::total_ms`], never an addition to it).
+    pub fn calibration_ms(&self) -> f64 {
+        let inner = self.inner.lock();
+        Stage::ALL.iter().map(|&s| self.model.cost_ms(s) * inner.calibration_frames(s) as f64).sum()
+    }
+
+    /// The [`Stage`]-tagged calibration cost breakdown, in [`Stage::ALL`]
+    /// order (one entry per stage charged at least one calibration frame).
+    pub fn calibration_breakdown(&self) -> Vec<StageCost> {
+        let inner = self.inner.lock();
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let frames = inner.calibration_frames(stage);
+                (frames > 0).then(|| StageCost { stage, frames, virtual_ms: self.model.cost_ms(stage) * frames as f64 })
+            })
+            .collect()
     }
 
     /// Total accumulated virtual time in milliseconds.
@@ -271,6 +312,32 @@ mod tests {
         assert!((breakdown[0].virtual_ms - 0.5).abs() < 1e-12);
         assert_eq!(breakdown[1].stage, Stage::MaskRcnn);
         assert!((breakdown[1].virtual_ms - 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_charges_count_towards_totals_and_are_tracked() {
+        let ledger = CostLedger::paper();
+        ledger.charge_calibration(Stage::MaskRcnn, 4);
+        ledger.charge(Stage::MaskRcnn, 6);
+        ledger.charge(Stage::OdFilter, 10);
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 10);
+        assert_eq!(ledger.calibration_invocations(Stage::MaskRcnn), 4);
+        assert_eq!(ledger.calibration_invocations(Stage::OdFilter), 0);
+        assert!((ledger.calibration_ms() - 800.0).abs() < 1e-9);
+        assert!((ledger.total_ms() - (2000.0 + 19.0)).abs() < 1e-9);
+        let breakdown = ledger.calibration_breakdown();
+        assert_eq!(breakdown.len(), 1);
+        assert_eq!(breakdown[0].stage, Stage::MaskRcnn);
+        assert_eq!(breakdown[0].frames, 4);
+    }
+
+    #[test]
+    fn calibration_resets_with_the_ledger() {
+        let ledger = CostLedger::paper();
+        ledger.charge_calibration(Stage::IcFilter, 7);
+        ledger.reset();
+        assert_eq!(ledger.calibration_ms(), 0.0);
+        assert!(ledger.calibration_breakdown().is_empty());
     }
 
     #[test]

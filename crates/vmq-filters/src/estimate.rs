@@ -2,7 +2,7 @@
 
 use crate::grid::ClassGrid;
 use serde::{Deserialize, Serialize};
-use vmq_detect::Stage;
+use vmq_detect::{CostModel, Stage};
 use vmq_nn::Tensor;
 use vmq_video::{Frame, Image, ObjectClass};
 
@@ -96,6 +96,20 @@ impl FilterEstimate {
     }
 }
 
+/// One profiled calibration pass of a filter backend over a frame sample:
+/// the estimates plus the backend's virtual per-frame price and the measured
+/// wall-clock cost. This is the raw material the adaptive cascade planner
+/// turns into per-candidate selectivity and expected-cost figures.
+#[derive(Debug, Clone)]
+pub struct FilterProfile {
+    /// Estimates for the sampled frames, in frame order.
+    pub estimates: Vec<FilterEstimate>,
+    /// Virtual per-frame cost of this backend under the given cost model.
+    pub virtual_ms_per_frame: f64,
+    /// Real wall-clock milliseconds the profiling pass took.
+    pub wall_ms: f64,
+}
+
 /// A per-frame approximate filter (IC, OD, OD-COF or calibrated).
 pub trait FrameFilter: Send + Sync {
     /// Produces count and localisation estimates for a frame.
@@ -111,6 +125,25 @@ pub trait FrameFilter: Send + Sync {
     /// pipeline's eager/batched parity guarantee depends on it.
     fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
         frames.iter().map(|frame| self.estimate(frame)).collect()
+    }
+
+    /// Profiles the backend over a calibration sample: runs
+    /// [`FrameFilter::estimate_batch`] in chunks of `batch_size` (mirroring
+    /// how the operator pipeline would feed it) and reports the estimates
+    /// together with the backend's virtual per-frame price and the measured
+    /// wall-clock time. Chunking never changes the estimates — the batch
+    /// parity guarantee above — so profiles are batch-size invariant.
+    fn profile(&self, frames: &[Frame], model: &CostModel, batch_size: usize) -> FilterProfile {
+        let start = std::time::Instant::now();
+        let mut estimates = Vec::with_capacity(frames.len());
+        for chunk in frames.chunks(batch_size.max(1)) {
+            estimates.extend(self.estimate_batch(chunk));
+        }
+        FilterProfile {
+            estimates,
+            virtual_ms_per_frame: model.cost_ms(self.kind().stage()),
+            wall_ms: start.elapsed().as_secs_f64() * 1000.0,
+        }
     }
 
     /// Filter family.
@@ -180,6 +213,44 @@ mod tests {
         assert_eq!(FilterKind::OdCof.name(), "OD-COF");
         assert_eq!(FilterKind::Ic.stage(), Stage::IcFilter);
         assert_eq!(FilterKind::OdCof.stage(), Stage::OdFilter);
+    }
+
+    #[test]
+    fn profile_hook_reports_cost_and_estimates() {
+        struct TruthFilter;
+        impl FrameFilter for TruthFilter {
+            fn estimate(&self, frame: &Frame) -> FilterEstimate {
+                FilterEstimate {
+                    classes: vec![ObjectClass::Car],
+                    counts: vec![frame.objects.len() as f32],
+                    grids: vec![ClassGrid::empty(4)],
+                    kind: FilterKind::Ic,
+                    total_hint: None,
+                }
+            }
+            fn kind(&self) -> FilterKind {
+                FilterKind::Ic
+            }
+            fn grid_size(&self) -> usize {
+                4
+            }
+            fn threshold(&self) -> f32 {
+                0.5
+            }
+            fn classes(&self) -> &[ObjectClass] {
+                &[ObjectClass::Car]
+            }
+        }
+        let frames: Vec<Frame> =
+            (0..10).map(|i| Frame { camera_id: 0, frame_id: i, timestamp: 0.0, objects: vec![] }).collect();
+        let model = CostModel::paper();
+        let profile = TruthFilter.profile(&frames, &model, 3);
+        assert_eq!(profile.estimates.len(), 10);
+        assert!((profile.virtual_ms_per_frame - 1.5).abs() < 1e-9, "IC backend priced at 1.5 ms");
+        assert!(profile.wall_ms >= 0.0);
+        // chunking is invisible in the output
+        let whole = TruthFilter.profile(&frames, &model, 1000);
+        assert_eq!(whole.estimates.len(), profile.estimates.len());
     }
 
     #[test]

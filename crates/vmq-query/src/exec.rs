@@ -13,6 +13,7 @@ use crate::ast::Query;
 use crate::metrics::QueryAccuracy;
 use crate::pipeline::{IterSource, PhysicalPlan, PipelineConfig, StageMetrics};
 use crate::plan::CascadeConfig;
+use crate::planner::CalibrationReport;
 use serde::{Deserialize, Serialize};
 use vmq_detect::{CostLedger, Detector};
 use vmq_filters::FrameFilter;
@@ -132,6 +133,33 @@ impl QueryExecutor {
         config: CascadeConfig,
     ) -> QueryRun {
         self.run(frames, Some(filter), detector, ExecutionMode::Filtered(config))
+    }
+
+    /// Runs the query *adaptively*: the first `prefix_frames` frames form a
+    /// calibration prefix on which every `(backend × tolerance)` candidate
+    /// is profiled; the cheapest combination that kept 100 % recall on the
+    /// prefix is then executed over **all** of `frames` (prefix included)
+    /// through the standard pipeline. The run's virtual time includes the
+    /// calibration cost, and its stage metrics carry a `calibrate` row.
+    pub fn run_adaptive(
+        &self,
+        frames: &[Frame],
+        prefix_frames: usize,
+        backends: &[&dyn FrameFilter],
+        tolerances: &[CascadeConfig],
+        detector: &dyn Detector,
+    ) -> (QueryRun, CalibrationReport) {
+        let prefix = &frames[..prefix_frames.min(frames.len())];
+        let (mut plan, report) = PhysicalPlan::new_adaptive(
+            &self.query,
+            prefix,
+            backends,
+            tolerances,
+            detector,
+            self.ledger.clone(),
+            self.pipeline,
+        );
+        (plan.execute_slice(frames), report)
     }
 
     /// Ground-truth answer set of the query over a set of frames.

@@ -15,6 +15,10 @@
 //! * [`plan`] — the filter cascade: which approximate filters apply to a
 //!   query and with what tolerances, mirroring the filter combinations of
 //!   Table III.
+//! * [`planner`] — the adaptive cascade planner: profiles every
+//!   `(backend × tolerance)` candidate on a calibration prefix and picks the
+//!   cheapest combination that keeps 100 % recall, reproducing Table III's
+//!   per-query choice automatically.
 //! * [`pipeline`] — the batched physical operator pipeline
 //!   (`Source → CascadeFilter → Detect → PredicateEval → Sink`): the single
 //!   execution path every mode runs on, with per-operator [`StageMetrics`].
@@ -36,6 +40,7 @@ pub mod order;
 pub mod parser;
 pub mod pipeline;
 pub mod plan;
+pub mod planner;
 pub mod spatial;
 
 pub use ast::{CountTarget, ObjectRef, Predicate, Query};
@@ -43,7 +48,8 @@ pub use catalog::RegionCatalog;
 pub use exec::{run_streaming, ExecutionMode, QueryExecutor, QueryRun};
 pub use metrics::{QueryAccuracy, SpeedupReport};
 pub use order::{FilterOrdering, PredicateStats};
-pub use parser::{parse_statement, ParseError, ParsedStatement};
+pub use parser::{format_statement, format_where_clause, parse_statement, ParseError, ParsedStatement};
 pub use pipeline::{FrameBatch, FrameSource, Operator, PhysicalPlan, PipelineConfig, StageMetrics};
 pub use plan::{CascadeConfig, FilterCascade};
+pub use planner::{plan_cascade, CalibrationReport, CandidateProfile, PlanChoice};
 pub use spatial::SpatialRelation;

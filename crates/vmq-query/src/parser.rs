@@ -26,7 +26,7 @@
 //! [`vmq_video::ObjectClass`], [`vmq_video::Color`] and the query's
 //! [`crate::catalog::RegionCatalog`].
 
-use crate::ast::{CountOp, ObjectRef, Query};
+use crate::ast::{CountOp, CountTarget, ObjectRef, Predicate, Query};
 use crate::spatial::SpatialRelation;
 use vmq_video::{Color, ObjectClass};
 
@@ -107,6 +107,67 @@ pub fn parse_statement(name: &str, text: &str) -> Result<ParsedStatement, ParseE
         query = parse_predicate(query, predicate)?;
     }
     Ok(ParsedStatement { query, window })
+}
+
+/// Pretty-prints a query (and optional window clause) back into the paper's
+/// SQL-like syntax, such that
+/// `parse_statement(name, &format_statement(&q, w))` reproduces the query's
+/// predicates and window exactly (the parser round-trip property).
+pub fn format_statement(query: &Query, window: Option<(usize, usize)>) -> String {
+    let mut out = String::from("SELECT cameraID, frameID FROM stream WHERE ");
+    out.push_str(&format_where_clause(query));
+    if let Some((size, advance)) = window {
+        out.push_str(&format!(" WINDOW HOPPING (SIZE {size}, ADVANCE BY {advance})"));
+    }
+    out
+}
+
+/// Pretty-prints just the WHERE clause of a query (predicates joined by
+/// `AND`), in declaration order.
+pub fn format_where_clause(query: &Query) -> String {
+    query.predicates.iter().map(format_predicate).collect::<Vec<_>>().join(" AND ")
+}
+
+fn format_predicate(predicate: &Predicate) -> String {
+    match predicate {
+        Predicate::Count { target, op, value } => {
+            let target = match target {
+                CountTarget::Total => "*".to_string(),
+                CountTarget::Class(c) => c.name().to_string(),
+                CountTarget::ClassColor(c, col) => format!("{} {}", col.name(), c.name()),
+            };
+            format!("COUNT({target}) {} {value}", format_op(*op))
+        }
+        Predicate::Spatial { first, relation, second } => {
+            // The converse of the parser's mapping: `ORDER(a, b) = RIGHT`
+            // means "b is to the right of a", i.e. `a left-of b`.
+            let keyword = match relation {
+                SpatialRelation::LeftOf => "RIGHT",
+                SpatialRelation::RightOf => "LEFT",
+                SpatialRelation::Above => "BELOW",
+                SpatialRelation::Below => "ABOVE",
+            };
+            format!("ORDER({}, {}) = {keyword}", format_object_ref(first), format_object_ref(second))
+        }
+        Predicate::Region { object, region, min_count } => {
+            format!("IN({}, {region}) >= {min_count}", format_object_ref(object))
+        }
+    }
+}
+
+fn format_object_ref(object: &ObjectRef) -> String {
+    match object.color {
+        Some(color) => format!("{} {}", color.name(), object.class.name()),
+        None => object.class.name().to_string(),
+    }
+}
+
+fn format_op(op: CountOp) -> &'static str {
+    match op {
+        CountOp::Exactly => "=",
+        CountOp::AtLeast => ">=",
+        CountOp::AtMost => "<=",
+    }
 }
 
 /// Splits a WHERE clause on `AND` keywords that are not inside parentheses.
@@ -410,6 +471,81 @@ mod tests {
         ] {
             assert!(!err.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn format_statement_round_trips_the_paper_queries() {
+        for query in [
+            Query::paper_q1(),
+            Query::paper_q2(),
+            Query::paper_q3(),
+            Query::paper_q4(),
+            Query::paper_q5(),
+            Query::paper_q6(),
+            Query::paper_q7(),
+            Query::paper_a3(),
+        ] {
+            let text = format_statement(&query, None);
+            let parsed = parse_statement(&query.name, &text)
+                .unwrap_or_else(|e| panic!("{}: cannot re-parse `{text}`: {e}", query.name));
+            assert_eq!(parsed.query.predicates, query.predicates, "{}: `{text}`", query.name);
+            assert!(parsed.window.is_none());
+        }
+    }
+
+    #[test]
+    fn format_round_trips_every_single_predicate_exhaustively() {
+        let mut queries = Vec::new();
+        for &class in &ObjectClass::ALL {
+            for op in [CountOp::Exactly, CountOp::AtLeast, CountOp::AtMost] {
+                queries.push(Query::new("c").class_count(class, op, 2));
+                queries.push(Query::new("t").total_count(op, 3));
+                for color in Color::ALL {
+                    queries.push(Query::new("cc").colored_count(class, color, op, 1));
+                }
+            }
+            for relation in
+                [SpatialRelation::LeftOf, SpatialRelation::RightOf, SpatialRelation::Above, SpatialRelation::Below]
+            {
+                queries.push(Query::new("s").spatial(
+                    ObjectRef::class(class),
+                    relation,
+                    ObjectRef::colored(ObjectClass::Car, Color::Black),
+                ));
+            }
+            for region in ["full", "upper-left", "lower-left", "lower-right", "upper-right", "right-half"] {
+                queries.push(Query::new("r").in_region(ObjectRef::class(class), region, 2));
+            }
+        }
+        for query in queries {
+            let text = format_statement(&query, None);
+            let parsed = parse_statement("x", &text).unwrap_or_else(|e| panic!("cannot re-parse `{text}`: {e}"));
+            assert_eq!(parsed.query.predicates, query.predicates, "`{text}`");
+        }
+    }
+
+    #[test]
+    fn format_statement_emits_window_clause() {
+        let q = Query::paper_q1();
+        let text = format_statement(&q, Some((5000, 2500)));
+        assert!(text.contains("WINDOW HOPPING (SIZE 5000, ADVANCE BY 2500)"));
+        let parsed = parse_statement("w", &text).expect("parse");
+        assert_eq!(parsed.window, Some((5000, 2500)));
+        assert_eq!(parsed.query.predicates, q.predicates);
+    }
+
+    #[test]
+    fn format_where_clause_uses_order_converse_keywords() {
+        use vmq_video::ObjectClass;
+        let q = Query::new("s").spatial(
+            ObjectRef::class(ObjectClass::Car),
+            SpatialRelation::RightOf,
+            ObjectRef::colored(ObjectClass::Person, Color::Red),
+        );
+        let clause = format_where_clause(&q);
+        assert_eq!(clause, "ORDER(car, red person) = LEFT");
+        let parsed = parse_statement("s", &format!("WHERE {clause}")).expect("parse");
+        assert_eq!(parsed.query.predicates, q.predicates);
     }
 
     #[test]

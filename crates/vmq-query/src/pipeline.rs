@@ -22,7 +22,8 @@
 
 use crate::ast::Query;
 use crate::exec::{ExecutionMode, QueryRun};
-use crate::plan::FilterCascade;
+use crate::plan::{CascadeConfig, FilterCascade};
+use crate::planner::{plan_cascade, CalibrationReport};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use vmq_detect::{CostLedger, Detector, FrameDetections, Stage};
@@ -337,6 +338,10 @@ pub struct PhysicalPlan<'a> {
     config: PipelineConfig,
     ledger: CostLedger,
     operators: Vec<Box<dyn Operator + 'a>>,
+    /// Pseudo-stage metrics of the adaptive planner's calibration phase,
+    /// prepended to every execution's stage metrics so calibration cost shows
+    /// up in the same per-operator reports as execution cost.
+    calibration: Option<StageMetrics>,
 }
 
 impl<'a> PhysicalPlan<'a> {
@@ -368,7 +373,47 @@ impl<'a> PhysicalPlan<'a> {
         operators.push(Box::new(DetectOp { detector }));
         operators.push(Box::new(PredicateEvalOp { query: query.clone() }));
         operators.push(Box::new(SinkOp));
-        PhysicalPlan { query_name: query.name.clone(), mode_label, config, ledger, operators }
+        PhysicalPlan { query_name: query.name.clone(), mode_label, config, ledger, operators, calibration: None }
+    }
+
+    /// Builds an *adaptive* filtered plan: profiles every `(backend ×
+    /// tolerance)` candidate on the calibration prefix (charging the
+    /// calibration work to the shared `ledger`), selects the cheapest
+    /// combination that kept 100 % recall on the prefix, and compiles the
+    /// chosen cascade into the standard operator chain. The returned
+    /// [`CalibrationReport`] records every candidate profile and the choice;
+    /// executions of the plan prepend a `calibrate` pseudo-operator row to
+    /// their stage metrics carrying the calibration cost.
+    pub fn new_adaptive(
+        query: &Query,
+        calibration_prefix: &[Frame],
+        backends: &[&'a dyn FrameFilter],
+        tolerances: &[CascadeConfig],
+        detector: &'a dyn Detector,
+        ledger: CostLedger,
+        config: PipelineConfig,
+    ) -> (Self, CalibrationReport) {
+        let report =
+            plan_cascade(query, calibration_prefix, backends, tolerances, detector, &ledger, config.batch_size);
+        let filter = backends[report.choice.backend_index];
+        let mut plan = PhysicalPlan::new(
+            query,
+            ExecutionMode::Filtered(report.choice.cascade),
+            Some(filter),
+            detector,
+            ledger,
+            config,
+        );
+        plan.mode_label = format!("adaptive {}", report.choice.label);
+        plan.calibration = Some(StageMetrics {
+            operator: "calibrate".to_string(),
+            stage: None,
+            frames_in: report.prefix_frames,
+            frames_out: report.prefix_frames,
+            virtual_ms: report.calibration_ms,
+            wall_ms: report.calibration_wall_ms,
+        });
+        (plan, report)
     }
 
     /// Human-readable execution-mode label (e.g. `brute-force` or
@@ -410,10 +455,10 @@ impl<'a> PhysicalPlan<'a> {
         }
 
         let stage_metrics: Vec<StageMetrics> = self
-            .operators
+            .calibration
             .iter()
-            .zip(&accum)
-            .map(|(op, acc)| {
+            .cloned()
+            .chain(self.operators.iter().zip(&accum).map(|(op, acc)| {
                 let stage = op.stage();
                 let virtual_ms = stage.map_or(0.0, |s| self.ledger.model().cost_ms(s) * acc.frames_in as f64);
                 StageMetrics {
@@ -424,7 +469,7 @@ impl<'a> PhysicalPlan<'a> {
                     virtual_ms,
                     wall_ms: acc.wall_ms,
                 }
-            })
+            }))
             .collect();
 
         let metric = |name: &str| stage_metrics.iter().find(|m| m.operator == name);
@@ -453,6 +498,33 @@ mod tests {
     use vmq_detect::OracleDetector;
     use vmq_filters::{CalibratedFilter, CalibrationProfile};
     use vmq_video::{Dataset, DatasetProfile};
+
+    #[test]
+    fn adaptive_plan_prepends_calibrate_row_and_stays_cost_honest() {
+        let (ds, filter, oracle) = setup();
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let (mut plan, report) = PhysicalPlan::new_adaptive(
+            &Query::paper_q3(),
+            &ds.test()[..20],
+            &backends,
+            &CascadeConfig::lattice(),
+            &oracle,
+            CostLedger::paper(),
+            PipelineConfig::default(),
+        );
+        assert!(plan.mode_label().starts_with("adaptive "), "mode {}", plan.mode_label());
+        assert!(report.calibration_ms > 0.0);
+        let run = plan.execute_slice(ds.test());
+        assert_eq!(run.stage_metrics[0].operator, "calibrate");
+        assert_eq!(run.stage_metrics[0].frames_in, 20);
+        assert!((run.stage_metrics[0].virtual_ms - report.calibration_ms).abs() < 1e-9);
+        let names: Vec<&str> = run.stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+        assert_eq!(names, ["calibrate", "source", "cascade-filter", "detect", "predicate-eval", "sink"]);
+        // The run's virtual total includes calibration, and the per-row sum
+        // accounts for every charged millisecond.
+        let sum: f64 = run.stage_metrics.iter().map(|m| m.virtual_ms).sum();
+        assert!((sum - run.virtual_ms).abs() < 1e-9, "stage rows {sum} vs ledger {}", run.virtual_ms);
+    }
 
     fn setup() -> (Dataset, CalibratedFilter, OracleDetector) {
         let profile = DatasetProfile::jackson();

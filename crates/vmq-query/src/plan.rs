@@ -43,6 +43,20 @@ impl CascadeConfig {
         CascadeConfig { count_tolerance: 1, location_tolerance: 2 }
     }
 
+    /// The full Table III candidate lattice: every CCF/CCF-1/CCF-2 ×
+    /// CLF/CLF-1/CLF-2 combination, scanned count-tolerance-major from most
+    /// to least selective. This is the search space of the adaptive planner;
+    /// the named presets cover only three of its nine points.
+    pub fn lattice() -> Vec<CascadeConfig> {
+        let mut configs = Vec::with_capacity(9);
+        for count_tolerance in 0..=2u32 {
+            for location_tolerance in 0..=2usize {
+                configs.push(CascadeConfig { count_tolerance, location_tolerance });
+            }
+        }
+        configs
+    }
+
     /// A short name in the style of Table III, e.g. "CCF-1/CLF-2".
     pub fn label(&self, has_spatial: bool) -> String {
         let ccf = if self.count_tolerance == 0 { "CCF".to_string() } else { format!("CCF-{}", self.count_tolerance) };
@@ -261,6 +275,19 @@ mod tests {
         let some_cars = estimate(2.0, Some(BoundingBox::new(0.1, 0.1, 0.1, 0.1)), None);
         assert!(!cascade.passes(&no_cars, 0.5), "zero cars cannot contain a red car");
         assert!(cascade.passes(&some_cars, 0.5));
+    }
+
+    #[test]
+    fn lattice_covers_all_nine_combinations_and_contains_the_presets() {
+        let lattice = CascadeConfig::lattice();
+        assert_eq!(lattice.len(), 9);
+        for preset in [CascadeConfig::strict(), CascadeConfig::tolerant(), CascadeConfig::loose()] {
+            assert!(lattice.contains(&preset), "{preset:?} missing from lattice");
+        }
+        let mut unique = lattice.clone();
+        unique.dedup();
+        assert_eq!(unique.len(), 9, "lattice entries are distinct");
+        assert_eq!(lattice[0], CascadeConfig::strict());
     }
 
     #[test]

@@ -1,0 +1,404 @@
+//! The adaptive cascade planner: calibration-driven choice of filter
+//! backend and cascade tolerances.
+//!
+//! The paper's headline result (Table III) is not one fixed pipeline but a
+//! *per-query* choice: for every query it reports "the most selective filter
+//! combinations that yield 100 % accuracy" — IC vs OD backends crossed with
+//! CCF/CCF-1/CCF-2 count tolerances and CLF/CLF-1/CLF-2 location tolerances.
+//! The fixed presets (`strict` / `tolerant` / `loose`) force the caller to
+//! guess that combination. This module makes the system decide itself:
+//!
+//! 1. A *calibration prefix* of the stream is annotated once with the
+//!    expensive detector (charged to the ledger as calibration-phase work,
+//!    so speedup accounting stays honest).
+//! 2. Every candidate backend is profiled over the prefix via
+//!    [`FrameFilter::profile`] (one batched inference pass per backend,
+//!    charged at the backend's virtual price), and every `(backend ×
+//!    tolerance)` combination is scored: pass rate (selectivity) and recall
+//!    against the prefix ground truth.
+//! 3. The planner picks the candidate with the lowest *expected per-frame
+//!    cost* `decode + filter + pass_rate × detector` among those with 100 %
+//!    recall on the prefix (falling back to the best-recall candidate when
+//!    none is lossless), exactly mirroring how Table III's combinations were
+//!    selected.
+//!
+//! Profiling feeds frames to `estimate_batch` in pipeline-sized chunks, so a
+//! plan choice is invariant across pipeline batch sizes (the same batch
+//! parity guarantee the executor relies on).
+
+use crate::ast::Query;
+use crate::plan::{CascadeConfig, FilterCascade};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use vmq_detect::{CostLedger, Detector, Stage};
+use vmq_filters::FrameFilter;
+use vmq_video::Frame;
+
+/// Recall at or above this is treated as lossless (recall is an integer
+/// ratio, so 100 % recall compares exactly equal to 1.0).
+const LOSSLESS: f32 = 1.0;
+
+/// Profile of one `(backend × tolerance)` candidate measured on the
+/// calibration prefix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CandidateProfile {
+    /// Index of the backend in the planner's candidate list.
+    pub backend_index: usize,
+    /// Backend family name ("IC", "OD", "OD-COF", "CAL").
+    pub backend: String,
+    /// The cascade tolerances of this candidate.
+    pub cascade: CascadeConfig,
+    /// Table III style label, e.g. "OD-CCF-1/OD-CLF-2".
+    pub label: String,
+    /// Fraction of calibration frames the cascade passed (selectivity).
+    pub pass_rate: f64,
+    /// Recall against the prefix ground truth. Only meaningful when
+    /// [`CandidateProfile::recall_certified`] is true; a prefix with no true
+    /// frames reports 1.0 vacuously.
+    pub recall: f32,
+    /// True when the calibration prefix contained at least one true frame,
+    /// i.e. `recall` rests on actual evidence rather than an empty truth
+    /// set.
+    pub recall_certified: bool,
+    /// Virtual per-frame cost of the backend's filter stage.
+    pub filter_cost_ms: f64,
+    /// Expected virtual per-frame cost of running this candidate:
+    /// `decode + filter + pass_rate × detector`.
+    pub expected_cost_ms: f64,
+}
+
+impl CandidateProfile {
+    /// True when the calibration prefix *demonstrated* the candidate loses
+    /// no true frame: full recall on a prefix that actually contained true
+    /// frames. Vacuous recall (no true frames to lose) does not certify.
+    pub fn is_lossless(&self) -> bool {
+        self.recall_certified && self.recall >= LOSSLESS
+    }
+}
+
+/// The plan the calibration selected.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlanChoice {
+    /// Index of the chosen backend in the planner's candidate list.
+    pub backend_index: usize,
+    /// Chosen backend family name.
+    pub backend: String,
+    /// Chosen cascade tolerances.
+    pub cascade: CascadeConfig,
+    /// Table III style label of the chosen combination.
+    pub label: String,
+    /// Expected virtual per-frame cost of the chosen plan.
+    pub expected_cost: f64,
+    /// Expected selectivity (calibration pass rate) of the chosen plan.
+    pub expected_selectivity: f64,
+}
+
+/// Everything the calibration run produced: per-candidate profiles, the
+/// selected plan and the virtual cost the calibration itself incurred.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// Number of frames in the calibration prefix.
+    pub prefix_frames: usize,
+    /// Number of prefix frames that truly satisfy the query.
+    pub true_prefix_frames: usize,
+    /// Virtual milliseconds charged for calibration (detector annotation of
+    /// the prefix plus one filter pass per candidate backend).
+    pub calibration_ms: f64,
+    /// Real wall-clock milliseconds the calibration took.
+    pub calibration_wall_ms: f64,
+    /// All candidate profiles, in (backend, tolerance) scan order.
+    pub profiles: Vec<CandidateProfile>,
+    /// The selected plan.
+    pub choice: PlanChoice,
+}
+
+impl CalibrationReport {
+    /// Profiles of the candidates that were lossless on the prefix.
+    pub fn lossless_candidates(&self) -> Vec<&CandidateProfile> {
+        self.profiles.iter().filter(|p| p.is_lossless()).collect()
+    }
+}
+
+/// Profiles every `(backend × tolerance)` combination on the calibration
+/// prefix and selects the cheapest expected-cost plan subject to 100 %
+/// recall on the prefix.
+///
+/// Charges the detector annotation of the prefix and one filter pass per
+/// backend to `ledger` as calibration-phase work. The candidate scan order
+/// is deterministic (backends in the given order, tolerances in the given
+/// order) and ties are broken towards the earlier candidate, so the same
+/// seed and inputs always yield the same [`PlanChoice`].
+///
+/// With an empty prefix there is no evidence to rule out any candidate, so
+/// the planner conservatively falls back to the *most tolerant* candidate
+/// tolerance (highest count tolerance, then highest location tolerance,
+/// regardless of the order the caller listed them in) of the first backend.
+/// A non-empty prefix containing no true frames likewise certifies nothing
+/// about recall — such candidates are reported with `recall_certified ==
+/// false` — so the planner restricts itself to the most tolerant cascade
+/// and only optimises the backend choice.
+pub fn plan_cascade(
+    query: &Query,
+    prefix: &[Frame],
+    backends: &[&dyn FrameFilter],
+    tolerances: &[CascadeConfig],
+    detector: &dyn Detector,
+    ledger: &CostLedger,
+    batch_size: usize,
+) -> CalibrationReport {
+    assert!(!backends.is_empty(), "plan_cascade requires at least one candidate backend");
+    assert!(!tolerances.is_empty(), "plan_cascade requires at least one candidate tolerance");
+    let wall_start = Instant::now();
+    let model = ledger.model().clone();
+    // The safe choice when calibration certifies nothing: the most tolerant
+    // candidate, independent of the order the caller listed tolerances in.
+    let most_tolerant =
+        *tolerances.iter().max_by_key(|c| (c.count_tolerance, c.location_tolerance)).expect("non-empty tolerances");
+
+    if prefix.is_empty() {
+        let filter = backends[0];
+        let cascade = most_tolerant;
+        let fc = FilterCascade::new(query.clone(), cascade);
+        let label = fc.label(filter);
+        let expected_cost =
+            model.cost_ms(Stage::Decode) + model.cost_ms(filter.kind().stage()) + model.cost_ms(detector.stage());
+        let choice = PlanChoice {
+            backend_index: 0,
+            backend: filter.kind().name().to_string(),
+            cascade,
+            label,
+            expected_cost,
+            expected_selectivity: 1.0,
+        };
+        return CalibrationReport {
+            prefix_frames: 0,
+            true_prefix_frames: 0,
+            calibration_ms: 0.0,
+            calibration_wall_ms: wall_start.elapsed().as_secs_f64() * 1000.0,
+            profiles: Vec::new(),
+            choice,
+        };
+    }
+
+    // 1. Annotate the prefix once with the expensive detector.
+    ledger.charge_calibration(detector.stage(), prefix.len() as u64);
+    let truth: Vec<bool> = prefix.iter().map(|f| query.matches_detections(&detector.detect(f))).collect();
+    let true_prefix_frames = truth.iter().filter(|&&t| t).count();
+
+    // 2. Profile every candidate combination. Each backend runs exactly once
+    //    over the prefix; the tolerance check is re-applied to its estimates.
+    let mut calibration_ms = model.cost_ms(detector.stage()) * prefix.len() as f64;
+    let mut profiles: Vec<CandidateProfile> = Vec::with_capacity(backends.len() * tolerances.len());
+    for (backend_index, &filter) in backends.iter().enumerate() {
+        ledger.charge_calibration(filter.kind().stage(), prefix.len() as u64);
+        let profile = filter.profile(prefix, &model, batch_size);
+        calibration_ms += profile.virtual_ms_per_frame * prefix.len() as f64;
+        for &cascade in tolerances {
+            let fc = FilterCascade::new(query.clone(), cascade);
+            let mut passes = 0usize;
+            let mut kept_true = 0usize;
+            for (estimate, &is_true) in profile.estimates.iter().zip(&truth) {
+                if fc.passes(estimate, filter.threshold()) {
+                    passes += 1;
+                    if is_true {
+                        kept_true += 1;
+                    }
+                }
+            }
+            let pass_rate = passes as f64 / prefix.len() as f64;
+            let recall = if true_prefix_frames == 0 { 1.0 } else { kept_true as f32 / true_prefix_frames as f32 };
+            let expected_cost_ms = model.cost_ms(Stage::Decode)
+                + profile.virtual_ms_per_frame
+                + pass_rate * model.cost_ms(detector.stage());
+            profiles.push(CandidateProfile {
+                backend_index,
+                backend: filter.kind().name().to_string(),
+                cascade,
+                label: fc.label(filter),
+                pass_rate,
+                recall,
+                recall_certified: true_prefix_frames > 0,
+                filter_cost_ms: profile.virtual_ms_per_frame,
+                expected_cost_ms,
+            });
+        }
+    }
+
+    // 3. Select: cheapest expected cost subject to certified-lossless
+    //    calibration recall; best recall (then cheapest) when nothing is
+    //    lossless. A prefix with *no* true frames certifies nothing — no
+    //    candidate is certified — so the planner then restricts itself to
+    //    the most tolerant cascade (the safest choice) and only picks the
+    //    cheapest backend.
+    let chosen = profiles
+        .iter()
+        .filter(|p| true_prefix_frames > 0 || p.cascade == most_tolerant)
+        .enumerate()
+        .min_by(|(ai, a), (bi, b)| {
+            b.is_lossless()
+                .cmp(&a.is_lossless())
+                .then_with(|| {
+                    if a.is_lossless() {
+                        a.expected_cost_ms.total_cmp(&b.expected_cost_ms).then(a.pass_rate.total_cmp(&b.pass_rate))
+                    } else {
+                        b.recall.total_cmp(&a.recall).then(a.expected_cost_ms.total_cmp(&b.expected_cost_ms))
+                    }
+                })
+                .then(ai.cmp(bi))
+        })
+        .map(|(_, p)| p)
+        .expect("at least one candidate profiled");
+
+    let choice = PlanChoice {
+        backend_index: chosen.backend_index,
+        backend: chosen.backend.clone(),
+        cascade: chosen.cascade,
+        label: chosen.label.clone(),
+        expected_cost: chosen.expected_cost_ms,
+        expected_selectivity: chosen.pass_rate,
+    };
+    CalibrationReport {
+        prefix_frames: prefix.len(),
+        true_prefix_frames,
+        calibration_ms,
+        calibration_wall_ms: wall_start.elapsed().as_secs_f64() * 1000.0,
+        profiles,
+        choice,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_detect::OracleDetector;
+    use vmq_filters::{CalibratedFilter, CalibrationProfile, FilterKind};
+    use vmq_video::{Dataset, DatasetProfile};
+
+    fn lattice() -> Vec<CascadeConfig> {
+        CascadeConfig::lattice()
+    }
+
+    #[test]
+    fn planner_prefers_lossless_and_cheap() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 200, 41);
+        let oracle = OracleDetector::perfect();
+        // A perfect IC-priced backend and a perfect OD-priced backend produce
+        // identical estimates, so the cheaper IC stage must win with the most
+        // selective tolerance.
+        let ic =
+            CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::perfect().emulating(FilterKind::Ic), 7);
+        let od =
+            CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::perfect().emulating(FilterKind::Od), 7);
+        let backends: Vec<&dyn FrameFilter> = vec![&od, &ic];
+        let ledger = CostLedger::paper();
+        let report = plan_cascade(&Query::paper_q3(), &ds.test()[..64], &backends, &lattice(), &oracle, &ledger, 32);
+        assert_eq!(report.choice.backend, "IC");
+        assert_eq!(report.choice.cascade, CascadeConfig::strict(), "perfect filter makes strict lossless");
+        assert_eq!(report.choice.label, "IC-CCF");
+        assert!(report.choice.expected_selectivity < 1.0);
+        assert_eq!(report.profiles.len(), backends.len() * lattice().len());
+        assert!(!report.lossless_candidates().is_empty());
+        // calibration charged the detector once per prefix frame and each
+        // backend once per prefix frame
+        assert_eq!(ledger.calibration_invocations(vmq_detect::Stage::MaskRcnn), 64);
+        assert_eq!(ledger.calibration_invocations(vmq_detect::Stage::OdFilter), 64);
+        assert_eq!(ledger.calibration_invocations(vmq_detect::Stage::IcFilter), 64);
+        assert!((ledger.calibration_ms() - report.calibration_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planner_widens_tolerance_for_outlier_counts() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 300, 5);
+        let oracle = OracleDetector::perfect();
+        // Heavy count outliers: exact and ±1 tolerances drop true frames, so
+        // the planner must settle on a CCF-2 plan.
+        let noisy_profile =
+            CalibrationProfile { count_std: 0.15, ..CalibrationProfile::od_like() }.with_count_outliers(0.25);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, noisy_profile, 3);
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let ledger = CostLedger::paper();
+        let query = Query::paper_q3();
+        let report = plan_cascade(&query, &ds.test()[..200], &backends, &lattice(), &oracle, &ledger, 32);
+        assert!(report.true_prefix_frames > 0, "prefix must contain true frames for this test");
+        assert_eq!(report.choice.cascade.count_tolerance, 2, "outliers force CCF-2: {:?}", report.choice);
+        assert!(report.choice.label.contains("CCF-2"));
+    }
+
+    #[test]
+    fn prefix_without_true_frames_falls_back_to_most_tolerant_cascade() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 120, 8);
+        let oracle = OracleDetector::perfect();
+        // No Jackson frame carries a stop sign, so the prefix certifies
+        // nothing about recall.
+        let query = Query::new("never").class_count(vmq_video::ObjectClass::StopSign, crate::ast::CountOp::AtLeast, 3);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 2);
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let ledger = CostLedger::paper();
+        let report = plan_cascade(&query, &ds.test()[..60], &backends, &lattice(), &oracle, &ledger, 32);
+        assert_eq!(report.true_prefix_frames, 0);
+        assert_eq!(report.choice.cascade, *CascadeConfig::lattice().last().unwrap());
+        // Vacuous recall is reported as uncertified, never as lossless.
+        assert!(report.profiles.iter().all(|p| !p.recall_certified && !p.is_lossless()));
+        assert!(report.lossless_candidates().is_empty());
+    }
+
+    #[test]
+    fn fallback_picks_most_tolerant_regardless_of_candidate_order() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 120, 8);
+        let oracle = OracleDetector::perfect();
+        let query = Query::new("never").class_count(vmq_video::ObjectClass::StopSign, crate::ast::CountOp::AtLeast, 3);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 2);
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        // The most tolerant candidate listed FIRST: a positional `last()`
+        // fallback would unsafely settle on the strict cascade.
+        let unsorted = vec![CascadeConfig::loose(), CascadeConfig::tolerant(), CascadeConfig::strict()];
+        let ledger = CostLedger::paper();
+        let report = plan_cascade(&query, &ds.test()[..60], &backends, &unsorted, &oracle, &ledger, 32);
+        assert_eq!(report.true_prefix_frames, 0);
+        assert_eq!(report.choice.cascade, CascadeConfig::loose());
+        // Same with an empty prefix.
+        let empty = plan_cascade(&query, &[], &backends, &unsorted, &oracle, &CostLedger::paper(), 32);
+        assert_eq!(empty.choice.cascade, CascadeConfig::loose());
+    }
+
+    #[test]
+    fn empty_prefix_falls_back_to_most_tolerant() {
+        let profile = DatasetProfile::jackson();
+        let oracle = OracleDetector::perfect();
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let ledger = CostLedger::paper();
+        let report = plan_cascade(&Query::paper_q5(), &[], &backends, &lattice(), &oracle, &ledger, 32);
+        assert_eq!(report.prefix_frames, 0);
+        assert_eq!(report.calibration_ms, 0.0);
+        assert_eq!(report.choice.cascade, *CascadeConfig::lattice().last().unwrap());
+        assert_eq!(report.choice.expected_selectivity, 1.0);
+        assert_eq!(ledger.total_ms(), 0.0);
+    }
+
+    #[test]
+    fn plan_choice_is_batch_size_invariant() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 160, 23);
+        let oracle = OracleDetector::perfect();
+        let choices: Vec<PlanChoice> = [1usize, 7, 64]
+            .iter()
+            .map(|&bs| {
+                let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 99);
+                let backends: Vec<&dyn FrameFilter> = vec![&filter];
+                let ledger = CostLedger::paper();
+                plan_cascade(&Query::paper_q4(), &ds.test()[..48], &backends, &lattice(), &oracle, &ledger, bs).choice
+            })
+            .collect();
+        for choice in &choices[1..] {
+            assert_eq!(choice.label, choices[0].label);
+            assert_eq!(choice.cascade, choices[0].cascade);
+            assert_eq!(choice.expected_cost.to_bits(), choices[0].expected_cost.to_bits());
+            assert_eq!(choice.expected_selectivity.to_bits(), choices[0].expected_selectivity.to_bits());
+        }
+    }
+}

@@ -1,10 +1,15 @@
-//! Property-based tests of query evaluation and the filter cascade.
+//! Property-based tests of query evaluation, the filter cascade and the
+//! parser (pretty-print → re-parse round trip).
 
 use proptest::prelude::*;
 use vmq_detect::Detector;
 use vmq_detect::OracleDetector;
 use vmq_filters::{CalibratedFilter, CalibrationProfile, FrameFilter};
-use vmq_query::{CascadeConfig, CountTarget, FilterCascade, ObjectRef, Predicate, Query, SpatialRelation};
+use vmq_query::ast::CountOp;
+use vmq_query::{
+    format_statement, parse_statement, CascadeConfig, CountTarget, FilterCascade, ObjectRef, Predicate, Query,
+    SpatialRelation,
+};
 use vmq_video::{BoundingBox, Color, Frame, ObjectClass, SceneObject};
 
 fn bbox_strategy() -> impl Strategy<Value = BoundingBox> {
@@ -28,6 +33,74 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
             })
             .collect(),
     })
+}
+
+/// Screen regions used by generated region predicates (parser region names
+/// are resolved against the standard catalogue at evaluation time).
+const REGIONS: [&str; 4] = ["full", "upper-left", "lower-right", "right-half"];
+
+fn object_ref_from(class_idx: usize, color_idx: usize) -> ObjectRef {
+    let class = ObjectClass::ALL[class_idx % ObjectClass::ALL.len()];
+    if color_idx < Color::ALL.len() {
+        ObjectRef::colored(class, Color::ALL[color_idx])
+    } else {
+        ObjectRef::class(class)
+    }
+}
+
+/// Generates an arbitrary predicate: count (total / class / class+colour),
+/// spatial (any relation, optionally coloured refs) or region.
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    (0u8..3, 0usize..ObjectClass::ALL.len(), 0usize..Color::ALL.len() + 1, 0u8..3, 0u32..4, 0usize..8).prop_map(
+        |(kind, class_idx, color_idx, op_idx, value, extra)| {
+            let op = [CountOp::Exactly, CountOp::AtLeast, CountOp::AtMost][op_idx as usize];
+            let class = ObjectClass::ALL[class_idx];
+            match kind {
+                0 => {
+                    let target = match extra % 3 {
+                        0 => CountTarget::Total,
+                        1 => CountTarget::Class(class),
+                        _ => CountTarget::ClassColor(class, Color::ALL[color_idx % Color::ALL.len()]),
+                    };
+                    Predicate::Count { target, op, value }
+                }
+                1 => {
+                    let relation = [
+                        SpatialRelation::LeftOf,
+                        SpatialRelation::RightOf,
+                        SpatialRelation::Above,
+                        SpatialRelation::Below,
+                    ][extra % 4];
+                    Predicate::Spatial {
+                        first: object_ref_from(class_idx, color_idx),
+                        relation,
+                        second: object_ref_from(class_idx + 1 + extra, Color::ALL.len() - color_idx),
+                    }
+                }
+                _ => Predicate::Region {
+                    object: object_ref_from(class_idx, color_idx),
+                    region: REGIONS[extra % REGIONS.len()].to_string(),
+                    min_count: value,
+                },
+            }
+        },
+    )
+}
+
+/// Generates a random query AST plus an optional window clause.
+fn ast_strategy() -> impl Strategy<Value = (Query, Option<(usize, usize)>)> {
+    (prop::collection::vec(predicate_strategy(), 0..5), 0usize..3, 1usize..5000, 1usize..5000).prop_map(
+        |(predicates, window_kind, size, advance)| {
+            let mut query = Query::new("roundtrip");
+            query.predicates = predicates;
+            let window = match window_kind {
+                0 => None,
+                1 => Some((size, size)),
+                _ => Some((size, advance)),
+            };
+            (query, window)
+        },
+    )
 }
 
 fn paper_query_strategy() -> impl Strategy<Value = Query> {
@@ -105,6 +178,18 @@ proptest! {
         let indicators = cascade.predicate_indicators(&est, filter.threshold());
         prop_assert_eq!(indicators.len(), query.predicates.len());
         prop_assert_eq!(indicators.iter().all(|&b| b), cascade.passes(&est, filter.threshold()));
+    }
+
+    /// Parser round trip: pretty-printing an arbitrary AST into the paper's
+    /// SQL-like syntax and re-parsing it reproduces the predicates and the
+    /// window clause exactly.
+    #[test]
+    fn parser_round_trips_arbitrary_asts((query, window) in ast_strategy()) {
+        let text = format_statement(&query, window);
+        let parsed = parse_statement("roundtrip", &text)
+            .unwrap_or_else(|e| panic!("cannot re-parse `{text}`: {e}"));
+        prop_assert_eq!(&parsed.query.predicates, &query.predicates, "statement `{}`", text);
+        prop_assert_eq!(parsed.window, window, "statement `{}`", text);
     }
 
     /// Queries built from arbitrary count predicates evaluate consistently

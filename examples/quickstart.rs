@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use vmq::engine::{EngineConfig, FilterChoice, VmqEngine};
+use vmq::engine::{CalibrationConfig, EngineConfig, FilterChoice, VmqEngine};
 use vmq::query::{CascadeConfig, Query};
 use vmq::video::DatasetProfile;
 
@@ -52,4 +52,18 @@ fn main() {
 
     // 4. Per-operator breakdown of the batched execution pipeline.
     println!("\n{}", outcome.stage_report().render());
+
+    // 5. Instead of guessing the cascade above, let the adaptive planner
+    //    choose: it profiles the trained IC and OD backends against the full
+    //    CCF/CLF tolerance lattice on a stream prefix and runs the cheapest
+    //    combination that kept 100 % recall there. The reported virtual time
+    //    includes the calibration bill (the `calibrate` row below).
+    let adaptive = engine.run_adaptive(&query, &CalibrationConfig::learned());
+    println!(
+        "adaptive planner chose {} (expected selectivity {:.0}%)",
+        adaptive.plan().label,
+        adaptive.plan().expected_selectivity * 100.0
+    );
+    println!("\n{}", adaptive.summary());
+    println!("\n{}", adaptive.stage_report().render());
 }

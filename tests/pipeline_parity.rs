@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 use vmq::detect::{CostLedger, Detector, Stage};
-use vmq::filters::{CalibratedFilter, CalibrationProfile, FrameFilter};
+use vmq::filters::{CalibratedFilter, CalibrationProfile, FilterKind, FrameFilter};
 use vmq::query::plan::FilterCascade;
+use vmq::query::planner::PlanChoice;
 use vmq::query::{CascadeConfig, Query, QueryAccuracy, QueryExecutor};
 use vmq::video::{Dataset, DatasetKind, DatasetProfile, Frame};
 
@@ -103,6 +104,79 @@ fn brute_force_pipeline_matches_eager_semantics_exactly() {
             assert_eq!(run.frames_detected, detected);
             assert_eq!(run.virtual_ms.to_bits(), virtual_ms.to_bits());
         }
+    }
+}
+
+/// Same seed ⇒ identical `PlanChoice`, whatever the pipeline batch size.
+/// The planner profiles candidates through `estimate_batch` in
+/// pipeline-sized chunks, and chunking is covered by the batch parity
+/// guarantee, so the plan must not depend on the batch size — even for the
+/// stochastic calibrated filter (identically seeded copies per run).
+#[test]
+fn plan_choice_is_identical_across_batch_sizes() {
+    let oracle = vmq::detect::OracleDetector::perfect();
+    for kind in [DatasetKind::Coral, DatasetKind::Jackson, DatasetKind::Detrac] {
+        let (ds, query) = scenario(kind);
+        let classes = ds.profile().class_list();
+        let choices: Vec<PlanChoice> = [1usize, 7, 64]
+            .iter()
+            .map(|&batch_size| {
+                let od = CalibratedFilter::new(classes.clone(), 16, CalibrationProfile::od_like(), 31);
+                let ic = CalibratedFilter::new(classes.clone(), 16, CalibrationProfile::ic_like(), 32);
+                let backends: Vec<&dyn FrameFilter> = vec![&od, &ic];
+                let exec = QueryExecutor::new(query.clone()).with_batch_size(batch_size);
+                let (_run, report) = exec.run_adaptive(ds.test(), 40, &backends, &CascadeConfig::lattice(), &oracle);
+                report.choice
+            })
+            .collect();
+        for choice in &choices[1..] {
+            assert_eq!(choice.label, choices[0].label, "{kind:?}");
+            assert_eq!(choice.cascade, choices[0].cascade, "{kind:?}");
+            assert_eq!(choice.backend_index, choices[0].backend_index, "{kind:?}");
+            assert_eq!(choice.expected_cost.to_bits(), choices[0].expected_cost.to_bits(), "{kind:?}");
+            assert_eq!(choice.expected_selectivity.to_bits(), choices[0].expected_selectivity.to_bits(), "{kind:?}");
+        }
+    }
+}
+
+/// Adaptive execution is the chosen fixed pipeline plus a calibration bill:
+/// its matched frame ids are byte-identical to running the chosen
+/// `(backend, cascade)` through the fixed pipeline, and its virtual time is
+/// exactly the fixed run's plus the reported calibration cost.
+/// (Deterministic filters — the perfect calibrated backend — make the
+/// comparison exact regardless of the extra calibration-time RNG draws.)
+#[test]
+fn adaptive_execution_matches_fixed_pipeline_with_chosen_config() {
+    let oracle = vmq::detect::OracleDetector::perfect();
+    for kind in [DatasetKind::Coral, DatasetKind::Jackson, DatasetKind::Detrac] {
+        let (ds, query) = scenario(kind);
+        let classes = ds.profile().class_list();
+        let fresh = |fk: FilterKind| {
+            CalibratedFilter::new(classes.clone(), 16, CalibrationProfile::perfect().emulating(fk), 77)
+        };
+
+        let od = fresh(FilterKind::Od);
+        let ic = fresh(FilterKind::Ic);
+        let backends: Vec<&dyn FrameFilter> = vec![&od, &ic];
+        let exec = QueryExecutor::new(query.clone());
+        let (adaptive, report) = exec.run_adaptive(ds.test(), 32, &backends, &CascadeConfig::lattice(), &oracle);
+
+        let chosen_filter = fresh(if report.choice.backend == "IC" { FilterKind::Ic } else { FilterKind::Od });
+        let fixed_exec = QueryExecutor::new(query.clone());
+        let fixed = fixed_exec.run_filtered(ds.test(), &chosen_filter, &oracle, report.choice.cascade);
+
+        assert_eq!(adaptive.matched_frames, fixed.matched_frames, "{kind:?}");
+        assert_eq!(adaptive.frames_detected, fixed.frames_detected, "{kind:?}");
+        assert_eq!(adaptive.frames_passed_filter, fixed.frames_passed_filter, "{kind:?}");
+        assert!(
+            (fixed.virtual_ms + report.calibration_ms - adaptive.virtual_ms).abs() < 1e-6,
+            "{kind:?}: adaptive must cost exactly fixed + calibration: {} + {} vs {}",
+            fixed.virtual_ms,
+            report.calibration_ms,
+            adaptive.virtual_ms
+        );
+        assert!(adaptive.mode.starts_with("adaptive "), "{}", adaptive.mode);
+        assert_eq!(adaptive.stage_metrics[0].operator, "calibrate");
     }
 }
 
