@@ -18,6 +18,10 @@
 //! * [`window`] — hopping windows (the `WINDOW HOPPING` clause).
 //! * [`queries`] — end-to-end aggregate estimation over frame collections,
 //!   including the paper's queries a1–a5.
+//! * [`streaming`] — the streaming per-window estimator that plugs into the
+//!   batched operator pipeline's aggregate execution mode (one
+//!   [`AggregateReport`] per completed hopping window, with per-window
+//!   adaptive control-variate backend selection).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,6 +32,7 @@ pub mod linalg;
 pub mod mcv;
 pub mod queries;
 pub mod sampler;
+pub mod streaming;
 pub mod window;
 
 pub use cv::CvEstimate;
@@ -36,4 +41,5 @@ pub use linalg::Matrix;
 pub use mcv::McvEstimate;
 pub use queries::{AggregateEstimator, AggregateReport};
 pub use sampler::FrameSampler;
+pub use streaming::WindowedAggregator;
 pub use window::HoppingWindow;

@@ -16,9 +16,9 @@ use crate::linalg::variance;
 use crate::mcv::McvEstimate;
 use crate::sampler::FrameSampler;
 use serde::{Deserialize, Serialize};
-use vmq_detect::{CostLedger, Detector, Stage};
+use vmq_detect::{CostLedger, Detector};
 use vmq_filters::FrameFilter;
-use vmq_query::{CascadeConfig, FilterCascade, Query};
+use vmq_query::{CascadeConfig, FilterCascade, FrameIndicators, PipelineConfig, Query};
 use vmq_video::Frame;
 
 /// Report of an aggregate estimation experiment (one Table IV row).
@@ -51,8 +51,19 @@ pub struct AggregateReport {
     /// Virtual milliseconds per *sampled* frame (filter + detector), the
     /// "Filter + Mask RCNN" column of Table IV.
     pub time_per_sample_ms: f64,
-    /// Real wall-clock milliseconds spent in filter inference over the window.
+    /// Real wall-clock milliseconds spent in filter inference over the
+    /// window. Zero for streaming windowed runs, whose filter wall time is
+    /// reported once in the pipeline run's `window-filter` stage metrics
+    /// rather than attributed per (possibly overlapping) window.
     pub filter_wall_ms: f64,
+    /// Zero-based index of the window within the stream (0 for one-shot
+    /// runs).
+    pub window_index: usize,
+    /// Stream offset of the window's first frame (0 for one-shot runs).
+    pub window_start: usize,
+    /// Filter backend family whose indicators served as the control
+    /// variates ("IC", "OD", "OD-COF", "CAL").
+    pub backend: String,
 }
 
 impl AggregateReport {
@@ -156,38 +167,102 @@ impl AggregateEstimator {
         let n_controls = self.query.predicates.len();
         let threshold = self.threshold_override.unwrap_or_else(|| filter.threshold());
 
-        // Pass 1: cheap filter indicators over the whole window.
+        // Pass 1: cheap filter indicators over the whole window, batched
+        // through the same `estimate_batch` path the operator pipeline uses
+        // (bit-identical to per-frame estimation by the batch parity
+        // guarantee; batch ledger charging is bit-identical too because the
+        // ledger derives milliseconds from frame counts).
         let start = std::time::Instant::now();
+        self.ledger.charge(filter.kind().stage(), frames.len() as u64);
         let mut x_full = Vec::with_capacity(frames.len());
-        let mut z_full: Vec<Vec<f64>> = vec![Vec::with_capacity(frames.len()); n_controls];
-        for frame in frames {
-            self.ledger.charge(filter.kind().stage(), 1);
-            let est = filter.estimate(frame);
-            x_full.push(if cascade.passes(&est, threshold) { 1.0 } else { 0.0 });
-            for (k, ind) in cascade.predicate_indicators(&est, threshold).into_iter().enumerate() {
-                z_full[k].push(if ind { 1.0 } else { 0.0 });
+        // One control per predicate; multi-predicate queries additionally
+        // carry the conjunction itself as a trailing control (see
+        // `FrameIndicators::from_estimate`, the single function both this
+        // path and the pipeline's window-filter operator derive their
+        // indicator columns from).
+        let with_conjunction = n_controls > 1;
+        let mut z_full: Vec<Vec<f64>> =
+            vec![Vec::with_capacity(frames.len()); if with_conjunction { n_controls + 1 } else { n_controls }];
+        for chunk in frames.chunks(PipelineConfig::DEFAULT_BATCH_SIZE) {
+            for est in filter.estimate_batch(chunk) {
+                let row = FrameIndicators::from_estimate(&cascade, &est, threshold);
+                x_full.push(row.pass);
+                for (k, v) in row.predicates.into_iter().enumerate() {
+                    z_full[k].push(v);
+                }
             }
         }
         let filter_wall_ms = start.elapsed().as_secs_f64() * 1000.0;
-        let mu_x = x_full.iter().sum::<f64>() / frames.len() as f64;
-        let mu_z: Vec<f64> = z_full.iter().map(|s| s.iter().sum::<f64>() / frames.len() as f64).collect();
+
+        // Pass 2: repeated sampled estimation with the expensive detector,
+        // through the trial engine shared with the streaming window path.
+        let engine = TrialEngine { query: &self.query, sampler: &self.sampler, sample_size: self.sample_size, trials };
+        let (mut report, detector_frames) = engine.estimate_window(frames, &x_full, &z_full, detector, 0);
+        self.ledger.charge(detector.stage(), detector_frames);
+
+        let filter_cost = self.ledger.model().cost_ms(filter.kind().stage());
+        let detector_cost = self.ledger.model().cost_ms(detector.stage());
+        report.time_per_sample_ms = filter_cost + detector_cost;
+        report.filter_wall_ms = filter_wall_ms;
+        report.backend = filter.kind().name().to_string();
+        report
+    }
+}
+
+/// The per-window trial loop shared by the legacy one-shot estimator and the
+/// streaming pipeline estimator: given the window's frames and its
+/// pre-computed indicator columns, repeatedly samples frames, evaluates the
+/// samples with the expensive detector and computes the plain / CV / MCV
+/// estimates. Both callers run *exactly* this code, which is what makes the
+/// single-window pipeline path bit-identical to `AggregateEstimator::run`.
+pub(crate) struct TrialEngine<'a> {
+    /// The frame-level query whose frequency is estimated.
+    pub query: &'a Query,
+    /// Deterministic sampler; trial keys are offset per window.
+    pub sampler: &'a FrameSampler,
+    /// Frames evaluated by the detector per trial.
+    pub sample_size: usize,
+    /// Number of independent estimation trials.
+    pub trials: usize,
+}
+
+impl TrialEngine<'_> {
+    /// Runs the trials over one window. `x_full` / `z_full` are the cascade
+    /// and per-predicate indicator columns over the whole window;
+    /// `trial_offset` disambiguates sampler keys between windows (0 for the
+    /// first / only window, `index << 32` for later ones, so one-shot runs
+    /// draw the historical sample sequence). Returns the report (cost and
+    /// provenance fields left for the caller) plus the number of detector
+    /// invocations performed.
+    pub(crate) fn estimate_window(
+        &self,
+        frames: &[Frame],
+        x_full: &[f64],
+        z_full: &[Vec<f64>],
+        detector: &dyn Detector,
+        trial_offset: u64,
+    ) -> (AggregateReport, u64) {
+        assert!(!frames.is_empty(), "cannot estimate an aggregate over an empty window");
+        let n = frames.len();
+        let n_controls = z_full.len();
+        let mu_x = x_full.iter().sum::<f64>() / n as f64;
+        let mu_z: Vec<f64> = z_full.iter().map(|s| s.iter().sum::<f64>() / n as f64).collect();
 
         // Ground truth for reporting.
-        let true_fraction =
-            frames.iter().filter(|f| self.query.matches_ground_truth(f)).count() as f64 / frames.len() as f64;
+        let true_fraction = frames.iter().filter(|f| self.query.matches_ground_truth(f)).count() as f64 / n as f64;
 
-        // Pass 2: repeated sampled estimation with the expensive detector.
-        let mut plain_means = Vec::with_capacity(trials);
-        let mut cv_means = Vec::with_capacity(trials);
-        let mut mcv_means = Vec::with_capacity(trials);
-        let mut correlations = Vec::with_capacity(trials);
-        for trial in 0..trials {
-            let idx = self.sampler.sample_indices(frames.len(), self.sample_size, trial as u64);
+        let mut plain_means = Vec::with_capacity(self.trials);
+        let mut cv_means = Vec::with_capacity(self.trials);
+        let mut mcv_means = Vec::with_capacity(self.trials);
+        let mut correlations = Vec::with_capacity(self.trials);
+        let mut detector_frames = 0u64;
+        for trial in 0..self.trials {
+            let idx = self.sampler.sample_indices(n, self.sample_size, trial_offset | trial as u64);
+            detector_frames += idx.len() as u64;
             let mut y = Vec::with_capacity(idx.len());
             let mut x = Vec::with_capacity(idx.len());
             let mut z: Vec<Vec<f64>> = vec![Vec::with_capacity(idx.len()); n_controls];
             for &i in &idx {
-                self.ledger.charge(Stage::MaskRcnn, 1);
                 let detections = detector.detect(&frames[i]);
                 y.push(if self.query.matches_detections(&detections) { 1.0 } else { 0.0 });
                 x.push(x_full[i]);
@@ -203,13 +278,11 @@ impl AggregateEstimator {
             correlations.push(cv.correlation);
         }
 
-        let filter_cost = self.ledger.model().cost_ms(filter.kind().stage());
-        let detector_cost = self.ledger.model().cost_ms(detector.stage());
-        AggregateReport {
+        let report = AggregateReport {
             query: self.query.name.clone(),
-            trials,
-            sample_size: self.sample_size.min(frames.len()),
-            window_frames: frames.len(),
+            trials: self.trials,
+            sample_size: self.sample_size.min(n),
+            window_frames: n,
             true_fraction,
             plain_mean: mean(&plain_means),
             cv_mean: mean(&cv_means),
@@ -218,9 +291,13 @@ impl AggregateEstimator {
             cv_variance: variance(&cv_means),
             mcv_variance: variance(&mcv_means),
             mean_correlation: mean(&correlations),
-            time_per_sample_ms: filter_cost + detector_cost,
-            filter_wall_ms,
-        }
+            time_per_sample_ms: 0.0,
+            filter_wall_ms: 0.0,
+            window_index: 0,
+            window_start: 0,
+            backend: String::new(),
+        };
+        (report, detector_frames)
     }
 }
 
@@ -235,7 +312,7 @@ fn mean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vmq_detect::OracleDetector;
+    use vmq_detect::{OracleDetector, Stage};
     use vmq_filters::{CalibratedFilter, CalibrationProfile};
     use vmq_video::{Dataset, DatasetProfile};
 
@@ -271,26 +348,43 @@ mod tests {
 
     #[test]
     fn mcv_handles_multi_predicate_queries() {
-        // a2-style query whose spatial predicate involves multiple
-        // constraints. At this miniature scale (400-frame window, 40-frame
-        // samples) the spatial filter indicator is only weakly correlated
-        // with the detector indicator, so the empirical variance reduction
-        // hovers around one — the paper-scale claim that MCV *reduces*
-        // variance for spatial aggregates needs the full Table IV setup and
-        // is exercised by the table4_aggregates harness instead. Here we
-        // assert the estimator mechanism: finite variances, unbiased
-        // estimates, and no catastrophic degradation on average.
-        let (ds, filter, oracle) = setup(400);
-        let mut best_reductions = Vec::new();
+        // The paper-scale claim, un-quarantined now that the estimators run
+        // on batched window data with per-predicate *and* conjunction
+        // controls: for a multi-predicate aggregate (a3: exactly three
+        // objects, a car lower-left, a bus upper-left) the control variates
+        // reduce variance and MCV never loses to the single-CV estimator.
+        // DeTRAC is sparsified exactly like the Table III/IV goldens do —
+        // at the paper's 15.8 objects/frame density "exactly three objects"
+        // has an empty answer set at this scale and every comparison would
+        // be vacuous.
+        let mut profile = DatasetProfile::detrac();
+        profile.mean_objects = 3.0;
+        profile.std_objects = 1.2;
+        profile.classes[0].fraction = 0.58;
+        profile.classes[1].fraction = 0.38;
+        profile.classes[2].fraction = 0.04;
+        profile.count_reversion = 0.5;
+        let ds = Dataset::generate(&profile, 32, 400, 31);
+        let filter = CalibratedFilter::new(profile.class_list(), 16, CalibrationProfile::od_like(), 9);
+        let oracle = OracleDetector::perfect();
+        let (mut plain_sum, mut cv_sum, mut mcv_sum) = (0.0, 0.0, 0.0);
         for seed in [13, 17, 21, 29, 43] {
-            let est = AggregateEstimator::new(Query::paper_a2(), 40, seed);
-            let report = est.run(ds.test(), &filter, &oracle, 60);
+            let est = AggregateEstimator::new(Query::paper_a3(), 60, seed);
+            let report = est.run(ds.test(), &filter, &oracle, 80);
             assert!(report.mcv_variance.is_finite());
-            assert!((report.mcv_mean - report.true_fraction).abs() < 0.1);
-            best_reductions.push(report.best_reduction());
+            assert!((report.mcv_mean - report.true_fraction).abs() < 0.05, "MCV stays unbiased");
+            plain_sum += report.plain_variance;
+            cv_sum += report.cv_variance;
+            mcv_sum += report.mcv_variance;
         }
-        let mean = best_reductions.iter().sum::<f64>() / best_reductions.len() as f64;
-        assert!(mean >= 0.75, "control variates should not hurt badly on average: {best_reductions:?}");
+        assert!(
+            mcv_sum <= cv_sum,
+            "MCV must not lose to single-CV on a multi-predicate query: mcv {mcv_sum} vs cv {cv_sum}"
+        );
+        assert!(
+            plain_sum / mcv_sum > 1.0,
+            "control variates must reduce variance at paper scale: plain {plain_sum} vs mcv {mcv_sum}"
+        );
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! Property-based tests of the estimators and the small linear algebra.
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vmq_aggregate::linalg::covariance;
 use vmq_aggregate::{CvEstimate, FrameSampler, HoppingWindow, Matrix, McvEstimate, SampleStats};
 
 proptest! {
@@ -86,6 +89,112 @@ proptest! {
         }
         for pair in windows.windows(2) {
             prop_assert_eq!(pair[1].0 - pair[0].0, advance);
+        }
+    }
+
+    /// On a synthetic population of correlated binary indicators (control
+    /// `Z ~ Bern(p)`, target `Y = Z` flipped with a small noise rate), the
+    /// CV and MCV estimators stay unbiased: the mean of the per-trial
+    /// estimates lands inside a generous confidence band around the
+    /// population truth, trial samples drawn by the real `FrameSampler`.
+    #[test]
+    fn cv_mcv_unbiased_on_correlated_indicators(seed in 0u64..400, p in 0.25f64..0.75, noise in 0.0f64..0.25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 400usize;
+        let z: Vec<f64> = (0..n).map(|_| if rng.gen::<f64>() < p { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> =
+            z.iter().map(|&v| if rng.gen::<f64>() < noise { 1.0 - v } else { v }).collect();
+        let mu_z = z.iter().sum::<f64>() / n as f64;
+        let truth = y.iter().sum::<f64>() / n as f64;
+
+        let sampler = FrameSampler::new(seed ^ 0x5eed);
+        let (trials, k) = (60usize, 40usize);
+        let mut cv_means = Vec::with_capacity(trials);
+        let mut mcv_means = Vec::with_capacity(trials);
+        for trial in 0..trials {
+            let idx = sampler.sample_indices(n, k, trial as u64);
+            let ys: Vec<f64> = idx.iter().map(|&i| y[i]).collect();
+            let zs: Vec<f64> = idx.iter().map(|&i| z[i]).collect();
+            cv_means.push(CvEstimate::from_pairs(&ys, &zs, mu_z).mean);
+            mcv_means.push(McvEstimate::from_samples(&ys, std::slice::from_ref(&zs), &[mu_z]).mean);
+        }
+        // Std error of the mean of `trials` means, each from `k` draws, is
+        // at most sqrt(1/4 / (k * trials)); allow five of those.
+        let bound = 5.0 * (0.25 / (k * trials) as f64).sqrt();
+        let cv_avg = cv_means.iter().sum::<f64>() / trials as f64;
+        let mcv_avg = mcv_means.iter().sum::<f64>() / trials as f64;
+        prop_assert!((cv_avg - truth).abs() < bound, "cv {cv_avg} vs truth {truth} (bound {bound})");
+        prop_assert!((mcv_avg - truth).abs() < bound, "mcv {mcv_avg} vs truth {truth} (bound {bound})");
+    }
+
+    /// The fitted MCV coefficient vector satisfies the normal equations
+    /// `Σ_ZZ β* = Σ_YZ` (checked against `linalg::Matrix`'s own matvec), on
+    /// well-conditioned two-control samples.
+    #[test]
+    fn mcv_beta_satisfies_normal_equations(seed in 0u64..1000, n in 30usize..120, a in -2.0f64..2.0, b in -2.0f64..2.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let z1: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let z2: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let y: Vec<f64> =
+            (0..n).map(|i| a * z1[i] + b * z2[i] + rng.gen_range(-0.2..0.2)).collect();
+        let mu = [0.5, 0.5];
+        let est = McvEstimate::from_samples(&y, &[z1.clone(), z2.clone()], &mu);
+        // Two independent uniform controls are never collinear at these
+        // sizes, so the regression must actually have been solved.
+        prop_assert_eq!(est.beta.len(), 2);
+
+        let controls = [z1, z2];
+        let mut szz = Matrix::zeros(2, 2);
+        for i in 0..2 {
+            for j in 0..2 {
+                szz.set(i, j, covariance(&controls[i], &controls[j]));
+            }
+        }
+        let syz: Vec<f64> = (0..2).map(|i| covariance(&y, &controls[i])).collect();
+        let lhs = szz.matvec(&est.beta);
+        for (l, r) in lhs.iter().zip(&syz) {
+            prop_assert!((l - r).abs() < 1e-8, "normal equations violated: {l} vs {r} (beta {:?})", est.beta);
+        }
+    }
+
+    /// Hopping-window segmentation coverage: with `advance` dividing `size`
+    /// every steady-state frame is covered exactly `size / advance ==
+    /// ceil(size/advance)` times; with an arbitrary advance the steady-state
+    /// coverage is `floor` or `ceil` of `size/advance`, and total coverage
+    /// is always `windows × size`.
+    #[test]
+    fn window_coverage_is_ceil_size_over_advance(advance in 1usize..20, m in 1usize..6, extra in 0usize..40, raw_size in 1usize..80) {
+        // Divisible case: size = m × advance.
+        let size = advance * m;
+        let n = size + extra;
+        let windows = HoppingWindow::new(size, advance).windows(n);
+        prop_assert!(!windows.is_empty());
+        let mut coverage = vec![0usize; n];
+        for (s, e) in &windows {
+            for slot in &mut coverage[*s..*e] {
+                *slot += 1;
+            }
+        }
+        prop_assert_eq!(coverage.iter().sum::<usize>(), windows.len() * size);
+        let last_start = windows.last().unwrap().0;
+        for (i, &c) in coverage.iter().enumerate().take((last_start + advance).min(n)).skip(size - 1) {
+            prop_assert_eq!(c, m, "steady-state frame {i} covered {c} times, expected {m}");
+        }
+
+        // General case: floor ≤ steady-state coverage ≤ ceil.
+        let size = raw_size.max(advance);
+        let n = size + extra;
+        let windows = HoppingWindow::new(size, advance).windows(n);
+        let mut coverage = vec![0usize; n];
+        for (s, e) in &windows {
+            for slot in &mut coverage[*s..*e] {
+                *slot += 1;
+            }
+        }
+        let (floor, ceil) = (size / advance, size.div_ceil(advance));
+        let last_start = windows.last().unwrap().0;
+        for (i, &c) in coverage.iter().enumerate().take((last_start + advance).min(n)).skip(size - 1) {
+            prop_assert!(c >= floor && c <= ceil, "frame {i} covered {c} times, expected in [{floor}, {ceil}]");
         }
     }
 }

@@ -2,11 +2,12 @@
 
 use crate::config::{CalibrationConfig, EngineConfig, FilterChoice};
 use crate::report::Report;
-use vmq_aggregate::{AggregateEstimator, AggregateReport};
+use vmq_aggregate::{AggregateReport, HoppingWindow, WindowedAggregator};
 use vmq_detect::OracleDetector;
 use vmq_filters::{CalibratedFilter, FrameFilter, TrainedFilters};
 use vmq_query::{
-    exec, CalibrationReport, CascadeConfig, PlanChoice, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport,
+    exec, AggregateSpec, CalibrationReport, CascadeConfig, CvBackendChoice, ParsedStatement, PlanChoice, Query,
+    QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport,
 };
 use vmq_video::Dataset;
 
@@ -68,6 +69,39 @@ impl AdaptiveOutcome {
     /// so the report shows exactly what the adaptivity cost.
     pub fn stage_report(&self) -> Report {
         self.outcome.stage_report()
+    }
+}
+
+/// The outcome of a windowed aggregate run through the batched pipeline:
+/// one [`AggregateReport`] per completed hopping window plus the pipeline
+/// run whose stage metrics carry the cost accounting (window-wide filter
+/// inference vs sampled detector work as separate stages).
+#[derive(Debug, Clone)]
+pub struct WindowedAggregateOutcome {
+    /// Per-window estimation reports, in window order.
+    pub reports: Vec<AggregateReport>,
+    /// Per-window adaptive control-variate backend choices (empty unless
+    /// [`VmqEngine::run_aggregate_adaptive`] selected among several
+    /// backends).
+    pub selections: Vec<CvBackendChoice>,
+    /// The aggregate pipeline run (empty answer set; stage metrics and cost
+    /// totals are what matter here).
+    pub run: QueryRun,
+}
+
+impl WindowedAggregateOutcome {
+    /// Table IV style rows, one line per window.
+    pub fn table_rows(&self) -> String {
+        self.reports.iter().map(|r| r.table_row()).collect::<Vec<_>>().join("\n")
+    }
+
+    /// Per-operator breakdown of the aggregate pipeline (proves the filter
+    /// ran window-wide while the detector saw only sampled frames).
+    pub fn stage_report(&self) -> Report {
+        Report::from_stage_metrics(
+            &format!("{} [{}] — operator pipeline", self.run.query, self.run.mode),
+            &self.run.stage_metrics,
+        )
     }
 }
 
@@ -193,8 +227,91 @@ impl VmqEngine {
         (run, accuracy)
     }
 
-    /// Estimates a windowed aggregate over the test split with control
-    /// variates; `sample_size` frames per trial, `trials` repetitions.
+    /// Runs a *windowed aggregate* through the batched operator pipeline:
+    /// the test split streams through `Source → WindowFilter →
+    /// AggregateSink`, the cheap filter computes control-variate indicators
+    /// on every frame, and each completed hopping window is estimated with
+    /// `trials` repetitions of `sample_size` detector-sampled frames —
+    /// one [`AggregateReport`] per window. This is how a parsed
+    /// `WINDOW HOPPING` statement executes end to end.
+    pub fn run_aggregate_windows(
+        &self,
+        query: &Query,
+        choice: FilterChoice,
+        window: HoppingWindow,
+        sample_size: usize,
+        trials: usize,
+    ) -> WindowedAggregateOutcome {
+        let filter = self.resolve_filter(choice);
+        let backends: Vec<&dyn FrameFilter> = vec![filter.as_ref()];
+        let mut estimator = WindowedAggregator::new(query.clone(), sample_size, trials, self.config.seed ^ 0xA66);
+        let exec = QueryExecutor::new(query.clone());
+        let run = exec.run_aggregate(
+            self.dataset.test(),
+            AggregateSpec::new(window.size, window.advance),
+            &backends,
+            &self.oracle,
+            &mut estimator,
+        );
+        WindowedAggregateOutcome { selections: Vec::new(), reports: estimator.into_reports(), run }
+    }
+
+    /// Like [`VmqEngine::run_aggregate_windows`] but *adaptive*: every
+    /// candidate backend of `calibration` computes indicators window-wide,
+    /// and per window the leading `calibration.prefix_frames` frames are
+    /// annotated with the expensive detector (charged as calibration work)
+    /// so the backend whose indicator correlates best with the truth serves
+    /// that window's control variates — the aggregate extension of the
+    /// Table III cascade planner.
+    pub fn run_aggregate_adaptive(
+        &self,
+        query: &Query,
+        calibration: &CalibrationConfig,
+        window: HoppingWindow,
+        sample_size: usize,
+        trials: usize,
+    ) -> WindowedAggregateOutcome {
+        let filters: Vec<Box<dyn FrameFilter + '_>> =
+            calibration.candidate_backends.iter().map(|&choice| self.resolve_filter(choice)).collect();
+        let backends: Vec<&dyn FrameFilter> = filters.iter().map(|f| f.as_ref()).collect();
+        let mut estimator = WindowedAggregator::new(query.clone(), sample_size, trials, self.config.seed ^ 0xA66)
+            .with_adaptive_backend(calibration.prefix_frames);
+        let exec = QueryExecutor::new(query.clone());
+        let run = exec.run_aggregate(
+            self.dataset.test(),
+            AggregateSpec::new(window.size, window.advance),
+            &backends,
+            &self.oracle,
+            &mut estimator,
+        );
+        let selections = estimator.selections().to_vec();
+        WindowedAggregateOutcome { selections, reports: estimator.into_reports(), run }
+    }
+
+    /// Executes a parsed statement as a windowed aggregate: the statement's
+    /// `WINDOW HOPPING` clause supplies the hopping window (a statement
+    /// without one is treated as a single window spanning the whole test
+    /// split).
+    pub fn run_aggregate_statement(
+        &self,
+        statement: &ParsedStatement,
+        choice: FilterChoice,
+        sample_size: usize,
+        trials: usize,
+    ) -> WindowedAggregateOutcome {
+        let window = match statement.window {
+            Some((size, advance)) => HoppingWindow::new(size, advance),
+            None => HoppingWindow::tumbling(self.dataset.test().len()),
+        };
+        self.run_aggregate_windows(&statement.query, choice, window, sample_size, trials)
+    }
+
+    /// Estimates a one-window aggregate over the whole test split with
+    /// control variates; `sample_size` frames per trial, `trials`
+    /// repetitions. A thin wrapper over [`VmqEngine::run_aggregate_windows`]
+    /// with a single tumbling window — bit-identical (sampling, estimates,
+    /// variances) to the legacy eager estimator at equal seed, which the
+    /// workspace parity tests pin down.
     pub fn estimate_aggregate(
         &self,
         query: &Query,
@@ -202,9 +319,10 @@ impl VmqEngine {
         sample_size: usize,
         trials: usize,
     ) -> AggregateReport {
-        let filter = self.resolve_filter(choice);
-        let estimator = AggregateEstimator::new(query.clone(), sample_size, self.config.seed ^ 0xA66);
-        estimator.run(self.dataset.test(), filter.as_ref(), &self.oracle, trials)
+        let window = HoppingWindow::tumbling(self.dataset.test().len());
+        let mut outcome = self.run_aggregate_windows(query, choice, window, sample_size, trials);
+        assert_eq!(outcome.reports.len(), 1, "a split-sized tumbling window yields exactly one report");
+        outcome.reports.remove(0)
     }
 }
 
@@ -342,6 +460,93 @@ mod tests {
         assert_eq!(report.window_frames, 200);
         assert!(report.plain_variance >= 0.0);
         assert!((report.plain_mean - report.true_fraction).abs() < 0.15);
+    }
+
+    #[test]
+    fn engine_runs_windowed_aggregates_through_the_pipeline() {
+        let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(40, 200));
+        let outcome = engine.run_aggregate_windows(
+            &Query::paper_a1(),
+            FilterChoice::Calibrated(CalibrationProfile::od_like()),
+            vmq_aggregate::HoppingWindow::new(100, 50),
+            20,
+            15,
+        );
+        // 200 frames, size 100, advance 50 → windows at 0, 50, 100.
+        assert_eq!(outcome.reports.len(), 3);
+        for (i, report) in outcome.reports.iter().enumerate() {
+            assert_eq!(report.window_index, i);
+            assert_eq!(report.window_start, i * 50);
+            assert_eq!(report.window_frames, 100);
+        }
+        assert!(outcome.run.mode.contains("aggregate"));
+        assert_eq!(outcome.run.frames_detected, 3 * 20 * 15);
+        let operators: Vec<&str> = outcome.run.stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+        assert_eq!(operators, ["source", "window-filter", "aggregate-sink"]);
+        let rendered = outcome.stage_report().render();
+        assert!(rendered.contains("window-filter"));
+        assert!(outcome.table_rows().contains("a1"));
+        assert!(outcome.selections.is_empty());
+    }
+
+    #[test]
+    fn engine_runs_adaptive_windowed_aggregates() {
+        use vmq_filters::FilterKind;
+        let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(30, 200));
+        let calibration = CalibrationConfig::calibrated(vec![
+            CalibrationProfile::perfect().emulating(FilterKind::Od),
+            CalibrationProfile::perfect().emulating(FilterKind::Ic),
+        ])
+        .with_prefix(24);
+        let outcome = engine.run_aggregate_adaptive(
+            &Query::paper_a1(),
+            &calibration,
+            vmq_aggregate::HoppingWindow::tumbling(100),
+            20,
+            10,
+        );
+        assert_eq!(outcome.reports.len(), 2);
+        assert_eq!(outcome.selections.len(), 2, "one backend choice per window");
+        for (choice, report) in outcome.selections.iter().zip(&outcome.reports) {
+            // Identical perfect estimates: the cheaper IC stage must win.
+            assert_eq!(choice.backend, "IC", "correlations {:?}", choice.correlations);
+            assert_eq!(report.backend, "IC");
+            assert!((report.time_per_sample_ms - 201.5).abs() < 1e-9, "IC price: {}", report.time_per_sample_ms);
+        }
+        // Both backends filtered every frame; calibration detector work is
+        // tracked per window.
+        let filters: Vec<&str> = outcome
+            .run
+            .stage_metrics
+            .iter()
+            .filter(|m| m.operator == "window-filter")
+            .map(|m| m.operator.as_str())
+            .collect();
+        assert_eq!(filters.len(), 2);
+        assert_eq!(outcome.run.frames_detected, 2 * (20 * 10 + 24));
+    }
+
+    #[test]
+    fn engine_executes_parsed_window_hopping_statements() {
+        use vmq_query::parse_statement;
+        let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(40, 200));
+        let statement = parse_statement(
+            "hop",
+            "SELECT cameraID, frameID FROM stream WHERE COUNT(car) >= 1 \
+             WINDOW HOPPING (SIZE 80, ADVANCE BY 40)",
+        )
+        .expect("parse");
+        let outcome =
+            engine.run_aggregate_statement(&statement, FilterChoice::Calibrated(CalibrationProfile::od_like()), 15, 10);
+        // 200 frames, size 80, advance 40 → windows at 0, 40, 80, 120.
+        assert_eq!(outcome.reports.len(), 4);
+        assert!(outcome.reports.iter().all(|r| r.window_frames == 80));
+        // Without a window clause the whole split is one window.
+        let plain = parse_statement("flat", "SELECT x FROM v WHERE COUNT(car) >= 1").expect("parse");
+        let outcome =
+            engine.run_aggregate_statement(&plain, FilterChoice::Calibrated(CalibrationProfile::od_like()), 15, 10);
+        assert_eq!(outcome.reports.len(), 1);
+        assert_eq!(outcome.reports[0].window_frames, 200);
     }
 
     #[test]

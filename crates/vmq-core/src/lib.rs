@@ -28,5 +28,5 @@ pub mod engine;
 pub mod report;
 
 pub use config::{CalibrationConfig, EngineConfig, FilterChoice};
-pub use engine::{AdaptiveOutcome, QueryOutcome, VmqEngine};
+pub use engine::{AdaptiveOutcome, QueryOutcome, VmqEngine, WindowedAggregateOutcome};
 pub use report::Report;

@@ -11,7 +11,7 @@
 
 use crate::ast::Query;
 use crate::metrics::QueryAccuracy;
-use crate::pipeline::{IterSource, PhysicalPlan, PipelineConfig, StageMetrics};
+use crate::pipeline::{AggregateSpec, IterSource, PhysicalPlan, PipelineConfig, StageMetrics, WindowEstimator};
 use crate::plan::CascadeConfig;
 use crate::planner::CalibrationReport;
 use serde::{Deserialize, Serialize};
@@ -160,6 +160,34 @@ impl QueryExecutor {
             self.pipeline,
         );
         (plan.execute_slice(frames), report)
+    }
+
+    /// Runs the query as a *windowed aggregate*: every frame is decoded and
+    /// filtered window-wide (one `window-filter` operator per candidate
+    /// backend), and `estimator` receives each completed hopping window of
+    /// `spec.window` frames, running the expensive detector on sampled
+    /// frames only. Aggregate reports accumulate inside the estimator; the
+    /// returned [`QueryRun`] carries the pipeline's stage metrics (an empty
+    /// answer set — aggregates estimate fractions, they do not select
+    /// frames).
+    pub fn run_aggregate(
+        &self,
+        frames: &[Frame],
+        spec: AggregateSpec,
+        backends: &[&dyn FrameFilter],
+        detector: &dyn Detector,
+        estimator: &mut dyn WindowEstimator,
+    ) -> QueryRun {
+        let mut plan = PhysicalPlan::new_aggregate(
+            &self.query,
+            spec,
+            backends,
+            detector,
+            estimator,
+            self.ledger.clone(),
+            self.pipeline,
+        );
+        plan.execute_slice(frames)
     }
 
     /// Ground-truth answer set of the query over a set of frames.

@@ -49,7 +49,12 @@ pub use exec::{run_streaming, ExecutionMode, QueryExecutor, QueryRun};
 pub use metrics::{QueryAccuracy, SpeedupReport};
 pub use order::{FilterOrdering, PredicateStats};
 pub use parser::{format_statement, format_where_clause, parse_statement, ParseError, ParsedStatement};
-pub use pipeline::{FrameBatch, FrameSource, Operator, PhysicalPlan, PipelineConfig, StageMetrics};
+pub use pipeline::{
+    AggregateSpec, FrameBatch, FrameIndicators, FrameSource, Operator, PhysicalPlan, PipelineConfig, StageMetrics,
+    WindowBackendColumns, WindowCharge, WindowData, WindowEstimator,
+};
 pub use plan::{CascadeConfig, FilterCascade};
-pub use planner::{plan_cascade, CalibrationReport, CandidateProfile, PlanChoice};
+pub use planner::{
+    plan_cascade, select_cv_backend, CalibrationReport, CandidateProfile, CvBackendChoice, CvCandidate, PlanChoice,
+};
 pub use spatial::SpatialRelation;

@@ -116,8 +116,12 @@ pub fn parse_statement(name: &str, text: &str) -> Result<ParsedStatement, ParseE
 pub fn format_statement(query: &Query, window: Option<(usize, usize)>) -> String {
     let mut out = String::from("SELECT cameraID, frameID FROM stream WHERE ");
     out.push_str(&format_where_clause(query));
-    if let Some((size, advance)) = window {
-        out.push_str(&format!(" WINDOW HOPPING (SIZE {size}, ADVANCE BY {advance})"));
+    match window {
+        // A tumbling window prints without `ADVANCE BY` — the parser
+        // defaults a missing advance to the size, so the round trip holds.
+        Some((size, advance)) if advance == size => out.push_str(&format!(" WINDOW HOPPING (SIZE {size})")),
+        Some((size, advance)) => out.push_str(&format!(" WINDOW HOPPING (SIZE {size}, ADVANCE BY {advance})")),
+        None => {}
     }
     out
 }
@@ -458,6 +462,16 @@ mod tests {
             parse_statement("e", "WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 0)"),
             Err(ParseError::BadWindow(_))
         ));
+        // Degenerate windows are rejected in every spelling: a zero advance
+        // would loop forever, a zero size describes no frames.
+        assert!(matches!(
+            parse_statement("e", "WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 100, ADVANCE BY 0)"),
+            Err(ParseError::BadWindow(_))
+        ));
+        assert!(matches!(
+            parse_statement("e", "WHERE COUNT(car) = 1 WINDOW HOPPING (SIZE 0, ADVANCE BY 10)"),
+            Err(ParseError::BadWindow(_))
+        ));
         // Display impl covers every variant
         for err in [
             ParseError::MissingWhere,
@@ -532,6 +546,17 @@ mod tests {
         let parsed = parse_statement("w", &text).expect("parse");
         assert_eq!(parsed.window, Some((5000, 2500)));
         assert_eq!(parsed.query.predicates, q.predicates);
+    }
+
+    #[test]
+    fn format_statement_omits_advance_for_tumbling_windows() {
+        let q = Query::paper_q1();
+        let text = format_statement(&q, Some((5000, 5000)));
+        assert!(text.ends_with("WINDOW HOPPING (SIZE 5000)"), "tumbling spelling: `{text}`");
+        assert!(!text.contains("ADVANCE"));
+        // The parser's advance-defaults-to-size rule closes the round trip.
+        let parsed = parse_statement("w", &text).expect("parse");
+        assert_eq!(parsed.window, Some((5000, 5000)));
     }
 
     #[test]

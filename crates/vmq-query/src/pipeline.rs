@@ -19,6 +19,23 @@
 //! per-frame charging because the ledger derives totals from frame counts —
 //! and the driver records per-operator [`StageMetrics`] (frames in/out,
 //! virtual and wall-clock milliseconds) that the engine and reports consume.
+//!
+//! *Aggregate* queries (`WINDOW HOPPING` statements, Sec. III) run a third
+//! plan shape through the same driver:
+//!
+//! ```text
+//! Source ──▶ WindowFilter(×backend) ──▶ AggregateSink
+//! (decode)   (window-wide batched       (hopping-window state; completed
+//!  charge)    indicator inference,       windows go to a WindowEstimator,
+//!             never drops a frame)       which samples frames for the
+//!                                        expensive detector)
+//! ```
+//!
+//! The filter runs on *every* frame (its window-wide indicator mean is what
+//! powers the control-variate variance reduction) while the detector runs
+//! only on the frames the estimator samples — the sink reports exactly that
+//! sampled work as its charged frames, so stage metrics keep the two cost
+//! classes honest and separate.
 
 use crate::ast::Query;
 use crate::exec::{ExecutionMode, QueryRun};
@@ -27,7 +44,7 @@ use crate::planner::{plan_cascade, CalibrationReport};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 use vmq_detect::{CostLedger, Detector, FrameDetections, Stage};
-use vmq_filters::FrameFilter;
+use vmq_filters::{FilterEstimate, FrameFilter};
 use vmq_video::Frame;
 
 /// Tuning knobs of the physical pipeline.
@@ -53,14 +70,82 @@ impl Default for PipelineConfig {
     }
 }
 
+/// Specification of an aggregate execution: the hopping window plus how the
+/// control-variate indicators are derived from the filter estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSpec {
+    /// Hopping window `(size, advance)` in frames — the parser's
+    /// `WINDOW HOPPING (SIZE n, ADVANCE BY m)` clause.
+    pub window: (usize, usize),
+    /// Cascade tolerances used to derive the indicator columns.
+    pub cascade: CascadeConfig,
+    /// Grid threshold override for the indicators. The control only needs to
+    /// be *correlated* with the detector verdict (not conservative like a
+    /// query cascade), so a higher precision-oriented threshold typically
+    /// yields better variance reduction; `None` uses each filter's own.
+    pub indicator_threshold: Option<f32>,
+}
+
+impl AggregateSpec {
+    /// A spec with the given window, the strict cascade and per-filter
+    /// thresholds (the defaults of the legacy one-shot estimator).
+    pub fn new(size: usize, advance: usize) -> Self {
+        AggregateSpec { window: (size, advance), cascade: CascadeConfig::strict(), indicator_threshold: None }
+    }
+
+    /// Overrides the indicator grid threshold.
+    pub fn with_indicator_threshold(mut self, threshold: f32) -> Self {
+        self.indicator_threshold = Some(threshold);
+        self
+    }
+
+    /// Overrides the cascade tolerances of the indicators.
+    pub fn with_cascade(mut self, cascade: CascadeConfig) -> Self {
+        self.cascade = cascade;
+        self
+    }
+}
+
+/// Per-frame control-variate indicator row attached by a `window-filter`
+/// operator: the cheap filter's approximate verdicts on one frame, the raw
+/// material of the control-variate estimators of Sec. III.
+#[derive(Debug, Clone)]
+pub struct FrameIndicators {
+    /// `1.0` when every control-variate indicator held on the frame (the
+    /// single-CV control `X`), else `0.0`.
+    pub pass: f64,
+    /// Per-predicate indicators in query declaration order (the MCV controls
+    /// `Z`), each `1.0` / `0.0`; multi-predicate queries carry the
+    /// conjunction as one extra trailing control.
+    pub predicates: Vec<f64>,
+}
+
+impl FrameIndicators {
+    /// Builds the control-variate indicator row for one filter estimate:
+    /// per-predicate [`FilterCascade::cv_indicators`], their conjunction as
+    /// `pass`, and — for multi-predicate queries — the conjunction appended
+    /// as an extra trailing control (the MCV regression's linear span cannot
+    /// express `z₁∧…∧z_d`, yet for a conjunctive query that is the single
+    /// most informative feature; including it guarantees MCV explains at
+    /// least as much variance as the single-CV control).
+    ///
+    /// Both the `window-filter` operator and the legacy one-shot estimator
+    /// derive their indicator columns through this one function — that
+    /// single code path is part of what keeps the two bit-identical.
+    pub fn from_estimate(cascade: &FilterCascade, estimate: &FilterEstimate, threshold: f32) -> Self {
+        let indicators = cascade.cv_indicators(estimate, threshold);
+        let pass = if indicators.iter().all(|&b| b) { 1.0 } else { 0.0 };
+        let mut predicates: Vec<f64> = indicators.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+        if predicates.len() > 1 {
+            predicates.push(pass);
+        }
+        FrameIndicators { pass, predicates }
+    }
+}
+
 /// A batch of frames flowing through the pipeline, with the per-frame
 /// artefacts operators attach along the way (columnar so the filter stage
 /// can hand the whole frame column to `FrameFilter::estimate_batch`).
-///
-/// Filter estimates are consumed inside the `CascadeFilter` operator and not
-/// carried downstream — nothing after the cascade reads them today. When an
-/// operator that needs them lands (e.g. control-variate collection), add an
-/// `estimates` column here and keep it parallel in `retain_rows`.
 #[derive(Debug, Clone, Default)]
 pub struct FrameBatch {
     /// The frames, in stream order.
@@ -68,13 +153,21 @@ pub struct FrameBatch {
     /// Detections attached by the `Detect` operator (parallel to `frames`;
     /// `None` upstream of that operator).
     pub detections: Vec<Option<FrameDetections>>,
+    /// Control-variate indicator rows attached by `window-filter` operators
+    /// (parallel to `frames`; one inner entry per candidate backend, in
+    /// operator order; empty upstream of those operators).
+    pub indicators: Vec<Vec<FrameIndicators>>,
 }
 
 impl FrameBatch {
     /// Wraps raw frames into a batch with no attached artefacts.
     pub fn from_frames(frames: Vec<Frame>) -> Self {
         let n = frames.len();
-        FrameBatch { frames, detections: (0..n).map(|_| None).collect() }
+        FrameBatch {
+            frames,
+            detections: (0..n).map(|_| None).collect(),
+            indicators: (0..n).map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Number of frames in the batch.
@@ -95,6 +188,8 @@ impl FrameBatch {
         self.frames.retain(|_| *it.next().unwrap());
         let mut it = keep.iter();
         self.detections.retain(|_| *it.next().unwrap());
+        let mut it = keep.iter();
+        self.indicators.retain(|_| *it.next().unwrap());
     }
 }
 
@@ -145,6 +240,15 @@ pub trait Operator {
 
     /// The cost-model stage this operator charges per frame, if any.
     fn stage(&self) -> Option<Stage> {
+        None
+    }
+
+    /// Frames the operator actually charged to its stage so far, when that
+    /// differs from the frames that entered it. The default (`None`) means
+    /// "charged exactly `frames_in`", which holds for every per-frame
+    /// operator; the aggregate sink overrides it because it charges only the
+    /// *sampled* detector work, not every frame it buffers.
+    fn charged_frames(&self) -> Option<u64> {
         None
     }
 
@@ -256,6 +360,197 @@ impl Operator for SinkOp {
 
     fn process(&mut self, batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
         ctx.matched.extend(batch.frames.iter().map(|f| f.frame_id));
+        batch
+    }
+}
+
+/// One candidate backend's control-variate indicator columns over a
+/// completed window, assembled by the aggregate sink for the window
+/// estimator.
+#[derive(Debug, Clone)]
+pub struct WindowBackendColumns {
+    /// Backend family name ("IC", "OD", "OD-COF", "CAL").
+    pub backend: &'static str,
+    /// The cost-model stage of the backend's filter.
+    pub stage: Stage,
+    /// Cascade-pass indicator per window frame (the single-CV control `X`).
+    pub pass: Vec<f64>,
+    /// Per-predicate indicator series, one per query predicate (plus the
+    /// trailing conjunction series for multi-predicate queries), each
+    /// parallel to `pass` (the MCV controls `Z`).
+    pub predicates: Vec<Vec<f64>>,
+}
+
+/// A completed hopping window handed to a [`WindowEstimator`]: the window's
+/// frames plus every candidate backend's indicator columns over them.
+#[derive(Debug)]
+pub struct WindowData<'a> {
+    /// Zero-based index of the window in the stream.
+    pub index: usize,
+    /// Stream offset of the window's first frame.
+    pub start: usize,
+    /// The frames of the window, in stream order.
+    pub frames: &'a [Frame],
+    /// Indicator columns, one entry per candidate backend in plan order.
+    pub backends: &'a [WindowBackendColumns],
+}
+
+/// Detector work performed by a window estimator for one window, reported
+/// back to the aggregate sink, which charges it to the cost ledger and
+/// carries it in its stage metrics. Keeping the charging in the sink means
+/// the honest-accounting invariant — the sum of per-operator `virtual_ms`
+/// rows equals the ledger total — holds for aggregate plans too.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowCharge {
+    /// Sampled detector invocations performed for the estimation trials.
+    pub estimation_frames: u64,
+    /// Detector invocations spent annotating the window's calibration
+    /// prefix (adaptive control-variate backend selection); charged via
+    /// [`CostLedger::charge_calibration`] so reports can attribute them.
+    pub calibration_frames: u64,
+}
+
+impl WindowCharge {
+    /// Total detector invocations the sink charges for the window.
+    pub fn total(&self) -> u64 {
+        self.estimation_frames + self.calibration_frames
+    }
+}
+
+/// Consumer of completed hopping windows inside an aggregate plan.
+///
+/// Implemented by `vmq-aggregate`'s streaming estimator: per window it picks
+/// a control-variate backend (optionally from a calibration prefix), samples
+/// frames, runs the expensive detector on the samples only and computes the
+/// plain / CV / MCV estimates. The estimator must *not* charge the ledger
+/// itself; it reports its detector work in the returned [`WindowCharge`] and
+/// the sink does the charging.
+pub trait WindowEstimator {
+    /// Processes one completed window, using `detector` for sampled (and
+    /// calibration) inference and `ledger` for cost-model prices only.
+    fn estimate_window(&mut self, window: WindowData<'_>, detector: &dyn Detector, ledger: &CostLedger)
+        -> WindowCharge;
+}
+
+/// `WindowFilter`: window-wide batched filter inference for aggregate
+/// estimation. Unlike `CascadeFilter` it never drops a frame — aggregate
+/// estimators need the cheap indicator on *every* frame of the window (that
+/// window-wide control mean is where the variance reduction comes from) —
+/// it only attaches the backend's [`FrameIndicators`] column and charges the
+/// filter stage for the whole batch.
+struct WindowFilterOp<'a> {
+    filter: &'a dyn FrameFilter,
+    cascade: FilterCascade,
+    threshold: f32,
+}
+
+impl Operator for WindowFilterOp<'_> {
+    fn name(&self) -> &'static str {
+        "window-filter"
+    }
+
+    fn stage(&self) -> Option<Stage> {
+        Some(self.filter.kind().stage())
+    }
+
+    fn process(&mut self, mut batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
+        ctx.ledger.charge(self.filter.kind().stage(), batch.len() as u64);
+        let estimates = self.filter.estimate_batch(&batch.frames);
+        for (estimate, row) in estimates.iter().zip(batch.indicators.iter_mut()) {
+            row.push(FrameIndicators::from_estimate(&self.cascade, estimate, self.threshold));
+        }
+        batch
+    }
+}
+
+/// `AggregateSink`: maintains hopping-window state over the indicator-carrying
+/// stream and hands every *completed* window (the `HoppingWindow::windows`
+/// semantics: partial trailing windows are discarded) to the window
+/// estimator. Charges the estimator's sampled-detector work to the ledger
+/// and reports it — not the buffered frame count — as its charged frames, so
+/// stage metrics prove the detector ran on samples only while the filter ran
+/// window-wide.
+struct AggregateSinkOp<'a> {
+    detector: &'a dyn Detector,
+    estimator: &'a mut dyn WindowEstimator,
+    size: usize,
+    advance: usize,
+    backends: Vec<(&'static str, Stage)>,
+    /// Buffered rows from stream offset `buffer_start` onwards.
+    frames: Vec<Frame>,
+    indicators: Vec<Vec<FrameIndicators>>,
+    buffer_start: usize,
+    next_window_start: usize,
+    window_index: usize,
+    detector_frames: u64,
+}
+
+impl AggregateSinkOp<'_> {
+    fn emit_ready_windows(&mut self, ctx: &mut ExecContext) {
+        while self.next_window_start + self.size <= self.buffer_start + self.frames.len() {
+            let lo = self.next_window_start - self.buffer_start;
+            let hi = lo + self.size;
+            let columns: Vec<WindowBackendColumns> = self
+                .backends
+                .iter()
+                .enumerate()
+                .map(|(b, &(backend, stage))| {
+                    let rows = &self.indicators[lo..hi];
+                    let n_predicates = rows.first().map_or(0, |r| r[b].predicates.len());
+                    WindowBackendColumns {
+                        backend,
+                        stage,
+                        pass: rows.iter().map(|r| r[b].pass).collect(),
+                        predicates: (0..n_predicates)
+                            .map(|p| rows.iter().map(|r| r[b].predicates[p]).collect())
+                            .collect(),
+                    }
+                })
+                .collect();
+            let window = WindowData {
+                index: self.window_index,
+                start: self.next_window_start,
+                frames: &self.frames[lo..hi],
+                backends: &columns,
+            };
+            let charge = self.estimator.estimate_window(window, self.detector, &ctx.ledger);
+            if charge.estimation_frames > 0 {
+                ctx.ledger.charge(self.detector.stage(), charge.estimation_frames);
+            }
+            if charge.calibration_frames > 0 {
+                ctx.ledger.charge_calibration(self.detector.stage(), charge.calibration_frames);
+            }
+            self.detector_frames += charge.total();
+            self.window_index += 1;
+            self.next_window_start += self.advance;
+        }
+        // Evict rows no future window can reach.
+        let evict = self.next_window_start.saturating_sub(self.buffer_start).min(self.frames.len());
+        if evict > 0 {
+            self.frames.drain(..evict);
+            self.indicators.drain(..evict);
+            self.buffer_start += evict;
+        }
+    }
+}
+
+impl Operator for AggregateSinkOp<'_> {
+    fn name(&self) -> &'static str {
+        "aggregate-sink"
+    }
+
+    fn stage(&self) -> Option<Stage> {
+        Some(self.detector.stage())
+    }
+
+    fn charged_frames(&self) -> Option<u64> {
+        Some(self.detector_frames)
+    }
+
+    fn process(&mut self, batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
+        self.frames.extend(batch.frames.iter().cloned());
+        self.indicators.extend(batch.indicators.iter().cloned());
+        self.emit_ready_windows(ctx);
         batch
     }
 }
@@ -416,6 +711,54 @@ impl<'a> PhysicalPlan<'a> {
         (plan, report)
     }
 
+    /// Builds an *aggregate* plan: `Source → WindowFilter(×backend) →
+    /// AggregateSink`. Every frame is decoded and filtered (window-wide
+    /// indicator computation, one `window-filter` operator per candidate
+    /// backend, each charging its own stage), and the sink assembles hopping
+    /// windows of `spec.window` frames, handing each completed window to
+    /// `estimator`, which runs the expensive detector on *sampled* frames
+    /// only. This is how a parsed `WINDOW HOPPING` statement executes: the
+    /// parser's `(size, advance)` goes into [`AggregateSpec::window`] and the
+    /// estimator emits one aggregate report per window.
+    pub fn new_aggregate(
+        query: &Query,
+        spec: AggregateSpec,
+        backends: &[&'a dyn FrameFilter],
+        detector: &'a dyn Detector,
+        estimator: &'a mut dyn WindowEstimator,
+        ledger: CostLedger,
+        config: PipelineConfig,
+    ) -> Self {
+        let (size, advance) = spec.window;
+        assert!(size > 0, "aggregate window size must be positive");
+        assert!(advance > 0, "aggregate window advance must be positive");
+        assert!(!backends.is_empty(), "aggregate plans need at least one filter backend");
+        let mut operators: Vec<Box<dyn Operator + 'a>> = vec![Box::new(SourceOp)];
+        for &filter in backends {
+            operators.push(Box::new(WindowFilterOp {
+                filter,
+                cascade: FilterCascade::new(query.clone(), spec.cascade),
+                threshold: spec.indicator_threshold.unwrap_or_else(|| filter.threshold()),
+            }));
+        }
+        operators.push(Box::new(AggregateSinkOp {
+            detector,
+            estimator,
+            size,
+            advance,
+            backends: backends.iter().map(|f| (f.kind().name(), f.kind().stage())).collect(),
+            frames: Vec::new(),
+            indicators: Vec::new(),
+            buffer_start: 0,
+            next_window_start: 0,
+            window_index: 0,
+            detector_frames: 0,
+        }));
+        let names: Vec<&str> = backends.iter().map(|f| f.kind().name()).collect();
+        let mode_label = format!("aggregate {} window {size}/{advance}", names.join("+"));
+        PhysicalPlan { query_name: query.name.clone(), mode_label, config, ledger, operators, calibration: None }
+    }
+
     /// Human-readable execution-mode label (e.g. `brute-force` or
     /// `OD-CCF-1/OD-CLF-2`).
     pub fn mode_label(&self) -> &str {
@@ -460,7 +803,8 @@ impl<'a> PhysicalPlan<'a> {
             .cloned()
             .chain(self.operators.iter().zip(&accum).map(|(op, acc)| {
                 let stage = op.stage();
-                let virtual_ms = stage.map_or(0.0, |s| self.ledger.model().cost_ms(s) * acc.frames_in as f64);
+                let charged = op.charged_frames().unwrap_or(acc.frames_in as u64);
+                let virtual_ms = stage.map_or(0.0, |s| self.ledger.model().cost_ms(s) * charged as f64);
                 StageMetrics {
                     operator: op.name().to_string(),
                     stage,
@@ -474,8 +818,24 @@ impl<'a> PhysicalPlan<'a> {
 
         let metric = |name: &str| stage_metrics.iter().find(|m| m.operator == name);
         let frames_passed_filter = metric("cascade-filter").map_or(frames_total, |m| m.frames_out);
-        let frames_detected = metric("detect").map_or(0, |m| m.frames_in);
-        let filter_wall_ms = metric("cascade-filter").map_or(0.0, |m| m.wall_ms);
+        // Detector work: the `detect` operator evaluates every entering
+        // frame; the aggregate sink evaluates only the frames it charged
+        // (sampled estimation plus calibration-prefix annotation).
+        let frames_detected = metric("detect").map_or_else(
+            || {
+                self.operators
+                    .iter()
+                    .filter(|op| op.name() == "aggregate-sink")
+                    .filter_map(|op| op.charged_frames())
+                    .sum::<u64>() as usize
+            },
+            |m| m.frames_in,
+        );
+        let filter_wall_ms = stage_metrics
+            .iter()
+            .filter(|m| m.operator == "cascade-filter" || m.operator == "window-filter")
+            .map(|m| m.wall_ms)
+            .sum();
 
         QueryRun {
             query: self.query_name.clone(),
@@ -614,6 +974,176 @@ mod tests {
             assert_eq!(run.frames_detected, runs[0].frames_detected);
             assert_eq!(run.virtual_ms.to_bits(), runs[0].virtual_ms.to_bits());
         }
+    }
+
+    /// Records every window it sees and pretends to sample
+    /// `samples_per_window` frames with the detector.
+    struct RecordingEstimator {
+        samples_per_window: u64,
+        calibration_per_window: u64,
+        windows: Vec<(usize, usize, usize, Vec<usize>)>, // (index, start, len, per-backend predicate counts)
+        pass_sums: Vec<f64>,
+    }
+
+    impl WindowEstimator for RecordingEstimator {
+        fn estimate_window(
+            &mut self,
+            window: WindowData<'_>,
+            detector: &dyn Detector,
+            ledger: &CostLedger,
+        ) -> WindowCharge {
+            assert!(ledger.model().cost_ms(detector.stage()) > 0.0);
+            // Exercise the detector on one frame to prove it is usable here.
+            let _ = detector.detect(&window.frames[0]);
+            self.windows.push((
+                window.index,
+                window.start,
+                window.frames.len(),
+                window.backends.iter().map(|b| b.predicates.len()).collect(),
+            ));
+            self.pass_sums.push(window.backends[0].pass.iter().sum());
+            WindowCharge { estimation_frames: self.samples_per_window, calibration_frames: self.calibration_per_window }
+        }
+    }
+
+    #[test]
+    fn aggregate_plan_segments_hopping_windows_and_charges_honestly() {
+        let (ds, filter, oracle) = setup();
+        let query = Query::paper_q3();
+        let mut estimator = RecordingEstimator {
+            samples_per_window: 10,
+            calibration_per_window: 0,
+            windows: Vec::new(),
+            pass_sums: Vec::new(),
+        };
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let ledger = CostLedger::paper();
+        let mut plan = PhysicalPlan::new_aggregate(
+            &query,
+            AggregateSpec::new(40, 20),
+            &backends,
+            &oracle,
+            &mut estimator,
+            ledger.clone(),
+            PipelineConfig::with_batch_size(7),
+        );
+        assert_eq!(plan.mode_label(), "aggregate CAL window 40/20");
+        let run = plan.execute_slice(ds.test());
+        drop(plan);
+
+        // 90 frames, size 40, advance 20 → complete windows start at 0, 20
+        // and 40 (a 60-frame start would overflow the stream).
+        let expected_starts: Vec<usize> = vec![0, 20, 40];
+        assert_eq!(estimator.windows.len(), expected_starts.len());
+        for (i, (index, start, len, predicates)) in estimator.windows.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert_eq!(*start, expected_starts[i]);
+            assert_eq!(*len, 40);
+            // Multi-predicate queries carry one control per predicate plus
+            // the conjunction control.
+            assert_eq!(predicates, &vec![query.predicates.len() + 1]);
+        }
+
+        // Stage metrics: decode + filter charged window-wide, detector only
+        // for the estimator's sampled frames.
+        let names: Vec<&str> = run.stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+        assert_eq!(names, ["source", "window-filter", "aggregate-sink"]);
+        assert_eq!(run.stage_metrics[1].frames_in, 90);
+        assert_eq!(run.stage_metrics[1].frames_out, 90, "window filter never drops frames");
+        assert_eq!(run.frames_detected, 30, "10 sampled frames per window × 3 windows");
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 30);
+        assert_eq!(ledger.invocations(Stage::OdFilter), 90);
+        let sink = &run.stage_metrics[2];
+        assert_eq!(sink.frames_in, 90);
+        assert!((sink.virtual_ms - 30.0 * 200.0).abs() < 1e-9, "sink bills sampled detection only");
+        let sum: f64 = run.stage_metrics.iter().map(|m| m.virtual_ms).sum();
+        assert!((sum - run.virtual_ms).abs() < 1e-9, "stage rows {sum} vs ledger {}", run.virtual_ms);
+    }
+
+    #[test]
+    fn aggregate_plan_window_content_is_batch_size_invariant() {
+        let (ds, _filter, oracle) = setup();
+        let query = Query::paper_q4();
+        let mut sums: Vec<Vec<f64>> = Vec::new();
+        for bs in [1usize, 16, 1000] {
+            let filter =
+                CalibratedFilter::new(DatasetProfile::jackson().class_list(), 14, CalibrationProfile::perfect(), 5);
+            let backends: Vec<&dyn FrameFilter> = vec![&filter];
+            let mut estimator = RecordingEstimator {
+                samples_per_window: 0,
+                calibration_per_window: 0,
+                windows: Vec::new(),
+                pass_sums: Vec::new(),
+            };
+            let mut plan = PhysicalPlan::new_aggregate(
+                &query,
+                AggregateSpec::new(30, 30),
+                &backends,
+                &oracle,
+                &mut estimator,
+                CostLedger::paper(),
+                PipelineConfig::with_batch_size(bs),
+            );
+            let _ = plan.execute_slice(ds.test());
+            drop(plan);
+            sums.push(estimator.pass_sums);
+        }
+        assert_eq!(sums[0], sums[1]);
+        assert_eq!(sums[0], sums[2]);
+    }
+
+    #[test]
+    fn aggregate_plan_calibration_charges_are_tracked_separately() {
+        let (ds, filter, oracle) = setup();
+        let mut estimator = RecordingEstimator {
+            samples_per_window: 5,
+            calibration_per_window: 8,
+            windows: Vec::new(),
+            pass_sums: Vec::new(),
+        };
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let ledger = CostLedger::paper();
+        let mut plan = PhysicalPlan::new_aggregate(
+            &Query::paper_q3(),
+            AggregateSpec::new(45, 45),
+            &backends,
+            &oracle,
+            &mut estimator,
+            ledger.clone(),
+            PipelineConfig::default(),
+        );
+        let run = plan.execute_slice(ds.test());
+        // 90 frames, two tumbling 45-frame windows.
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 2 * (5 + 8));
+        assert_eq!(ledger.calibration_invocations(Stage::MaskRcnn), 2 * 8);
+        assert_eq!(run.frames_detected, 26);
+        let sum: f64 = run.stage_metrics.iter().map(|m| m.virtual_ms).sum();
+        assert!((sum - run.virtual_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_stream_emits_no_aggregate_window() {
+        let (ds, filter, oracle) = setup();
+        let mut estimator = RecordingEstimator {
+            samples_per_window: 3,
+            calibration_per_window: 0,
+            windows: Vec::new(),
+            pass_sums: Vec::new(),
+        };
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let mut plan = PhysicalPlan::new_aggregate(
+            &Query::paper_q3(),
+            AggregateSpec::new(500, 500),
+            &backends,
+            &oracle,
+            &mut estimator,
+            CostLedger::paper(),
+            PipelineConfig::default(),
+        );
+        let run = plan.execute_slice(ds.test());
+        drop(plan);
+        assert!(estimator.windows.is_empty());
+        assert_eq!(run.frames_detected, 0);
     }
 
     #[test]

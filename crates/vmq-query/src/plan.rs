@@ -122,11 +122,39 @@ impl FilterCascade {
     }
 
     /// Per-predicate approximate indicators (one boolean per query predicate,
-    /// in declaration order). These are the control variates used by the
-    /// multiple-control-variate estimator of Sec. III-A: each predicate's
-    /// filter-based indicator is a separate correlated variable.
+    /// in declaration order). Their conjunction equals [`FilterCascade::passes`].
     pub fn predicate_indicators(&self, estimate: &FilterEstimate, threshold: f32) -> Vec<bool> {
         self.query.predicates.iter().map(|p| self.predicate_possible(p, estimate, threshold)).collect()
+    }
+
+    /// Per-predicate *control-variate* indicators (one boolean per query
+    /// predicate, in declaration order) — the controls of the (multiple-)
+    /// control-variate estimators of Sec. III.
+    ///
+    /// Unlike [`FilterCascade::predicate_indicators`] these are tuned for
+    /// *correlation* with the detector verdict rather than for
+    /// conservativeness: a cascade check may never drop a true frame, but an
+    /// estimator control is free to, so region predicates compare the
+    /// occupied-cell count inside the region against `min_count` instead of
+    /// the presence-only check (two people in the lower-left quadrant
+    /// occupy two grid cells virtually always). Count and spatial
+    /// predicates coincide with the cascade checks.
+    pub fn cv_indicators(&self, estimate: &FilterEstimate, threshold: f32) -> Vec<bool> {
+        self.query
+            .predicates
+            .iter()
+            .map(|p| match p {
+                Predicate::Region { object, region, min_count } => {
+                    let Some(grid) = estimate.binary_grid_for(object.class, threshold) else { return true };
+                    let Some(r) = self.query.catalog.get(region) else { return false };
+                    // No dilation: dilating would inflate the cell count and
+                    // break the `min_count` comparison; tolerance is a
+                    // conservativeness mechanism the control does not need.
+                    grid.masked_by_region(&r).occupied() >= *min_count as usize
+                }
+                other => self.predicate_possible(other, estimate, threshold),
+            })
+            .collect()
     }
 
     fn count_possible(&self, op: CountOp, estimated: i64, value: i64) -> bool {

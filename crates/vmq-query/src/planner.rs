@@ -30,7 +30,7 @@ use crate::ast::Query;
 use crate::plan::{CascadeConfig, FilterCascade};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use vmq_detect::{CostLedger, Detector, Stage};
+use vmq_detect::{CostLedger, CostModel, Detector, Stage};
 use vmq_filters::FrameFilter;
 use vmq_video::Frame;
 
@@ -267,6 +267,102 @@ pub fn plan_cascade(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Control-variate backend selection (the planner's aggregate extension)
+// ---------------------------------------------------------------------------
+
+/// One candidate control-variate backend as seen on a window's calibration
+/// prefix: its cascade-pass indicator aligned with the detector truth.
+#[derive(Debug, Clone)]
+pub struct CvCandidate<'a> {
+    /// Backend family name ("IC", "OD", "OD-COF", "CAL").
+    pub backend: &'a str,
+    /// The cost-model stage of the backend's filter.
+    pub stage: Stage,
+    /// The backend's cascade-pass indicator on the prefix frames (`1.0` /
+    /// `0.0`), parallel to the truth series.
+    pub pass: &'a [f64],
+}
+
+/// The control-variate backend the planner selected for one window.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CvBackendChoice {
+    /// Index of the chosen backend in the candidate list.
+    pub backend_index: usize,
+    /// Chosen backend family name.
+    pub backend: String,
+    /// Sample correlation of the chosen backend's indicator with the
+    /// detector truth on the calibration prefix.
+    pub correlation: f64,
+    /// Per-candidate correlations, in candidate order.
+    pub correlations: Vec<f64>,
+}
+
+/// Picks the control-variate backend for one window from a calibration
+/// prefix: the candidate whose cascade-pass indicator is most correlated
+/// with the detector truth.
+///
+/// This extends the Table III cascade planner to the aggregate workload of
+/// Sec. III: a single-CV estimator's variance is `(1 − ρ²)·Var(Ȳ)`, so
+/// maximising `ρ²` on the prefix minimises the expected variance of the
+/// window's estimate. Ties (within nothing — exact `ρ²` equality) break
+/// toward the cheaper filter stage, then the earlier candidate, mirroring
+/// [`plan_cascade`]'s deterministic tie-breaking. A degenerate prefix (truth
+/// or indicator constant) scores `ρ = 0`, so with no usable evidence the
+/// cheapest backend wins.
+pub fn select_cv_backend(truth: &[f64], candidates: &[CvCandidate], model: &CostModel) -> CvBackendChoice {
+    assert!(!candidates.is_empty(), "select_cv_backend requires at least one candidate");
+    let correlations: Vec<f64> = candidates
+        .iter()
+        .map(|c| {
+            assert_eq!(c.pass.len(), truth.len(), "candidate indicator must be parallel to the truth");
+            sample_correlation(truth, c.pass)
+        })
+        .collect();
+    let chosen = correlations
+        .iter()
+        .enumerate()
+        .min_by(|(ai, a), (bi, b)| {
+            let a_sq = *a * *a;
+            let b_sq = *b * *b;
+            b_sq.total_cmp(&a_sq)
+                .then_with(|| model.cost_ms(candidates[*ai].stage).total_cmp(&model.cost_ms(candidates[*bi].stage)))
+                .then(ai.cmp(bi))
+        })
+        .map(|(i, _)| i)
+        .expect("at least one candidate");
+    CvBackendChoice {
+        backend_index: chosen,
+        backend: candidates[chosen].backend.to_string(),
+        correlation: correlations[chosen],
+        correlations,
+    }
+}
+
+/// Sample correlation of two parallel series (0 when either is constant or
+/// shorter than two observations).
+fn sample_correlation(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = |s: &[f64]| s.iter().sum::<f64>() / n as f64;
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= 1e-15 || vb <= 1e-15 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,6 +474,54 @@ mod tests {
         assert_eq!(report.choice.cascade, *CascadeConfig::lattice().last().unwrap());
         assert_eq!(report.choice.expected_selectivity, 1.0);
         assert_eq!(ledger.total_ms(), 0.0);
+    }
+
+    #[test]
+    fn cv_backend_selection_prefers_the_most_correlated() {
+        let truth = vec![1.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0, 0.0];
+        let perfect = truth.clone();
+        let noisy = vec![1.0, 1.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0];
+        let candidates = vec![
+            CvCandidate { backend: "OD", stage: Stage::OdFilter, pass: &noisy },
+            CvCandidate { backend: "IC", stage: Stage::IcFilter, pass: &perfect },
+        ];
+        let choice = select_cv_backend(&truth, &candidates, &CostModel::paper());
+        assert_eq!(choice.backend_index, 1);
+        assert_eq!(choice.backend, "IC");
+        assert!((choice.correlation - 1.0).abs() < 1e-12);
+        assert_eq!(choice.correlations.len(), 2);
+        assert!(choice.correlations[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn cv_backend_selection_ties_break_to_the_cheaper_stage() {
+        let truth = vec![1.0, 0.0, 1.0, 0.0];
+        let same = truth.clone();
+        let same2 = truth.clone();
+        // Identical correlation: the IC-priced candidate (1.5 ms) must win
+        // over the OD-priced one (1.9 ms) even though it is listed second.
+        let candidates = vec![
+            CvCandidate { backend: "OD", stage: Stage::OdFilter, pass: &same },
+            CvCandidate { backend: "IC", stage: Stage::IcFilter, pass: &same2 },
+        ];
+        let choice = select_cv_backend(&truth, &candidates, &CostModel::paper());
+        assert_eq!(choice.backend, "IC");
+    }
+
+    #[test]
+    fn cv_backend_selection_degenerate_prefix_falls_back_to_cheapest() {
+        // Constant truth certifies nothing: all correlations are zero and
+        // the cheapest backend wins.
+        let truth = vec![1.0, 1.0, 1.0, 1.0];
+        let a = vec![1.0, 0.0, 1.0, 0.0];
+        let b = vec![0.0, 1.0, 0.0, 1.0];
+        let candidates = vec![
+            CvCandidate { backend: "OD", stage: Stage::OdFilter, pass: &a },
+            CvCandidate { backend: "IC", stage: Stage::IcFilter, pass: &b },
+        ];
+        let choice = select_cv_backend(&truth, &candidates, &CostModel::paper());
+        assert_eq!(choice.backend, "IC");
+        assert_eq!(choice.correlations, vec![0.0, 0.0]);
     }
 
     #[test]

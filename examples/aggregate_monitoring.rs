@@ -10,6 +10,7 @@
 //! cargo run --release --example aggregate_monitoring
 //! ```
 
+use vmq::aggregate::HoppingWindow;
 use vmq::engine::{EngineConfig, FilterChoice, VmqEngine};
 use vmq::filters::CalibrationProfile;
 use vmq::query::Query;
@@ -43,6 +44,31 @@ fn main() {
         println!("  filter correlation:     {:.2}", report.mean_correlation);
         println!();
     }
+    // The same estimation as a *stream* of hopping windows: the parsed
+    // `WINDOW HOPPING (SIZE 200, ADVANCE BY 100)` clause runs end-to-end
+    // through the batched operator pipeline, emitting one report per window.
+    println!("== a1 over hopping windows (SIZE 200, ADVANCE BY 100) ==");
+    let outcome = engine.run_aggregate_windows(
+        &Query::paper_a1(),
+        FilterChoice::Calibrated(CalibrationProfile::od_like()),
+        HoppingWindow::new(200, 100),
+        40,
+        100,
+    );
+    for report in &outcome.reports {
+        println!(
+            "  window {} [{}..{}): true={:.3} plain_var={:.2e} cv_var={:.2e} reduction={:.1}x",
+            report.window_index,
+            report.window_start,
+            report.window_start + report.window_frames,
+            report.true_fraction,
+            report.plain_variance,
+            report.cv_variance,
+            report.best_reduction()
+        );
+    }
+    println!("{}", outcome.stage_report().render());
+    println!();
     println!("The control variate is the cheap filter's verdict on each sampled frame; its mean over the whole window");
     println!("is known almost for free (the filter costs ~2 ms/frame vs 200 ms/frame for the detector), which is what");
     println!("turns the correlation into a variance reduction, exactly as in Table IV of the paper.");

@@ -5,11 +5,12 @@
 //! monotone in the cascade tolerances.
 
 use proptest::prelude::*;
+use vmq::aggregate::{AggregateEstimator, WindowedAggregator};
 use vmq::detect::{CostLedger, Detector, Stage};
 use vmq::filters::{CalibratedFilter, CalibrationProfile, FilterKind, FrameFilter};
 use vmq::query::plan::FilterCascade;
 use vmq::query::planner::PlanChoice;
-use vmq::query::{CascadeConfig, Query, QueryAccuracy, QueryExecutor};
+use vmq::query::{AggregateSpec, CascadeConfig, Query, QueryAccuracy, QueryExecutor};
 use vmq::video::{Dataset, DatasetKind, DatasetProfile, Frame};
 
 /// The eager reference semantics: the per-frame loop the seed's
@@ -225,4 +226,110 @@ proptest! {
             prop_assert!(loose_run.matched_frames.contains(id), "frame {id} lost when loosening tolerances");
         }
     }
+}
+
+/// The single-window pipeline aggregate path is **bit-identical** to the
+/// legacy `AggregateEstimator::run` at equal seed: same sampler keys, same
+/// indicator columns (batched filter inference is order-preserving), same
+/// trial math — so every statistical field of the report matches bit for
+/// bit. (Wall-clock fields are excluded by nature; the windowed report
+/// carries its filter wall time in the run's stage metrics instead.)
+#[test]
+fn single_window_aggregate_matches_legacy_estimator_bit_for_bit() {
+    let oracle = vmq::detect::OracleDetector::perfect();
+    let profile = DatasetProfile::jackson();
+    let ds = Dataset::generate(&profile, 30, 250, 21);
+    let (sample_size, trials, seed) = (30usize, 40usize, 0xA66u64);
+    for query in [Query::paper_a1(), Query::paper_a2()] {
+        // Legacy one-shot estimator (its own fresh stochastic filter).
+        let legacy_filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 5);
+        let legacy_est = AggregateEstimator::new(query.clone(), sample_size, seed);
+        let legacy = legacy_est.run(ds.test(), &legacy_filter, &oracle, trials);
+
+        // Pipeline path: one tumbling window spanning the whole split, with
+        // an identically-seeded filter.
+        let pipeline_filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 5);
+        let backends: Vec<&dyn FrameFilter> = vec![&pipeline_filter];
+        let mut agg = WindowedAggregator::new(query.clone(), sample_size, trials, seed);
+        let exec = QueryExecutor::new(query.clone());
+        let run = exec.run_aggregate(
+            ds.test(),
+            AggregateSpec::new(ds.test().len(), ds.test().len()),
+            &backends,
+            &oracle,
+            &mut agg,
+        );
+        assert_eq!(agg.reports().len(), 1);
+        let windowed = &agg.reports()[0];
+
+        assert_eq!(windowed.plain_mean.to_bits(), legacy.plain_mean.to_bits(), "{}: plain mean", query.name);
+        assert_eq!(windowed.cv_mean.to_bits(), legacy.cv_mean.to_bits(), "{}: cv mean", query.name);
+        assert_eq!(windowed.mcv_mean.to_bits(), legacy.mcv_mean.to_bits(), "{}: mcv mean", query.name);
+        assert_eq!(
+            windowed.plain_variance.to_bits(),
+            legacy.plain_variance.to_bits(),
+            "{}: plain variance",
+            query.name
+        );
+        assert_eq!(windowed.cv_variance.to_bits(), legacy.cv_variance.to_bits(), "{}: cv variance", query.name);
+        assert_eq!(windowed.mcv_variance.to_bits(), legacy.mcv_variance.to_bits(), "{}: mcv variance", query.name);
+        assert_eq!(
+            windowed.mean_correlation.to_bits(),
+            legacy.mean_correlation.to_bits(),
+            "{}: correlation",
+            query.name
+        );
+        assert_eq!(windowed.true_fraction.to_bits(), legacy.true_fraction.to_bits(), "{}: true fraction", query.name);
+        assert_eq!(windowed.time_per_sample_ms.to_bits(), legacy.time_per_sample_ms.to_bits());
+        assert_eq!(windowed.sample_size, legacy.sample_size);
+        assert_eq!(windowed.window_frames, legacy.window_frames);
+        assert_eq!(windowed.trials, legacy.trials);
+        assert_eq!(windowed.backend, legacy.backend);
+
+        // Ledger parity: both paths charged the filter window-wide and the
+        // detector once per sampled frame.
+        assert_eq!(
+            exec.ledger().invocations(Stage::MaskRcnn),
+            legacy_est.ledger().invocations(Stage::MaskRcnn),
+            "{}: detector invocations",
+            query.name
+        );
+        assert_eq!(
+            exec.ledger().invocations(legacy_filter.kind().stage()),
+            legacy_est.ledger().invocations(legacy_filter.kind().stage()),
+            "{}: filter invocations",
+            query.name
+        );
+        assert_eq!(run.frames_detected as u64, exec.ledger().invocations(Stage::MaskRcnn));
+    }
+}
+
+/// The engine's `estimate_aggregate` wrapper (one tumbling window through
+/// the pipeline) reproduces the legacy eager estimator bit for bit at the
+/// engine's own seed derivation.
+#[test]
+fn engine_estimate_aggregate_wrapper_matches_legacy_bit_for_bit() {
+    use vmq::engine::{EngineConfig, FilterChoice, VmqEngine};
+    let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(40, 200));
+    let profile = CalibrationProfile::od_like();
+    let wrapper = engine.estimate_aggregate(&Query::paper_a1(), FilterChoice::Calibrated(profile), 25, 30);
+
+    // Replicate the legacy path by hand: the engine seeds the sampler with
+    // `config.seed ^ 0xA66` and resolves the calibrated filter at
+    // `config.seed`.
+    let config = engine.config();
+    let filter = CalibratedFilter::new(config.filter.classes.clone(), config.filter.grid, profile, config.seed);
+    let legacy = AggregateEstimator::new(Query::paper_a1(), 25, config.seed ^ 0xA66).run(
+        engine.dataset().test(),
+        &filter,
+        &vmq::detect::OracleDetector::perfect(),
+        30,
+    );
+    assert_eq!(wrapper.plain_mean.to_bits(), legacy.plain_mean.to_bits());
+    assert_eq!(wrapper.cv_mean.to_bits(), legacy.cv_mean.to_bits());
+    assert_eq!(wrapper.mcv_mean.to_bits(), legacy.mcv_mean.to_bits());
+    assert_eq!(wrapper.plain_variance.to_bits(), legacy.plain_variance.to_bits());
+    assert_eq!(wrapper.cv_variance.to_bits(), legacy.cv_variance.to_bits());
+    assert_eq!(wrapper.mcv_variance.to_bits(), legacy.mcv_variance.to_bits());
+    assert_eq!(wrapper.true_fraction.to_bits(), legacy.true_fraction.to_bits());
 }

@@ -1,0 +1,238 @@
+//! Golden Table IV aggregate harness: pins the streaming hopping-window
+//! control-variate estimators on a seeded a1–a5 workload.
+//!
+//! Every query runs end-to-end through the batched operator pipeline's
+//! aggregate mode (`Source → WindowFilter → AggregateSink`): the cheap OD
+//! filter computes indicator columns over *every* frame, the stream is
+//! segmented into hopping windows, and per window the estimator samples
+//! `SAMPLE` frames for the expensive detector across `TRIALS` independent
+//! trials, comparing the plain, single-CV and multiple-CV estimators — the
+//! paper's "Variance Reduction" column, one row per window.
+//!
+//! The harness asserts the paper-level claims:
+//!
+//! 1. **Variance reduction > 1× on every window of every query** — the
+//!    control variates never hurt at Table IV's operating point.
+//! 2. **MCV ≤ CV on the multi-predicate queries** (a3, a5): per-predicate
+//!    controls explain at least as much variance as the single conjunction
+//!    indicator.
+//! 3. **Honest cost accounting** — stage metrics prove the filter ran
+//!    window-wide (every frame) while the detector ran only on the sampled
+//!    frames (`windows × SAMPLE × TRIALS` invocations exactly).
+//! 4. The per-window estimates match the committed golden snapshot
+//!    (`tests/golden/table4_aggregates.txt`) byte for byte.
+//!
+//! Dataset profiles are tuned the same way the Table III golden tunes
+//! Detrac: densities and class mixes are adjusted so each aggregate query
+//! has a non-degenerate true fraction at this 400-frame quick scale (at the
+//! paper's densities, e.g., DeTRAC's 15.8 objects/frame makes a3's
+//! "exactly three objects" vacuously false on every frame).
+//!
+//! Regenerate the snapshot with `VMQ_UPDATE_GOLDEN=1 cargo test --test
+//! table4_aggregates -- --include-ignored` after an intentional estimator
+//! change.
+
+use vmq::aggregate::WindowedAggregator;
+use vmq::detect::{OracleDetector, Stage};
+use vmq::filters::{CalibratedFilter, CalibrationProfile, FrameFilter};
+use vmq::query::{AggregateSpec, Query, QueryExecutor};
+use vmq::video::{Dataset, DatasetProfile};
+
+/// Workload seed: datasets and filter noise are fully determined by it.
+const SEED: u64 = 25;
+/// Test-split length per dataset.
+const TEST_FRAMES: usize = 400;
+/// Frames the detector evaluates per trial.
+const SAMPLE: usize = 80;
+/// Independent estimation trials per window (the paper's count).
+const TRIALS: usize = 100;
+/// Hopping window: 200 frames advancing by 100 → three windows per stream.
+const WINDOW: (usize, usize) = (200, 100);
+/// Committed snapshot location (relative to the workspace root).
+const GOLDEN_PATH: &str = "tests/golden/table4_aggregates.txt";
+
+/// Per-query dataset profiles, tuned so every aggregate query has a
+/// non-degenerate answer at quick scale.
+fn profile_for(query: &str) -> DatasetProfile {
+    match query {
+        // a1: car in the lower-right quadrant — the stock Jackson profile
+        // already puts the true fraction near 0.25.
+        "a1" => DatasetProfile::jackson(),
+        // a2: car left of a person — Jackson's 1.2 objects/frame and 20 %
+        // person share make co-occurrence (and hence the spatial predicate)
+        // too rare to estimate; densify and balance the mix.
+        "a2" => {
+            let mut p = DatasetProfile::jackson();
+            p.mean_objects = 3.5;
+            p.std_objects = 1.2;
+            p.classes[0].fraction = 0.55;
+            p.classes[1].fraction = 0.45;
+            p
+        }
+        // a3 / a4: DeTRAC at the paper's 15.8 objects/frame never has
+        // "exactly three objects"; sparsify (the Table III golden does the
+        // same) and raise the bus share so a3's bus predicate can hold.
+        "a3" | "a4" => {
+            let mut p = DatasetProfile::detrac();
+            p.mean_objects = 3.0;
+            p.std_objects = 1.2;
+            p.classes[0].fraction = 0.58;
+            p.classes[1].fraction = 0.38;
+            p.classes[2].fraction = 0.04;
+            // Mix the count process fast enough that every 200-frame window
+            // contains exactly-three-object frames (DeTRAC's slow reversion
+            // would otherwise leave whole windows without a true a3 frame).
+            p.count_reversion = 0.5;
+            p
+        }
+        // a5: exactly three people, two in the lower-left — Coral's mean of
+        // 8.7 people/frame makes count-three frames vanishingly rare.
+        "a5" => {
+            let mut p = DatasetProfile::coral();
+            p.mean_objects = 3.0;
+            p.std_objects = 1.2;
+            p.count_reversion = 0.5;
+            p
+        }
+        other => panic!("unknown aggregate query {other}"),
+    }
+}
+
+fn queries() -> Vec<Query> {
+    vec![Query::paper_a1(), Query::paper_a2(), Query::paper_a3(), Query::paper_a4(), Query::paper_a5()]
+}
+
+struct GoldenRow {
+    line: String,
+    query: String,
+    multi_predicate: bool,
+    best_reduction: f64,
+    cv_variance: f64,
+    mcv_variance: f64,
+    plain_variance: f64,
+}
+
+fn golden_rows() -> Vec<GoldenRow> {
+    let oracle = OracleDetector::perfect();
+    let mut rows = Vec::new();
+    for query in queries() {
+        let profile = profile_for(&query.name);
+        let ds = Dataset::generate(&profile, 20, TEST_FRAMES, SEED);
+        let filter = CalibratedFilter::new(profile.class_list(), 16, CalibrationProfile::od_like(), SEED ^ 0x7A);
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let mut agg = WindowedAggregator::new(query.clone(), SAMPLE, TRIALS, SEED ^ 0xA66);
+        let exec = QueryExecutor::new(query.clone());
+        let run = exec.run_aggregate(ds.test(), AggregateSpec::new(WINDOW.0, WINDOW.1), &backends, &oracle, &mut agg);
+
+        // 3. Honest cost accounting: the filter saw every frame, the
+        //    detector only the sampled ones.
+        let windows = agg.reports().len();
+        let window_filter = run
+            .stage_metrics
+            .iter()
+            .find(|m| m.operator == "window-filter")
+            .expect("aggregate plans carry a window-filter stage");
+        assert_eq!(window_filter.frames_in, TEST_FRAMES, "filter must run window-wide");
+        assert_eq!(window_filter.frames_out, TEST_FRAMES, "the window filter drops nothing");
+        let expected_detections = windows * SAMPLE * TRIALS;
+        assert_eq!(
+            run.frames_detected, expected_detections,
+            "detector invocations must be bounded by sample_size × trials per window"
+        );
+        assert_eq!(exec.ledger().invocations(Stage::MaskRcnn) as usize, expected_detections);
+        assert_eq!(exec.ledger().invocations(filter.kind().stage()) as usize, TEST_FRAMES);
+        let sink = run.stage_metrics.iter().find(|m| m.operator == "aggregate-sink").expect("sink row");
+        assert!((sink.virtual_ms - 200.0 * expected_detections as f64).abs() < 1e-9);
+
+        let multi_predicate = query.predicates.len() > 1;
+        for report in agg.reports() {
+            let line = format!(
+                "{:<3} {:<8} w{} start={:<4} true={:.3} plain_var={:.3e} cv_var={:.3e} mcv_var={:.3e} best_reduction={:<8.2} corr={:.2} backend={}",
+                report.query,
+                profile.kind.name(),
+                report.window_index,
+                report.window_start,
+                report.true_fraction,
+                report.plain_variance,
+                report.cv_variance,
+                report.mcv_variance,
+                report.best_reduction(),
+                report.mean_correlation,
+                report.backend,
+            );
+            rows.push(GoldenRow {
+                line,
+                query: report.query.clone(),
+                multi_predicate,
+                best_reduction: report.best_reduction(),
+                cv_variance: report.cv_variance,
+                mcv_variance: report.mcv_variance,
+                plain_variance: report.plain_variance,
+            });
+        }
+    }
+    rows
+}
+
+fn rendered(rows: &[GoldenRow]) -> String {
+    let mut out = String::from(
+        "# Golden Table IV aggregates — streaming hopping-window CV/MCV estimates on the seeded a1-a5 workload.\n\
+         # Regenerate with: VMQ_UPDATE_GOLDEN=1 cargo test --test table4_aggregates -- --include-ignored\n",
+    );
+    for row in rows {
+        out.push_str(&row.line);
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+#[ignore = "the 100-trial Table IV golden harness runs in the release --include-ignored CI step"]
+fn windowed_aggregates_match_golden_snapshot_with_variance_reduction() {
+    let rows = golden_rows();
+    assert_eq!(rows.len(), 5 * 3, "five queries × three hopping windows");
+
+    // 1. Variance reduction on every window of every query.
+    for row in &rows {
+        assert!(row.plain_variance > 0.0, "plain estimator must have variance: {}", row.line);
+        assert!(row.best_reduction > 1.0, "control variates must reduce variance: {}", row.line);
+    }
+
+    // 2. The paper-scale MCV claim, per query pooled across its windows:
+    //    per-predicate controls explain at least as much variance as the
+    //    single conjunction control on the multi-predicate queries. (Pooled
+    //    rather than per window because the empirical variance of 100
+    //    trials has ±1 % noise from the fitted β̂, which would make a
+    //    strict per-window comparison a coin flip when the two estimators
+    //    are near-equal.)
+    let mut by_query: std::collections::BTreeMap<&str, (f64, f64, usize)> = std::collections::BTreeMap::new();
+    for row in rows.iter().filter(|r| r.multi_predicate) {
+        let entry = by_query.entry(row.query.as_str()).or_insert((0.0, 0.0, 0));
+        entry.0 += row.cv_variance;
+        entry.1 += row.mcv_variance;
+        entry.2 += 1;
+    }
+    assert_eq!(by_query.len(), 2, "a3 and a5 are the multi-predicate aggregates");
+    for (query, (cv_sum, mcv_sum, windows)) in by_query {
+        assert!(
+            mcv_sum <= cv_sum,
+            "MCV must not lose to single-CV on multi-predicate {query}: mean mcv {} vs mean cv {} over {windows} windows",
+            mcv_sum / windows as f64,
+            cv_sum / windows as f64
+        );
+    }
+
+    // 4. The per-window estimates are pinned by the committed snapshot.
+    let text = rendered(&rows);
+    if std::env::var("VMQ_UPDATE_GOLDEN").is_ok() {
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden snapshot");
+        eprintln!("updated {GOLDEN_PATH}");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .unwrap_or_else(|e| panic!("cannot read {GOLDEN_PATH} (run with VMQ_UPDATE_GOLDEN=1 to create it): {e}"));
+    assert_eq!(
+        text, golden,
+        "windowed aggregate estimates drifted from the golden snapshot; if intentional, regenerate with VMQ_UPDATE_GOLDEN=1"
+    );
+}
