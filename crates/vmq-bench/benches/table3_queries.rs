@@ -23,9 +23,11 @@
 
 use vmq_bench::{DatasetExperiment, Scale};
 use vmq_core::Report;
-use vmq_detect::OracleDetector;
+use vmq_detect::{CostLedger, DetectionCache, OracleDetector, Stage};
 use vmq_filters::FrameFilter;
-use vmq_query::{CascadeConfig, PipelineConfig, Query, QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport};
+use vmq_query::{
+    CascadeConfig, PipelineConfig, Query, QueryAccuracy, QueryExecutor, QueryRun, SharedStreamPlan, SpeedupReport,
+};
 use vmq_video::DatasetKind;
 
 /// Candidate cascade configurations, ordered from most to least selective.
@@ -102,6 +104,99 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// The shared multi-query comparison: all seven standing queries over *one*
+/// camera stream, isolated (seven passes, seven detector bills) vs shared
+/// (one pass through [`SharedStreamPlan`], detector deduplicated across the
+/// escalation union).
+struct MultiQueryRecord {
+    frames: usize,
+    queries: usize,
+    isolated_detector_invocations: u64,
+    shared_detector_invocations: u64,
+    detector_reduction: f64,
+    isolated_virtual_ms: f64,
+    shared_virtual_ms: f64,
+    virtual_speedup: f64,
+    isolated_wall_ms: f64,
+    shared_wall_ms: f64,
+    wall_speedup: f64,
+}
+
+impl MultiQueryRecord {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "  \"multi_query\": {{\"frames\":{},\"queries\":{},",
+                "\"isolated_detector_invocations\":{},\"shared_detector_invocations\":{},",
+                "\"detector_reduction\":{:.3},",
+                "\"isolated_virtual_ms\":{:.3},\"shared_virtual_ms\":{:.3},\"virtual_speedup\":{:.3},",
+                "\"isolated_wall_ms\":{:.3},\"shared_wall_ms\":{:.3},\"wall_speedup\":{:.3}}}"
+            ),
+            self.frames,
+            self.queries,
+            self.isolated_detector_invocations,
+            self.shared_detector_invocations,
+            self.detector_reduction,
+            self.isolated_virtual_ms,
+            self.shared_virtual_ms,
+            self.virtual_speedup,
+            self.isolated_wall_ms,
+            self.shared_wall_ms,
+            self.wall_speedup,
+        )
+    }
+}
+
+/// Runs q1–q7 as standing queries on the Jackson stream, isolated vs shared
+/// (the trained OD filter backend serves all seven in the shared pass).
+fn multi_query_comparison(exp: &DatasetExperiment, queries: &[Query], oracle: &OracleDetector) -> MultiQueryRecord {
+    let frames = exp.dataset.test();
+    let filter: &dyn FrameFilter = &exp.filters.od;
+    let cascade = CascadeConfig::tolerant();
+
+    let isolated_start = std::time::Instant::now();
+    let mut isolated_virtual_ms = 0.0;
+    let mut isolated_detector_invocations = 0u64;
+    for query in queries {
+        let exec = batched_executor(query);
+        let run = exec.run_filtered(frames, filter, oracle, cascade);
+        isolated_virtual_ms += run.virtual_ms;
+        isolated_detector_invocations += run.frames_detected as u64;
+    }
+    let isolated_wall_ms = isolated_start.elapsed().as_secs_f64() * 1000.0;
+
+    let shared_start = std::time::Instant::now();
+    let global = CostLedger::paper();
+    let mut plan = SharedStreamPlan::new(
+        oracle,
+        DetectionCache::new(),
+        global.clone(),
+        PipelineConfig::with_batch_size(PipelineConfig::DEFAULT_BATCH_SIZE),
+    );
+    let backend = plan.add_backend(filter);
+    for query in queries {
+        plan.register_select(query.clone(), cascade, Some(backend), CostLedger::paper());
+    }
+    let _runs = plan.execute_slice(frames);
+    let shared_wall_ms = shared_start.elapsed().as_secs_f64() * 1000.0;
+    let shared_virtual_ms = global.total_ms();
+    let shared_detector_invocations = global.invocations(Stage::MaskRcnn);
+
+    MultiQueryRecord {
+        frames: frames.len(),
+        queries: queries.len(),
+        isolated_detector_invocations,
+        shared_detector_invocations,
+        detector_reduction: isolated_detector_invocations as f64 / shared_detector_invocations.max(1) as f64,
+        isolated_virtual_ms,
+        shared_virtual_ms,
+        virtual_speedup: isolated_virtual_ms / shared_virtual_ms.max(1e-9),
+        isolated_wall_ms,
+        shared_wall_ms,
+        wall_speedup: isolated_wall_ms / shared_wall_ms.max(1e-9),
+    }
+}
+
 /// Total wall-clock milliseconds one pipeline execution spent across its
 /// operators (from the run's own stage metrics).
 fn pipeline_wall_ms(run: &QueryRun) -> f64 {
@@ -126,7 +221,7 @@ fn stages_json(run: &QueryRun) -> String {
     format!("[{}]", entries.join(","))
 }
 
-fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord]) -> String {
+fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord], multi: &MultiQueryRecord) -> String {
     let rows: Vec<String> = records
         .iter()
         .map(|r| {
@@ -160,10 +255,11 @@ fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord]) -> Stri
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"table3_queries\",\n  \"executor\": \"batched operator pipeline\",\n  \"scale\": \"{}\",\n  \"batch_size\": {},\n  \"queries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"table3_queries\",\n  \"executor\": \"batched operator pipeline\",\n  \"scale\": \"{}\",\n  \"batch_size\": {},\n  \"queries\": [\n{}\n  ],\n{}\n}}\n",
         scale,
         batch_size,
-        rows.join(",\n")
+        rows.join(",\n"),
+        multi.to_json()
     )
 }
 
@@ -263,6 +359,30 @@ fn main() {
             stages: stages_json(&run),
         });
     }
+    // Shared multi-query pass: the monitoring scenario — all seven standing
+    // queries watching the Jackson stream through one SharedStreamPlan.
+    let all_queries: Vec<Query> = vec![
+        Query::paper_q1(),
+        Query::paper_q2(),
+        Query::paper_q3(),
+        Query::paper_q4(),
+        Query::paper_q5(),
+        Query::paper_q6(),
+        Query::paper_q7(),
+    ];
+    let multi = multi_query_comparison(&jackson, &all_queries, &oracle);
+    report.note(&format!(
+        "multi-query (7 standing queries, one stream): detector {} -> {} invocations ({:.2}x reduction), virtual {:.1}s -> {:.1}s ({:.2}x), wall {:.0}ms -> {:.0}ms ({:.2}x)",
+        multi.isolated_detector_invocations,
+        multi.shared_detector_invocations,
+        multi.detector_reduction,
+        multi.isolated_virtual_ms / 1000.0,
+        multi.shared_virtual_ms / 1000.0,
+        multi.virtual_speedup,
+        multi.isolated_wall_ms,
+        multi.shared_wall_ms,
+        multi.wall_speedup,
+    ));
     report.note("for each query the most selective filter combination that keeps 100% recall is chosen, as in the paper; otherwise the best-recall combination is shown");
     report.note("the adaptive columns run the calibration-driven planner (IC+OD backends x full CCF/CLF lattice); adaptive virtual time includes the calibration prefix cost, so the speedup is what a caller would actually observe");
     report.note("times use the paper's virtual cost model (Mask R-CNN 200 ms, OD filter 1.9 ms per frame); speedup is governed by the cascade's selectivity");
@@ -277,7 +397,7 @@ fn main() {
             Scale::Default => "default",
             Scale::Full => "full",
         };
-        let json = records_json(scale_name, PipelineConfig::DEFAULT_BATCH_SIZE, &records);
+        let json = records_json(scale_name, PipelineConfig::DEFAULT_BATCH_SIZE, &records, &multi);
         std::fs::write(&path, json).expect("write VMQ_BENCH_JSON output");
         eprintln!("wrote pipeline baseline to {path}");
     }

@@ -2,12 +2,13 @@
 
 use crate::config::{CalibrationConfig, EngineConfig, FilterChoice};
 use crate::report::Report;
-use vmq_aggregate::{AggregateReport, HoppingWindow, WindowedAggregator};
+use crate::runtime::{MultiQueryOutcome, RuntimeQuery, StatementOutcome, StreamRuntime};
+use vmq_aggregate::{AggregateReport, HoppingWindow};
 use vmq_detect::OracleDetector;
 use vmq_filters::{CalibratedFilter, FrameFilter, TrainedFilters};
 use vmq_query::{
-    exec, AggregateSpec, CalibrationReport, CascadeConfig, CvBackendChoice, ParsedStatement, PlanChoice, Query,
-    QueryAccuracy, QueryExecutor, QueryRun, SpeedupReport,
+    exec, CalibrationReport, CascadeConfig, CvBackendChoice, ParsedStatement, PlanChoice, Query, QueryAccuracy,
+    QueryExecutor, QueryRun, SpeedupReport,
 };
 use vmq_video::Dataset;
 
@@ -107,9 +108,9 @@ impl WindowedAggregateOutcome {
 
 /// The high-level Video Monitoring Queries engine.
 pub struct VmqEngine {
-    config: EngineConfig,
-    dataset: Dataset,
-    oracle: OracleDetector,
+    pub(crate) config: EngineConfig,
+    pub(crate) dataset: Dataset,
+    pub(crate) oracle: OracleDetector,
     filters: Option<TrainedFilters>,
 }
 
@@ -146,7 +147,7 @@ impl VmqEngine {
 
     /// Resolves a filter choice to a concrete filter. Learned choices require
     /// [`VmqEngine::train_filters`] to have been called.
-    fn resolve_filter(&self, choice: FilterChoice) -> Box<dyn FrameFilter + '_> {
+    pub(crate) fn resolve_filter(&self, choice: FilterChoice) -> Box<dyn FrameFilter + '_> {
         match choice {
             FilterChoice::Ic => Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").ic)),
             FilterChoice::Od => Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").od)),
@@ -162,20 +163,46 @@ impl VmqEngine {
         }
     }
 
+    /// Creates an empty [`StreamRuntime`] over this engine's stream:
+    /// register N statements (selects, adaptive selects, windowed
+    /// aggregates), then [`StreamRuntime::run`] drives them all through one
+    /// shared pass with deduplicated detection.
+    pub fn runtime(&self) -> StreamRuntime<'_> {
+        StreamRuntime::new(self)
+    }
+
+    /// Runs N statements through **one** shared stream pass: backend
+    /// inference once per `(backend, frame)`, the expensive detector once
+    /// per frame in the union any statement escalates (or samples), and a
+    /// combined [`SharedCost`](vmq_detect::SharedCost) report splitting the
+    /// deduplicated bill across the statements. Each per-statement outcome
+    /// is bit-identical to running that statement alone.
+    pub fn run_many(&self, statements: &[RuntimeQuery]) -> MultiQueryOutcome {
+        self.run_many_sharded(statements, 1)
+    }
+
+    /// [`VmqEngine::run_many`] with the detect stage sharded across
+    /// `workers` scoped threads (bit-identical results for any count).
+    pub fn run_many_sharded(&self, statements: &[RuntimeQuery], workers: usize) -> MultiQueryOutcome {
+        let mut runtime = self.runtime().with_workers(workers);
+        for statement in statements {
+            runtime.register(statement.clone());
+        }
+        runtime.run()
+    }
+
     /// Runs a query over the test split: filtered execution plus the
-    /// brute-force baseline, with accuracy and speedup.
+    /// brute-force baseline, with accuracy and speedup. A thin single-query
+    /// registration of the shared [`StreamRuntime`] (the baseline is the
+    /// synthesised brute-force run, bit-identical to executing it under the
+    /// engine's perfect oracle).
     pub fn run_query(&self, query: &Query, choice: FilterChoice, cascade: CascadeConfig) -> QueryOutcome {
-        let frames = self.dataset.test();
-        let filter = self.resolve_filter(choice);
-
-        let brute_exec = QueryExecutor::new(query.clone());
-        let brute_force = brute_exec.run_brute_force(frames, &self.oracle);
-
-        let filtered_exec = QueryExecutor::new(query.clone());
-        let run = filtered_exec.run_filtered(frames, filter.as_ref(), &self.oracle, cascade);
-        let accuracy = filtered_exec.accuracy(&run, frames);
-        let speedup = SpeedupReport::new(brute_force.virtual_ms, run.virtual_ms);
-        QueryOutcome { run, brute_force, accuracy, speedup }
+        let outcome =
+            self.run_many(&[RuntimeQuery::Select { query: query.clone(), choice, cascade }]).outcomes.remove(0);
+        match outcome {
+            StatementOutcome::Select(outcome) => outcome,
+            _ => unreachable!("a Select statement yields a Select outcome"),
+        }
     }
 
     /// Runs a query over the test split *adaptively*: the leading
@@ -184,29 +211,13 @@ impl VmqEngine {
     /// combination is profiled on them, and the cheapest combination that
     /// kept 100 % recall on the prefix is executed over the whole split.
     /// The filtered run's virtual time includes the calibration cost, so the
-    /// reported speedup is what a caller would actually observe.
+    /// reported speedup is what a caller would actually observe. A thin
+    /// single-query registration of the shared [`StreamRuntime`].
     pub fn run_adaptive(&self, query: &Query, calibration: &CalibrationConfig) -> AdaptiveOutcome {
-        let frames = self.dataset.test();
-        let filters: Vec<Box<dyn FrameFilter + '_>> =
-            calibration.candidate_backends.iter().map(|&choice| self.resolve_filter(choice)).collect();
-        let backends: Vec<&dyn FrameFilter> = filters.iter().map(|f| f.as_ref()).collect();
-
-        let brute_exec = QueryExecutor::new(query.clone());
-        let brute_force = brute_exec.run_brute_force(frames, &self.oracle);
-
-        let adaptive_exec = QueryExecutor::new(query.clone());
-        let (run, calibration_report) = adaptive_exec.run_adaptive(
-            frames,
-            calibration.prefix_frames,
-            &backends,
-            &calibration.candidate_tolerances,
-            &self.oracle,
-        );
-        let accuracy = adaptive_exec.accuracy(&run, frames);
-        let speedup = SpeedupReport::new(brute_force.virtual_ms, run.virtual_ms);
-        AdaptiveOutcome {
-            outcome: QueryOutcome { run, brute_force, accuracy, speedup },
-            calibration: calibration_report,
+        let statement = RuntimeQuery::SelectAdaptive { query: query.clone(), calibration: calibration.clone() };
+        match self.run_many(&[statement]).outcomes.remove(0) {
+            StatementOutcome::Adaptive(outcome) => outcome,
+            _ => unreachable!("a SelectAdaptive statement yields an Adaptive outcome"),
         }
     }
 
@@ -242,18 +253,11 @@ impl VmqEngine {
         sample_size: usize,
         trials: usize,
     ) -> WindowedAggregateOutcome {
-        let filter = self.resolve_filter(choice);
-        let backends: Vec<&dyn FrameFilter> = vec![filter.as_ref()];
-        let mut estimator = WindowedAggregator::new(query.clone(), sample_size, trials, self.config.seed ^ 0xA66);
-        let exec = QueryExecutor::new(query.clone());
-        let run = exec.run_aggregate(
-            self.dataset.test(),
-            AggregateSpec::new(window.size, window.advance),
-            &backends,
-            &self.oracle,
-            &mut estimator,
-        );
-        WindowedAggregateOutcome { selections: Vec::new(), reports: estimator.into_reports(), run }
+        let statement = RuntimeQuery::Aggregate { query: query.clone(), choice, window, sample_size, trials };
+        match self.run_many(&[statement]).outcomes.remove(0) {
+            StatementOutcome::Aggregate(outcome) => outcome,
+            _ => unreachable!("an Aggregate statement yields an Aggregate outcome"),
+        }
     }
 
     /// Like [`VmqEngine::run_aggregate_windows`] but *adaptive*: every
@@ -271,21 +275,17 @@ impl VmqEngine {
         sample_size: usize,
         trials: usize,
     ) -> WindowedAggregateOutcome {
-        let filters: Vec<Box<dyn FrameFilter + '_>> =
-            calibration.candidate_backends.iter().map(|&choice| self.resolve_filter(choice)).collect();
-        let backends: Vec<&dyn FrameFilter> = filters.iter().map(|f| f.as_ref()).collect();
-        let mut estimator = WindowedAggregator::new(query.clone(), sample_size, trials, self.config.seed ^ 0xA66)
-            .with_adaptive_backend(calibration.prefix_frames);
-        let exec = QueryExecutor::new(query.clone());
-        let run = exec.run_aggregate(
-            self.dataset.test(),
-            AggregateSpec::new(window.size, window.advance),
-            &backends,
-            &self.oracle,
-            &mut estimator,
-        );
-        let selections = estimator.selections().to_vec();
-        WindowedAggregateOutcome { selections, reports: estimator.into_reports(), run }
+        let statement = RuntimeQuery::AggregateAdaptive {
+            query: query.clone(),
+            calibration: calibration.clone(),
+            window,
+            sample_size,
+            trials,
+        };
+        match self.run_many(&[statement]).outcomes.remove(0) {
+            StatementOutcome::Aggregate(outcome) => outcome,
+            _ => unreachable!("an AggregateAdaptive statement yields an Aggregate outcome"),
+        }
     }
 
     /// Executes a parsed statement as a windowed aggregate: the statement's

@@ -26,7 +26,9 @@
 pub mod config;
 pub mod engine;
 pub mod report;
+pub mod runtime;
 
 pub use config::{CalibrationConfig, EngineConfig, FilterChoice};
 pub use engine::{AdaptiveOutcome, QueryOutcome, VmqEngine, WindowedAggregateOutcome};
 pub use report::Report;
+pub use runtime::{MultiQueryOutcome, RuntimeQuery, StatementOutcome, StreamRuntime};

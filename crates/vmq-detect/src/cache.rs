@@ -1,0 +1,337 @@
+//! Shared detection cache: one detector invocation per frame, however many
+//! queries ask.
+//!
+//! In the paper's monitoring setting many standing queries watch the *same*
+//! camera stream; the expensive detector's verdict on a frame is identical
+//! for all of them. [`DetectionCache`] memoises `(camera_id, frame_id) →
+//! Arc<FrameDetections>` so a frame escalated by query A and later needed by
+//! query B (or sampled again by an aggregate estimator's next trial) is
+//! detected exactly once — and two cameras that happen to reuse a frame id
+//! never see each other's detections. The cache records which queries *used* each frame,
+//! which is what lets the shared runtime split the single global charge
+//! across its users in the [`SharedCost`](crate::SharedCost) breakdown.
+//!
+//! Correctness rests on detections being a pure function of the frame:
+//! [`OracleDetector`](crate::OracleDetector) noise is derived per frame from
+//! `(seed, camera_id, frame_id)`, so a cached result is bit-identical to a
+//! fresh invocation regardless of order.
+
+use crate::annotation::FrameDetections;
+use crate::cost::{CostLedger, Stage};
+use crate::Detector;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use vmq_video::Frame;
+
+/// Cache key: `(camera_id, frame_id)` — frame ids are only unique per
+/// camera stream.
+type FrameKey = (u32, u64);
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: BTreeMap<FrameKey, Arc<FrameDetections>>,
+    users: BTreeMap<FrameKey, BTreeSet<usize>>,
+    hits: u64,
+    misses: u64,
+}
+
+/// Memoised detector results shared by all queries of a stream pass.
+///
+/// Cheap to clone (`Arc` internally); clones share the same cache.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl DetectionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DetectionCache::default()
+    }
+
+    /// Returns the detections for `frame`, invoking `detector` only when the
+    /// frame has not been detected before, and records `user` (a query index)
+    /// as a consumer of the frame for cost attribution.
+    ///
+    /// The lock is deliberately held across the detector invocation: a
+    /// lock-free check-detect-insert would let two racing callers invoke the
+    /// expensive detector twice for one charged miss, corrupting the
+    /// invocations == |union| accounting. Callers that want miss-path
+    /// parallelism shard the *known-missing* set outside the cache and merge
+    /// via [`DetectionCache::insert`], which is exactly what the shared
+    /// plan's worker pool does.
+    pub fn get_or_detect(&self, detector: &dyn Detector, frame: &Frame, user: usize) -> Arc<FrameDetections> {
+        self.fetch(detector, frame, user).0
+    }
+
+    /// Like [`DetectionCache::get_or_detect`], additionally reporting
+    /// whether the call actually invoked the detector (`true` = this call
+    /// was the frame's one miss). Charging decisions must use this flag, not
+    /// a before/after delta of the cache-wide [`DetectionCache::misses`]
+    /// counter, which can interleave with other users' misses.
+    pub fn fetch(&self, detector: &dyn Detector, frame: &Frame, user: usize) -> (Arc<FrameDetections>, bool) {
+        let key = (frame.camera_id, frame.frame_id);
+        let mut inner = self.inner.lock();
+        inner.users.entry(key).or_default().insert(user);
+        if let Some(hit) = inner.entries.get(&key).map(Arc::clone) {
+            inner.hits += 1;
+            return (hit, false);
+        }
+        inner.misses += 1;
+        let detections = Arc::new(detector.detect(frame));
+        inner.entries.insert(key, Arc::clone(&detections));
+        (detections, true)
+    }
+
+    /// Cached lookup without detection (records `user` and a hit on success).
+    pub fn get(&self, frame: &Frame, user: usize) -> Option<Arc<FrameDetections>> {
+        let key = (frame.camera_id, frame.frame_id);
+        let mut inner = self.inner.lock();
+        let hit = inner.entries.get(&key).map(Arc::clone)?;
+        inner.users.entry(key).or_default().insert(user);
+        inner.hits += 1;
+        Some(hit)
+    }
+
+    /// Inserts an externally computed detection of `frame` (the sharded
+    /// worker pool detects cache misses in parallel and merges them back
+    /// through this), recording `user`. Counts as the frame's one miss;
+    /// inserting an already cached frame is a no-op for the entry but still
+    /// records the user.
+    pub fn insert(&self, frame: &Frame, detections: Arc<FrameDetections>, user: usize) {
+        debug_assert_eq!(frame.frame_id, detections.frame_id, "detections must belong to the keyed frame");
+        let key = (frame.camera_id, frame.frame_id);
+        let mut inner = self.inner.lock();
+        inner.users.entry(key).or_default().insert(user);
+        if inner.entries.contains_key(&key) {
+            return;
+        }
+        inner.misses += 1;
+        inner.entries.insert(key, detections);
+    }
+
+    /// True when `frame` is already cached.
+    pub fn contains(&self, frame: &Frame) -> bool {
+        self.inner.lock().entries.contains_key(&(frame.camera_id, frame.frame_id))
+    }
+
+    /// Number of distinct frames detected — exactly the number of detector
+    /// invocations the cache allowed through (== [`DetectionCache::misses`]).
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when nothing has been detected yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().entries.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.inner.lock().hits
+    }
+
+    /// Lookups that had to invoke the detector (plus external inserts): the
+    /// number of actual detector invocations under this cache.
+    pub fn misses(&self) -> u64 {
+        self.inner.lock().misses
+    }
+
+    /// Per-frame consumer sets, in `(camera_id, frame_id)` order. The shared
+    /// runtime turns this into the per-query detector-cost split — each
+    /// frame's single charge divides equally among its users.
+    pub fn frame_users(&self) -> Vec<((u32, u64), Vec<usize>)> {
+        self.inner.lock().users.iter().map(|(&key, users)| (key, users.iter().copied().collect())).collect()
+    }
+
+    /// Splits every cached frame's single detector charge equally among its
+    /// recorded users, writing the fractions into `ledger`'s attribution
+    /// table for `stage`. *Replaces* any attribution previously settled for
+    /// `stage`, so re-settling — a plan executed twice, or several plans
+    /// sharing one cache and global ledger — recomputes the split over the
+    /// full user sets instead of double-counting. (User indices must be
+    /// consistent across everything that shares the cache.)
+    pub fn attribute_detections(&self, ledger: &CostLedger, stage: Stage) {
+        ledger.clear_attribution(stage);
+        for (_, users) in self.frame_users() {
+            if users.is_empty() {
+                continue;
+            }
+            let share = 1.0 / users.len() as f64;
+            for user in users {
+                ledger.attribute(stage, user, share);
+            }
+        }
+    }
+}
+
+/// A [`Detector`] front-end that routes every invocation through a
+/// [`DetectionCache`] on behalf of one query.
+///
+/// Misses run the inner detector and are charged (once, globally) to the
+/// optional ledger; hits cost nothing. This is how aggregate estimators and
+/// the adaptive planner participate in shared detection without knowing the
+/// cache exists: they receive a `CachedDetector` where they expect a plain
+/// detector.
+pub struct CachedDetector<'a> {
+    inner: &'a dyn Detector,
+    cache: &'a DetectionCache,
+    user: usize,
+    ledger: Option<CostLedger>,
+}
+
+impl<'a> CachedDetector<'a> {
+    /// Wraps `inner` for query `user`; misses charge `ledger` (when given)
+    /// at the inner detector's stage.
+    pub fn new(inner: &'a dyn Detector, cache: &'a DetectionCache, user: usize, ledger: Option<CostLedger>) -> Self {
+        CachedDetector { inner, cache, user, ledger }
+    }
+}
+
+impl Detector for CachedDetector<'_> {
+    fn detect(&self, frame: &Frame) -> FrameDetections {
+        let (detections, fresh) = self.cache.fetch(self.inner, frame, self.user);
+        if fresh {
+            if let Some(ledger) = &self.ledger {
+                ledger.charge(self.inner.stage(), 1);
+            }
+        }
+        (*detections).clone()
+    }
+
+    fn stage(&self) -> Stage {
+        self.inner.stage()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OracleDetector;
+    use vmq_video::{BoundingBox, Color, ObjectClass, SceneObject};
+
+    fn frame(frame_id: u64) -> Frame {
+        let objects = vec![SceneObject {
+            track_id: 0,
+            class: ObjectClass::Car,
+            color: Color::Red,
+            bbox: BoundingBox::new(0.2, 0.2, 0.1, 0.1),
+            velocity: (0.0, 0.0),
+        }];
+        Frame { camera_id: 0, frame_id, timestamp: 0.0, objects }
+    }
+
+    /// The cache's core accounting contract: detector invocations equal the
+    /// number of *distinct* frames sampled, never the number of lookups.
+    #[test]
+    fn detector_invocations_equal_union_of_sampled_frames() {
+        let ledger = CostLedger::paper();
+        let oracle = OracleDetector::with_ledger(ledger.clone());
+        let cache = DetectionCache::new();
+        // Query 0 samples frames 0..10, query 1 samples the overlapping
+        // 5..15, query 0 re-samples 0..10 (an aggregate's second trial).
+        for id in 0..10 {
+            let _ = cache.get_or_detect(&oracle, &frame(id), 0);
+        }
+        for id in 5..15 {
+            let _ = cache.get_or_detect(&oracle, &frame(id), 1);
+        }
+        for id in 0..10 {
+            let _ = cache.get_or_detect(&oracle, &frame(id), 0);
+        }
+        // |union| = |0..15| = 15 invocations; 30 lookups total.
+        assert_eq!(cache.misses(), 15);
+        assert_eq!(cache.len(), 15);
+        assert_eq!(cache.hits(), 30 - 15);
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 15);
+    }
+
+    #[test]
+    fn frame_users_record_every_consumer_once() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::new();
+        let _ = cache.get_or_detect(&oracle, &frame(3), 0);
+        let _ = cache.get_or_detect(&oracle, &frame(3), 1);
+        let _ = cache.get_or_detect(&oracle, &frame(3), 1);
+        let _ = cache.get_or_detect(&oracle, &frame(7), 2);
+        assert_eq!(cache.frame_users(), vec![((0, 3), vec![0, 1]), ((0, 7), vec![2])]);
+        // Attribution splits frame 3 between queries 0 and 1; frame 7 goes
+        // wholly to query 2.
+        let ledger = CostLedger::paper();
+        cache.attribute_detections(&ledger, Stage::MaskRcnn);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 0) - 0.5).abs() < 1e-12);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 1) - 0.5).abs() < 1e-12);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 2) - 1.0).abs() < 1e-12);
+    }
+
+    /// Re-settling attribution — a plan executed twice, or two plans sharing
+    /// one cache and global ledger — recomputes the split instead of
+    /// accumulating duplicates, so the attributed total always equals the
+    /// charged total.
+    #[test]
+    fn attribution_settlement_is_idempotent_and_covers_late_users() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::new();
+        let ledger = CostLedger::paper();
+        let _ = cache.get_or_detect(&oracle, &frame(1), 0);
+        cache.attribute_detections(&ledger, Stage::MaskRcnn);
+        cache.attribute_detections(&ledger, Stage::MaskRcnn);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 0) - 1.0).abs() < 1e-12, "no double counting");
+        // A later consumer (a second plan over the shared cache) re-splits
+        // the same single charge across the full user set.
+        let _ = cache.get_or_detect(&oracle, &frame(1), 1);
+        cache.attribute_detections(&ledger, Stage::MaskRcnn);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 0) - 0.5).abs() < 1e-12);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 1) - 0.5).abs() < 1e-12);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn cached_results_are_shared_arcs() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::new();
+        let a = cache.get_or_detect(&oracle, &frame(1), 0);
+        let b = cache.get_or_detect(&oracle, &frame(1), 1);
+        assert!(Arc::ptr_eq(&a, &b), "hit must return the same shared annotation");
+        assert_eq!(a.frame_id, 1);
+    }
+
+    #[test]
+    fn insert_merges_external_detections_without_double_counting() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::new();
+        cache.insert(&frame(9), Arc::new(oracle.detect(&frame(9))), 0);
+        assert!(cache.contains(&frame(9)));
+        assert_eq!(cache.misses(), 1);
+        // A second insert of the same frame records the new user only.
+        cache.insert(&frame(9), Arc::new(oracle.detect(&frame(9))), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.frame_users(), vec![((0, 9), vec![0, 1])]);
+        // And a lookup is a hit.
+        assert!(cache.get(&frame(9), 2).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert!(cache.get(&frame(10), 2).is_none());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn cached_detector_charges_misses_only() {
+        let ledger = CostLedger::paper();
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::new();
+        let cached = CachedDetector::new(&oracle, &cache, 4, Some(ledger.clone()));
+        assert_eq!(cached.stage(), Stage::MaskRcnn);
+        assert!(cached.name().contains("oracle"));
+        let first = cached.detect(&frame(5));
+        let second = cached.detect(&frame(5));
+        assert_eq!(first.frame_id, second.frame_id);
+        assert_eq!(first.count(), second.count());
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 1, "the hit must not re-charge");
+        assert_eq!(cache.frame_users(), vec![((0, 5), vec![4])]);
+    }
+}

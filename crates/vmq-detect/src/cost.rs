@@ -108,10 +108,88 @@ pub struct CostLedger {
     inner: Arc<Mutex<LedgerInner>>,
 }
 
+/// Per-query attributed share of the shared bill, one row of a
+/// [`SharedCost`] breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryCostShare {
+    /// Query name (registration label in the shared runtime).
+    pub query: String,
+    /// Virtual milliseconds attributed to this query: its equal split of
+    /// every shared charge it participated in (decode across all queries,
+    /// filter inference across the backend's users, each detected frame
+    /// across the queries that used it).
+    pub attributed_ms: f64,
+    /// Virtual milliseconds the query would have paid running in isolation
+    /// (its private as-if-isolated ledger total).
+    pub isolated_ms: f64,
+}
+
+impl QueryCostShare {
+    /// Virtual milliseconds the query saved by sharing the stream pass.
+    pub fn saved_ms(&self) -> f64 {
+        self.isolated_ms - self.attributed_ms
+    }
+}
+
+/// The shared-vs-isolated cost breakdown of a multi-query stream pass: work
+/// performed once (one decode, one filter inference per backend×frame, one
+/// detector invocation per frame in the union) is charged once globally and
+/// split among the queries that consumed it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedCost {
+    /// Per-query attribution rows, in registration order. The attributed
+    /// columns sum to [`SharedCost::shared_total_ms`] (up to rounding).
+    pub queries: Vec<QueryCostShare>,
+    /// Total virtual milliseconds the shared pass actually charged.
+    pub shared_total_ms: f64,
+    /// Total virtual milliseconds the same queries would have charged run in
+    /// isolation (sum of the per-query isolated ledgers).
+    pub isolated_total_ms: f64,
+}
+
+impl SharedCost {
+    /// Virtual milliseconds saved by sharing (isolated − shared).
+    pub fn saved_ms(&self) -> f64 {
+        self.isolated_total_ms - self.shared_total_ms
+    }
+
+    /// Speedup factor of the shared pass over isolated execution.
+    pub fn speedup(&self) -> f64 {
+        if self.shared_total_ms <= 0.0 {
+            1.0
+        } else {
+            self.isolated_total_ms / self.shared_total_ms
+        }
+    }
+
+    /// A multi-line human-readable breakdown.
+    pub fn summary(&self) -> String {
+        let mut lines = vec![format!(
+            "shared pass: {:.2} s vs {:.2} s isolated ({:.2}x)",
+            self.shared_total_ms / 1000.0,
+            self.isolated_total_ms / 1000.0,
+            self.speedup()
+        )];
+        for share in &self.queries {
+            lines.push(format!(
+                "  {:<12} attributed={:.2} s  isolated={:.2} s  saved={:.2} s",
+                share.query,
+                share.attributed_ms / 1000.0,
+                share.isolated_ms / 1000.0,
+                share.saved_ms() / 1000.0
+            ));
+        }
+        lines.join("\n")
+    }
+}
+
 #[derive(Debug, Default)]
 struct LedgerInner {
     invocations: BTreeMap<Stage, u64>,
     calibration: BTreeMap<Stage, u64>,
+    /// Fractional per-query frame attribution of shared charges:
+    /// `(query, stage) → frames` (fractions from equal splits).
+    attribution: BTreeMap<(usize, Stage), f64>,
 }
 
 impl LedgerInner {
@@ -150,6 +228,69 @@ impl CostLedger {
         let mut inner = self.inner.lock();
         *inner.invocations.entry(stage).or_insert(0) += frames;
         *inner.calibration.entry(stage).or_insert(0) += frames;
+    }
+
+    /// Charges `frames` frames to `stage` once globally and splits the
+    /// attribution equally among `users` (query indices): the shared
+    /// runtime's charging primitive for work performed once on behalf of
+    /// several queries (decode, shared filter inference).
+    pub fn charge_shared(&self, stage: Stage, frames: u64, users: &[usize]) {
+        let mut inner = self.inner.lock();
+        *inner.invocations.entry(stage).or_insert(0) += frames;
+        if users.is_empty() {
+            return;
+        }
+        let share = frames as f64 / users.len() as f64;
+        for &user in users {
+            *inner.attribution.entry((user, stage)).or_insert(0.0) += share;
+        }
+    }
+
+    /// Adds `frames` (fractional) to `user`'s attribution for `stage`
+    /// *without* charging the global totals — used when the global charge
+    /// already happened (a detection cache miss) and only the split is being
+    /// settled afterwards, once the full set of consumers is known.
+    pub fn attribute(&self, stage: Stage, user: usize, frames: f64) {
+        *self.inner.lock().attribution.entry((user, stage)).or_insert(0.0) += frames;
+    }
+
+    /// Clears every user's attribution for `stage` (the global charges are
+    /// untouched). Lets a settlement pass that knows the *full* consumer
+    /// sets — [`DetectionCache::attribute_detections`](crate::DetectionCache) —
+    /// recompute the split idempotently instead of accumulating duplicates.
+    pub fn clear_attribution(&self, stage: Stage) {
+        self.inner.lock().attribution.retain(|&(_, s), _| s != stage);
+    }
+
+    /// Fractional frames attributed to `user` for `stage`.
+    pub fn attributed_frames(&self, stage: Stage, user: usize) -> f64 {
+        self.inner.lock().attribution.get(&(user, stage)).copied().unwrap_or(0.0)
+    }
+
+    /// Virtual milliseconds attributed to `user` across all stages.
+    pub fn attributed_ms(&self, user: usize) -> f64 {
+        let inner = self.inner.lock();
+        Stage::ALL
+            .iter()
+            .map(|&s| self.model.cost_ms(s) * inner.attribution.get(&(user, s)).copied().unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Builds the [`SharedCost`] breakdown of this (global) ledger:
+    /// one row per query, pairing its attributed share of the shared bill
+    /// with the isolated cost the caller measured for it.
+    pub fn shared_cost(&self, queries: &[(String, f64)]) -> SharedCost {
+        let rows: Vec<QueryCostShare> = queries
+            .iter()
+            .enumerate()
+            .map(|(user, (query, isolated_ms))| QueryCostShare {
+                query: query.clone(),
+                attributed_ms: self.attributed_ms(user),
+                isolated_ms: *isolated_ms,
+            })
+            .collect();
+        let isolated_total_ms = rows.iter().map(|r| r.isolated_ms).sum();
+        SharedCost { queries: rows, shared_total_ms: self.total_ms(), isolated_total_ms }
     }
 
     /// Number of frames charged to a stage during calibration.
@@ -338,6 +479,53 @@ mod tests {
         ledger.reset();
         assert_eq!(ledger.calibration_ms(), 0.0);
         assert!(ledger.calibration_breakdown().is_empty());
+    }
+
+    #[test]
+    fn shared_charges_split_attribution_but_count_once_globally() {
+        let ledger = CostLedger::paper();
+        // Decode shared by three queries, OD inference by two, and one
+        // detected frame settled after the fact between queries 0 and 2.
+        ledger.charge_shared(Stage::Decode, 90, &[0, 1, 2]);
+        ledger.charge_shared(Stage::OdFilter, 90, &[0, 2]);
+        ledger.charge(Stage::MaskRcnn, 1);
+        ledger.attribute(Stage::MaskRcnn, 0, 0.5);
+        ledger.attribute(Stage::MaskRcnn, 2, 0.5);
+        assert_eq!(ledger.invocations(Stage::Decode), 90);
+        assert_eq!(ledger.invocations(Stage::OdFilter), 90);
+        assert!((ledger.attributed_frames(Stage::Decode, 1) - 30.0).abs() < 1e-12);
+        assert!((ledger.attributed_frames(Stage::OdFilter, 1)).abs() < 1e-12);
+        assert!((ledger.attributed_frames(Stage::OdFilter, 0) - 45.0).abs() < 1e-12);
+        // attributed_ms: q0 = 30×0.05 + 45×1.9 + 0.5×200.
+        assert!((ledger.attributed_ms(0) - (30.0 * 0.05 + 45.0 * 1.9 + 100.0)).abs() < 1e-9);
+        // The per-query attributions sum to the global total.
+        let total: f64 = (0..3).map(|q| ledger.attributed_ms(q)).sum();
+        assert!((total - ledger.total_ms()).abs() < 1e-9, "attributed {total} vs charged {}", ledger.total_ms());
+    }
+
+    #[test]
+    fn shared_cost_breakdown_pairs_attribution_with_isolated_bills() {
+        let ledger = CostLedger::paper();
+        ledger.charge_shared(Stage::MaskRcnn, 10, &[0, 1]);
+        let report = ledger.shared_cost(&[("q1".to_string(), 2000.0), ("q2".to_string(), 2000.0)]);
+        assert_eq!(report.queries.len(), 2);
+        assert_eq!(report.queries[0].query, "q1");
+        assert!((report.queries[0].attributed_ms - 1000.0).abs() < 1e-9);
+        assert!((report.queries[0].saved_ms() - 1000.0).abs() < 1e-9);
+        assert!((report.shared_total_ms - 2000.0).abs() < 1e-9);
+        assert!((report.isolated_total_ms - 4000.0).abs() < 1e-9);
+        assert!((report.speedup() - 2.0).abs() < 1e-9);
+        assert!((report.saved_ms() - 2000.0).abs() < 1e-9);
+        assert!(report.summary().contains("q2"));
+    }
+
+    #[test]
+    fn attribution_resets_with_the_ledger_too() {
+        let ledger = CostLedger::paper();
+        ledger.charge_shared(Stage::IcFilter, 8, &[0]);
+        ledger.reset();
+        assert_eq!(ledger.attributed_ms(0), 0.0);
+        assert_eq!(ledger.attributed_frames(Stage::IcFilter, 0), 0.0);
     }
 
     #[test]

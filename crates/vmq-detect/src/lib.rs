@@ -18,18 +18,26 @@
 //! * [`cost`] — a virtual clock: every stage charges its per-frame cost so
 //!   end-to-end times (Table III, Table IV) can be reproduced deterministically
 //!   on any machine, alongside real wall-clock measurements of our own filters.
+//!   For shared multi-query execution the ledger additionally tracks per-query
+//!   *attribution* — work performed once for several queries is charged once
+//!   globally and split in a [`cost::SharedCost`] breakdown.
+//! * [`cache`] — the [`cache::DetectionCache`]: `frame_id → Arc` memoisation of
+//!   detector output, so N concurrent queries over one stream invoke the
+//!   expensive detector at most once per frame.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod annotation;
+pub mod cache;
 pub mod cost;
 pub mod mid;
 pub mod noise;
 pub mod oracle;
 
 pub use annotation::{Detection, FrameDetections};
-pub use cost::{CostLedger, CostModel, Stage, StageCost};
+pub use cache::{CachedDetector, DetectionCache};
+pub use cost::{CostLedger, CostModel, QueryCostShare, SharedCost, Stage, StageCost};
 pub use mid::MidDetector;
 pub use noise::NoiseModel;
 pub use oracle::OracleDetector;

@@ -11,11 +11,13 @@
 
 use crate::ast::Query;
 use crate::metrics::QueryAccuracy;
-use crate::pipeline::{AggregateSpec, IterSource, PhysicalPlan, PipelineConfig, StageMetrics, WindowEstimator};
+use crate::pipeline::{
+    AggregateSpec, IterSource, PhysicalPlan, PipelineConfig, SharedStreamPlan, StageMetrics, WindowEstimator,
+};
 use crate::plan::CascadeConfig;
 use crate::planner::CalibrationReport;
 use serde::{Deserialize, Serialize};
-use vmq_detect::{CostLedger, Detector};
+use vmq_detect::{CostLedger, DetectionCache, Detector};
 use vmq_filters::FrameFilter;
 use vmq_video::Frame;
 
@@ -203,9 +205,10 @@ impl QueryExecutor {
 
 /// Runs a query over a frame *stream* using a bounded producer/consumer
 /// pipeline: a producer thread pushes frames into a bounded channel while
-/// the caller's thread drains it through the same batched operator pipeline
-/// the in-memory modes use. This mirrors how a continuously arriving camera
-/// stream is consumed.
+/// the caller's thread drains it through the shared batched runtime
+/// ([`SharedStreamPlan`] with a single registration) — the same code path
+/// multi-query execution uses, so there is exactly one batched executor.
+/// This mirrors how a continuously arriving camera stream is consumed.
 pub fn run_streaming<I>(
     query: &Query,
     frames: I,
@@ -219,15 +222,18 @@ where
     I::IntoIter: Send,
 {
     let (tx, rx) = std::sync::mpsc::sync_channel::<Frame>(channel_capacity.max(1));
-    let mut plan = PhysicalPlan::new(
-        query,
-        ExecutionMode::Filtered(config),
-        Some(filter),
-        detector,
-        CostLedger::paper(),
-        PipelineConfig::default(),
+    let ledger = CostLedger::paper();
+    let mut plan =
+        SharedStreamPlan::new(detector, DetectionCache::new(), CostLedger::paper(), PipelineConfig::default());
+    let backend = plan.add_backend(filter);
+    plan.register_select_with(
+        query.clone(),
+        config,
+        Some(backend),
+        ledger,
+        format!("streaming {}", config.label(query.has_spatial_constraints())),
+        None,
     );
-    plan.set_mode_label(format!("streaming {}", config.label(query.has_spatial_constraints())));
     std::thread::scope(|scope| {
         scope.spawn(move || {
             for frame in frames {
@@ -238,6 +244,7 @@ where
         });
         plan.execute(&mut IterSource::new(rx.iter()))
     })
+    .remove(0)
 }
 
 #[cfg(test)]

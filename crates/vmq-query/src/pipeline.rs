@@ -36,6 +36,18 @@
 //! only on the frames the estimator samples — the sink reports exactly that
 //! sampled work as its charged frames, so stage metrics keep the two cost
 //! classes honest and separate.
+//!
+//! *Shared multi-query* execution ([`SharedStreamPlan`]) registers N select
+//! and aggregate queries against **one** stream pass: queries are grouped by
+//! filter backend so backend inference runs once per `(backend, frame)` with
+//! per-query tolerance checks fanned out from the shared raw estimates, the
+//! expensive detector is deduplicated through a
+//! [`DetectionCache`](vmq_detect::DetectionCache) (invoked once per frame in
+//! the union any query escalates, sharded across a scoped-thread worker
+//! pool), and every query keeps a private as-if-isolated [`CostLedger`] while
+//! the global ledger charges shared work once and splits it in a
+//! [`SharedCost`](vmq_detect::SharedCost) attribution. Results are
+//! bit-identical to isolated runs and to any worker count.
 
 use crate::ast::Query;
 use crate::exec::{ExecutionMode, QueryRun};
@@ -215,6 +227,29 @@ pub struct StageMetrics {
 }
 
 impl StageMetrics {
+    /// Builds a row whose virtual charge is `charged × per-frame stage cost`
+    /// (zero for uncharged operators). The one constructor behind every
+    /// synthesised stage row — shared-plan finalisation and the runtime's
+    /// brute-force baseline — so the cost formula cannot drift between them.
+    pub fn charged_row(
+        operator: &str,
+        stage: Option<Stage>,
+        frames_in: usize,
+        frames_out: usize,
+        charged: u64,
+        model: &vmq_detect::CostModel,
+        wall_ms: f64,
+    ) -> Self {
+        StageMetrics {
+            operator: operator.to_string(),
+            stage,
+            frames_in,
+            frames_out,
+            virtual_ms: stage.map_or(0.0, |s| model.cost_ms(s) * charged as f64),
+            wall_ms,
+        }
+    }
+
     /// Fraction of entering frames that survived the operator.
     pub fn pass_rate(&self) -> f64 {
         if self.frames_in == 0 {
@@ -765,11 +800,6 @@ impl<'a> PhysicalPlan<'a> {
         &self.mode_label
     }
 
-    /// Overrides the execution-mode label (used by the streaming front-end).
-    pub fn set_mode_label(&mut self, label: String) {
-        self.mode_label = label;
-    }
-
     /// Executes the plan over an in-memory slice of frames.
     pub fn execute_slice(&mut self, frames: &[Frame]) -> QueryRun {
         self.execute(&mut SliceSource::new(frames))
@@ -851,9 +881,707 @@ impl<'a> PhysicalPlan<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared multi-query execution
+// ---------------------------------------------------------------------------
+
+/// Per-batch wall-clock accumulators of the shared pass's phases.
+#[derive(Debug, Default, Clone, Copy)]
+struct SharedWall {
+    source_ms: f64,
+    detect_ms: f64,
+}
+
+/// The shape-specific state of one registered query.
+enum SharedQueryKind<'a> {
+    /// A frame-selection query: cascade → detect survivors → exact predicate.
+    Select {
+        /// `None` runs brute force (every frame escalates).
+        backend: Option<usize>,
+        cascade: FilterCascade,
+        survivors: usize,
+        /// Wall spent in this query's tolerance checks + predicate eval.
+        check_wall_ms: f64,
+        eval_wall_ms: f64,
+    },
+    /// A windowed aggregate: window-wide indicators → per-window estimation.
+    Aggregate {
+        backends: Vec<usize>,
+        cascade: FilterCascade,
+        /// Indicator threshold per listed backend.
+        thresholds: Vec<f32>,
+        estimator: &'a mut dyn WindowEstimator,
+        /// Buffered indicator rows from stream offset `indicator_start`
+        /// onwards (one inner entry per listed backend). The frames
+        /// themselves live once in the plan's shared stream buffer, not per
+        /// query.
+        indicators: Vec<Vec<FrameIndicators>>,
+        indicator_start: usize,
+        next_window_start: usize,
+        window_index: usize,
+        size: usize,
+        advance: usize,
+        estimation_frames: u64,
+        calibration_frames: u64,
+        sink_wall_ms: f64,
+    },
+}
+
+/// One registered query of a [`SharedStreamPlan`]: its private
+/// as-if-isolated ledger plus the per-query execution state.
+struct SharedQueryState<'a> {
+    name: String,
+    mode_label: String,
+    ledger: CostLedger,
+    /// Pre-pass `calibrate` pseudo-operator row (adaptive registrations).
+    calibration: Option<StageMetrics>,
+    matched: Vec<u64>,
+    kind: SharedQueryKind<'a>,
+}
+
+/// A compiled *shared* physical plan: N queries, one stream pass.
+///
+/// Backends are registered once and referenced by index; every query
+/// (select or aggregate) that names a backend consumes the **same** shared
+/// inference — the filter runs once per `(backend, frame)` and per-query
+/// tolerance checks / indicator rows fan out from the shared
+/// [`FilterEstimate`]s. The expensive detector runs once per frame in the
+/// union any select query escalates (plus whatever aggregate estimators
+/// sample), deduplicated through the [`DetectionCache`](vmq_detect::DetectionCache)
+/// and sharded across `workers` scoped threads with a deterministic,
+/// position-keyed merge.
+///
+/// Cost accounting is two-tier: each query's private [`CostLedger`] is
+/// charged exactly as an isolated run would charge it (so per-query
+/// [`QueryRun`]s — matches, detector counts, virtual time — are
+/// bit-identical to isolated execution), while the `global` ledger charges
+/// shared work once and splits it across consumers via
+/// [`CostLedger::charge_shared`] / [`CostLedger::attribute`].
+pub struct SharedStreamPlan<'a> {
+    detector: &'a dyn Detector,
+    cache: vmq_detect::DetectionCache,
+    global: CostLedger,
+    config: PipelineConfig,
+    workers: usize,
+    backends: Vec<&'a dyn FrameFilter>,
+    queries: Vec<SharedQueryState<'a>>,
+    /// One shared window buffer for every aggregate query (frames are
+    /// cloned once per batch, not once per aggregate); rows before
+    /// `stream_start` — no longer reachable by any window — are evicted.
+    stream_frames: Vec<Frame>,
+    stream_start: usize,
+}
+
+impl<'a> SharedStreamPlan<'a> {
+    /// Creates an empty shared plan. `global` is the ledger shared work is
+    /// charged to (once per deduplicated unit); `cache` carries detections
+    /// across queries — pass a fresh cache for an isolated pass, or a shared
+    /// clone to extend deduplication across plans.
+    pub fn new(
+        detector: &'a dyn Detector,
+        cache: vmq_detect::DetectionCache,
+        global: CostLedger,
+        config: PipelineConfig,
+    ) -> Self {
+        SharedStreamPlan {
+            detector,
+            cache,
+            global,
+            config,
+            workers: 1,
+            backends: Vec::new(),
+            queries: Vec::new(),
+            stream_frames: Vec::new(),
+            stream_start: 0,
+        }
+    }
+
+    /// Sets the scoped-thread worker count the detect stage shards over
+    /// (clamped to at least one). Results are bit-identical for any value —
+    /// detections are a pure per-frame function and the merge is
+    /// position-keyed — so this is purely a wall-clock knob.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Registers a filter backend and returns its index. Queries referencing
+    /// the same index share one inference pass; callers must register one
+    /// backend per *distinct stochastic stream* (identically-seeded filter
+    /// instances are interchangeable, so one registration serves them all).
+    pub fn add_backend(&mut self, filter: &'a dyn FrameFilter) -> usize {
+        self.backends.push(filter);
+        self.backends.len() - 1
+    }
+
+    /// Registers a select query with a fixed cascade over `backend` (`None`
+    /// = brute force) and a private `ledger` charged as if the query ran in
+    /// isolation. Returns the query's index — the `user` id of all shared
+    /// cost attribution.
+    pub fn register_select(
+        &mut self,
+        query: Query,
+        cascade: CascadeConfig,
+        backend: Option<usize>,
+        ledger: CostLedger,
+    ) -> usize {
+        let fc = FilterCascade::new(query.clone(), cascade);
+        let mode_label = match backend {
+            Some(b) => fc.label(self.backends[b]),
+            None => "brute-force".to_string(),
+        };
+        self.register_select_with(query, cascade, backend, ledger, mode_label, None)
+    }
+
+    /// Like [`SharedStreamPlan::register_select`] with an explicit mode
+    /// label and an optional pre-pass `calibrate` stage-metrics row (the
+    /// adaptive planner's calibration bill, already charged to `ledger`).
+    pub fn register_select_with(
+        &mut self,
+        query: Query,
+        cascade: CascadeConfig,
+        backend: Option<usize>,
+        ledger: CostLedger,
+        mode_label: String,
+        calibration: Option<StageMetrics>,
+    ) -> usize {
+        if let Some(b) = backend {
+            assert!(b < self.backends.len(), "unknown backend index {b}");
+        }
+        let fc = FilterCascade::new(query.clone(), cascade);
+        self.queries.push(SharedQueryState {
+            name: query.name.clone(),
+            mode_label,
+            ledger,
+            calibration,
+            matched: Vec::new(),
+            kind: SharedQueryKind::Select { backend, cascade: fc, survivors: 0, check_wall_ms: 0.0, eval_wall_ms: 0.0 },
+        });
+        self.queries.len() - 1
+    }
+
+    /// Registers a windowed-aggregate query over the listed backends (its
+    /// candidate control-variate columns, in order) with a private `ledger`.
+    /// The estimator receives every completed hopping window exactly as the
+    /// single-query aggregate plan would hand it over; its sampled detector
+    /// work should be routed through a
+    /// [`CachedDetector`](vmq_detect::CachedDetector) so it participates in
+    /// the shared dedup.
+    pub fn register_aggregate(
+        &mut self,
+        query: Query,
+        spec: AggregateSpec,
+        backends: &[usize],
+        estimator: &'a mut dyn WindowEstimator,
+        ledger: CostLedger,
+    ) -> usize {
+        let (size, advance) = spec.window;
+        assert!(size > 0, "aggregate window size must be positive");
+        assert!(advance > 0, "aggregate window advance must be positive");
+        assert!(!backends.is_empty(), "aggregate queries need at least one backend");
+        for &b in backends {
+            assert!(b < self.backends.len(), "unknown backend index {b}");
+        }
+        let thresholds: Vec<f32> = backends
+            .iter()
+            .map(|&b| spec.indicator_threshold.unwrap_or_else(|| self.backends[b].threshold()))
+            .collect();
+        let names: Vec<&str> = backends.iter().map(|&b| self.backends[b].kind().name()).collect();
+        let mode_label = format!("aggregate {} window {size}/{advance}", names.join("+"));
+        self.queries.push(SharedQueryState {
+            name: query.name.clone(),
+            mode_label,
+            ledger,
+            calibration: None,
+            matched: Vec::new(),
+            kind: SharedQueryKind::Aggregate {
+                backends: backends.to_vec(),
+                cascade: FilterCascade::new(query.clone(), spec.cascade),
+                thresholds,
+                estimator,
+                indicators: Vec::new(),
+                indicator_start: 0,
+                next_window_start: 0,
+                window_index: 0,
+                size,
+                advance,
+                estimation_frames: 0,
+                calibration_frames: 0,
+                sink_wall_ms: 0.0,
+            },
+        });
+        self.queries.len() - 1
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// The detection cache (clones share state; inspect after execution for
+    /// hit/miss accounting).
+    pub fn cache(&self) -> &vmq_detect::DetectionCache {
+        &self.cache
+    }
+
+    /// The global (shared-charge) ledger.
+    pub fn global_ledger(&self) -> &CostLedger {
+        &self.global
+    }
+
+    /// Executes the shared pass over an in-memory slice of frames.
+    pub fn execute_slice(&mut self, frames: &[Frame]) -> Vec<QueryRun> {
+        self.execute(&mut SliceSource::new(frames))
+    }
+
+    /// Executes the shared pass, draining `source` batch by batch, and
+    /// returns one [`QueryRun`] per registered query (registration order).
+    /// Each run is bit-identical — matched frames, detector counts, virtual
+    /// time — to executing that query alone through [`PhysicalPlan`];
+    /// wall-clock columns report the *shared* phase times instead of
+    /// per-query ones. Afterwards the global ledger carries the deduplicated
+    /// bill with per-query attribution settled (detections split equally
+    /// among each frame's users).
+    pub fn execute(&mut self, source: &mut dyn FrameSource) -> Vec<QueryRun> {
+        assert!(!self.queries.is_empty(), "register at least one query before executing");
+        let all_users: Vec<usize> = (0..self.queries.len()).collect();
+        // Backend → the queries consuming its shared inference.
+        let mut backend_users: Vec<Vec<usize>> = vec![Vec::new(); self.backends.len()];
+        for (q, state) in self.queries.iter().enumerate() {
+            match &state.kind {
+                SharedQueryKind::Select { backend: Some(b), .. } => backend_users[*b].push(q),
+                SharedQueryKind::Select { backend: None, .. } => {}
+                SharedQueryKind::Aggregate { backends, .. } => {
+                    for &b in backends {
+                        if !backend_users[b].contains(&q) {
+                            backend_users[b].push(q);
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut frames_total = 0usize;
+        let mut wall = SharedWall::default();
+        let mut backend_wall: Vec<f64> = vec![0.0; self.backends.len()];
+
+        while let Some(frames) = {
+            let start = Instant::now();
+            let batch = source.next_batch(self.config.batch_size);
+            wall.source_ms += start.elapsed().as_secs_f64() * 1000.0;
+            batch
+        } {
+            frames_total += frames.len();
+            self.process_batch(&frames, &all_users, &backend_users, &mut wall, &mut backend_wall);
+        }
+
+        // Settle the detector attribution: every cached frame's single
+        // global charge splits equally among the queries that used it.
+        self.cache.attribute_detections(&self.global, self.detector.stage());
+
+        self.finalize(frames_total, &wall, &backend_wall)
+    }
+
+    /// One batch through every phase of the shared pass.
+    fn process_batch(
+        &mut self,
+        frames: &[Frame],
+        all_users: &[usize],
+        backend_users: &[Vec<usize>],
+        wall: &mut SharedWall,
+        backend_wall: &mut [f64],
+    ) {
+        let n = frames.len();
+        // Phase 1 — decode: once globally, split across every query; each
+        // private ledger pays the full batch (as isolated).
+        self.global.charge_shared(Stage::Decode, n as u64, all_users);
+        for state in &self.queries {
+            state.ledger.charge(Stage::Decode, n as u64);
+        }
+
+        // Phase 2 — shared backend inference: once per (backend, frame).
+        let mut estimates: Vec<Option<Vec<FilterEstimate>>> = vec![None; self.backends.len()];
+        for (b, users) in backend_users.iter().enumerate() {
+            if users.is_empty() {
+                continue;
+            }
+            let filter = self.backends[b];
+            let stage = filter.kind().stage();
+            self.global.charge_shared(stage, n as u64, users);
+            for &q in users {
+                self.queries[q].ledger.charge(stage, n as u64);
+            }
+            let start = Instant::now();
+            estimates[b] = Some(filter.estimate_batch(frames));
+            backend_wall[b] += start.elapsed().as_secs_f64() * 1000.0;
+        }
+
+        // Phase 3 — per-query fan-out from the shared estimates: select
+        // cascades mark escalations, aggregates attach indicator rows. The
+        // frames themselves are buffered once for all aggregates.
+        if self.queries.iter().any(|state| matches!(state.kind, SharedQueryKind::Aggregate { .. })) {
+            self.stream_frames.extend(frames.iter().cloned());
+        }
+        let mut escalations: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (q, state) in self.queries.iter_mut().enumerate() {
+            match &mut state.kind {
+                SharedQueryKind::Select { backend, cascade, survivors, check_wall_ms, .. } => {
+                    let start = Instant::now();
+                    match backend {
+                        None => {
+                            for users in escalations.iter_mut() {
+                                users.push(q);
+                            }
+                            *survivors += n;
+                        }
+                        Some(b) => {
+                            let ests = estimates[*b].as_ref().expect("backend inference ran for its users");
+                            let threshold = self.backends[*b].threshold();
+                            for (est, users) in ests.iter().zip(escalations.iter_mut()) {
+                                if cascade.passes(est, threshold) {
+                                    users.push(q);
+                                    *survivors += 1;
+                                }
+                            }
+                        }
+                    }
+                    *check_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
+                }
+                SharedQueryKind::Aggregate { backends, cascade, thresholds, indicators, .. } => {
+                    for i in 0..n {
+                        let row: Vec<FrameIndicators> = backends
+                            .iter()
+                            .zip(thresholds.iter())
+                            .map(|(&b, &threshold)| {
+                                let ests = estimates[b].as_ref().expect("backend inference ran for its users");
+                                FrameIndicators::from_estimate(cascade, &ests[i], threshold)
+                            })
+                            .collect();
+                        indicators.push(row);
+                    }
+                }
+            }
+        }
+
+        // Phase 4 — deduplicated detection of the escalation union, sharded
+        // across the worker pool with a position-keyed merge.
+        let start = Instant::now();
+        let resolved = self.detect_union(frames, &escalations);
+        wall.detect_ms += start.elapsed().as_secs_f64() * 1000.0;
+
+        // Phase 5 — per-query exact evaluation on the shared annotations;
+        // each private ledger pays its own escalations in full.
+        let detector_stage = self.detector.stage();
+        for (q, state) in self.queries.iter_mut().enumerate() {
+            let SharedQueryState { kind, matched, ledger, .. } = state;
+            let SharedQueryKind::Select { cascade, eval_wall_ms, .. } = kind else { continue };
+            let start = Instant::now();
+            let mut detected = 0u64;
+            for (i, users) in escalations.iter().enumerate() {
+                if !users.contains(&q) {
+                    continue;
+                }
+                detected += 1;
+                let detections = resolved[i].as_ref().expect("escalated frames are detected");
+                if cascade.query().matches_detections(detections) {
+                    matched.push(frames[i].frame_id);
+                }
+            }
+            if detected > 0 {
+                ledger.charge(detector_stage, detected);
+            }
+            *eval_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
+        }
+
+        // Phase 6 — aggregate sinks emit every completed hopping window.
+        self.emit_ready_windows();
+    }
+
+    /// Detects every frame at least one query escalated, reusing cached
+    /// annotations and sharding fresh detections across the worker pool.
+    /// Returns per-batch-position shared annotations (None where no query
+    /// escalated).
+    fn detect_union(
+        &mut self,
+        frames: &[Frame],
+        escalations: &[Vec<usize>],
+    ) -> Vec<Option<std::sync::Arc<FrameDetections>>> {
+        let mut resolved: Vec<Option<std::sync::Arc<FrameDetections>>> = vec![None; frames.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, users) in escalations.iter().enumerate() {
+            let Some(&first) = users.first() else { continue };
+            match self.cache.get(&frames[i], first) {
+                Some(hit) => {
+                    for &u in &users[1..] {
+                        let _ = self.cache.get(&frames[i], u);
+                    }
+                    resolved[i] = Some(hit);
+                }
+                None => missing.push(i),
+            }
+        }
+        if !missing.is_empty() {
+            // One global charge per fresh frame; private ledgers were/are
+            // charged per query in the evaluation phase.
+            self.global.charge(self.detector.stage(), missing.len() as u64);
+            let detections = self.detect_sharded(frames, &missing);
+            for (i, d) in missing.into_iter().zip(detections) {
+                let arc = std::sync::Arc::new(d);
+                let users = &escalations[i];
+                self.cache.insert(&frames[i], std::sync::Arc::clone(&arc), users[0]);
+                // The frame's other escalators share the fresh detection:
+                // record them through `get` so same-batch sharing counts as
+                // cache hits, exactly like cross-batch sharing does.
+                for &u in &users[1..] {
+                    let _ = self.cache.get(&frames[i], u);
+                }
+                resolved[i] = Some(arc);
+            }
+        }
+        resolved
+    }
+
+    /// Runs the detector over `missing` (batch positions), chunked across
+    /// the scoped worker pool. The output is keyed by position, so the merge
+    /// — and with the per-frame detector, every detection — is identical for
+    /// any worker count.
+    fn detect_sharded(&self, frames: &[Frame], missing: &[usize]) -> Vec<FrameDetections> {
+        let detector = self.detector;
+        let n = missing.len();
+        let workers = self.workers.min(n).max(1);
+        let mut out: Vec<Option<FrameDetections>> = vec![None; n];
+        if workers == 1 {
+            for (slot, &i) in out.iter_mut().zip(missing) {
+                *slot = Some(detector.detect(&frames[i]));
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (slots, indices) in out.chunks_mut(chunk).zip(missing.chunks(chunk)) {
+                    scope.spawn(move || {
+                        for (slot, &i) in slots.iter_mut().zip(indices) {
+                            *slot = Some(detector.detect(&frames[i]));
+                        }
+                    });
+                }
+            });
+        }
+        out.into_iter().map(|d| d.expect("every missing frame detected")).collect()
+    }
+
+    /// Hands every completed hopping window of every aggregate query to its
+    /// estimator (same emission rule as the single-query aggregate sink:
+    /// partial trailing windows never emit), charging the reported detector
+    /// work to the query's private ledger.
+    fn emit_ready_windows(&mut self) {
+        let detector_stage = self.detector.stage();
+        for (q, state) in self.queries.iter_mut().enumerate() {
+            let SharedQueryState { kind, ledger, .. } = state;
+            let SharedQueryKind::Aggregate {
+                backends,
+                estimator,
+                indicators,
+                indicator_start,
+                next_window_start,
+                window_index,
+                size,
+                advance,
+                estimation_frames,
+                calibration_frames,
+                sink_wall_ms,
+                ..
+            } = kind
+            else {
+                continue;
+            };
+            let start = Instant::now();
+            while *next_window_start + *size <= self.stream_start + self.stream_frames.len() {
+                let lo = *next_window_start - *indicator_start;
+                let hi = lo + *size;
+                let flo = *next_window_start - self.stream_start;
+                let columns: Vec<WindowBackendColumns> = backends
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &b)| {
+                        let rows = &indicators[lo..hi];
+                        let n_predicates = rows.first().map_or(0, |r| r[slot].predicates.len());
+                        WindowBackendColumns {
+                            backend: self.backends[b].kind().name(),
+                            stage: self.backends[b].kind().stage(),
+                            pass: rows.iter().map(|r| r[slot].pass).collect(),
+                            predicates: (0..n_predicates)
+                                .map(|p| rows.iter().map(|r| r[slot].predicates[p]).collect())
+                                .collect(),
+                        }
+                    })
+                    .collect();
+                let window = WindowData {
+                    index: *window_index,
+                    start: *next_window_start,
+                    frames: &self.stream_frames[flo..flo + *size],
+                    backends: &columns,
+                };
+                // The estimator samples through a cache-backed detector on
+                // behalf of this query: misses charge the global ledger
+                // inside the wrapper, while the private ledger is charged
+                // here with the full as-if-isolated bill.
+                let cached = vmq_detect::CachedDetector::new(self.detector, &self.cache, q, Some(self.global.clone()));
+                let charge = estimator.estimate_window(window, &cached, ledger);
+                if charge.estimation_frames > 0 {
+                    ledger.charge(detector_stage, charge.estimation_frames);
+                }
+                if charge.calibration_frames > 0 {
+                    ledger.charge_calibration(detector_stage, charge.calibration_frames);
+                }
+                *estimation_frames += charge.estimation_frames;
+                *calibration_frames += charge.calibration_frames;
+                *window_index += 1;
+                *next_window_start += *advance;
+            }
+            let evict = next_window_start.saturating_sub(*indicator_start).min(indicators.len());
+            if evict > 0 {
+                indicators.drain(..evict);
+                *indicator_start += evict;
+            }
+            *sink_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
+        }
+        // Evict shared frames no aggregate's future window can reach.
+        let min_needed = self
+            .queries
+            .iter()
+            .filter_map(|state| match &state.kind {
+                SharedQueryKind::Aggregate { next_window_start, .. } => Some(*next_window_start),
+                SharedQueryKind::Select { .. } => None,
+            })
+            .min();
+        if let Some(min_needed) = min_needed {
+            let evict = min_needed.saturating_sub(self.stream_start).min(self.stream_frames.len());
+            if evict > 0 {
+                self.stream_frames.drain(..evict);
+                self.stream_start += evict;
+            }
+        }
+    }
+
+    /// Builds the per-query [`QueryRun`]s (synthesised stage metrics mirror
+    /// the single-query operator chain; virtual columns derive from each
+    /// private ledger, wall columns report the shared phase times).
+    fn finalize(&mut self, frames_total: usize, wall: &SharedWall, backend_wall: &[f64]) -> Vec<QueryRun> {
+        let model = self.global.model().clone();
+        let detector_stage = self.detector.stage();
+        self.queries
+            .iter()
+            .map(|state| {
+                let mut stage_metrics: Vec<StageMetrics> = state.calibration.iter().cloned().collect();
+                let row = |operator: &str, stage: Option<Stage>, fin: usize, fout: usize, charged: u64, w: f64| {
+                    StageMetrics::charged_row(operator, stage, fin, fout, charged, &model, w)
+                };
+                match &state.kind {
+                    SharedQueryKind::Select { backend, survivors, check_wall_ms, eval_wall_ms, .. } => {
+                        let survivors = *survivors;
+                        let matched = state.matched.len();
+                        stage_metrics.push(row(
+                            "source",
+                            Some(Stage::Decode),
+                            frames_total,
+                            frames_total,
+                            frames_total as u64,
+                            wall.source_ms,
+                        ));
+                        let mut filter_wall_ms = 0.0;
+                        if let Some(b) = backend {
+                            let stage = self.backends[*b].kind().stage();
+                            filter_wall_ms = backend_wall[*b] + check_wall_ms;
+                            stage_metrics.push(row(
+                                "cascade-filter",
+                                Some(stage),
+                                frames_total,
+                                survivors,
+                                frames_total as u64,
+                                filter_wall_ms,
+                            ));
+                        }
+                        stage_metrics.push(row(
+                            "detect",
+                            Some(detector_stage),
+                            survivors,
+                            survivors,
+                            survivors as u64,
+                            wall.detect_ms,
+                        ));
+                        stage_metrics.push(row("predicate-eval", None, survivors, matched, 0, *eval_wall_ms));
+                        stage_metrics.push(row("sink", None, matched, matched, 0, 0.0));
+                        QueryRun {
+                            query: state.name.clone(),
+                            mode: state.mode_label.clone(),
+                            matched_frames: state.matched.clone(),
+                            frames_total,
+                            frames_passed_filter: if backend.is_some() { survivors } else { frames_total },
+                            frames_detected: survivors,
+                            virtual_ms: state.ledger.total_ms(),
+                            filter_wall_ms,
+                            stage_metrics,
+                        }
+                    }
+                    SharedQueryKind::Aggregate {
+                        backends,
+                        estimation_frames,
+                        calibration_frames,
+                        sink_wall_ms,
+                        ..
+                    } => {
+                        let detected = estimation_frames + calibration_frames;
+                        stage_metrics.push(row(
+                            "source",
+                            Some(Stage::Decode),
+                            frames_total,
+                            frames_total,
+                            frames_total as u64,
+                            wall.source_ms,
+                        ));
+                        let mut filter_wall_ms = 0.0;
+                        for &b in backends {
+                            let stage = self.backends[b].kind().stage();
+                            filter_wall_ms += backend_wall[b];
+                            stage_metrics.push(row(
+                                "window-filter",
+                                Some(stage),
+                                frames_total,
+                                frames_total,
+                                frames_total as u64,
+                                backend_wall[b],
+                            ));
+                        }
+                        stage_metrics.push(row(
+                            "aggregate-sink",
+                            Some(detector_stage),
+                            frames_total,
+                            frames_total,
+                            detected,
+                            *sink_wall_ms,
+                        ));
+                        QueryRun {
+                            query: state.name.clone(),
+                            mode: state.mode_label.clone(),
+                            matched_frames: Vec::new(),
+                            frames_total,
+                            frames_passed_filter: frames_total,
+                            frames_detected: detected as usize,
+                            virtual_ms: state.ledger.total_ms(),
+                            filter_wall_ms,
+                            stage_metrics,
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::QueryExecutor;
     use crate::plan::CascadeConfig;
     use vmq_detect::OracleDetector;
     use vmq_filters::{CalibratedFilter, CalibrationProfile};
@@ -1144,6 +1872,207 @@ mod tests {
         drop(plan);
         assert!(estimator.windows.is_empty());
         assert_eq!(run.frames_detected, 0);
+    }
+
+    fn fresh_filter(seed: u64) -> CalibratedFilter {
+        CalibratedFilter::new(DatasetProfile::jackson().class_list(), 14, CalibrationProfile::od_like(), seed)
+    }
+
+    /// A single registration through the shared plan is bit-identical to the
+    /// single-query [`PhysicalPlan`]: matched frames, detector counts and
+    /// the private ledger's virtual total.
+    #[test]
+    fn shared_plan_single_select_matches_physical_plan_bit_for_bit() {
+        let (ds, _filter, oracle) = setup();
+        for query in [Query::paper_q3(), Query::paper_q4()] {
+            let isolated_filter = fresh_filter(7);
+            let mut isolated = PhysicalPlan::new(
+                &query,
+                ExecutionMode::Filtered(CascadeConfig::strict()),
+                Some(&isolated_filter),
+                &oracle,
+                CostLedger::paper(),
+                PipelineConfig::with_batch_size(13),
+            );
+            let reference = isolated.execute_slice(ds.test());
+
+            let shared_filter = fresh_filter(7);
+            let mut plan = SharedStreamPlan::new(
+                &oracle,
+                vmq_detect::DetectionCache::new(),
+                CostLedger::paper(),
+                PipelineConfig::with_batch_size(13),
+            );
+            let backend = plan.add_backend(&shared_filter);
+            plan.register_select(query.clone(), CascadeConfig::strict(), Some(backend), CostLedger::paper());
+            let runs = plan.execute_slice(ds.test());
+
+            assert_eq!(runs.len(), 1);
+            assert_eq!(runs[0].matched_frames, reference.matched_frames);
+            assert_eq!(runs[0].frames_detected, reference.frames_detected);
+            assert_eq!(runs[0].frames_passed_filter, reference.frames_passed_filter);
+            assert_eq!(runs[0].virtual_ms.to_bits(), reference.virtual_ms.to_bits());
+            assert_eq!(runs[0].mode, reference.mode);
+            let names: Vec<&str> = runs[0].stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+            assert_eq!(names, ["source", "cascade-filter", "detect", "predicate-eval", "sink"]);
+            // Honest accounting: stage rows sum to the private ledger total.
+            let sum: f64 = runs[0].stage_metrics.iter().map(|m| m.virtual_ms).sum();
+            assert!((sum - runs[0].virtual_ms).abs() < 1e-9);
+        }
+    }
+
+    /// Two overlapping selects on one backend: the filter runs once per
+    /// frame, the detector once per frame in the escalation union, yet each
+    /// query's run stays bit-identical to its isolated execution.
+    #[test]
+    fn shared_plan_dedupes_filter_and_detector_across_queries() {
+        let (ds, _filter, oracle) = setup();
+        let queries = [Query::paper_q3(), Query::paper_q4()];
+        let isolated: Vec<QueryRun> = queries
+            .iter()
+            .map(|query| {
+                let filter = fresh_filter(5);
+                let exec = QueryExecutor::new(query.clone());
+                exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant())
+            })
+            .collect();
+
+        let shared_filter = fresh_filter(5);
+        let global = CostLedger::paper();
+        let mut plan = SharedStreamPlan::new(
+            &oracle,
+            vmq_detect::DetectionCache::new(),
+            global.clone(),
+            PipelineConfig::default(),
+        );
+        let backend = plan.add_backend(&shared_filter);
+        for query in &queries {
+            plan.register_select(query.clone(), CascadeConfig::tolerant(), Some(backend), CostLedger::paper());
+        }
+        let runs = plan.execute_slice(ds.test());
+
+        for (run, reference) in runs.iter().zip(&isolated) {
+            assert_eq!(run.matched_frames, reference.matched_frames, "{}", reference.query);
+            assert_eq!(run.frames_detected, reference.frames_detected, "{}", reference.query);
+            assert_eq!(run.virtual_ms.to_bits(), reference.virtual_ms.to_bits(), "{}", reference.query);
+        }
+        // Globally: one filter pass, one decode pass, |union| detections.
+        assert_eq!(global.invocations(Stage::OdFilter), ds.test().len() as u64);
+        assert_eq!(global.invocations(Stage::Decode), ds.test().len() as u64);
+        let union_max = runs.iter().map(|r| r.frames_detected).max().unwrap() as u64;
+        let union_sum: u64 = runs.iter().map(|r| r.frames_detected as u64).sum();
+        let detected = global.invocations(Stage::MaskRcnn);
+        assert!(detected >= union_max && detected <= union_sum, "union bounds: {detected}");
+        assert_eq!(detected, plan.cache().misses());
+        // Attribution covers the whole global bill.
+        let attributed: f64 = (0..2).map(|q| global.attributed_ms(q)).sum();
+        assert!((attributed - global.total_ms()).abs() < 1e-6, "attributed {attributed} vs {}", global.total_ms());
+    }
+
+    /// The worker pool is a pure wall-clock knob: any worker count yields
+    /// bit-identical runs and the same global dedup accounting.
+    #[test]
+    fn shared_plan_results_are_worker_count_invariant() {
+        let (ds, _filter, oracle) = setup();
+        let queries = [Query::paper_q3(), Query::paper_q4(), Query::paper_q5()];
+        let mut baseline: Option<(Vec<QueryRun>, u64)> = None;
+        for workers in [1usize, 2, 4] {
+            let shared_filter = fresh_filter(11);
+            let global = CostLedger::paper();
+            let mut plan = SharedStreamPlan::new(
+                &oracle,
+                vmq_detect::DetectionCache::new(),
+                global.clone(),
+                PipelineConfig::with_batch_size(9),
+            )
+            .with_workers(workers);
+            let backend = plan.add_backend(&shared_filter);
+            for query in &queries {
+                plan.register_select(query.clone(), CascadeConfig::strict(), Some(backend), CostLedger::paper());
+            }
+            let runs = plan.execute_slice(ds.test());
+            let detected = global.invocations(Stage::MaskRcnn);
+            match &baseline {
+                None => baseline = Some((runs, detected)),
+                Some((reference, ref_detected)) => {
+                    assert_eq!(detected, *ref_detected, "workers {workers}");
+                    for (run, r) in runs.iter().zip(reference) {
+                        assert_eq!(run.matched_frames, r.matched_frames, "workers {workers}");
+                        assert_eq!(run.virtual_ms.to_bits(), r.virtual_ms.to_bits(), "workers {workers}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// A select and an aggregate sharing one backend: the indicator columns
+    /// the aggregate sees through the shared pass equal the single-query
+    /// aggregate plan's, and the brute-force select needs no backend at all.
+    #[test]
+    fn shared_plan_mixes_selects_and_aggregates_over_one_backend_pass() {
+        let (ds, _filter, oracle) = setup();
+        let query = Query::paper_q3();
+
+        // Single-query aggregate reference.
+        let reference_filter = fresh_filter(3);
+        let backends: Vec<&dyn FrameFilter> = vec![&reference_filter];
+        let mut reference_est = RecordingEstimator {
+            samples_per_window: 4,
+            calibration_per_window: 0,
+            windows: Vec::new(),
+            pass_sums: Vec::new(),
+        };
+        let mut reference_plan = PhysicalPlan::new_aggregate(
+            &query,
+            AggregateSpec::new(30, 15),
+            &backends,
+            &oracle,
+            &mut reference_est,
+            CostLedger::paper(),
+            PipelineConfig::default(),
+        );
+        let reference_run = reference_plan.execute_slice(ds.test());
+        drop(reference_plan);
+
+        // Shared pass: brute-force select + the same aggregate.
+        let shared_filter = fresh_filter(3);
+        let global = CostLedger::paper();
+        let mut shared_est = RecordingEstimator {
+            samples_per_window: 4,
+            calibration_per_window: 0,
+            windows: Vec::new(),
+            pass_sums: Vec::new(),
+        };
+        let mut plan = SharedStreamPlan::new(
+            &oracle,
+            vmq_detect::DetectionCache::new(),
+            global.clone(),
+            PipelineConfig::default(),
+        );
+        let backend = plan.add_backend(&shared_filter);
+        plan.register_select(query.clone(), CascadeConfig::strict(), None, CostLedger::paper());
+        plan.register_aggregate(
+            query.clone(),
+            AggregateSpec::new(30, 15),
+            &[backend],
+            &mut shared_est,
+            CostLedger::paper(),
+        );
+        let runs = plan.execute_slice(ds.test());
+        drop(plan);
+
+        assert_eq!(runs[0].mode, "brute-force");
+        assert_eq!(runs[0].frames_detected, ds.test().len());
+        assert_eq!(shared_est.windows, reference_est.windows);
+        assert_eq!(shared_est.pass_sums, reference_est.pass_sums);
+        assert_eq!(runs[1].frames_detected, reference_run.frames_detected);
+        assert_eq!(runs[1].virtual_ms.to_bits(), reference_run.virtual_ms.to_bits());
+        let names: Vec<&str> = runs[1].stage_metrics.iter().map(|m| m.operator.as_str()).collect();
+        assert_eq!(names, ["source", "window-filter", "aggregate-sink"]);
+        // The brute-force select already detected every frame, so the
+        // RecordingEstimator's direct (uncached) detector probes aside, the
+        // global detector bill equals the stream length.
+        assert_eq!(global.invocations(Stage::MaskRcnn), ds.test().len() as u64);
     }
 
     #[test]

@@ -147,21 +147,82 @@ pub fn plan_cascade(
     batch_size: usize,
 ) -> CalibrationReport {
     assert!(!backends.is_empty(), "plan_cascade requires at least one candidate backend");
-    assert!(!tolerances.is_empty(), "plan_cascade requires at least one candidate tolerance");
     let wall_start = Instant::now();
     let model = ledger.model().clone();
+
+    if prefix.is_empty() {
+        return plan_cascade_from_profiles(
+            query,
+            &[],
+            backends,
+            &[],
+            tolerances,
+            detector.stage(),
+            &model,
+            wall_start.elapsed().as_secs_f64() * 1000.0,
+        );
+    }
+
+    // 1. Annotate the prefix once with the expensive detector.
+    ledger.charge_calibration(detector.stage(), prefix.len() as u64);
+    let truth: Vec<bool> = prefix.iter().map(|f| query.matches_detections(&detector.detect(f))).collect();
+
+    // 2. One inference pass per backend over the prefix (the scoring below
+    //    re-applies every tolerance to the same estimates).
+    let profiles: Vec<vmq_filters::FilterProfile> = backends
+        .iter()
+        .map(|&filter| {
+            ledger.charge_calibration(filter.kind().stage(), prefix.len() as u64);
+            filter.profile(prefix, &model, batch_size)
+        })
+        .collect();
+
+    let mut report =
+        plan_cascade_from_profiles(query, &truth, backends, &profiles, tolerances, detector.stage(), &model, 0.0);
+    // The wall clock covers annotation, profiling *and* scoring, exactly as
+    // before the scoring core was extracted.
+    report.calibration_wall_ms = wall_start.elapsed().as_secs_f64() * 1000.0;
+    report
+}
+
+/// The scoring core of [`plan_cascade`], decoupled from inference: given the
+/// prefix's detector `truth` and one pre-computed [`FilterProfile`] per
+/// backend (parallel to `backends`), profiles every `(backend × tolerance)`
+/// candidate and selects the plan. This is how the shared multi-query
+/// runtime plans N statements adaptively off **one** calibration pass per
+/// backend: inference and detector annotation are shared (and charged
+/// per-query by the caller), while each query scores the shared estimates
+/// against its own predicates. Byte-identical to [`plan_cascade`] for equal
+/// inputs — the wrapper is itself implemented on top of this.
+///
+/// An empty `truth` (empty prefix) certifies nothing and falls back to the
+/// most tolerant candidate of the first backend, exactly like
+/// [`plan_cascade`].
+#[allow(clippy::too_many_arguments)]
+pub fn plan_cascade_from_profiles(
+    query: &Query,
+    truth: &[bool],
+    backends: &[&dyn FrameFilter],
+    profiles: &[vmq_filters::FilterProfile],
+    tolerances: &[CascadeConfig],
+    detector_stage: Stage,
+    model: &CostModel,
+    calibration_wall_ms: f64,
+) -> CalibrationReport {
+    assert!(!backends.is_empty(), "plan_cascade requires at least one candidate backend");
+    assert!(!tolerances.is_empty(), "plan_cascade requires at least one candidate tolerance");
     // The safe choice when calibration certifies nothing: the most tolerant
     // candidate, independent of the order the caller listed tolerances in.
     let most_tolerant =
         *tolerances.iter().max_by_key(|c| (c.count_tolerance, c.location_tolerance)).expect("non-empty tolerances");
 
-    if prefix.is_empty() {
+    if truth.is_empty() {
         let filter = backends[0];
         let cascade = most_tolerant;
         let fc = FilterCascade::new(query.clone(), cascade);
         let label = fc.label(filter);
         let expected_cost =
-            model.cost_ms(Stage::Decode) + model.cost_ms(filter.kind().stage()) + model.cost_ms(detector.stage());
+            model.cost_ms(Stage::Decode) + model.cost_ms(filter.kind().stage()) + model.cost_ms(detector_stage);
         let choice = PlanChoice {
             backend_index: 0,
             backend: filter.kind().name().to_string(),
@@ -174,30 +235,26 @@ pub fn plan_cascade(
             prefix_frames: 0,
             true_prefix_frames: 0,
             calibration_ms: 0.0,
-            calibration_wall_ms: wall_start.elapsed().as_secs_f64() * 1000.0,
+            calibration_wall_ms,
             profiles: Vec::new(),
             choice,
         };
     }
 
-    // 1. Annotate the prefix once with the expensive detector.
-    ledger.charge_calibration(detector.stage(), prefix.len() as u64);
-    let truth: Vec<bool> = prefix.iter().map(|f| query.matches_detections(&detector.detect(f))).collect();
+    assert_eq!(profiles.len(), backends.len(), "one profile per backend");
+    let prefix_len = truth.len();
     let true_prefix_frames = truth.iter().filter(|&&t| t).count();
 
-    // 2. Profile every candidate combination. Each backend runs exactly once
-    //    over the prefix; the tolerance check is re-applied to its estimates.
-    let mut calibration_ms = model.cost_ms(detector.stage()) * prefix.len() as f64;
-    let mut profiles: Vec<CandidateProfile> = Vec::with_capacity(backends.len() * tolerances.len());
-    for (backend_index, &filter) in backends.iter().enumerate() {
-        ledger.charge_calibration(filter.kind().stage(), prefix.len() as u64);
-        let profile = filter.profile(prefix, &model, batch_size);
-        calibration_ms += profile.virtual_ms_per_frame * prefix.len() as f64;
+    let mut calibration_ms = model.cost_ms(detector_stage) * prefix_len as f64;
+    let mut candidates: Vec<CandidateProfile> = Vec::with_capacity(backends.len() * tolerances.len());
+    for (backend_index, (&filter, profile)) in backends.iter().zip(profiles).enumerate() {
+        assert_eq!(profile.estimates.len(), prefix_len, "profile must cover the prefix");
+        calibration_ms += profile.virtual_ms_per_frame * prefix_len as f64;
         for &cascade in tolerances {
             let fc = FilterCascade::new(query.clone(), cascade);
             let mut passes = 0usize;
             let mut kept_true = 0usize;
-            for (estimate, &is_true) in profile.estimates.iter().zip(&truth) {
+            for (estimate, &is_true) in profile.estimates.iter().zip(truth) {
                 if fc.passes(estimate, filter.threshold()) {
                     passes += 1;
                     if is_true {
@@ -205,12 +262,11 @@ pub fn plan_cascade(
                     }
                 }
             }
-            let pass_rate = passes as f64 / prefix.len() as f64;
+            let pass_rate = passes as f64 / prefix_len as f64;
             let recall = if true_prefix_frames == 0 { 1.0 } else { kept_true as f32 / true_prefix_frames as f32 };
-            let expected_cost_ms = model.cost_ms(Stage::Decode)
-                + profile.virtual_ms_per_frame
-                + pass_rate * model.cost_ms(detector.stage());
-            profiles.push(CandidateProfile {
+            let expected_cost_ms =
+                model.cost_ms(Stage::Decode) + profile.virtual_ms_per_frame + pass_rate * model.cost_ms(detector_stage);
+            candidates.push(CandidateProfile {
                 backend_index,
                 backend: filter.kind().name().to_string(),
                 cascade,
@@ -230,7 +286,7 @@ pub fn plan_cascade(
     //    candidate is certified — so the planner then restricts itself to
     //    the most tolerant cascade (the safest choice) and only picks the
     //    cheapest backend.
-    let chosen = profiles
+    let chosen = candidates
         .iter()
         .filter(|p| true_prefix_frames > 0 || p.cascade == most_tolerant)
         .enumerate()
@@ -258,11 +314,11 @@ pub fn plan_cascade(
         expected_selectivity: chosen.pass_rate,
     };
     CalibrationReport {
-        prefix_frames: prefix.len(),
+        prefix_frames: prefix_len,
         true_prefix_frames,
         calibration_ms,
-        calibration_wall_ms: wall_start.elapsed().as_secs_f64() * 1000.0,
-        profiles,
+        calibration_wall_ms,
+        profiles: candidates,
         choice,
     }
 }

@@ -304,6 +304,147 @@ fn single_window_aggregate_matches_legacy_estimator_bit_for_bit() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Shared multi-query runtime parity
+// ---------------------------------------------------------------------------
+
+use vmq::engine::{EngineConfig, FilterChoice, RuntimeQuery, VmqEngine};
+use vmq::query::plan::CascadeConfig as SharedCascade;
+
+fn paper_selects() -> Vec<Query> {
+    vec![
+        Query::paper_q1(),
+        Query::paper_q2(),
+        Query::paper_q3(),
+        Query::paper_q4(),
+        Query::paper_q5(),
+        Query::paper_q6(),
+        Query::paper_q7(),
+    ]
+}
+
+fn paper_aggregates() -> Vec<Query> {
+    vec![Query::paper_a1(), Query::paper_a2(), Query::paper_a3(), Query::paper_a4(), Query::paper_a5()]
+}
+
+/// The acceptance criterion of the shared runtime: `run_many` over q1–q7
+/// invokes the expensive detector exactly `|union of frames any query
+/// escalates|` times. The union is recomputed independently from an
+/// identically-seeded replica of the shared filter pass, and each per-query
+/// run still pays (and reports) its own full escalation count.
+#[test]
+fn run_many_invokes_detector_once_per_escalation_union() {
+    let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(30, 200));
+    let profile = CalibrationProfile::od_like();
+    let choice = FilterChoice::Calibrated(profile);
+    let queries = paper_selects();
+    let statements: Vec<RuntimeQuery> = queries
+        .iter()
+        .map(|query| RuntimeQuery::Select { query: query.clone(), choice, cascade: SharedCascade::tolerant() })
+        .collect();
+    let outcome = engine.run_many(&statements);
+
+    // Replicate the one shared filter pass: same classes/grid/seed as the
+    // engine resolves, estimates over the full stream (batch invariant).
+    let config = engine.config();
+    let filter = CalibratedFilter::new(config.filter.classes.clone(), config.filter.grid, profile, config.seed);
+    let frames = engine.dataset().test();
+    let estimates = filter.estimate_batch(frames);
+    let mut union = std::collections::BTreeSet::new();
+    let mut per_query = vec![0usize; queries.len()];
+    for (i, query) in queries.iter().enumerate() {
+        let cascade = FilterCascade::new(query.clone(), SharedCascade::tolerant());
+        for (frame, estimate) in frames.iter().zip(&estimates) {
+            if cascade.passes(estimate, filter.threshold()) {
+                union.insert(frame.frame_id);
+                per_query[i] += 1;
+            }
+        }
+    }
+
+    assert_eq!(outcome.detector_invocations, union.len() as u64, "detector must run once per unioned frame");
+    let per_query_sum: usize = per_query.iter().sum();
+    assert!(union.len() < per_query_sum, "q1–q7 overlap: dedup must actually collapse work");
+    for (i, out) in outcome.outcomes.iter().enumerate() {
+        assert_eq!(out.run().frames_detected, per_query[i], "{} pays its own escalations", queries[i].name);
+    }
+    assert!(outcome.shared.speedup() > 1.0, "sharing must beat isolated: {:?}", outcome.shared.speedup());
+    let attributed: f64 = outcome.shared.queries.iter().map(|s| s.attributed_ms).sum();
+    assert!((attributed - outcome.shared.shared_total_ms).abs() < 1e-6, "the split covers the whole bill");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// `run_many` over a random subset of q1–q7 selects and a1–a5 windowed
+    /// aggregates yields per-query matches / estimates / virtual totals
+    /// bit-identical to isolated runs, for every worker count in {1, 2, 4}.
+    #[test]
+    fn run_many_is_bit_identical_to_isolated_runs(
+        seed in 0u64..40,
+        subset in 1u32..4096,
+        workers_idx in 0usize..3,
+    ) {
+        let engine = VmqEngine::new(
+            EngineConfig::small(DatasetProfile::jackson()).with_sizes(20, 120).with_seed(seed),
+        );
+        let choice = FilterChoice::Calibrated(CalibrationProfile::od_like());
+        let mut statements = Vec::new();
+        for (i, query) in paper_selects().into_iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                statements.push(RuntimeQuery::Select { query, choice, cascade: SharedCascade::tolerant() });
+            }
+        }
+        for (i, query) in paper_aggregates().into_iter().enumerate() {
+            if subset & (1 << (7 + i)) != 0 {
+                statements.push(RuntimeQuery::Aggregate {
+                    query,
+                    choice,
+                    window: vmq::aggregate::HoppingWindow::new(60, 30),
+                    sample_size: 10,
+                    trials: 5,
+                });
+            }
+        }
+        // `subset ∈ 1..4096` always sets at least one of the 12 bits, so
+        // there is always at least one statement.
+        prop_assert!(!statements.is_empty());
+        let workers = [1usize, 2, 4][workers_idx];
+        let outcome = engine.run_many_sharded(&statements, workers);
+
+        for (statement, out) in statements.iter().zip(&outcome.outcomes) {
+            match statement {
+                RuntimeQuery::Select { query, choice, cascade } => {
+                    let isolated = engine.run_query(query, *choice, *cascade);
+                    let shared = out.as_select().expect("select outcome");
+                    prop_assert_eq!(&shared.run.matched_frames, &isolated.run.matched_frames, "{}", query.name);
+                    prop_assert_eq!(shared.run.frames_detected, isolated.run.frames_detected);
+                    prop_assert_eq!(shared.run.virtual_ms.to_bits(), isolated.run.virtual_ms.to_bits());
+                    prop_assert_eq!(shared.speedup.speedup.to_bits(), isolated.speedup.speedup.to_bits());
+                }
+                RuntimeQuery::Aggregate { query, choice, window, sample_size, trials } => {
+                    let isolated = engine.run_aggregate_windows(query, *choice, *window, *sample_size, *trials);
+                    let shared = out.as_aggregate().expect("aggregate outcome");
+                    prop_assert_eq!(shared.reports.len(), isolated.reports.len(), "{}", query.name);
+                    for (s, i) in shared.reports.iter().zip(&isolated.reports) {
+                        prop_assert_eq!(s.plain_mean.to_bits(), i.plain_mean.to_bits(), "{}", query.name);
+                        prop_assert_eq!(s.cv_mean.to_bits(), i.cv_mean.to_bits());
+                        prop_assert_eq!(s.mcv_mean.to_bits(), i.mcv_mean.to_bits());
+                        prop_assert_eq!(s.plain_variance.to_bits(), i.plain_variance.to_bits());
+                        prop_assert_eq!(s.cv_variance.to_bits(), i.cv_variance.to_bits());
+                        prop_assert_eq!(s.mcv_variance.to_bits(), i.mcv_variance.to_bits());
+                        prop_assert_eq!(s.true_fraction.to_bits(), i.true_fraction.to_bits());
+                        prop_assert_eq!(s.window_start, i.window_start);
+                    }
+                    prop_assert_eq!(shared.run.frames_detected, isolated.run.frames_detected);
+                    prop_assert_eq!(shared.run.virtual_ms.to_bits(), isolated.run.virtual_ms.to_bits());
+                }
+                _ => unreachable!("only fixed selects and aggregates are registered here"),
+            }
+        }
+    }
+}
+
 /// The engine's `estimate_aggregate` wrapper (one tumbling window through
 /// the pipeline) reproduces the legacy eager estimator bit for bit at the
 /// engine's own seed derivation.
