@@ -72,6 +72,26 @@ fn bench_query_paths(c: &mut Criterion) {
     c.bench_function("query/ground-truth match (q5)", |bench| bench.iter(|| q.matches_ground_truth(black_box(&frame))));
 }
 
+fn bench_filter_batch(c: &mut Criterion) {
+    // The cascade-filter hot path: one 32-frame batch through the learned
+    // IC filter's workspace-based inference, sequential vs sharded. The
+    // sharded variants must be bit-identical (proptested in vmq-filters);
+    // here they are timed.
+    let profile = DatasetProfile::jackson();
+    let ds = Dataset::generate(&profile, 8, 32, 11);
+    let frames = ds.test();
+    let config = FilterConfig::experiment(profile.class_list());
+    let ic = IcFilter::new(config);
+    for workers in [1usize, 2, 4] {
+        let name = format!("pipeline/filter_batch IC 32 frames, workers={workers}");
+        c.bench_function(&name, |bench| bench.iter(|| ic.estimate_batch_sharded(black_box(frames), workers)));
+    }
+    let cal = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
+    c.bench_function("pipeline/filter_batch CAL 32 frames, workers=4", |bench| {
+        bench.iter(|| cal.estimate_batch_sharded(black_box(frames), 4))
+    });
+}
+
 fn bench_operator_pipeline(c: &mut Criterion) {
     // End-to-end batched pipeline on an in-memory segment: calibrated filter
     // cascade in front of the oracle, per batch size.
@@ -106,6 +126,6 @@ fn bench_control_variates(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_nn_kernels, bench_rasterisation, bench_filter_inference, bench_query_paths, bench_operator_pipeline, bench_control_variates
+    targets = bench_nn_kernels, bench_rasterisation, bench_filter_inference, bench_query_paths, bench_filter_batch, bench_operator_pipeline, bench_control_variates
 }
 criterion_main!(benches);

@@ -21,12 +21,11 @@
 //! query one.
 
 use vmq_aggregate::{AggregateEstimator, AggregateReport, WindowedAggregator};
-use vmq_bench::{DatasetExperiment, Scale};
+use vmq_bench::{aggregate_profile_for, DatasetExperiment, Scale};
 use vmq_core::Report;
 use vmq_detect::OracleDetector;
 use vmq_filters::FrameFilter;
 use vmq_query::{AggregateSpec, Query, QueryExecutor};
-use vmq_video::DatasetKind;
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -125,7 +124,12 @@ fn write_json(path: &str, records: &[AggRecord]) {
 
 fn main() {
     let scale = Scale::from_env();
-    let trials = scale.trials();
+    // The reported number is a ratio of two empirical variances over the
+    // same trials; at 25 trials its sampling noise (~±10 %) swamps the
+    // modest reductions a weak-correlation control buys, so the quick scale
+    // gets a higher floor. Trials only multiply detector samples — the
+    // estimation itself is cheap against the filter's full-window pass.
+    let trials = scale.trials().max(75);
     let sample_size = 40;
     let mut report = Report::new("Table IV — aggregate estimation with control variates").header(&[
         "query",
@@ -139,30 +143,34 @@ fn main() {
         "correlation",
     ]);
 
-    let coral = DatasetExperiment::prepare_ic_od(DatasetKind::Coral, scale);
-    let jackson = DatasetExperiment::prepare_ic_od(DatasetKind::Jackson, scale);
-    let detrac = DatasetExperiment::prepare_ic_od(DatasetKind::Detrac, scale);
-
-    let cases: Vec<(&DatasetExperiment, Query)> = vec![
-        (&jackson, Query::paper_a1()),
-        (&jackson, Query::paper_a2()),
-        (&detrac, Query::paper_a3()),
-        (&detrac, Query::paper_a4()),
-        (&coral, Query::paper_a5()),
-    ];
+    // One density-tuned dataset (and trained filter) per query — the same
+    // tuning the Table IV golden harness applies — so the indicator columns
+    // actually vary and the variance-reduction comparison measures
+    // something. (a3 and a4 share a profile; preparing them separately
+    // keeps the per-query pairing simple and the training cost is the same
+    // experiment twice at quick scale.)
+    let queries = vec![Query::paper_a1(), Query::paper_a2(), Query::paper_a3(), Query::paper_a4(), Query::paper_a5()];
+    let cases: Vec<(DatasetExperiment, Query)> = queries
+        .into_iter()
+        .map(|query| (DatasetExperiment::prepare_ic_od_with_profile(aggregate_profile_for(&query.name), scale), query))
+        .collect();
 
     let oracle = OracleDetector::perfect();
     let mut records = Vec::new();
-    for (exp, query) in cases {
-        let filter: &dyn FrameFilter = &exp.filters.od;
+    for (exp, query) in &cases {
+        // The IC filter's CAM activations carry the usable indicator signal
+        // at this training budget (the quick-scale OD grids saturate to a
+        // constant pass column); 0.35 is the correlation-maximising grid
+        // threshold for the trained CAMs, profiled on the a1/a4 validation
+        // sweep. The query cascade keeps the recall-oriented 0.2.
+        let filter: &dyn FrameFilter = &exp.filters.ic;
+        let indicator_threshold = 0.35;
         let frames = exp.dataset.test();
         let reduction_str = |r: f64| if r.is_finite() { format!("{r:.1}x") } else { "inf".to_string() };
 
-        // One-shot: the whole test split as a single window. The
-        // control-variate indicator uses a precision-oriented grid threshold
-        // (0.5) calibrated on validation data; the query cascade keeps the
-        // recall-oriented 0.2 of the paper.
-        let estimator = AggregateEstimator::new(query.clone(), sample_size, 404).with_indicator_threshold(0.5);
+        // One-shot: the whole test split as a single window.
+        let estimator =
+            AggregateEstimator::new(query.clone(), sample_size, 404).with_indicator_threshold(indicator_threshold);
         let oneshot = estimator.run(frames, filter, &oracle, trials);
         report.row(&[
             query.name.clone(),
@@ -187,7 +195,7 @@ fn main() {
         // hopping windows (half the split, advancing by a quarter).
         let size = (frames.len() / 2).max(2);
         let advance = (frames.len() / 4).max(1);
-        let spec = AggregateSpec::new(size, advance).with_indicator_threshold(0.5);
+        let spec = AggregateSpec::new(size, advance).with_indicator_threshold(indicator_threshold);
         let mut agg = WindowedAggregator::new(query.clone(), sample_size, trials, 404);
         let backends: Vec<&dyn FrameFilter> = vec![filter];
         let exec = QueryExecutor::new(query.clone());
@@ -219,6 +227,24 @@ fn main() {
             ));
         }
     }
+    // A zero correlation on a window whose truth actually varies means the
+    // filter's indicator column was constant — the control variate is inert
+    // and the row validates nothing. Surface it loudly instead of letting
+    // flat `best_reduction=1.000` rows masquerade as a healthy baseline.
+    for r in &records {
+        if r.true_fraction <= 0.0 || r.true_fraction >= 1.0 {
+            eprintln!(
+                "warning: {}/{} window {} has degenerate ground truth (true fraction {:.3}) — nothing to estimate; tune the dataset profile",
+                r.query, r.mode, r.window_index, r.true_fraction
+            );
+        } else if r.correlation == 0.0 {
+            eprintln!(
+                "warning: {}/{} window {} has a constant CV indicator column (correlation 0.000) — the control variates are inert on this window",
+                r.query, r.mode, r.window_index
+            );
+        }
+    }
+
     report.note(&format!("{trials} trials of {sample_size} sampled frames each; control means computed by running the cheap filter over the whole window"));
     report.note("windowed rows stream through the batched pipeline (Source → WindowFilter → AggregateSink): filter cost is per stream frame, detector cost per sampled frame per window");
     report.note("paper shape: order-of-magnitude variance reductions at a ~1% increase in per-sample cost (filter ms on top of Mask R-CNN's 200 ms)");

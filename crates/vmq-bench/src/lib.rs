@@ -105,8 +105,18 @@ impl DatasetExperiment {
         Self::prepare_inner(kind, scale, false)
     }
 
+    /// Like [`DatasetExperiment::prepare_ic_od`] but over an explicit
+    /// (typically density-tuned) dataset profile instead of the stock
+    /// profile of the dataset kind.
+    pub fn prepare_ic_od_with_profile(profile: DatasetProfile, scale: Scale) -> Self {
+        Self::prepare_profile_inner(profile, scale, false)
+    }
+
     fn prepare_inner(kind: DatasetKind, scale: Scale, with_cof: bool) -> Self {
-        let profile = DatasetProfile::for_kind(kind);
+        Self::prepare_profile_inner(DatasetProfile::for_kind(kind), scale, with_cof)
+    }
+
+    fn prepare_profile_inner(profile: DatasetProfile, scale: Scale, with_cof: bool) -> Self {
         let dataset = Dataset::generate(&profile, scale.train_frames(), scale.test_frames(), 2026);
         let mut config = FilterConfig::experiment(profile.class_list());
         config.schedule.epochs = scale.epochs();
@@ -130,6 +140,54 @@ impl DatasetExperiment {
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f32) -> String {
     format!("{:.1}%", x * 100.0)
+}
+
+/// Per-query dataset profiles for the aggregate harnesses, density-tuned
+/// the same way the Table IV golden (`tests/table4_aggregates.rs`) tunes
+/// them so every aggregate query has a non-degenerate true fraction at
+/// bench scale. At the stock densities several queries (a2, a3, a5) are
+/// vacuously false on every frame, which leaves the control-variate
+/// indicator columns constant and the variance-reduction comparison inert —
+/// exactly the degenerate rows the committed baseline used to carry.
+pub fn aggregate_profile_for(query: &str) -> DatasetProfile {
+    match query {
+        // a1: car in the lower-right quadrant — the stock Jackson profile
+        // already puts the true fraction near 0.25.
+        "a1" => DatasetProfile::jackson(),
+        // a2: car left of a person — Jackson's 1.2 objects/frame and 20 %
+        // person share make co-occurrence too rare to estimate.
+        "a2" => {
+            let mut p = DatasetProfile::jackson();
+            p.mean_objects = 3.5;
+            p.std_objects = 1.2;
+            p.classes[0].fraction = 0.55;
+            p.classes[1].fraction = 0.45;
+            p
+        }
+        // a3 / a4: DeTRAC at the paper's 15.8 objects/frame never has
+        // "exactly three objects"; sparsify and raise the bus share, with a
+        // fast-mixing count process so every window has true frames.
+        "a3" | "a4" => {
+            let mut p = DatasetProfile::detrac();
+            p.mean_objects = 3.0;
+            p.std_objects = 1.2;
+            p.classes[0].fraction = 0.58;
+            p.classes[1].fraction = 0.38;
+            p.classes[2].fraction = 0.04;
+            p.count_reversion = 0.5;
+            p
+        }
+        // a5: exactly three people, two in the lower-left — Coral's mean of
+        // 8.7 people/frame makes count-three frames vanishingly rare.
+        "a5" => {
+            let mut p = DatasetProfile::coral();
+            p.mean_objects = 3.0;
+            p.std_objects = 1.2;
+            p.count_reversion = 0.5;
+            p
+        }
+        other => panic!("unknown aggregate query {other}"),
+    }
 }
 
 #[cfg(test)]

@@ -431,13 +431,16 @@ mod tests {
             CalibrationProfile::perfect().emulating(FilterKind::Od),
             CalibrationProfile::perfect().emulating(FilterKind::Ic),
         ])
-        .with_prefix(24);
+        // The prefix must reach the stream's first true q3 frames (index
+        // 107 at this seed): a prefix with no true frame certifies no
+        // cascade and the planner would rightly ship the brute-force floor.
+        .with_prefix(120);
         let outcome = engine.run_adaptive(&Query::paper_q3(), &calibration);
         assert!(outcome.outcome.accuracy.is_perfect(), "perfect backends stay exact: {:?}", outcome.outcome.accuracy);
         // Identical estimates from both backends: the cheaper IC price wins.
         assert_eq!(outcome.plan().backend, "IC");
         assert!(outcome.outcome.run.mode.starts_with("adaptive IC-CCF"), "mode {}", outcome.outcome.run.mode);
-        assert_eq!(outcome.calibration.prefix_frames, 24);
+        assert_eq!(outcome.calibration.prefix_frames, 120);
         assert!(outcome.calibration.calibration_ms > 0.0);
         let rendered = outcome.stage_report().render();
         assert!(rendered.contains("calibrate"));

@@ -61,6 +61,7 @@ impl Report {
             "pass rate",
             "virtual ms",
             "wall ms",
+            "workers",
         ]);
         for m in metrics {
             report.row(&[
@@ -71,6 +72,7 @@ impl Report {
                 format!("{:.1}%", m.pass_rate() * 100.0),
                 format!("{:.2}", m.virtual_ms),
                 format!("{:.3}", m.wall_ms),
+                m.workers.to_string(),
             ]);
         }
         report

@@ -380,10 +380,14 @@ impl<'e> StreamRuntime<'e> {
                 }
                 RuntimeQuery::SelectAdaptive { query, .. } => {
                     let (report, chosen) = plans[q].as_ref().expect("adaptive statements are planned");
+                    // A brute-force plan choice registers with no backend:
+                    // every frame escalates to the (shared, deduplicated)
+                    // detector, exactly like an isolated brute run.
+                    let backend = if report.choice.brute_force { None } else { Some(plan_backends[*chosen]) };
                     plan.register_select_with(
                         query.clone(),
                         report.choice.cascade,
-                        Some(plan_backends[*chosen]),
+                        backend,
                         ledger.clone(),
                         format!("adaptive {}", report.choice.label),
                         Some(StageMetrics {
@@ -393,6 +397,7 @@ impl<'e> StreamRuntime<'e> {
                             frames_out: report.prefix_frames,
                             virtual_ms: report.calibration_ms,
                             wall_ms: report.calibration_wall_ms,
+                            workers: 1,
                         }),
                     );
                 }

@@ -184,6 +184,39 @@ impl FrameFilter for CalibratedFilter {
             .collect()
     }
 
+    fn estimate_batch_sharded(&self, frames: &[Frame], workers: usize) -> Vec<FilterEstimate> {
+        // The expensive part — building `frames × classes` ground-truth
+        // occupancy grids — is a pure per-frame function, so it shards
+        // across scoped threads with a position-keyed merge. The calibrated
+        // noise, by contrast, is one sequential RNG stream (that is the
+        // filter's determinism contract), so the noise pass stays
+        // single-threaded and the estimates are bit-identical to the
+        // per-frame path for any worker count.
+        let workers = workers.min(frames.len()).max(1);
+        if workers == 1 || self.classes.is_empty() {
+            return self.estimate_batch(frames);
+        }
+        let chunk = frames.len().div_ceil(workers);
+        let mut truth: Vec<Vec<ClassGrid>> = vec![Vec::new(); frames.len()];
+        std::thread::scope(|scope| {
+            for (slots, part) in truth.chunks_mut(chunk).zip(frames.chunks(chunk)) {
+                scope.spawn(move || {
+                    let groups: Vec<_> = part.iter().flat_map(|frame| self.truth_box_groups(frame)).collect();
+                    let grids = ClassGrid::from_boxes_batch(self.grid, &groups);
+                    for (slot, frame_grids) in slots.iter_mut().zip(grids.chunks(self.classes.len())) {
+                        *slot = frame_grids.to_vec();
+                    }
+                });
+            }
+        });
+        let mut rng = self.rng.lock();
+        frames
+            .iter()
+            .zip(&truth)
+            .map(|(frame, truth_grids)| self.noisy_estimate(frame, truth_grids, &mut rng))
+            .collect()
+    }
+
     fn kind(&self) -> FilterKind {
         self.profile.kind
     }

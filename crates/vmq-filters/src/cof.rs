@@ -10,9 +10,9 @@
 
 use crate::arch::build_trunk;
 use crate::config::FilterConfig;
-use crate::estimate::{image_to_tensor, FilterEstimate, FilterKind, FrameFilter};
+use crate::estimate::{image_to_tensor, shard_frames, FilterEstimate, FilterKind, FrameFilter};
 use crate::label::FrameLabels;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use vmq_nn::init::seeded_rng;
 use vmq_nn::layer::{Act, Activation, Conv2d, Dense, GlobalAvgPool, MaxPool2d};
@@ -20,7 +20,7 @@ use vmq_nn::loss::smooth_l1_loss;
 use vmq_nn::net::Sequential;
 use vmq_nn::optim::{Adam, Optimizer};
 use vmq_nn::train::{batches, sample_order, EpochStats};
-use vmq_nn::Tensor;
+use vmq_nn::{Tensor, Workspace};
 use vmq_video::{Frame, ObjectClass};
 
 /// Architecture of the OD-COF branch (Table I).
@@ -51,10 +51,13 @@ impl CofConfig {
 }
 
 /// The OD-COF filter: predicts only the total object count per frame.
+///
+/// The network sits behind a [`RwLock`]: training writes, inference reads
+/// through per-thread workspaces, so sharded batches run concurrently.
 pub struct CofFilter {
     config: FilterConfig,
     cof: CofConfig,
-    net: Mutex<Sequential>,
+    net: RwLock<Sequential>,
     history: Vec<EpochStats>,
 }
 
@@ -64,7 +67,7 @@ impl CofFilter {
     pub fn new(config: FilterConfig) -> Self {
         let cof = CofConfig::scaled(config.branch_channels);
         let net = Self::build(&config, &cof);
-        CofFilter { config, cof, net: Mutex::new(net), history: Vec::new() }
+        CofFilter { config, cof, net: RwLock::new(net), history: Vec::new() }
     }
 
     fn build(config: &FilterConfig, cof: &CofConfig) -> Sequential {
@@ -119,7 +122,7 @@ impl CofFilter {
         let mut rng = seeded_rng(self.config.seed.wrapping_add(0xC0F));
         let mut opt = Adam::with_weight_decay(schedule.learning_rate, schedule.weight_decay);
         let mut history = Vec::with_capacity(schedule.epochs);
-        let net = self.net.get_mut();
+        let net = &mut *self.net.write();
         for epoch in 0..schedule.epochs {
             let order = sample_order(frames.len(), true, &mut rng);
             let mut epoch_loss = 0.0f64;
@@ -145,9 +148,13 @@ impl CofFilter {
 }
 
 impl CofFilter {
-    fn estimate_locked(&self, net: &mut Sequential, frame: &Frame) -> FilterEstimate {
-        let input = image_to_tensor(&self.config.raster.render(frame));
-        let total = net.forward(&input).data()[0].max(0.0);
+    /// One shared-read inference pass with the read lock already held
+    /// (bit-identical to the historical `&mut` forward path).
+    fn infer_one(&self, net: &Sequential, frame: &Frame, ws: &mut Workspace) -> FilterEstimate {
+        let image = self.config.raster.render(frame);
+        ws.load_slice(&image.data, &[image.channels, image.height, image.width]);
+        net.infer_ws(ws);
+        let total = ws.data()[0].max(0.0);
         FilterEstimate {
             classes: Vec::new(),
             counts: Vec::new(),
@@ -160,14 +167,19 @@ impl CofFilter {
 
 impl FrameFilter for CofFilter {
     fn estimate(&self, frame: &Frame) -> FilterEstimate {
-        let mut net = self.net.lock();
-        self.estimate_locked(&mut net, frame)
+        let net = self.net.read();
+        self.infer_one(&net, frame, &mut Workspace::new())
     }
 
     fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
-        // One lock acquisition for the whole batch.
-        let mut net = self.net.lock();
-        frames.iter().map(|frame| self.estimate_locked(&mut net, frame)).collect()
+        // One workspace amortised over the whole batch.
+        self.estimate_batch_sharded(frames, 1)
+    }
+
+    fn estimate_batch_sharded(&self, frames: &[Frame], workers: usize) -> Vec<FilterEstimate> {
+        let net = self.net.read();
+        let net = &*net;
+        shard_frames(frames, workers, |frame, ws| self.infer_one(net, frame, ws))
     }
 
     fn kind(&self) -> FilterKind {

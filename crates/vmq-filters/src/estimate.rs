@@ -118,13 +118,28 @@ pub trait FrameFilter: Send + Sync {
     /// Produces estimates for a whole batch of frames, in frame order.
     ///
     /// The default implementation loops over [`FrameFilter::estimate`];
-    /// concrete filters override it to amortise per-batch work (one lock
-    /// acquisition per batch instead of per frame, batched ground-truth grid
-    /// construction). Overrides must produce exactly the estimates the
-    /// per-frame path would produce, in the same order — the operator
-    /// pipeline's eager/batched parity guarantee depends on it.
+    /// concrete filters override it to amortise per-batch work (per-thread
+    /// scratch workspaces instead of per-frame allocation, batched
+    /// ground-truth grid construction). Overrides must produce exactly the
+    /// estimates the per-frame path would produce, in the same order — the
+    /// operator pipeline's eager/batched parity guarantee depends on it.
     fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
         frames.iter().map(|frame| self.estimate(frame)).collect()
+    }
+
+    /// Produces estimates for a batch, sharding inference across up to
+    /// `workers` scoped worker threads with a position-keyed merge.
+    ///
+    /// Must be bit-identical to [`FrameFilter::estimate_batch`] (and hence
+    /// the per-frame path) for **any** worker count — a pure wall-clock
+    /// knob, exactly like the detect stage's sharding. The default ignores
+    /// `workers` and runs the batched path; the learned filters override it
+    /// with per-thread workspaces over a shared-read network, and the
+    /// calibrated filter parallelises its ground-truth grid construction
+    /// while keeping the noise stream sequential.
+    fn estimate_batch_sharded(&self, frames: &[Frame], workers: usize) -> Vec<FilterEstimate> {
+        let _ = workers;
+        self.estimate_batch(frames)
     }
 
     /// Profiles the backend over a calibration sample: runs
@@ -162,6 +177,41 @@ pub trait FrameFilter: Send + Sync {
 /// Converts a rasterised [`Image`] into an input tensor for the networks.
 pub fn image_to_tensor(image: &Image) -> Tensor {
     Tensor::from_vec(image.data.clone(), vec![image.channels, image.height, image.width])
+}
+
+/// Shards a batch of frames across up to `workers` scoped worker threads,
+/// each owning one inference [`Workspace`](vmq_nn::Workspace), and merges the
+/// per-frame results position-keyed — the same worker-invariance recipe the
+/// detect stage uses, so any worker count yields the identical estimate
+/// vector. With one worker (or one frame) no thread is spawned and a single
+/// workspace serves the whole batch sequentially.
+pub(crate) fn shard_frames<F>(frames: &[Frame], workers: usize, infer_one: F) -> Vec<FilterEstimate>
+where
+    F: Fn(&Frame, &mut vmq_nn::Workspace) -> FilterEstimate + Sync,
+{
+    let n = frames.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(n).max(1);
+    if workers == 1 {
+        let mut ws = vmq_nn::Workspace::new();
+        return frames.iter().map(|frame| infer_one(frame, &mut ws)).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<FilterEstimate>> = vec![None; n];
+    let infer_one = &infer_one;
+    std::thread::scope(|scope| {
+        for (slots, part) in out.chunks_mut(chunk).zip(frames.chunks(chunk)) {
+            scope.spawn(move || {
+                let mut ws = vmq_nn::Workspace::new();
+                for (slot, frame) in slots.iter_mut().zip(part) {
+                    *slot = Some(infer_one(frame, &mut ws));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|e| e.expect("every sharded frame estimated")).collect()
 }
 
 #[cfg(test)]

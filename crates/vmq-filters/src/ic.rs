@@ -16,10 +16,10 @@
 
 use crate::arch::build_trunk;
 use crate::config::FilterConfig;
-use crate::estimate::{image_to_tensor, FilterEstimate, FilterKind, FrameFilter};
+use crate::estimate::{image_to_tensor, shard_frames, FilterEstimate, FilterKind, FrameFilter};
 use crate::grid::ClassGrid;
 use crate::label::{class_presence_counts, FrameLabels};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use vmq_nn::init::seeded_rng;
 use vmq_nn::layer::Act;
 use vmq_nn::loss::{class_weights_from_presence, multi_task_loss};
@@ -27,7 +27,7 @@ use vmq_nn::net::{Param, Sequential};
 use vmq_nn::ops::{global_avg_pool, global_avg_pool_backward, matvec};
 use vmq_nn::optim::{Adam, Optimizer};
 use vmq_nn::train::{batches, sample_order, EpochStats};
-use vmq_nn::Tensor;
+use vmq_nn::{Tensor, Workspace};
 use vmq_video::{Frame, ObjectClass};
 
 /// The count head + class-activation-map head sharing one weight matrix.
@@ -138,6 +138,44 @@ impl CamCountHead {
         d_fm
     }
 
+    /// Shared-read inference pass over a feature map stored as a flat
+    /// `[d, g_h, g_w]` slice: returns `(counts, cams)` as flat vectors.
+    ///
+    /// Bit-identical to [`CamCountHead::forward`] — same GAP accumulation,
+    /// same per-row dot-product order, same CAM loops — but without `&mut`
+    /// or the backward caches, so a trained head can serve many inference
+    /// threads concurrently.
+    pub fn infer(&self, fm: &[f32], g_h: usize, g_w: usize) -> (Vec<f32>, Vec<f32>) {
+        let cell_count = g_h * g_w;
+        debug_assert_eq!(fm.len(), self.d * cell_count, "feature channel mismatch");
+        let area = cell_count as f32;
+        let gap: Vec<f32> =
+            (0..self.d).map(|k| fm[k * cell_count..(k + 1) * cell_count].iter().sum::<f32>() / area).collect();
+        let wd = self.weight.value.data();
+        let mut pre: Vec<f32> = (0..self.n_classes)
+            .map(|c| wd[c * self.d..(c + 1) * self.d].iter().zip(&gap).map(|(a, b)| a * b).sum())
+            .collect();
+        for (p, b) in pre.iter_mut().zip(self.bias.value.data()) {
+            *p += b;
+        }
+        let counts: Vec<f32> = pre.iter().map(|&v| v.max(0.0)).collect();
+        let mut cams = vec![0.0f32; self.n_classes * cell_count];
+        for c in 0..self.n_classes {
+            let cam = &mut cams[c * cell_count..(c + 1) * cell_count];
+            for k in 0..self.d {
+                let w = wd[c * self.d + k];
+                if w == 0.0 {
+                    continue;
+                }
+                let ch = &fm[k * cell_count..(k + 1) * cell_count];
+                for (o, &v) in cam.iter_mut().zip(ch) {
+                    *o += w * v;
+                }
+            }
+        }
+        (counts, cams)
+    }
+
     /// Trainable parameters of the head.
     pub fn params(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
@@ -156,9 +194,14 @@ struct IcNet {
 }
 
 /// A trained (or trainable) IC filter.
+///
+/// The network sits behind a [`RwLock`]: training takes the write lock,
+/// while inference — a pure read of the trained weights through the
+/// workspace-based [`Sequential::infer_ws`] path — takes a read lock, so a
+/// whole batch can shard across worker threads concurrently.
 pub struct IcFilter {
     config: FilterConfig,
-    net: Mutex<IcNet>,
+    net: RwLock<IcNet>,
     /// Per-epoch training history (empty before training).
     history: Vec<EpochStats>,
 }
@@ -168,7 +211,7 @@ impl IcFilter {
     pub fn new(config: FilterConfig) -> Self {
         let trunk = build_trunk(&config, Act::Relu, config.seed);
         let head = CamCountHead::new(config.num_classes(), config.feature_channels(), config.seed);
-        IcFilter { config, net: Mutex::new(IcNet { trunk, head }), history: Vec::new() }
+        IcFilter { config, net: RwLock::new(IcNet { trunk, head }), history: Vec::new() }
     }
 
     /// The filter configuration.
@@ -198,7 +241,7 @@ impl IcFilter {
         let mut rng = seeded_rng(self.config.seed.wrapping_add(0x1C));
         let mut opt = Adam::with_weight_decay(schedule.learning_rate, schedule.weight_decay);
         let mut history = Vec::with_capacity(schedule.epochs);
-        let net = self.net.get_mut();
+        let net = &mut *self.net.write();
         for epoch in 0..schedule.epochs {
             let beta = schedule.beta_at(epoch);
             let order = sample_order(frames.len(), true, &mut rng);
@@ -239,24 +282,27 @@ impl IcFilter {
 }
 
 impl IcFilter {
-    /// One inference pass with the net lock already held (shared by the
-    /// per-frame and batched entry points).
-    fn estimate_locked(&self, net: &mut IcNet, frame: &Frame) -> FilterEstimate {
-        let input = image_to_tensor(&self.config.raster.render(frame));
-        let fm = net.trunk.forward(&input);
-        let (counts, cams) = net.head.forward(&fm);
+    /// One shared-read inference pass with the read lock already held: the
+    /// trunk runs through the caller's workspace (no allocation in steady
+    /// state), the CAM/count head reads the feature map in place. Shared by
+    /// the per-frame, batched and sharded entry points — bit-identical to
+    /// the historical `&mut` forward path.
+    fn infer_one(&self, net: &IcNet, frame: &Frame, ws: &mut Workspace) -> FilterEstimate {
+        let image = self.config.raster.render(frame);
+        ws.load_slice(&image.data, &[image.channels, image.height, image.width]);
+        net.trunk.infer_ws(ws);
         let g = self.config.grid;
         let n = self.config.num_classes();
+        let (counts, cams) = net.head.infer(ws.data(), g, g);
         let grids: Vec<ClassGrid> = (0..n)
             .map(|c| {
-                let cells: Vec<f32> =
-                    cams.data()[c * g * g..(c + 1) * g * g].iter().map(|&v| v.clamp(0.0, 1.0)).collect();
+                let cells: Vec<f32> = cams[c * g * g..(c + 1) * g * g].iter().map(|&v| v.clamp(0.0, 1.0)).collect();
                 ClassGrid::from_values(g, cells)
             })
             .collect();
         FilterEstimate {
             classes: self.config.classes.clone(),
-            counts: counts.data().iter().map(|&v| v.max(0.0)).collect(),
+            counts: counts.iter().map(|&v| v.max(0.0)).collect(),
             grids,
             kind: FilterKind::Ic,
             total_hint: None,
@@ -266,15 +312,20 @@ impl IcFilter {
 
 impl FrameFilter for IcFilter {
     fn estimate(&self, frame: &Frame) -> FilterEstimate {
-        let mut net = self.net.lock();
-        self.estimate_locked(&mut net, frame)
+        let net = self.net.read();
+        self.infer_one(&net, frame, &mut Workspace::new())
     }
 
     fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
-        // One lock acquisition for the whole batch; inference itself is
-        // stateless, so the outputs match the per-frame path exactly.
-        let mut net = self.net.lock();
-        frames.iter().map(|frame| self.estimate_locked(&mut net, frame)).collect()
+        // One workspace amortised over the whole batch; inference is a pure
+        // read, so the outputs match the per-frame path exactly.
+        self.estimate_batch_sharded(frames, 1)
+    }
+
+    fn estimate_batch_sharded(&self, frames: &[Frame], workers: usize) -> Vec<FilterEstimate> {
+        let net = self.net.read();
+        let net = &*net;
+        shard_frames(frames, workers, |frame, ws| self.infer_one(net, frame, ws))
     }
 
     fn kind(&self) -> FilterKind {

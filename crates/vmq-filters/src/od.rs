@@ -17,17 +17,17 @@
 
 use crate::arch::{build_branch, build_trunk};
 use crate::config::FilterConfig;
-use crate::estimate::{image_to_tensor, FilterEstimate, FilterKind, FrameFilter};
+use crate::estimate::{image_to_tensor, shard_frames, FilterEstimate, FilterKind, FrameFilter};
 use crate::grid::ClassGrid;
 use crate::label::FrameLabels;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use vmq_nn::init::seeded_rng;
 use vmq_nn::layer::{Act, Activation, Conv2d, Dense, GlobalAvgPool};
 use vmq_nn::loss::{masked_grid_loss, smooth_l1_loss};
 use vmq_nn::net::Sequential;
 use vmq_nn::optim::{Adam, Optimizer};
 use vmq_nn::train::{batches, sample_order, EpochStats};
-use vmq_nn::Tensor;
+use vmq_nn::{Tensor, Workspace};
 use vmq_video::{Frame, ObjectClass};
 
 struct OdNet {
@@ -71,9 +71,13 @@ impl OdNet {
 }
 
 /// A trained (or trainable) OD filter.
+///
+/// Like [`crate::IcFilter`], the network sits behind a [`RwLock`]: training
+/// writes, inference reads — so sharded batches run concurrently on a
+/// shared-read net with per-thread workspaces.
 pub struct OdFilter {
     config: FilterConfig,
-    net: Mutex<OdNet>,
+    net: RwLock<OdNet>,
     history: Vec<EpochStats>,
 }
 
@@ -94,7 +98,7 @@ impl OdFilter {
             Box::new(Dense::new(bc, n, config.seed.wrapping_add(4000))),
             Box::new(Activation::new(Act::Relu)),
         ]);
-        OdFilter { config, net: Mutex::new(OdNet { trunk, branch, grid_head, count_head }), history: Vec::new() }
+        OdFilter { config, net: RwLock::new(OdNet { trunk, branch, grid_head, count_head }), history: Vec::new() }
     }
 
     /// The filter configuration.
@@ -123,7 +127,7 @@ impl OdFilter {
         let mut rng = seeded_rng(self.config.seed.wrapping_add(0x0D));
         let mut opt = Adam::with_weight_decay(schedule.learning_rate, schedule.weight_decay);
         let mut history = Vec::with_capacity(schedule.epochs);
-        let net = self.net.get_mut();
+        let net = &mut *self.net.write();
         for epoch in 0..schedule.epochs {
             // The grid term of Eq. 3 is always on for OD training; the count
             // weight is alpha, the grid weight uses beta-style scheduling so
@@ -167,18 +171,27 @@ impl OdFilter {
 }
 
 impl OdFilter {
-    /// One inference pass with the net lock already held (shared by the
-    /// per-frame and batched entry points).
-    fn estimate_locked(&self, net: &mut OdNet, frame: &Frame) -> FilterEstimate {
-        let input = image_to_tensor(&self.config.raster.render(frame));
-        let (counts, grids, _b) = net.forward(&input);
+    /// One shared-read inference pass with the read lock already held: the
+    /// trunk and branch run through the caller's workspace, the branch
+    /// output is stashed so both heads can read it, and the grid / count
+    /// heads run in the same order as the `&mut` forward pass (their
+    /// arithmetic is independent, so outputs are bit-identical to it).
+    fn infer_one(&self, net: &OdNet, frame: &Frame, ws: &mut Workspace) -> FilterEstimate {
+        let image = self.config.raster.render(frame);
+        ws.load_slice(&image.data, &[image.channels, image.height, image.width]);
+        net.trunk.infer_ws(ws);
+        net.branch.infer_ws(ws);
+        ws.stash();
+        net.grid_head.infer_ws(ws);
         let g = self.config.grid;
         let n = self.config.num_classes();
         let class_grids: Vec<ClassGrid> =
-            (0..n).map(|c| ClassGrid::from_values(g, grids.data()[c * g * g..(c + 1) * g * g].to_vec())).collect();
+            (0..n).map(|c| ClassGrid::from_values(g, ws.data()[c * g * g..(c + 1) * g * g].to_vec())).collect();
+        ws.unstash();
+        net.count_head.infer_ws(ws);
         FilterEstimate {
             classes: self.config.classes.clone(),
-            counts: counts.data().iter().map(|&v| v.max(0.0)).collect(),
+            counts: ws.data().iter().map(|&v| v.max(0.0)).collect(),
             grids: class_grids,
             kind: FilterKind::Od,
             total_hint: None,
@@ -188,15 +201,20 @@ impl OdFilter {
 
 impl FrameFilter for OdFilter {
     fn estimate(&self, frame: &Frame) -> FilterEstimate {
-        let mut net = self.net.lock();
-        self.estimate_locked(&mut net, frame)
+        let net = self.net.read();
+        self.infer_one(&net, frame, &mut Workspace::new())
     }
 
     fn estimate_batch(&self, frames: &[Frame]) -> Vec<FilterEstimate> {
-        // One lock acquisition for the whole batch; inference itself is
-        // stateless, so the outputs match the per-frame path exactly.
-        let mut net = self.net.lock();
-        frames.iter().map(|frame| self.estimate_locked(&mut net, frame)).collect()
+        // One workspace amortised over the whole batch; inference is a pure
+        // read, so the outputs match the per-frame path exactly.
+        self.estimate_batch_sharded(frames, 1)
+    }
+
+    fn estimate_batch_sharded(&self, frames: &[Frame], workers: usize) -> Vec<FilterEstimate> {
+        let net = self.net.read();
+        let net = &*net;
+        shard_frames(frames, workers, |frame, ws| self.infer_one(net, frame, ws))
     }
 
     fn kind(&self) -> FilterKind {

@@ -1,7 +1,10 @@
 //! Property-based tests of grids, metrics and the calibrated filter.
 
 use proptest::prelude::*;
-use vmq_filters::{CalibratedFilter, CalibrationProfile, ClassGrid, ClfMetrics, CountMetrics, FrameFilter};
+use vmq_filters::{
+    CalibratedFilter, CalibrationProfile, ClassGrid, ClfMetrics, CofFilter, CountMetrics, FilterConfig, FilterEstimate,
+    FrameFilter, IcFilter, OdFilter,
+};
 use vmq_video::{BoundingBox, Color, Frame, ObjectClass, SceneObject};
 
 fn bbox_strategy() -> impl Strategy<Value = BoundingBox> {
@@ -25,6 +28,29 @@ fn frame_strategy(max_objects: usize) -> impl Strategy<Value = Frame> {
             })
             .collect(),
     })
+}
+
+/// Bit-exact comparison of two estimate vectors (f32 payloads compared by
+/// value equality, which for finite filter outputs is bit equality).
+fn assert_estimates_bit_identical(
+    reference: &[FilterEstimate],
+    sharded: &[FilterEstimate],
+    backend: &str,
+    batch_size: usize,
+    workers: usize,
+) {
+    assert_eq!(reference.len(), sharded.len(), "{backend} batch={batch_size} workers={workers}");
+    for (i, (a, b)) in reference.iter().zip(sharded).enumerate() {
+        let ctx = format!("{backend} frame {i} batch={batch_size} workers={workers}");
+        assert_eq!(a.classes, b.classes, "classes {ctx}");
+        assert_eq!(a.kind, b.kind, "kind {ctx}");
+        assert_eq!(a.counts, b.counts, "counts {ctx}");
+        assert_eq!(a.total_hint, b.total_hint, "total_hint {ctx}");
+        assert_eq!(a.grids.len(), b.grids.len(), "grid count {ctx}");
+        for (ga, gb) in a.grids.iter().zip(&b.grids) {
+            assert_eq!(ga.cells(), gb.cells(), "grid cells {ctx}");
+        }
+    }
 }
 
 proptest! {
@@ -105,6 +131,63 @@ proptest! {
         if !noisy {
             for &class in &classes {
                 prop_assert_eq!(est.count_for_rounded(class).unwrap(), frame.class_count(class) as i64);
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs ~a thousand small-net inferences; a handful of cases
+    // at full combinatorial width (4 backends × 3 batch sizes × 3 worker
+    // counts) gives the coverage without minutes of wall time.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded batch inference is bit-identical to the sequential per-frame
+    /// path for every backend — IC, OD, OD-COF and calibrated — across
+    /// pipeline batch sizes {1, 7, 32} × worker counts {1, 2, 4}. This is
+    /// the worker-invariance contract the parallel filter stage rests on:
+    /// sharding (and batching) are pure wall-clock knobs.
+    #[test]
+    fn sharded_estimate_batch_is_bit_identical_to_per_frame(
+        frames in prop::collection::vec(frame_strategy(6), 1..33),
+        cal_seed in 0u64..1000,
+    ) {
+        let classes = vec![ObjectClass::Car, ObjectClass::Person, ObjectClass::Bus];
+        let config = FilterConfig::fast_test(classes.clone());
+        let ic = IcFilter::new(config.clone());
+        let od = OdFilter::new(config.clone());
+        let cof = CofFilter::new(config);
+
+        // Learned backends are stateless at inference time: one reference
+        // pass per filter, then every (batch, workers) combination must
+        // reproduce it exactly.
+        for filter in [&ic as &dyn FrameFilter, &od, &cof] {
+            let reference: Vec<FilterEstimate> = frames.iter().map(|f| filter.estimate(f)).collect();
+            for batch_size in [1usize, 7, 32] {
+                for workers in [1usize, 2, 4] {
+                    let mut sharded: Vec<FilterEstimate> = Vec::new();
+                    for chunk in frames.chunks(batch_size) {
+                        sharded.extend(filter.estimate_batch_sharded(chunk, workers));
+                    }
+                    assert_estimates_bit_identical(&reference, &sharded, filter.kind().name(), batch_size, workers);
+                }
+            }
+        }
+
+        // The calibrated backend consumes one sequential RNG stream, so each
+        // run needs a fresh identically-seeded instance.
+        let reference: Vec<FilterEstimate> = {
+            let filter = CalibratedFilter::new(classes.clone(), 12, CalibrationProfile::od_like(), cal_seed);
+            frames.iter().map(|f| filter.estimate(f)).collect()
+        };
+        for batch_size in [1usize, 7, 32] {
+            for workers in [1usize, 2, 4] {
+                let filter = CalibratedFilter::new(classes.clone(), 12, CalibrationProfile::od_like(), cal_seed);
+                let mut sharded: Vec<FilterEstimate> = Vec::new();
+                for chunk in frames.chunks(batch_size) {
+                    sharded.extend(filter.estimate_batch_sharded(chunk, workers));
+                }
+                assert_estimates_bit_identical(&reference, &sharded, "CAL", batch_size, workers);
             }
         }
     }

@@ -3,6 +3,7 @@
 use crate::layer::Layer;
 use crate::ops::sigmoid;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Supported activation functions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,6 +81,13 @@ impl Layer for Activation {
         self.cached_input = Some(input.clone());
         self.cached_output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, ws: &mut Workspace) {
+        // Element-wise: applied in place, no buffer rotation needed.
+        for v in ws.data_mut() {
+            *v = self.apply(*v);
+        }
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

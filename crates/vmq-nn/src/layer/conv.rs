@@ -3,8 +3,9 @@
 use crate::init::{kaiming_uniform, seeded_rng};
 use crate::layer::Layer;
 use crate::net::Param;
-use crate::ops::{conv2d_backward, conv2d_forward, ConvSpec};
+use crate::ops::{conv2d_backward, conv2d_forward, im2col_into, matmul_into, ConvSpec};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A 2-D convolution over `CHW` tensors with square kernels.
 ///
@@ -63,6 +64,25 @@ impl Layer for Conv2d {
         let (out, cols) = conv2d_forward(input, &self.weight.value, self.bias.value.data(), &self.spec);
         self.cached_cols = Some(cols);
         out
+    }
+
+    fn infer(&self, ws: &mut Workspace) {
+        debug_assert_eq!(ws.shape().len(), 3, "Conv2d expects CHW input");
+        debug_assert_eq!(ws.shape()[0], self.spec.in_channels, "Conv2d channel mismatch");
+        let (h, w) = (ws.shape()[1], ws.shape()[2]);
+        let (oh, ow) = self.spec.out_size(h, w);
+        let ckk = self.spec.in_channels * self.spec.kernel * self.spec.kernel;
+        {
+            let (input, out, cols) = ws.split();
+            im2col_into(input, h, w, &self.spec, cols);
+            matmul_into(self.weight.value.data(), self.spec.out_channels, ckk, cols, oh * ow, out);
+            for (co, &b) in self.bias.value.data().iter().enumerate() {
+                for v in &mut out[co * oh * ow..(co + 1) * oh * ow] {
+                    *v += b;
+                }
+            }
+        }
+        ws.commit(&[self.spec.out_channels, oh, ow]);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -3,8 +3,9 @@
 use crate::init::{kaiming_uniform, seeded_rng};
 use crate::layer::Layer;
 use crate::net::Param;
-use crate::ops::matvec;
+use crate::ops::{matvec, matvec_into};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A fully-connected layer `y = W x + b` over flat vectors.
 ///
@@ -59,6 +60,18 @@ impl Layer for Dense {
             *v += b;
         }
         Tensor::from_vec(y, vec![self.out_dim])
+    }
+
+    fn infer(&self, ws: &mut Workspace) {
+        debug_assert_eq!(ws.data().len(), self.in_dim, "Dense input length mismatch");
+        {
+            let (input, out, _cols) = ws.split();
+            matvec_into(self.weight.value.data(), self.out_dim, self.in_dim, input, out);
+            for (v, b) in out.iter_mut().zip(self.bias.value.data()) {
+                *v += b;
+            }
+        }
+        ws.commit(&[self.out_dim]);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

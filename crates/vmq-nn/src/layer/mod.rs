@@ -16,17 +16,28 @@ pub use pool::{GlobalAvgPool, MaxPool2d};
 
 use crate::net::Param;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// A differentiable layer.
 ///
 /// `forward` must be called before `backward`; layers are stateful and keep
-/// the activations of the most recent forward pass. Layers are `Send` so
-/// trained networks can be moved into (or shared behind locks by) the
-/// streaming executor's worker threads.
-pub trait Layer: Send {
+/// the activations of the most recent forward pass. Layers are `Send + Sync`
+/// so trained networks can be moved into the streaming executor's worker
+/// threads — and, through the shared-read [`Layer::infer`] path, serve many
+/// inference threads concurrently without a lock.
+pub trait Layer: Send + Sync {
     /// Computes the layer output for `input`, caching anything needed by
     /// [`Layer::backward`].
     fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Inference-only forward pass: reads the current activation from `ws`
+    /// and leaves the layer output there, using only the workspace's
+    /// caller-owned scratch buffers — no `&mut self` (so a trained net can
+    /// be shared across threads) and no heap allocation in steady state.
+    ///
+    /// Must be bit-identical to [`Layer::forward`]; the filter pipeline's
+    /// eager/batched/sharded parity guarantees depend on it.
+    fn infer(&self, ws: &mut Workspace);
 
     /// Given the gradient of the loss w.r.t. the layer output, accumulates
     /// parameter gradients and returns the gradient w.r.t. the layer input.
@@ -64,6 +75,10 @@ impl Layer for Flatten {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.in_shape = input.shape().to_vec();
         input.reshape(vec![input.len()])
+    }
+
+    fn infer(&self, ws: &mut Workspace) {
+        ws.set_shape(&[ws.data().len()]);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

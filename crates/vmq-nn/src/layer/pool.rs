@@ -2,8 +2,12 @@
 
 use crate::layer::Layer;
 use crate::net::Param;
-use crate::ops::{global_avg_pool, global_avg_pool_backward, maxpool2d_backward, maxpool2d_forward};
+use crate::ops::{
+    global_avg_pool, global_avg_pool_backward, global_avg_pool_into, maxpool2d_backward, maxpool2d_forward,
+    maxpool2d_into,
+};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 
 /// Square, non-overlapping max pooling (window == stride).
 pub struct MaxPool2d {
@@ -31,6 +35,16 @@ impl Layer for MaxPool2d {
         let (out, idx) = maxpool2d_forward(input, self.size);
         self.cached_idx = idx;
         out
+    }
+
+    fn infer(&self, ws: &mut Workspace) {
+        debug_assert_eq!(ws.shape().len(), 3, "MaxPool2d expects CHW input");
+        let (c, h, w) = (ws.shape()[0], ws.shape()[1], ws.shape()[2]);
+        {
+            let (input, out, _cols) = ws.split();
+            maxpool2d_into(input, c, h, w, self.size, out);
+        }
+        ws.commit(&[c, h / self.size, w / self.size]);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -68,6 +82,16 @@ impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         self.cached_in_shape = input.shape().to_vec();
         global_avg_pool(input)
+    }
+
+    fn infer(&self, ws: &mut Workspace) {
+        debug_assert_eq!(ws.shape().len(), 3, "GlobalAvgPool expects CHW input");
+        let (c, h, w) = (ws.shape()[0], ws.shape()[1], ws.shape()[2]);
+        {
+            let (input, out, _cols) = ws.split();
+            global_avg_pool_into(input, c, h, w, out);
+        }
+        ws.commit(&[c]);
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

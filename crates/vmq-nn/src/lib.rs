@@ -51,8 +51,10 @@ pub mod ops;
 pub mod optim;
 pub mod tensor;
 pub mod train;
+pub mod workspace;
 
 pub use layer::{Act, Activation, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d};
 pub use net::{Param, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use tensor::Tensor;
+pub use workspace::Workspace;

@@ -2,6 +2,7 @@
 
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use serde::{Deserialize, Serialize};
 
 /// A trainable parameter: its current value and the accumulated gradient.
@@ -77,6 +78,25 @@ impl Sequential {
             x = layer.forward(&x);
         }
         x
+    }
+
+    /// Shared-read inference over the activation already loaded into `ws`
+    /// (see [`Workspace::load`]): each layer's [`Layer::infer`] runs in turn,
+    /// leaving the network output in the workspace. No `&mut self`, no lock,
+    /// no steady-state allocation — and bit-identical to
+    /// [`Sequential::forward`].
+    pub fn infer_ws(&self, ws: &mut Workspace) {
+        for layer in &self.layers {
+            layer.infer(ws);
+        }
+    }
+
+    /// Convenience wrapper over [`Sequential::infer_ws`]: loads `input`,
+    /// runs inference and copies the output out as a tensor.
+    pub fn infer(&self, input: &Tensor, ws: &mut Workspace) -> Tensor {
+        ws.load(input);
+        self.infer_ws(ws);
+        ws.output()
     }
 
     /// Runs the backward pass given the gradient of the loss w.r.t. the
@@ -156,6 +176,57 @@ mod tests {
         assert!(net.parameters().iter().any(|p| p.grad.norm() > 0.0));
         net.zero_grad();
         assert!(net.parameters().iter().all(|p| p.grad.norm() == 0.0));
+    }
+
+    #[test]
+    fn infer_is_bit_identical_to_forward_and_reuses_buffers() {
+        use crate::layer::{Conv2d, Flatten, GlobalAvgPool, MaxPool2d};
+        let mut net = Sequential::new(vec![
+            Box::new(Conv2d::same(2, 4, 3)),
+            Box::new(Activation::new(Act::LeakyRelu(0.1))),
+            Box::new(MaxPool2d::new(2)),
+            Box::new(Conv2d::new(4, 3, 1, 1, 0, 9)),
+            Box::new(Activation::new(Act::Sigmoid)),
+            Box::new(GlobalAvgPool::new()),
+            Box::new(Flatten::new()),
+            Box::new(Dense::new(3, 2, 4)),
+            Box::new(Activation::new(Act::Relu)),
+        ]);
+        let mut ws = crate::workspace::Workspace::new();
+        for seed in 0..4 {
+            let x = Tensor::from_vec(
+                (0..2 * 8 * 8).map(|v| ((v + seed * 131) as f32 * 0.173).sin()).collect(),
+                vec![2, 8, 8],
+            );
+            let reference = net.forward(&x);
+            // The same workspace serves every pass (buffer reuse must not
+            // leak stale state between frames).
+            let inferred = net.infer(&x, &mut ws);
+            assert_eq!(inferred.shape(), reference.shape());
+            assert_eq!(inferred.data(), reference.data(), "infer must be bit-identical to forward");
+        }
+    }
+
+    #[test]
+    fn infer_runs_without_mut_across_threads() {
+        let net = Sequential::new(vec![Box::new(Dense::new(2, 2, 0)), Box::new(Activation::new(Act::Relu))]);
+        let x = Tensor::from_vec(vec![0.5, -0.25], vec![2]);
+        let net_ref = &net;
+        let x = &x;
+        let outputs: Vec<Tensor> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut ws = crate::workspace::Workspace::new();
+                        net_ref.infer(x, &mut ws)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in &outputs[1..] {
+            assert_eq!(out.data(), outputs[0].data());
+        }
     }
 
     #[test]

@@ -91,6 +91,116 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
     (0..m).map(|i| ad[i * k..(i + 1) * k].iter().zip(x).map(|(a, b)| a * b).sum()).collect()
 }
 
+// ---------------------------------------------------------------------------
+// Allocation-free inference kernels
+//
+// The `_into` variants below are the inference twins of the functions above:
+// identical loop structure and accumulation order (so outputs are
+// bit-identical to the allocating path — the pipeline's parity pins depend
+// on that), but writing into caller-owned buffers that keep their capacity
+// across calls. They are what [`crate::workspace::Workspace`]-based layer
+// inference runs on.
+// ---------------------------------------------------------------------------
+
+/// [`matmul`] writing into a caller-owned buffer: `out = A (m×k) * B (k×n)`,
+/// all operands flat row-major slices. Bit-identical to [`matmul`]: every
+/// output element accumulates `a[i][kk] * b[kk][j]` in ascending-`kk` order
+/// with zero coefficients skipped, exactly like the allocating kernel. The
+/// 2×4 register blocking below — two output rows sharing each streamed quad
+/// of `B` rows — only changes memory traffic, never the per-element
+/// addition sequence.
+pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut Vec<f32>) {
+    debug_assert_eq!(a.len(), m * k, "matmul_into lhs size mismatch");
+    debug_assert_eq!(b.len(), k * n, "matmul_into rhs size mismatch");
+    out.clear();
+    out.resize(m * n, 0.0);
+    let mut i = 0;
+    // 2×4 micro-kernel: two output rows share each streamed quad of B rows,
+    // quartering the read-modify-write passes over the output and halving
+    // the B traffic relative to the naive i-k-j loop.
+    while i + 2 <= m {
+        let (head, tail) = out.split_at_mut((i + 1) * n);
+        let o0 = &mut head[i * n..];
+        let o1 = &mut tail[..n];
+        let a0 = &a[i * k..(i + 1) * k];
+        let a1 = &a[(i + 1) * k..(i + 2) * k];
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let c0 = [a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3]];
+            let c1 = [a1[kk], a1[kk + 1], a1[kk + 2], a1[kk + 3]];
+            if c0.iter().chain(&c1).all(|&c| c != 0.0) {
+                let b0 = &b[kk * n..(kk + 1) * n];
+                let b1 = &b[(kk + 1) * n..(kk + 2) * n];
+                let b2 = &b[(kk + 2) * n..(kk + 3) * n];
+                let b3 = &b[(kk + 3) * n..(kk + 4) * n];
+                for (((((o0, o1), &v0), &v1), &v2), &v3) in
+                    o0.iter_mut().zip(o1.iter_mut()).zip(b0).zip(b1).zip(b2).zip(b3)
+                {
+                    // Sequential += in ascending-kk order per output element:
+                    // the exact rounding sequence of four separate passes.
+                    let mut x = *o0;
+                    x += c0[0] * v0;
+                    x += c0[1] * v1;
+                    x += c0[2] * v2;
+                    x += c0[3] * v3;
+                    *o0 = x;
+                    let mut y = *o1;
+                    y += c1[0] * v0;
+                    y += c1[1] * v1;
+                    y += c1[2] * v2;
+                    y += c1[3] * v3;
+                    *o1 = y;
+                }
+            } else {
+                // A zero coefficient in the quad: fall back to the skipping
+                // per-kk passes (`-0.0 + 0.0 * b` would round a -0.0
+                // accumulator to +0.0, so zeros are skipped, not multiplied).
+                for dk in kk..kk + 4 {
+                    let b_row = &b[dk * n..(dk + 1) * n];
+                    accumulate_row(o0, a0[dk], b_row);
+                    accumulate_row(o1, a1[dk], b_row);
+                }
+            }
+            kk += 4;
+        }
+        for dk in kk..k {
+            let b_row = &b[dk * n..(dk + 1) * n];
+            accumulate_row(o0, a0[dk], b_row);
+            accumulate_row(o1, a1[dk], b_row);
+        }
+        i += 2;
+    }
+    // Odd trailing row: the plain skip-zero passes of `matmul`.
+    if i < m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            accumulate_row(o_row, aik, &b[kk * n..(kk + 1) * n]);
+        }
+    }
+}
+
+/// One `o += coeff * b_row` pass, skipping zero coefficients (matching
+/// [`matmul`]'s skip-zero semantics exactly).
+#[inline]
+fn accumulate_row(o_row: &mut [f32], coeff: f32, b_row: &[f32]) {
+    if coeff == 0.0 {
+        return;
+    }
+    for (o, &bv) in o_row.iter_mut().zip(b_row) {
+        *o += coeff * bv;
+    }
+}
+
+/// [`matvec`] writing into a caller-owned buffer. Bit-identical to
+/// [`matvec`]: same per-row dot-product accumulation order.
+pub fn matvec_into(a: &[f32], m: usize, k: usize, x: &[f32], out: &mut Vec<f32>) {
+    debug_assert_eq!(a.len(), m * k, "matvec_into size mismatch");
+    debug_assert_eq!(x.len(), k, "matvec_into dimension mismatch");
+    out.clear();
+    out.extend((0..m).map(|i| a[i * k..(i + 1) * k].iter().zip(x).map(|(a, b)| a * b).sum::<f32>()));
+}
+
 /// Parameters describing a 2-D convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ConvSpec {
@@ -149,6 +259,64 @@ pub fn im2col(input: &Tensor, spec: &ConvSpec) -> Tensor {
         }
     }
     Tensor::from_vec(out, vec![rows, cols])
+}
+
+/// [`im2col`] writing into a caller-owned buffer. Bit-identical to
+/// [`im2col`]: the buffer is zero-filled and the same cells receive the
+/// same values — the stride-1 fast path below just writes each in-bounds
+/// row span with one slice copy instead of a branchy per-element loop.
+pub fn im2col_into(input: &[f32], h: usize, w: usize, spec: &ConvSpec, out: &mut Vec<f32>) {
+    let c = spec.in_channels;
+    debug_assert_eq!(input.len(), c * h * w, "im2col_into input size mismatch");
+    let (oh, ow) = spec.out_size(h, w);
+    let k = spec.kernel;
+    let rows = c * k * k;
+    let cols = oh * ow;
+    out.clear();
+    out.resize(rows * cols, 0.0);
+    for ch in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = ch * k * k + ky * k + kx;
+                let out_row = &mut out[row * cols..(row + 1) * cols];
+                if spec.stride == 1 {
+                    // Stride 1: for a fixed (ky, kx) the in-bounds ox range
+                    // is contiguous and maps to a contiguous input span.
+                    // (Saturating: a kernel column entirely past the padded
+                    // row — kx > w + padding — has no valid ox at all.)
+                    let ox_lo = spec.padding.saturating_sub(kx);
+                    let ox_hi = (w + spec.padding).saturating_sub(kx).min(ow);
+                    if ox_lo >= ox_hi {
+                        continue;
+                    }
+                    for oy in 0..oh {
+                        let iy = (oy + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let ix_lo = ox_lo + kx - spec.padding;
+                        let src = &input[ch * h * w + iy as usize * w + ix_lo..][..ox_hi - ox_lo];
+                        out_row[oy * ow + ox_lo..oy * ow + ox_hi].copy_from_slice(src);
+                    }
+                } else {
+                    for oy in 0..oh {
+                        let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..ow {
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            out_row[oy * ow + ox] = input[ch * h * w + iy * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Folds a `[C*k*k, OH*OW]` column matrix back into a `[C, H, W]` tensor,
@@ -238,7 +406,13 @@ pub fn conv2d_backward(
 pub fn maxpool2d_forward(input: &Tensor, size: usize) -> (Tensor, Vec<usize>) {
     assert_eq!(input.shape().len(), 3);
     let (c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
-    assert!(h % size == 0 && w % size == 0, "maxpool2d requires divisible spatial dims ({}x{} by {})", h, w, size);
+    assert!(
+        h.is_multiple_of(size) && w.is_multiple_of(size),
+        "maxpool2d requires divisible spatial dims ({}x{} by {})",
+        h,
+        w,
+        size
+    );
     let (oh, ow) = (h / size, w / size);
     let mut out = Tensor::zeros(vec![c, oh, ow]);
     let mut idx = vec![0usize; c * oh * ow];
@@ -267,6 +441,39 @@ pub fn maxpool2d_forward(input: &Tensor, size: usize) -> (Tensor, Vec<usize>) {
     (out, idx)
 }
 
+/// Inference-only [`maxpool2d_forward`]: writes the pooled values into a
+/// caller-owned buffer and skips the argmax bookkeeping (only backward needs
+/// it). Bit-identical pooled values — same scan order, same `>` comparison.
+pub fn maxpool2d_into(input: &[f32], c: usize, h: usize, w: usize, size: usize, out: &mut Vec<f32>) {
+    debug_assert_eq!(input.len(), c * h * w, "maxpool2d_into input size mismatch");
+    assert!(
+        h.is_multiple_of(size) && w.is_multiple_of(size),
+        "maxpool2d requires divisible spatial dims ({}x{} by {})",
+        h,
+        w,
+        size
+    );
+    let (oh, ow) = (h / size, w / size);
+    out.clear();
+    out.resize(c * oh * ow, 0.0);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for dy in 0..size {
+                    for dx in 0..size {
+                        let i = ch * h * w + (oy * size + dy) * w + ox * size + dx;
+                        if input[i] > best {
+                            best = input[i];
+                        }
+                    }
+                }
+                out[ch * oh * ow + oy * ow + ox] = best;
+            }
+        }
+    }
+}
+
 /// Backward pass of [`maxpool2d_forward`].
 pub fn maxpool2d_backward(grad_out: &Tensor, idx: &[usize], in_shape: &[usize]) -> Tensor {
     let mut grad_in = Tensor::zeros(in_shape.to_vec());
@@ -285,6 +492,15 @@ pub fn global_avg_pool(input: &Tensor) -> Tensor {
     let data = input.data();
     let out: Vec<f32> = (0..c).map(|ch| data[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() / area).collect();
     Tensor::from_vec(out, vec![c])
+}
+
+/// [`global_avg_pool`] writing into a caller-owned buffer. Bit-identical:
+/// same per-channel sum and division.
+pub fn global_avg_pool_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
+    debug_assert_eq!(input.len(), c * h * w, "global_avg_pool_into input size mismatch");
+    let area = (h * w) as f32;
+    out.clear();
+    out.extend((0..c).map(|ch| input[ch * h * w..(ch + 1) * h * w].iter().sum::<f32>() / area));
 }
 
 /// Backward pass of [`global_avg_pool`]: spreads each channel gradient evenly.
@@ -426,6 +642,53 @@ mod tests {
         assert_eq!(out.data(), &[2.5, 10.0]);
         let grad = global_avg_pool_backward(&Tensor::from_vec(vec![4.0, 8.0], vec![2]), input.shape());
         assert_eq!(grad.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn into_kernels_are_bit_identical_to_allocating_twins() {
+        // The inference path's parity guarantee rests on these comparisons.
+        let a = t((0..6).map(|v| (v as f32 * 0.37).sin()).collect(), vec![2, 3]);
+        let b = t((0..12).map(|v| (v as f32 * 0.11).cos()).collect(), vec![3, 4]);
+        let reference = matmul(&a, &b);
+        let mut out = vec![99.0; 1]; // stale content must be cleared
+        matmul_into(a.data(), 2, 3, b.data(), 4, &mut out);
+        assert_eq!(out, reference.data());
+
+        let x = [0.3f32, -0.7, 1.2];
+        let mut mv = Vec::new();
+        matvec_into(a.data(), 2, 3, &x, &mut mv);
+        assert_eq!(mv, matvec(&a, &x));
+
+        let spec = ConvSpec { in_channels: 2, out_channels: 1, kernel: 3, stride: 1, padding: 1 };
+        let input = t((0..2 * 4 * 4).map(|v| (v as f32 * 0.21).sin()).collect(), vec![2, 4, 4]);
+        let cols_ref = im2col(&input, &spec);
+        let mut cols = vec![7.0; 3];
+        im2col_into(input.data(), 4, 4, &spec, &mut cols);
+        assert_eq!(cols, cols_ref.data());
+
+        let (pooled_ref, _) = maxpool2d_forward(&input, 2);
+        let mut pooled = Vec::new();
+        maxpool2d_into(input.data(), 2, 4, 4, 2, &mut pooled);
+        assert_eq!(pooled, pooled_ref.data());
+
+        let gap_ref = global_avg_pool(&input);
+        let mut gap = Vec::new();
+        global_avg_pool_into(input.data(), 2, 4, 4, &mut gap);
+        assert_eq!(gap, gap_ref.data());
+    }
+
+    #[test]
+    fn im2col_into_handles_kernels_wider_than_the_padded_row() {
+        // kernel 8 on a 4-wide input with padding 2 is a valid spec
+        // (output 1×1) whose rightmost kernel columns lie entirely past the
+        // padded row: the fast path's span arithmetic must saturate, not
+        // underflow.
+        let spec = ConvSpec { in_channels: 1, out_channels: 1, kernel: 8, stride: 1, padding: 2 };
+        let input = t((0..16).map(|v| v as f32 + 1.0).collect(), vec![1, 4, 4]);
+        let reference = im2col(&input, &spec);
+        let mut cols = Vec::new();
+        im2col_into(input.data(), 4, 4, &spec, &mut cols);
+        assert_eq!(cols, reference.data());
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! Caller-owned scratch buffers for allocation-free inference.
+//!
+//! The training path ([`crate::net::Sequential::forward`]) allocates freely:
+//! every layer materialises its output and caches intermediates for the
+//! backward pass. Inference needs neither the caches nor the allocations —
+//! the filter hot path runs the same small network on thousands of frames,
+//! and a heap allocation per convolution (the im2col column matrix alone is
+//! tens of kilobytes) dominates the per-frame cost.
+//!
+//! A [`Workspace`] holds the handful of buffers one inference pass needs:
+//!
+//! * two ping-pong activation buffers (`cur` / `nxt`) that layers read from
+//!   and write into,
+//! * an im2col column buffer shared by every convolution of the pass, and
+//! * a stash buffer for networks that branch (the OD filter reads its branch
+//!   output twice: once for the grid head, once for the count head).
+//!
+//! Buffers grow to the high-water mark of the first pass and are reused —
+//! Vec capacity is kept across [`Workspace::load`] calls — so steady-state
+//! inference performs no heap allocation inside the network. Each worker
+//! thread of a sharded batch owns one workspace; the network itself is only
+//! read (`&self`), which is what lets a trained net serve many threads
+//! concurrently without a lock.
+
+use crate::tensor::Tensor;
+
+/// Reusable scratch buffers for one thread's inference passes.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    cur: Vec<f32>,
+    nxt: Vec<f32>,
+    cols: Vec<f32>,
+    stash_buf: Vec<f32>,
+    shape: Vec<usize>,
+    stash_shape: Vec<usize>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Loads a tensor as the current activation.
+    pub fn load(&mut self, input: &Tensor) {
+        self.load_slice(input.data(), input.shape());
+    }
+
+    /// Loads raw data with an explicit shape as the current activation.
+    pub fn load_slice(&mut self, data: &[f32], shape: &[usize]) {
+        debug_assert_eq!(data.len(), shape.iter().product::<usize>(), "workspace load shape mismatch");
+        self.cur.clear();
+        self.cur.extend_from_slice(data);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// The current activation data.
+    pub fn data(&self) -> &[f32] {
+        &self.cur
+    }
+
+    /// Mutable view of the current activation (for in-place layers).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.cur
+    }
+
+    /// The current activation shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Replaces the current shape without touching the data (reshape-style
+    /// layers such as `Flatten`).
+    pub fn set_shape(&mut self, shape: &[usize]) {
+        debug_assert_eq!(self.cur.len(), shape.iter().product::<usize>(), "workspace reshape mismatch");
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Splits the workspace into `(current input, output buffer, column
+    /// buffer)` for a layer that reads `cur` and writes its output into the
+    /// back buffer (and, for convolutions, its columns into `cols`).
+    pub fn split(&mut self) -> (&[f32], &mut Vec<f32>, &mut Vec<f32>) {
+        (&self.cur, &mut self.nxt, &mut self.cols)
+    }
+
+    /// Promotes the back buffer (filled via [`Workspace::split`]) to the
+    /// current activation with the given shape.
+    pub fn commit(&mut self, shape: &[usize]) {
+        debug_assert_eq!(self.nxt.len(), shape.iter().product::<usize>(), "workspace commit shape mismatch");
+        std::mem::swap(&mut self.cur, &mut self.nxt);
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+    }
+
+    /// Saves a copy of the current activation so a second head can resume
+    /// from it after the first head overwrote the ping-pong buffers.
+    pub fn stash(&mut self) {
+        self.stash_buf.clear();
+        self.stash_buf.extend_from_slice(&self.cur);
+        self.stash_shape.clear();
+        self.stash_shape.extend_from_slice(&self.shape);
+    }
+
+    /// Restores the stashed activation as the current one.
+    pub fn unstash(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.stash_buf);
+        std::mem::swap(&mut self.shape, &mut self.stash_shape);
+    }
+
+    /// Copies the current activation out as a tensor (the one allocation of
+    /// an inference pass, and only when the caller wants a `Tensor` result).
+    pub fn output(&self) -> Tensor {
+        Tensor::from_vec(self.cur.clone(), self.shape.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_split_commit_roundtrip() {
+        let mut ws = Workspace::new();
+        ws.load(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], vec![2, 2]));
+        assert_eq!(ws.shape(), &[2, 2]);
+        {
+            let (cur, nxt, _cols) = ws.split();
+            nxt.clear();
+            nxt.extend(cur.iter().map(|v| v * 2.0));
+        }
+        ws.commit(&[4]);
+        assert_eq!(ws.data(), &[2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(ws.output().shape(), &[4]);
+    }
+
+    #[test]
+    fn stash_survives_overwrites() {
+        let mut ws = Workspace::new();
+        ws.load(&Tensor::from_vec(vec![5.0, 6.0], vec![2]));
+        ws.stash();
+        ws.load(&Tensor::from_vec(vec![0.0; 3], vec![3]));
+        ws.unstash();
+        assert_eq!(ws.data(), &[5.0, 6.0]);
+        assert_eq!(ws.shape(), &[2]);
+    }
+
+    #[test]
+    fn set_shape_reshapes_in_place() {
+        let mut ws = Workspace::new();
+        ws.load(&Tensor::from_vec(vec![1.0; 6], vec![2, 3]));
+        ws.set_shape(&[6]);
+        assert_eq!(ws.shape(), &[6]);
+        assert_eq!(ws.data().len(), 6);
+    }
+}

@@ -90,9 +90,17 @@ impl QueryExecutor {
         QueryExecutor { query, ledger, pipeline: PipelineConfig::default() }
     }
 
-    /// Overrides the pipeline's batch size.
+    /// Overrides the pipeline's batch size (other pipeline knobs keep their
+    /// current values).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
-        self.pipeline = PipelineConfig::with_batch_size(batch_size);
+        self.pipeline.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Overrides the filter-stage worker count (bit-identical results for
+    /// any value; purely a wall-clock knob).
+    pub fn with_filter_workers(mut self, workers: usize) -> Self {
+        self.pipeline = self.pipeline.with_filter_workers(workers);
         self
     }
 

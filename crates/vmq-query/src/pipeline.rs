@@ -64,6 +64,11 @@ use vmq_video::Frame;
 pub struct PipelineConfig {
     /// Maximum number of frames per [`FrameBatch`].
     pub batch_size: usize,
+    /// Scoped worker threads the filter stages shard batch inference over
+    /// (via [`FrameFilter::estimate_batch_sharded`]). Purely a wall-clock
+    /// knob — results are bit-identical for any value; 1 (the default) runs
+    /// the batch on the calling thread.
+    pub filter_workers: usize,
 }
 
 impl PipelineConfig {
@@ -72,13 +77,19 @@ impl PipelineConfig {
 
     /// Config with a custom batch size (clamped to at least one frame).
     pub fn with_batch_size(batch_size: usize) -> Self {
-        PipelineConfig { batch_size: batch_size.max(1) }
+        PipelineConfig { batch_size: batch_size.max(1), filter_workers: 1 }
+    }
+
+    /// Overrides the filter-stage worker count (clamped to at least one).
+    pub fn with_filter_workers(mut self, workers: usize) -> Self {
+        self.filter_workers = workers.max(1);
+        self
     }
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { batch_size: Self::DEFAULT_BATCH_SIZE }
+        PipelineConfig { batch_size: Self::DEFAULT_BATCH_SIZE, filter_workers: 1 }
     }
 }
 
@@ -222,8 +233,15 @@ pub struct StageMetrics {
     /// Virtual milliseconds charged by the operator (`frames_in × per-frame
     /// stage cost`; zero for uncharged operators).
     pub virtual_ms: f64,
-    /// Real wall-clock milliseconds spent inside the operator.
+    /// Real wall-clock milliseconds spent inside the operator. For sharded
+    /// operators this is the *elapsed* span of the stage — the scoped worker
+    /// pool joins before the stage returns, so the figure is the
+    /// max-over-workers wall span, never the sum of per-worker CPU time.
     pub wall_ms: f64,
+    /// Worker threads the operator sharded its work over (1 for sequential
+    /// operators). Speedup arithmetic on `wall_ms` stays honest: dividing by
+    /// a baseline compares elapsed spans, not CPU time.
+    pub workers: usize,
 }
 
 impl StageMetrics {
@@ -247,7 +265,14 @@ impl StageMetrics {
             frames_out,
             virtual_ms: stage.map_or(0.0, |s| model.cost_ms(s) * charged as f64),
             wall_ms,
+            workers: 1,
         }
+    }
+
+    /// Sets the worker count of a sharded operator's row.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// Fraction of entering frames that survived the operator.
@@ -287,6 +312,12 @@ pub trait Operator {
         None
     }
 
+    /// Worker threads the operator shards its per-batch work over (1 for
+    /// sequential operators); recorded in the operator's [`StageMetrics`].
+    fn workers(&self) -> usize {
+        1
+    }
+
     /// Processes one batch, returning the surviving rows.
     fn process(&mut self, batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch;
 }
@@ -312,10 +343,13 @@ impl Operator for SourceOp {
 
 /// `CascadeFilter`: batched filter inference plus the tolerance-based
 /// cascade decision; frames that cannot satisfy the query are dropped
-/// before the expensive detector sees them.
+/// before the expensive detector sees them. Inference shards across
+/// `workers` scoped threads ([`FrameFilter::estimate_batch_sharded`]) with
+/// the same bit-identical worker-invariance guarantee as the detect stage.
 struct CascadeFilterOp<'a> {
     filter: &'a dyn FrameFilter,
     cascade: FilterCascade,
+    workers: usize,
 }
 
 impl Operator for CascadeFilterOp<'_> {
@@ -327,9 +361,13 @@ impl Operator for CascadeFilterOp<'_> {
         Some(self.filter.kind().stage())
     }
 
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
     fn process(&mut self, mut batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
         ctx.ledger.charge(self.filter.kind().stage(), batch.len() as u64);
-        let estimates = self.filter.estimate_batch(&batch.frames);
+        let estimates = self.filter.estimate_batch_sharded(&batch.frames, self.workers);
         let threshold = self.filter.threshold();
         let keep: Vec<bool> = estimates.iter().map(|estimate| self.cascade.passes(estimate, threshold)).collect();
         batch.retain_rows(&keep);
@@ -477,6 +515,7 @@ struct WindowFilterOp<'a> {
     filter: &'a dyn FrameFilter,
     cascade: FilterCascade,
     threshold: f32,
+    workers: usize,
 }
 
 impl Operator for WindowFilterOp<'_> {
@@ -488,9 +527,13 @@ impl Operator for WindowFilterOp<'_> {
         Some(self.filter.kind().stage())
     }
 
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
     fn process(&mut self, mut batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
         ctx.ledger.charge(self.filter.kind().stage(), batch.len() as u64);
-        let estimates = self.filter.estimate_batch(&batch.frames);
+        let estimates = self.filter.estimate_batch_sharded(&batch.frames, self.workers);
         for (estimate, row) in estimates.iter().zip(batch.indicators.iter_mut()) {
             row.push(FrameIndicators::from_estimate(&self.cascade, estimate, self.threshold));
         }
@@ -696,7 +739,7 @@ impl<'a> PhysicalPlan<'a> {
                 let filter = filter.expect("ExecutionMode::Filtered requires a filter");
                 let cascade = FilterCascade::new(query.clone(), cascade_config);
                 let label = cascade.label(filter);
-                operators.push(Box::new(CascadeFilterOp { filter, cascade }));
+                operators.push(Box::new(CascadeFilterOp { filter, cascade, workers: config.filter_workers.max(1) }));
                 label
             }
         };
@@ -725,15 +768,23 @@ impl<'a> PhysicalPlan<'a> {
     ) -> (Self, CalibrationReport) {
         let report =
             plan_cascade(query, calibration_prefix, backends, tolerances, detector, &ledger, config.batch_size);
-        let filter = backends[report.choice.backend_index];
-        let mut plan = PhysicalPlan::new(
-            query,
-            ExecutionMode::Filtered(report.choice.cascade),
-            Some(filter),
-            detector,
-            ledger,
-            config,
-        );
+        // The planner may choose the brute-force floor (no lossless cascade
+        // beat `decode + detector` on the prefix): compile a plan without a
+        // cascade stage, so the adaptive run costs at most brute force plus
+        // the calibration bill.
+        let mut plan = if report.choice.brute_force {
+            PhysicalPlan::new(query, ExecutionMode::BruteForce, None, detector, ledger, config)
+        } else {
+            let filter = backends[report.choice.backend_index];
+            PhysicalPlan::new(
+                query,
+                ExecutionMode::Filtered(report.choice.cascade),
+                Some(filter),
+                detector,
+                ledger,
+                config,
+            )
+        };
         plan.mode_label = format!("adaptive {}", report.choice.label);
         plan.calibration = Some(StageMetrics {
             operator: "calibrate".to_string(),
@@ -742,6 +793,7 @@ impl<'a> PhysicalPlan<'a> {
             frames_out: report.prefix_frames,
             virtual_ms: report.calibration_ms,
             wall_ms: report.calibration_wall_ms,
+            workers: 1,
         });
         (plan, report)
     }
@@ -774,6 +826,7 @@ impl<'a> PhysicalPlan<'a> {
                 filter,
                 cascade: FilterCascade::new(query.clone(), spec.cascade),
                 threshold: spec.indicator_threshold.unwrap_or_else(|| filter.threshold()),
+                workers: config.filter_workers.max(1),
             }));
         }
         operators.push(Box::new(AggregateSinkOp {
@@ -842,6 +895,7 @@ impl<'a> PhysicalPlan<'a> {
                     frames_out: acc.frames_out,
                     virtual_ms,
                     wall_ms: acc.wall_ms,
+                    workers: op.workers(),
                 }
             }))
             .collect();
@@ -996,10 +1050,12 @@ impl<'a> SharedStreamPlan<'a> {
         }
     }
 
-    /// Sets the scoped-thread worker count the detect stage shards over
-    /// (clamped to at least one). Results are bit-identical for any value —
-    /// detections are a pure per-frame function and the merge is
-    /// position-keyed — so this is purely a wall-clock knob.
+    /// Sets the scoped-thread worker count the detect **and** filter stages
+    /// shard over (clamped to at least one). Results are bit-identical for
+    /// any value — detections and filter inference are pure per-frame
+    /// functions (the calibrated backend keeps its noise stream sequential)
+    /// and the merges are position-keyed — so this is purely a wall-clock
+    /// knob.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
@@ -1212,7 +1268,7 @@ impl<'a> SharedStreamPlan<'a> {
                 self.queries[q].ledger.charge(stage, n as u64);
             }
             let start = Instant::now();
-            estimates[b] = Some(filter.estimate_batch(frames));
+            estimates[b] = Some(filter.estimate_batch_sharded(frames, self.workers));
             backend_wall[b] += start.elapsed().as_secs_f64() * 1000.0;
         }
 
@@ -1469,13 +1525,17 @@ impl<'a> SharedStreamPlan<'a> {
     fn finalize(&mut self, frames_total: usize, wall: &SharedWall, backend_wall: &[f64]) -> Vec<QueryRun> {
         let model = self.global.model().clone();
         let detector_stage = self.detector.stage();
+        let workers = self.workers;
         self.queries
             .iter()
             .map(|state| {
                 let mut stage_metrics: Vec<StageMetrics> = state.calibration.iter().cloned().collect();
-                let row = |operator: &str, stage: Option<Stage>, fin: usize, fout: usize, charged: u64, w: f64| {
-                    StageMetrics::charged_row(operator, stage, fin, fout, charged, &model, w)
-                };
+                let row =
+                    |operator: &str, stage: Option<Stage>, fin: usize, fout: usize, charged: u64, w: f64| {
+                        let sharded = matches!(operator, "cascade-filter" | "window-filter" | "detect");
+                        StageMetrics::charged_row(operator, stage, fin, fout, charged, &model, w)
+                            .with_workers(if sharded { workers } else { 1 })
+                    };
                 match &state.kind {
                     SharedQueryKind::Select { backend, survivors, check_wall_ms, eval_wall_ms, .. } => {
                         let survivors = *survivors;

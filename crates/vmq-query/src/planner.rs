@@ -17,10 +17,18 @@
 //!    tolerance)` combination is scored: pass rate (selectivity) and recall
 //!    against the prefix ground truth.
 //! 3. The planner picks the candidate with the lowest *expected per-frame
-//!    cost* `decode + filter + pass_rate × detector` among those with 100 %
-//!    recall on the prefix (falling back to the best-recall candidate when
-//!    none is lossless), exactly mirroring how Table III's combinations were
-//!    selected.
+//!    cost* `decode + filter + pass_ucb × detector` (where `pass_ucb` is a
+//!    conservative upper-confidence pass rate — see
+//!    [`conservative_pass_rate`]) among those with 100 % recall on the
+//!    prefix, exactly mirroring how Table III's combinations were selected —
+//!    **and always includes brute force (no cascade) as a candidate**. Brute
+//!    force is lossless by construction and costs `decode + detector` per
+//!    frame, so it floors the search: the chosen plan's expected cost is
+//!    never above brute force, and an adaptive run can cost at most
+//!    brute force + calibration. A prefix with no true frames certifies
+//!    nothing, so only the most tolerant cascade stays admissible there
+//!    (the safest selective plan for rare-event queries); a cascade that
+//!    demonstrably dropped a true frame never ships — brute force does.
 //!
 //! Profiling feeds frames to `estimate_batch` in pipeline-sized chunks, so a
 //! plan choice is invariant across pipeline batch sizes (the same batch
@@ -63,7 +71,11 @@ pub struct CandidateProfile {
     /// Virtual per-frame cost of the backend's filter stage.
     pub filter_cost_ms: f64,
     /// Expected virtual per-frame cost of running this candidate:
-    /// `decode + filter + pass_rate × detector`.
+    /// `decode + filter + pass_ucb × detector`, where `pass_ucb` is the
+    /// conservative upper-confidence pass rate of
+    /// [`conservative_pass_rate`] (≥ the raw [`CandidateProfile::pass_rate`],
+    /// so a near-unselective cascade cannot plan itself in under the
+    /// brute-force floor on sampling noise alone).
     pub expected_cost_ms: f64,
 }
 
@@ -79,13 +91,19 @@ impl CandidateProfile {
 /// The plan the calibration selected.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlanChoice {
-    /// Index of the chosen backend in the planner's candidate list.
+    /// True when the planner chose the brute-force floor: no cascade, every
+    /// frame goes to the detector. `backend_index` / `cascade` are then
+    /// placeholders and must not be compiled into a filter stage.
+    pub brute_force: bool,
+    /// Index of the chosen backend in the planner's candidate list
+    /// (meaningless when [`PlanChoice::brute_force`] is set).
     pub backend_index: usize,
-    /// Chosen backend family name.
+    /// Chosen backend family name (`"NONE"` for brute force).
     pub backend: String,
-    /// Chosen cascade tolerances.
+    /// Chosen cascade tolerances (placeholder for brute force).
     pub cascade: CascadeConfig,
-    /// Table III style label of the chosen combination.
+    /// Table III style label of the chosen combination (`"brute-force"` for
+    /// the floor).
     pub label: String,
     /// Expected virtual per-frame cost of the chosen plan.
     pub expected_cost: f64,
@@ -129,14 +147,11 @@ impl CalibrationReport {
 /// order) and ties are broken towards the earlier candidate, so the same
 /// seed and inputs always yield the same [`PlanChoice`].
 ///
-/// With an empty prefix there is no evidence to rule out any candidate, so
-/// the planner conservatively falls back to the *most tolerant* candidate
-/// tolerance (highest count tolerance, then highest location tolerance,
-/// regardless of the order the caller listed them in) of the first backend.
-/// A non-empty prefix containing no true frames likewise certifies nothing
-/// about recall — such candidates are reported with `recall_certified ==
-/// false` — so the planner restricts itself to the most tolerant cascade
-/// and only optimises the backend choice.
+/// With an empty prefix there are no measurements at all, so the planner
+/// ships the brute-force floor. A non-empty prefix with no true frames
+/// certifies nothing about recall; the planner then admits only the most
+/// tolerant cascade (the safest selective plan) and still ships brute force
+/// unless that cascade's conservative expected cost beats the floor.
 pub fn plan_cascade(
     query: &Query,
     prefix: &[Frame],
@@ -195,9 +210,8 @@ pub fn plan_cascade(
 /// against its own predicates. Byte-identical to [`plan_cascade`] for equal
 /// inputs — the wrapper is itself implemented on top of this.
 ///
-/// An empty `truth` (empty prefix) certifies nothing and falls back to the
-/// most tolerant candidate of the first backend, exactly like
-/// [`plan_cascade`].
+/// An empty `truth` (empty prefix) certifies nothing and ships the
+/// brute-force floor, exactly like [`plan_cascade`].
 #[allow(clippy::too_many_arguments)]
 pub fn plan_cascade_from_profiles(
     query: &Query,
@@ -211,33 +225,30 @@ pub fn plan_cascade_from_profiles(
 ) -> CalibrationReport {
     assert!(!backends.is_empty(), "plan_cascade requires at least one candidate backend");
     assert!(!tolerances.is_empty(), "plan_cascade requires at least one candidate tolerance");
-    // The safe choice when calibration certifies nothing: the most tolerant
-    // candidate, independent of the order the caller listed tolerances in.
+    // The brute-force floor: no cascade, every decoded frame pays the
+    // detector. Lossless by construction, so it is always an admissible
+    // candidate — the chosen plan's expected cost can never exceed it.
     let most_tolerant =
         *tolerances.iter().max_by_key(|c| (c.count_tolerance, c.location_tolerance)).expect("non-empty tolerances");
+    let brute_cost = model.cost_ms(Stage::Decode) + model.cost_ms(detector_stage);
+    let brute_choice = || PlanChoice {
+        brute_force: true,
+        backend_index: 0,
+        backend: "NONE".to_string(),
+        cascade: most_tolerant,
+        label: "brute-force".to_string(),
+        expected_cost: brute_cost,
+        expected_selectivity: 1.0,
+    };
 
     if truth.is_empty() {
-        let filter = backends[0];
-        let cascade = most_tolerant;
-        let fc = FilterCascade::new(query.clone(), cascade);
-        let label = fc.label(filter);
-        let expected_cost =
-            model.cost_ms(Stage::Decode) + model.cost_ms(filter.kind().stage()) + model.cost_ms(detector_stage);
-        let choice = PlanChoice {
-            backend_index: 0,
-            backend: filter.kind().name().to_string(),
-            cascade,
-            label,
-            expected_cost,
-            expected_selectivity: 1.0,
-        };
         return CalibrationReport {
             prefix_frames: 0,
             true_prefix_frames: 0,
             calibration_ms: 0.0,
             calibration_wall_ms,
             profiles: Vec::new(),
-            choice,
+            choice: brute_choice(),
         };
     }
 
@@ -264,8 +275,9 @@ pub fn plan_cascade_from_profiles(
             }
             let pass_rate = passes as f64 / prefix_len as f64;
             let recall = if true_prefix_frames == 0 { 1.0 } else { kept_true as f32 / true_prefix_frames as f32 };
-            let expected_cost_ms =
-                model.cost_ms(Stage::Decode) + profile.virtual_ms_per_frame + pass_rate * model.cost_ms(detector_stage);
+            let expected_cost_ms = model.cost_ms(Stage::Decode)
+                + profile.virtual_ms_per_frame
+                + conservative_pass_rate(pass_rate, prefix_len) * model.cost_ms(detector_stage);
             candidates.push(CandidateProfile {
                 backend_index,
                 backend: filter.kind().name().to_string(),
@@ -280,38 +292,47 @@ pub fn plan_cascade_from_profiles(
         }
     }
 
-    // 3. Select: cheapest expected cost subject to certified-lossless
-    //    calibration recall; best recall (then cheapest) when nothing is
-    //    lossless. A prefix with *no* true frames certifies nothing — no
-    //    candidate is certified — so the planner then restricts itself to
-    //    the most tolerant cascade (the safest choice) and only picks the
-    //    cheapest backend.
+    // 3. Select: the cheapest expected cost among the admissible cascades
+    //    *and the brute-force floor*. Admissible means:
+    //
+    //    * prefix contained true frames → the certified-lossless candidates
+    //      (a cascade that demonstrably dropped a true frame never ships);
+    //    * prefix contained none → recall is uncertifiable either way, so
+    //      the safest cascade — the most tolerant tolerance — remains
+    //      admissible (this is what lets rare-event queries keep a
+    //      selective plan instead of degrading to brute force whenever the
+    //      prefix happens to carry no true frame).
+    //
+    //    A cascade must strictly beat the floor's expected cost to be worth
+    //    its risk — at equal cost brute force wins, because its recall is
+    //    guaranteed on the whole stream rather than estimated on a prefix.
+    let admissible = |p: &&CandidateProfile| {
+        if true_prefix_frames > 0 {
+            p.is_lossless()
+        } else {
+            p.cascade == most_tolerant
+        }
+    };
     let chosen = candidates
         .iter()
-        .filter(|p| true_prefix_frames > 0 || p.cascade == most_tolerant)
+        .filter(admissible)
         .enumerate()
         .min_by(|(ai, a), (bi, b)| {
-            b.is_lossless()
-                .cmp(&a.is_lossless())
-                .then_with(|| {
-                    if a.is_lossless() {
-                        a.expected_cost_ms.total_cmp(&b.expected_cost_ms).then(a.pass_rate.total_cmp(&b.pass_rate))
-                    } else {
-                        b.recall.total_cmp(&a.recall).then(a.expected_cost_ms.total_cmp(&b.expected_cost_ms))
-                    }
-                })
-                .then(ai.cmp(bi))
+            a.expected_cost_ms.total_cmp(&b.expected_cost_ms).then(a.pass_rate.total_cmp(&b.pass_rate)).then(ai.cmp(bi))
         })
-        .map(|(_, p)| p)
-        .expect("at least one candidate profiled");
+        .map(|(_, p)| p);
 
-    let choice = PlanChoice {
-        backend_index: chosen.backend_index,
-        backend: chosen.backend.clone(),
-        cascade: chosen.cascade,
-        label: chosen.label.clone(),
-        expected_cost: chosen.expected_cost_ms,
-        expected_selectivity: chosen.pass_rate,
+    let choice = match chosen {
+        Some(p) if p.expected_cost_ms < brute_cost => PlanChoice {
+            brute_force: false,
+            backend_index: p.backend_index,
+            backend: p.backend.clone(),
+            cascade: p.cascade,
+            label: p.label.clone(),
+            expected_cost: p.expected_cost_ms,
+            expected_selectivity: p.pass_rate,
+        },
+        _ => brute_choice(),
     };
     CalibrationReport {
         prefix_frames: prefix_len,
@@ -321,6 +342,20 @@ pub fn plan_cascade_from_profiles(
         profiles: candidates,
         choice,
     }
+}
+
+/// Conservative upper-confidence bound on a cascade's pass rate measured on
+/// a calibration prefix of `n` frames: the raw estimate plus one binomial
+/// standard error plus a `1/n` continuity margin, clamped to 1.
+///
+/// Planning against the raw estimate lets sampling noise on a near-1 pass
+/// rate make an unselective cascade look marginally cheaper than the
+/// brute-force floor while realising costlier on the full stream; the bound
+/// makes the planner prefer the floor unless the prefix demonstrates real
+/// selectivity.
+pub fn conservative_pass_rate(pass_rate: f64, n: usize) -> f64 {
+    debug_assert!(n > 0, "conservative_pass_rate needs a non-empty prefix");
+    (pass_rate + (pass_rate * (1.0 - pass_rate) / n as f64).sqrt() + 1.0 / n as f64).min(1.0)
 }
 
 // ---------------------------------------------------------------------------
@@ -465,7 +500,7 @@ mod tests {
         let ds = Dataset::generate(&profile, 10, 300, 5);
         let oracle = OracleDetector::perfect();
         // Heavy count outliers: exact and ±1 tolerances drop true frames, so
-        // the planner must settle on a CCF-2 plan.
+        // only the CCF-2 candidates survive the recall constraint.
         let noisy_profile =
             CalibrationProfile { count_std: 0.15, ..CalibrationProfile::od_like() }.with_count_outliers(0.25);
         let filter = CalibratedFilter::new(profile.class_list(), 14, noisy_profile, 3);
@@ -474,51 +509,67 @@ mod tests {
         let query = Query::paper_q3();
         let report = plan_cascade(&query, &ds.test()[..200], &backends, &lattice(), &oracle, &ledger, 32);
         assert!(report.true_prefix_frames > 0, "prefix must contain true frames for this test");
-        assert_eq!(report.choice.cascade.count_tolerance, 2, "outliers force CCF-2: {:?}", report.choice);
-        assert!(report.choice.label.contains("CCF-2"));
+        assert!(
+            report.profiles.iter().filter(|p| p.cascade.count_tolerance < 2).all(|p| !p.is_lossless()),
+            "outliers must break every narrower count tolerance"
+        );
+        assert!(
+            report.profiles.iter().any(|p| p.cascade.count_tolerance == 2 && p.is_lossless()),
+            "CCF-2 absorbs the ±2 outliers"
+        );
+        // A cascade this tolerant passes nearly everything here, so the
+        // certified CCF-2 candidates cannot undercut `decode + detector` —
+        // the planner ships the brute-force floor instead of a plan that
+        // would realise costlier than the baseline (the exact regression
+        // this floor exists to prevent).
+        assert!(report.choice.brute_force, "choice {:?}", report.choice);
     }
 
     #[test]
-    fn prefix_without_true_frames_falls_back_to_most_tolerant_cascade() {
+    fn unselective_uncertified_prefix_ships_the_brute_force_floor() {
         let profile = DatasetProfile::jackson();
         let ds = Dataset::generate(&profile, 10, 120, 8);
         let oracle = OracleDetector::perfect();
-        // No Jackson frame carries a stop sign, so the prefix certifies
-        // nothing about recall.
+        // No Jackson frame carries a stop sign and the filter was not even
+        // trained for the class, so every cascade passes every frame: the
+        // most tolerant fallback buys no selectivity and the floor wins.
         let query = Query::new("never").class_count(vmq_video::ObjectClass::StopSign, crate::ast::CountOp::AtLeast, 3);
         let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 2);
         let backends: Vec<&dyn FrameFilter> = vec![&filter];
         let ledger = CostLedger::paper();
         let report = plan_cascade(&query, &ds.test()[..60], &backends, &lattice(), &oracle, &ledger, 32);
         assert_eq!(report.true_prefix_frames, 0);
-        assert_eq!(report.choice.cascade, *CascadeConfig::lattice().last().unwrap());
+        assert!(report.choice.brute_force, "no selectivity to buy => brute force: {:?}", report.choice);
+        assert_eq!(report.choice.label, "brute-force");
+        assert_eq!(report.choice.expected_selectivity, 1.0);
         // Vacuous recall is reported as uncertified, never as lossless.
         assert!(report.profiles.iter().all(|p| !p.recall_certified && !p.is_lossless()));
         assert!(report.lossless_candidates().is_empty());
     }
 
     #[test]
-    fn fallback_picks_most_tolerant_regardless_of_candidate_order() {
+    fn uncertified_prefix_keeps_a_selective_most_tolerant_cascade() {
         let profile = DatasetProfile::jackson();
-        let ds = Dataset::generate(&profile, 10, 120, 8);
+        let ds = Dataset::generate(&profile, 10, 200, 13);
         let oracle = OracleDetector::perfect();
-        let query = Query::new("never").class_count(vmq_video::ObjectClass::StopSign, crate::ast::CountOp::AtLeast, 3);
-        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 2);
+        // Rare-event query: no true frame in the prefix, so recall is
+        // uncertifiable — yet the most tolerant cascade is demonstrably
+        // selective (Jackson carries ~1.2 cars/frame, six is far out in the
+        // tail) and far cheaper than the floor, so it ships.
+        let query = Query::new("rare").class_count(vmq_video::ObjectClass::Car, crate::ast::CountOp::AtLeast, 6);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 4);
         let backends: Vec<&dyn FrameFilter> = vec![&filter];
-        // The most tolerant candidate listed FIRST: a positional `last()`
-        // fallback would unsafely settle on the strict cascade.
-        let unsorted = vec![CascadeConfig::loose(), CascadeConfig::tolerant(), CascadeConfig::strict()];
         let ledger = CostLedger::paper();
-        let report = plan_cascade(&query, &ds.test()[..60], &backends, &unsorted, &oracle, &ledger, 32);
+        let report = plan_cascade(&query, &ds.test()[..64], &backends, &lattice(), &oracle, &ledger, 32);
         assert_eq!(report.true_prefix_frames, 0);
-        assert_eq!(report.choice.cascade, CascadeConfig::loose());
-        // Same with an empty prefix.
-        let empty = plan_cascade(&query, &[], &backends, &unsorted, &oracle, &CostLedger::paper(), 32);
-        assert_eq!(empty.choice.cascade, CascadeConfig::loose());
+        assert!(!report.choice.brute_force, "selective fallback must ship: {:?}", report.choice);
+        assert_eq!(report.choice.cascade, *CascadeConfig::lattice().last().unwrap(), "most tolerant cascade only");
+        let model = CostLedger::paper().model().clone();
+        assert!(report.choice.expected_cost < model.cost_ms(Stage::Decode) + model.cost_ms(Stage::MaskRcnn));
     }
 
     #[test]
-    fn empty_prefix_falls_back_to_most_tolerant() {
+    fn empty_prefix_ships_the_brute_force_floor() {
         let profile = DatasetProfile::jackson();
         let oracle = OracleDetector::perfect();
         let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
@@ -527,9 +578,60 @@ mod tests {
         let report = plan_cascade(&Query::paper_q5(), &[], &backends, &lattice(), &oracle, &ledger, 32);
         assert_eq!(report.prefix_frames, 0);
         assert_eq!(report.calibration_ms, 0.0);
-        assert_eq!(report.choice.cascade, *CascadeConfig::lattice().last().unwrap());
+        assert!(report.choice.brute_force);
         assert_eq!(report.choice.expected_selectivity, 1.0);
         assert_eq!(ledger.total_ms(), 0.0);
+    }
+
+    #[test]
+    fn unselective_lossless_cascade_loses_to_the_brute_force_floor() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 200, 17);
+        let oracle = OracleDetector::perfect();
+        // "At least zero cars" is true on every frame, so every cascade is
+        // lossless but passes everything: expected cost = decode + filter +
+        // ~1.0 × detector, strictly above the floor's decode + detector.
+        let query = Query::new("always").class_count(vmq_video::ObjectClass::Car, crate::ast::CountOp::AtLeast, 0);
+        let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 3);
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        let ledger = CostLedger::paper();
+        let report = plan_cascade(&query, &ds.test()[..64], &backends, &lattice(), &oracle, &ledger, 32);
+        assert!(report.true_prefix_frames > 0);
+        assert!(report.choice.brute_force, "unselective cascade must lose to brute force: {:?}", report.choice);
+        let model = CostLedger::paper().model().clone();
+        let brute_cost = model.cost_ms(Stage::Decode) + model.cost_ms(Stage::MaskRcnn);
+        assert_eq!(report.choice.expected_cost, brute_cost);
+    }
+
+    #[test]
+    fn chosen_expected_cost_never_exceeds_the_brute_force_floor() {
+        let profile = DatasetProfile::jackson();
+        let ds = Dataset::generate(&profile, 10, 240, 29);
+        let oracle = OracleDetector::perfect();
+        let model = CostLedger::paper().model().clone();
+        let brute_cost = model.cost_ms(Stage::Decode) + model.cost_ms(Stage::MaskRcnn);
+        for query in [Query::paper_q3(), Query::paper_q4(), Query::paper_q5()] {
+            let filter = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 31);
+            let backends: Vec<&dyn FrameFilter> = vec![&filter];
+            let report =
+                plan_cascade(&query, &ds.test()[..64], &backends, &lattice(), &oracle, &CostLedger::paper(), 32);
+            assert!(
+                report.choice.expected_cost <= brute_cost,
+                "{}: expected {} > brute floor {}",
+                query.name,
+                report.choice.expected_cost,
+                brute_cost
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_pass_rate_bounds() {
+        assert_eq!(conservative_pass_rate(1.0, 48), 1.0);
+        assert_eq!(conservative_pass_rate(0.98, 48), 1.0, "near-1 estimates saturate");
+        let p = conservative_pass_rate(0.5, 48);
+        assert!(p > 0.5 && p < 0.65, "one standard error + continuity: {p}");
+        assert!(conservative_pass_rate(0.0, 48) > 0.0, "zero passes still budget 1/n");
     }
 
     #[test]

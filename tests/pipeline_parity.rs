@@ -162,9 +162,15 @@ fn adaptive_execution_matches_fixed_pipeline_with_chosen_config() {
         let exec = QueryExecutor::new(query.clone());
         let (adaptive, report) = exec.run_adaptive(ds.test(), 32, &backends, &CascadeConfig::lattice(), &oracle);
 
-        let chosen_filter = fresh(if report.choice.backend == "IC" { FilterKind::Ic } else { FilterKind::Od });
+        // The planner may pick the brute-force floor; the adaptive execution
+        // must then match a plain brute-force run plus the calibration bill.
         let fixed_exec = QueryExecutor::new(query.clone());
-        let fixed = fixed_exec.run_filtered(ds.test(), &chosen_filter, &oracle, report.choice.cascade);
+        let fixed = if report.choice.brute_force {
+            fixed_exec.run_brute_force(ds.test(), &oracle)
+        } else {
+            let chosen_filter = fresh(if report.choice.backend == "IC" { FilterKind::Ic } else { FilterKind::Od });
+            fixed_exec.run_filtered(ds.test(), &chosen_filter, &oracle, report.choice.cascade)
+        };
 
         assert_eq!(adaptive.matched_frames, fixed.matched_frames, "{kind:?}");
         assert_eq!(adaptive.frames_detected, fixed.frames_detected, "{kind:?}");
@@ -311,6 +317,34 @@ fn single_window_aggregate_matches_legacy_estimator_bit_for_bit() {
 use vmq::engine::{EngineConfig, FilterChoice, RuntimeQuery, VmqEngine};
 use vmq::query::plan::CascadeConfig as SharedCascade;
 
+/// Filter-stage sharding through the single-query pipeline is a pure
+/// wall-clock knob: for every worker count the cascade keeps the same
+/// survivors, the detector sees the same frames and the virtual bill is
+/// bit-identical (the calibrated backend's sequential RNG stream included).
+#[test]
+fn filter_stage_workers_are_a_pure_wall_clock_knob() {
+    let (ds, query) = scenario(DatasetKind::Jackson);
+    let oracle = vmq::detect::OracleDetector::perfect();
+    let classes = ds.profile().class_list();
+    let mut baseline: Option<vmq::query::QueryRun> = None;
+    for workers in [1usize, 2, 4] {
+        let filter = CalibratedFilter::new(classes.clone(), 16, CalibrationProfile::od_like(), 99);
+        let exec = QueryExecutor::new(query.clone()).with_batch_size(13).with_filter_workers(workers);
+        let run = exec.run_filtered(ds.test(), &filter, &oracle, CascadeConfig::tolerant());
+        let cascade_row = run.stage_metrics.iter().find(|m| m.operator == "cascade-filter").expect("cascade row");
+        assert_eq!(cascade_row.workers, workers, "stage metrics must report the shard width");
+        match &baseline {
+            None => baseline = Some(run),
+            Some(reference) => {
+                assert_eq!(run.matched_frames, reference.matched_frames, "workers {workers}");
+                assert_eq!(run.frames_passed_filter, reference.frames_passed_filter, "workers {workers}");
+                assert_eq!(run.frames_detected, reference.frames_detected, "workers {workers}");
+                assert_eq!(run.virtual_ms.to_bits(), reference.virtual_ms.to_bits(), "workers {workers}");
+            }
+        }
+    }
+}
+
 fn paper_selects() -> Vec<Query> {
     vec![
         Query::paper_q1(),
@@ -371,6 +405,49 @@ fn run_many_invokes_detector_once_per_escalation_union() {
     assert!(outcome.shared.speedup() > 1.0, "sharing must beat isolated: {:?}", outcome.shared.speedup());
     let attributed: f64 = outcome.shared.queries.iter().map(|s| s.attributed_ms).sum();
     assert!((attributed - outcome.shared.shared_total_ms).abs() < 1e-6, "the split covers the whole bill");
+}
+
+/// Regression pin for the parallel filter stage: `run_many_sharded`'s
+/// worker knob now shards backend inference (not just detection), and the
+/// outcomes — selects with a cascade in front, an adaptively planned select
+/// and a windowed aggregate — must stay bit-identical to the single-worker
+/// pass for every worker count.
+#[test]
+fn run_many_sharded_outcomes_are_unchanged_by_filter_stage_workers() {
+    use vmq::engine::CalibrationConfig;
+    let engine = VmqEngine::new(EngineConfig::small(DatasetProfile::jackson()).with_sizes(30, 180));
+    let choice = FilterChoice::Calibrated(CalibrationProfile::od_like());
+    let statements = vec![
+        RuntimeQuery::Select { query: Query::paper_q3(), choice, cascade: SharedCascade::tolerant() },
+        RuntimeQuery::Select { query: Query::paper_q4(), choice, cascade: SharedCascade::strict() },
+        RuntimeQuery::SelectAdaptive {
+            query: Query::paper_q5(),
+            calibration: CalibrationConfig {
+                prefix_frames: 32,
+                candidate_backends: vec![choice],
+                candidate_tolerances: SharedCascade::lattice(),
+            },
+        },
+        RuntimeQuery::Aggregate {
+            query: Query::paper_a1(),
+            choice,
+            window: vmq::aggregate::HoppingWindow::new(60, 30),
+            sample_size: 10,
+            trials: 5,
+        },
+    ];
+    let baseline = engine.run_many_sharded(&statements, 1);
+    for workers in [2usize, 4] {
+        let outcome = engine.run_many_sharded(&statements, workers);
+        assert_eq!(outcome.detector_invocations, baseline.detector_invocations, "workers {workers}");
+        assert_eq!(outcome.cache_hits, baseline.cache_hits, "workers {workers}");
+        for (a, b) in outcome.outcomes.iter().zip(&baseline.outcomes) {
+            assert_eq!(a.run().mode, b.run().mode, "workers {workers}");
+            assert_eq!(a.run().matched_frames, b.run().matched_frames, "workers {workers}");
+            assert_eq!(a.run().frames_detected, b.run().frames_detected, "workers {workers}");
+            assert_eq!(a.run().virtual_ms.to_bits(), b.run().virtual_ms.to_bits(), "workers {workers}");
+        }
+    }
 }
 
 proptest! {

@@ -88,6 +88,7 @@ struct GoldenRow {
     beats_fixed: bool,
     adaptive_ms: f64,
     brute_ms: f64,
+    calibration_ms: f64,
 }
 
 fn golden_rows() -> Vec<GoldenRow> {
@@ -161,6 +162,7 @@ fn golden_rows() -> Vec<GoldenRow> {
                 beats_fixed,
                 adaptive_ms: run.virtual_ms,
                 brute_ms: brute.virtual_ms,
+                calibration_ms: report.calibration_ms,
             }
         })
         .collect()
@@ -192,19 +194,25 @@ fn adaptive_plans_match_golden_snapshot_with_full_accuracy() {
     let wins = rows.iter().filter(|r| r.beats_fixed).count();
     assert!(wins >= 5, "only {wins}/7 queries beat the best fixed preset:\n{}", rendered(&rows));
 
-    // 2b. Absolute cost-regression guard: adaptivity (calibration included)
-    //     may never cost more than 1.15x brute force, on any query — the
-    //     preset comparison alone is vacuous when no preset is lossless, so
-    //     this is the bound that actually catches adaptive cost blow-ups.
-    //     (Worst committed ratio: q4 at 1.13x, an unselective query where
-    //     the plan passes everything and the calibration bill is pure
-    //     overhead.)
+    // 2b. The brute-force floor: the planner always includes the no-cascade
+    //     plan as a candidate and prices cascades with a conservative
+    //     upper-confidence pass rate, so the chosen plan's *expected* cost
+    //     never exceeds brute force — and on this pinned workload the
+    //     realized cost honours the same bound: adaptive ≤ brute + its own
+    //     calibration bill on every query. (A stream whose tail is far less
+    //     selective than the prefix could in principle realize above the
+    //     expected-cost floor; if a regenerated workload ever trips this,
+    //     check whether the planner mispriced or the workload is simply
+    //     adversarial before widening the bound.) This is the guard that
+    //     actually catches adaptive cost blow-ups — the preset comparison
+    //     alone is vacuous when no preset is lossless.
     for row in &rows {
         assert!(
-            row.adaptive_ms <= row.brute_ms * 1.15,
-            "adaptive cost regression ({:.0} ms vs brute {:.0} ms): {}",
+            row.adaptive_ms <= row.brute_ms + row.calibration_ms + 1e-6,
+            "adaptive cost above the brute-force floor ({:.0} ms vs brute {:.0} + calibration {:.0} ms): {}",
             row.adaptive_ms,
             row.brute_ms,
+            row.calibration_ms,
             row.line
         );
     }
