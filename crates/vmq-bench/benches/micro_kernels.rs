@@ -5,9 +5,11 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use vmq_aggregate::{CvEstimate, McvEstimate};
 use vmq_detect::{Detector, OracleDetector};
-use vmq_filters::{CalibratedFilter, CalibrationProfile, ClassGrid, FilterConfig, FrameFilter, IcFilter, OdFilter};
+use vmq_filters::{
+    CalibratedFilter, CalibrationProfile, ClassGrid, FilterConfig, FrameFilter, IcFilter, OdFilter, QuantizedIcFilter,
+};
 use vmq_nn::ops::{conv2d_forward, matmul, ConvSpec};
-use vmq_nn::Tensor;
+use vmq_nn::{KernelBackend, Tensor};
 use vmq_query::{CascadeConfig, FilterCascade, Query, QueryExecutor, SpatialRelation};
 use vmq_video::{Dataset, DatasetProfile, RasterConfig};
 
@@ -21,6 +23,72 @@ fn bench_nn_kernels(c: &mut Criterion) {
     let weight = Tensor::full(vec![16, 8 * 9], 0.01);
     c.bench_function("nn/conv2d 8->16 @28x28", |bench| {
         bench.iter(|| conv2d_forward(black_box(&input), black_box(&weight), &[0.0; 16], &spec))
+    });
+}
+
+fn bench_kernel_dispatch(c: &mut Criterion) {
+    // Per-kernel comparison of the dispatched backends on the conv-GEMM
+    // shape that dominates filter inference (16 output channels, K = 8·3²,
+    // one 28×28 feature map): scalar vs every supported SIMD backend vs the
+    // int8 GEMM the quantized filters run. `*_with` pins the backend
+    // explicitly, so the rows are comparable regardless of what
+    // `KernelBackend::active()` dispatched to.
+    let (m, k, n) = (16usize, 72, 28 * 28);
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.01 - 0.06).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.1 - 0.3).collect();
+    let mut out_f32: Vec<f32> = Vec::new();
+    for backend in KernelBackend::supported() {
+        let name = format!("kernels/matmul 16x72x784 [{}]", backend.name());
+        c.bench_function(&name, |bench| {
+            bench.iter(|| {
+                vmq_nn::kernels::matmul_into_with(backend, black_box(&a), m, k, black_box(&b), n, &mut out_f32)
+            })
+        });
+    }
+
+    let aq: Vec<i8> = (0..m * k).map(|i| (i % 251) as i8).collect();
+    let bq: Vec<i8> = (0..k * n).map(|i| (i % 239) as i8).collect();
+    let mut out_i32: Vec<i32> = Vec::new();
+    for backend in KernelBackend::supported() {
+        let name = format!("kernels/i8_gemm 16x72x784 [{}]", backend.name());
+        c.bench_function(&name, |bench| {
+            bench.iter(|| vmq_nn::quant::i8_gemm_with(backend, black_box(&aq), m, k, black_box(&bq), n, &mut out_i32))
+        });
+    }
+
+    // Patch extraction: the f32 im2col (delegates to scalar on every
+    // backend — it is memcpy-bound, documented in vmq_nn::kernels) and its
+    // int8 patch-major counterpart.
+    let spec = ConvSpec { in_channels: 8, out_channels: 16, kernel: 3, stride: 1, padding: 1 };
+    let input_f32: Vec<f32> = (0..8 * 28 * 28).map(|i| (i % 17) as f32 * 0.05).collect();
+    let mut cols_f32: Vec<f32> = Vec::new();
+    c.bench_function("kernels/im2col 8ch 28x28 [scalar]", |bench| {
+        bench.iter(|| vmq_nn::kernels::im2col_into(black_box(&input_f32), 28, 28, &spec, &mut cols_f32))
+    });
+    let input_i8: Vec<i8> = (0..8 * 28 * 28).map(|i| (i % 251) as i8).collect();
+    let mut cols_i8: Vec<i8> = Vec::new();
+    c.bench_function("kernels/im2row_i8 8ch 28x28", |bench| {
+        bench.iter(|| vmq_nn::quant::im2row_i8(black_box(&input_i8), 28, 28, &spec, &mut cols_i8))
+    });
+
+    // Whole conv stack, f32 (auto dispatch) vs the int8 quantized twin: the
+    // end-to-end shape the cascade-filter wall-clock numbers come from.
+    let net = vmq_nn::Sequential::new(vec![
+        Box::new(vmq_nn::Conv2d::same(8, 16, 3)),
+        Box::new(vmq_nn::Activation::new(vmq_nn::Act::LeakyRelu(0.1))),
+        Box::new(vmq_nn::MaxPool2d::new(2)),
+        Box::new(vmq_nn::Conv2d::same(16, 16, 5)),
+        Box::new(vmq_nn::Activation::new(vmq_nn::Act::Relu)),
+        Box::new(vmq_nn::GlobalAvgPool::new()),
+    ]);
+    let input = Tensor::from_vec(input_f32.clone(), vec![8, 28, 28]);
+    let mut ws = vmq_nn::Workspace::default();
+    let active = KernelBackend::active().name();
+    let name = format!("kernels/conv-stack f32 8ch 28x28 [{active}]");
+    c.bench_function(&name, |bench| bench.iter(|| net.infer(black_box(&input), &mut ws)));
+    let qnet = vmq_nn::QuantizedSequential::quantize(&net, std::slice::from_ref(&input));
+    c.bench_function("kernels/conv-stack int8 8ch 28x28", |bench| {
+        bench.iter(|| qnet.infer(black_box(&input), &mut ws))
     });
 }
 
@@ -45,6 +113,10 @@ fn bench_filter_inference(c: &mut Criterion) {
     let od = OdFilter::new(config.clone());
     c.bench_function("filters/OD inference (untrained weights, 56px raster)", |bench| {
         bench.iter(|| od.estimate(black_box(&frame)))
+    });
+    let ic8 = QuantizedIcFilter::from_trained(&ic, ds.train());
+    c.bench_function("filters/IC-INT8 inference (quantized twin, 56px raster)", |bench| {
+        bench.iter(|| ic8.estimate(black_box(&frame)))
     });
     let cal = CalibratedFilter::new(profile.class_list(), 14, CalibrationProfile::od_like(), 1);
     c.bench_function("filters/calibrated inference", |bench| bench.iter(|| cal.estimate(black_box(&frame))));
@@ -126,6 +198,6 @@ fn bench_control_variates(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_nn_kernels, bench_rasterisation, bench_filter_inference, bench_query_paths, bench_filter_batch, bench_operator_pipeline, bench_control_variates
+    targets = bench_nn_kernels, bench_kernel_dispatch, bench_rasterisation, bench_filter_inference, bench_query_paths, bench_filter_batch, bench_operator_pipeline, bench_control_variates
 }
 criterion_main!(benches);

@@ -47,6 +47,21 @@ fn filter_workers() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// Complains loudly when kernel dispatch landed on scalar without being
+/// asked to: on a SIMD-capable host that means every wall-clock number below
+/// silently lost the vectorised kernels, which would make run-to-run
+/// comparisons of the committed baseline meaningless.
+fn warn_on_silent_scalar_fallback() {
+    use vmq_nn::KernelBackend;
+    if KernelBackend::active() == KernelBackend::Scalar && !KernelBackend::forced_scalar() {
+        eprintln!(
+            "WARNING: kernel dispatch fell back to scalar (no SIMD backend supported on this host) \
+             and VMQ_FORCE_SCALAR is not set — wall-clock numbers in this run are NOT comparable \
+             to baselines recorded with SIMD kernels"
+        );
+    }
+}
+
 fn batched_executor(query: &Query) -> QueryExecutor {
     QueryExecutor::new(query.clone())
         .with_batch_size(PipelineConfig::DEFAULT_BATCH_SIZE)
@@ -112,6 +127,12 @@ struct BenchRecord {
     adaptive_net_speedup: f64,
     adaptive_recall: f32,
     calibration_ms: f64,
+    /// Worker threads the run's cascade-filter stage actually sharded over
+    /// (from its own stage row — the effective count, not the requested one).
+    effective_workers: usize,
+    /// Kernel backend the cascade-filter inference dispatched to
+    /// (`avx2`/`neon`/`scalar`; `int8` for quantized filters).
+    kernel_backend: String,
     stages: String,
 }
 
@@ -224,18 +245,35 @@ fn stages_json(run: &QueryRun) -> String {
         .stage_metrics
         .iter()
         .map(|m| {
+            let kernel = m
+                .kernel_backend
+                .as_deref()
+                .map_or(String::new(), |k| format!(",\"kernel_backend\":\"{}\"", json_escape(k)));
             format!(
-                "{{\"operator\":\"{}\",\"frames_in\":{},\"frames_out\":{},\"virtual_ms\":{:.3},\"wall_ms\":{:.3},\"workers\":{}}}",
+                "{{\"operator\":\"{}\",\"frames_in\":{},\"frames_out\":{},\"virtual_ms\":{:.3},\"wall_ms\":{:.3},\"workers\":{}{}}}",
                 json_escape(&m.operator),
                 m.frames_in,
                 m.frames_out,
                 m.virtual_ms,
                 m.wall_ms,
-                m.workers
+                m.workers,
+                kernel
             )
         })
         .collect();
     format!("[{}]", entries.join(","))
+}
+
+/// The `(workers, kernel_backend)` pair of the run's cascade-filter stage
+/// row, falling back to `(1, active dispatch)` for plans without one.
+fn filter_stage_info(run: &QueryRun) -> (usize, String) {
+    run.stage_metrics
+        .iter()
+        .find(|m| m.operator == "cascade-filter")
+        .map(|m| {
+            (m.workers, m.kernel_backend.clone().unwrap_or_else(|| vmq_nn::KernelBackend::active().name().to_string()))
+        })
+        .unwrap_or_else(|| (1, vmq_nn::KernelBackend::active().name().to_string()))
 }
 
 fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord], multi: &MultiQueryRecord) -> String {
@@ -250,7 +288,8 @@ fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord], multi: 
                     "\"filtered_wall_ms\":{:.3},\"brute_wall_ms\":{:.3},",
                     "\"adaptive_mode\":\"{}\",\"adaptive_virtual_ms\":{:.3},\"adaptive_speedup\":{:.3},",
                     "\"adaptive_net_speedup\":{:.3},",
-                    "\"adaptive_recall\":{:.4},\"calibration_ms\":{:.3},\"stages\":{}}}"
+                    "\"adaptive_recall\":{:.4},\"calibration_ms\":{:.3},",
+                    "\"effective_workers\":{},\"kernel_backend\":\"{}\",\"stages\":{}}}"
                 ),
                 json_escape(&r.query),
                 json_escape(&r.dataset),
@@ -269,21 +308,25 @@ fn records_json(scale: &str, batch_size: usize, records: &[BenchRecord], multi: 
                 r.adaptive_net_speedup,
                 r.adaptive_recall,
                 r.calibration_ms,
+                r.effective_workers,
+                json_escape(&r.kernel_backend),
                 r.stages,
             )
         })
         .collect();
     format!(
-        "{{\n  \"bench\": \"table3_queries\",\n  \"executor\": \"batched operator pipeline\",\n  \"scale\": \"{}\",\n  \"batch_size\": {},\n  \"filter_workers\": {},\n  \"queries\": [\n{}\n  ],\n{}\n}}\n",
+        "{{\n  \"bench\": \"table3_queries\",\n  \"executor\": \"batched operator pipeline\",\n  \"scale\": \"{}\",\n  \"batch_size\": {},\n  \"filter_workers\": {},\n  \"kernel_dispatch\": \"{}\",\n  \"queries\": [\n{}\n  ],\n{}\n}}\n",
         scale,
         batch_size,
         filter_workers(),
+        vmq_nn::KernelBackend::active().name(),
         rows.join(",\n"),
         multi.to_json()
     )
 }
 
 fn main() {
+    warn_on_silent_scalar_fallback();
     let scale = Scale::from_env();
     let mut report = Report::new("Table III — query execution: filter cascade vs brute force").header(&[
         "query",
@@ -381,6 +424,8 @@ fn main() {
             adaptive_net_speedup: adaptive_net_speedup.speedup,
             adaptive_recall: adaptive_accuracy.recall,
             calibration_ms: calibration.calibration_ms,
+            effective_workers: filter_stage_info(&run).0,
+            kernel_backend: filter_stage_info(&run).1,
             stages: stages_json(&run),
         });
     }

@@ -17,6 +17,15 @@ pub enum FilterChoice {
     /// A calibrated analytic filter with the given error profile (no training
     /// required; useful for fast experimentation and ablations).
     Calibrated(CalibrationProfile),
+    /// The int8-quantized twin of the learned IC filter: cheaper per frame
+    /// under the cost model and usually faster in wall-clock, but its
+    /// estimates differ from the f32 filter's — the planner must certify it
+    /// through its own recall calibration, never substitute it silently.
+    IcInt8,
+    /// The int8-quantized twin of the learned OD filter.
+    OdInt8,
+    /// The int8-quantized twin of the learned OD-COF filter.
+    OdCofInt8,
 }
 
 /// Configuration of the adaptive planner's calibration phase: how much of
@@ -41,6 +50,19 @@ impl CalibrationConfig {
         CalibrationConfig {
             prefix_frames: 48,
             candidate_backends: vec![FilterChoice::Ic, FilterChoice::Od],
+            candidate_tolerances: CascadeConfig::lattice(),
+        }
+    }
+
+    /// Calibration over the learned IC and OD filters *and* their int8
+    /// twins: the quantized candidates enter the same `(backend ×
+    /// tolerance)` lattice with their cheaper cost-model prices, so the
+    /// planner picks them exactly when their prefix recall certifies them —
+    /// cheaper-but-riskier as a priced choice, not a silent substitution.
+    pub fn learned_with_int8() -> Self {
+        CalibrationConfig {
+            prefix_frames: 48,
+            candidate_backends: vec![FilterChoice::Ic, FilterChoice::Od, FilterChoice::IcInt8, FilterChoice::OdInt8],
             candidate_tolerances: CascadeConfig::lattice(),
         }
     }

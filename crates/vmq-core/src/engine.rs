@@ -145,21 +145,40 @@ impl VmqEngine {
         self.filters.as_ref()
     }
 
+    /// The deterministic calibration prefix of the *training* split used to
+    /// build int8 filter twins: activation scales are calibrated on frames
+    /// the filters were trained on, never on the test stream the query runs
+    /// over.
+    fn quantization_calib(&self) -> &[vmq_video::Frame] {
+        let train = self.dataset.train();
+        &train[..train.len().min(48)]
+    }
+
     /// Resolves a filter choice to a concrete filter. Learned choices require
-    /// [`VmqEngine::train_filters`] to have been called.
+    /// [`VmqEngine::train_filters`] to have been called; the int8 choices
+    /// additionally quantize the trained weights on a deterministic
+    /// training-split prefix (a one-time, milliseconds-scale build).
     pub(crate) fn resolve_filter(&self, choice: FilterChoice) -> Box<dyn FrameFilter + '_> {
+        let trained = || self.filters.as_ref().expect("train_filters() first");
         match choice {
-            FilterChoice::Ic => Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").ic)),
-            FilterChoice::Od => Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").od)),
-            FilterChoice::OdCof => {
-                Box::new(EngineFilterRef(&self.filters.as_ref().expect("train_filters() first").cof))
-            }
+            FilterChoice::Ic => Box::new(EngineFilterRef(&trained().ic)),
+            FilterChoice::Od => Box::new(EngineFilterRef(&trained().od)),
+            FilterChoice::OdCof => Box::new(EngineFilterRef(&trained().cof)),
             FilterChoice::Calibrated(profile) => Box::new(CalibratedFilter::new(
                 self.config.filter.classes.clone(),
                 self.config.filter.grid,
                 profile,
                 self.config.seed,
             )),
+            FilterChoice::IcInt8 => {
+                Box::new(vmq_filters::QuantizedIcFilter::from_trained(&trained().ic, self.quantization_calib()))
+            }
+            FilterChoice::OdInt8 => {
+                Box::new(vmq_filters::QuantizedOdFilter::from_trained(&trained().od, self.quantization_calib()))
+            }
+            FilterChoice::OdCofInt8 => {
+                Box::new(vmq_filters::QuantizedCofFilter::from_trained(&trained().cof, self.quantization_calib()))
+            }
         }
     }
 
@@ -339,8 +358,16 @@ impl<F: FrameFilter> FrameFilter for EngineFilterRef<'_, F> {
         self.0.estimate_batch(frames)
     }
 
+    fn estimate_batch_sharded(&self, frames: &[vmq_video::Frame], workers: usize) -> Vec<vmq_filters::FilterEstimate> {
+        self.0.estimate_batch_sharded(frames, workers)
+    }
+
     fn kind(&self) -> vmq_filters::FilterKind {
         self.0.kind()
+    }
+
+    fn kernel_backend(&self) -> &'static str {
+        self.0.kernel_backend()
     }
 
     fn grid_size(&self) -> usize {
@@ -391,6 +418,31 @@ mod tests {
         assert!(outcome.run.frames_total == engine.dataset().test().len());
         assert!(outcome.speedup.speedup >= 0.95, "speedup {:?}", outcome.speedup);
         assert!(outcome.accuracy.recall >= 0.0);
+    }
+
+    #[test]
+    fn engine_runs_int8_quantized_filters_as_planner_candidates() {
+        let mut config = EngineConfig::small(DatasetProfile::jackson()).with_sizes(60, 80);
+        config.filter.schedule.epochs = 2;
+        let mut engine = VmqEngine::new(config);
+        engine.train_filters();
+
+        // The int8 twin is an explicit FilterChoice: it executes through the
+        // same pipeline, labels its mode with its own kind and reports the
+        // int8 kernel backend on its cascade rows.
+        let outcome = engine.run_query(&Query::paper_q3(), FilterChoice::OdInt8, CascadeConfig::tolerant());
+        assert_eq!(outcome.run.frames_total, engine.dataset().test().len());
+        assert!(outcome.run.mode.starts_with("OD-INT8"), "mode {}", outcome.run.mode);
+        let cascade = outcome.run.stage_metrics.iter().find(|m| m.operator == "cascade-filter").expect("cascade stage");
+        assert_eq!(cascade.kernel_backend.as_deref(), Some("int8"));
+        // Int8 stages are priced below their f32 parents (0.95 vs 1.9 ms).
+        assert!((cascade.virtual_ms - 0.95 * cascade.frames_in as f64).abs() < 1e-9);
+
+        // And as adaptive candidates they flow through the same recall
+        // calibration — the planner may pick them, never substitute them.
+        let adaptive = engine.run_adaptive(&Query::paper_q3(), &CalibrationConfig::learned_with_int8());
+        assert!(adaptive.outcome.accuracy.recall >= 0.0);
+        assert!(adaptive.calibration.profiles.len() >= 4 * 9, "4 backends x 9 tolerances profiled");
     }
 
     #[test]

@@ -398,6 +398,7 @@ impl<'e> StreamRuntime<'e> {
                             virtual_ms: report.calibration_ms,
                             wall_ms: report.calibration_wall_ms,
                             workers: 1,
+                            kernel_backend: None,
                         }),
                     );
                 }

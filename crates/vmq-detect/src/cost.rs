@@ -27,11 +27,32 @@ pub enum Stage {
     FullYolo,
     /// The full Mask R-CNN detector (final stage / ground-truth annotator).
     MaskRcnn,
+    /// An int8-quantized IC-family filter evaluation: roughly half the
+    /// arithmetic cost of [`Stage::IcFilter`] (8-bit multiplies with i32
+    /// accumulation in place of f32 FMAs), priced accordingly. Cheaper but
+    /// riskier — the planner only certifies it through its own recall
+    /// calibration, never as a silent substitute for the f32 filter.
+    IcInt8Filter,
+    /// An int8-quantized OD-family filter evaluation (same cheaper-but-
+    /// riskier contract as [`Stage::IcInt8Filter`]).
+    OdInt8Filter,
 }
 
 impl Stage {
-    /// All stages.
-    pub const ALL: [Stage; 5] = [Stage::Decode, Stage::IcFilter, Stage::OdFilter, Stage::FullYolo, Stage::MaskRcnn];
+    /// All stages. The int8 variants are appended after the original five so
+    /// that every pre-existing iteration over `ALL` (ledger totals, the
+    /// synthetic brute-force baseline) sums the same stages in the same
+    /// order first — un-charged trailing stages contribute exact zeros, so
+    /// historical float totals are bitwise unchanged.
+    pub const ALL: [Stage; 7] = [
+        Stage::Decode,
+        Stage::IcFilter,
+        Stage::OdFilter,
+        Stage::FullYolo,
+        Stage::MaskRcnn,
+        Stage::IcInt8Filter,
+        Stage::OdInt8Filter,
+    ];
 
     /// Short stage name.
     pub fn name(self) -> &'static str {
@@ -41,6 +62,8 @@ impl Stage {
             Stage::OdFilter => "od-filter",
             Stage::FullYolo => "yolo-full",
             Stage::MaskRcnn => "mask-rcnn",
+            Stage::IcInt8Filter => "ic-int8-filter",
+            Stage::OdInt8Filter => "od-int8-filter",
         }
     }
 }
@@ -60,6 +83,12 @@ impl CostModel {
         costs.insert(Stage::OdFilter, 1.9);
         costs.insert(Stage::FullYolo, 15.0);
         costs.insert(Stage::MaskRcnn, 200.0);
+        // Int8 filters: half-ish the f32 filter price. The paper does not
+        // quantize its filters; these prices extend its Sec. IV cost model
+        // with the arithmetic ratio of the int8 kernels (8-bit multiplies,
+        // i32 accumulates) to the f32 ones on commodity SIMD hardware.
+        costs.insert(Stage::IcInt8Filter, 0.75);
+        costs.insert(Stage::OdInt8Filter, 0.95);
         CostModel { costs }
     }
 

@@ -221,6 +221,11 @@ impl FrameFilter for CalibratedFilter {
         self.profile.kind
     }
 
+    fn kernel_backend(&self) -> &'static str {
+        // No network runs here: estimates derive from ground truth + noise.
+        "none"
+    }
+
     fn grid_size(&self) -> usize {
         self.grid
     }

@@ -165,6 +165,16 @@ impl CofFilter {
     }
 }
 
+impl CofFilter {
+    /// Quantizes the trained network on rasterised calibration frames for
+    /// [`crate::QuantizedCofFilter`].
+    pub(crate) fn quantized_net(&self, calib: &[Frame]) -> vmq_nn::QuantizedSequential {
+        let net = self.net.read();
+        let inputs: Vec<Tensor> = calib.iter().map(|f| image_to_tensor(&self.config.raster.render(f))).collect();
+        vmq_nn::QuantizedSequential::quantize(&net, &inputs)
+    }
+}
+
 impl FrameFilter for CofFilter {
     fn estimate(&self, frame: &Frame) -> FilterEstimate {
         let net = self.net.read();

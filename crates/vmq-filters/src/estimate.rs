@@ -17,16 +17,27 @@ pub enum FilterKind {
     OdCof,
     /// The calibrated analytic stand-in used for fast tests.
     Calibrated,
+    /// Int8-quantized IC filter ([`crate::QuantizedIcFilter`]): cheaper per
+    /// frame, with its own recall calibration in the planner.
+    IcInt8,
+    /// Int8-quantized OD filter ([`crate::QuantizedOdFilter`]).
+    OdInt8,
+    /// Int8-quantized OD-COF filter ([`crate::QuantizedCofFilter`]).
+    OdCofInt8,
 }
 
 impl FilterKind {
-    /// Short name as used in the paper's figures ("IC", "OD", "OD-COF").
+    /// Short name as used in the paper's figures ("IC", "OD", "OD-COF");
+    /// the int8 twins append the paper-free `-INT8` suffix.
     pub fn name(self) -> &'static str {
         match self {
             FilterKind::Ic => "IC",
             FilterKind::Od => "OD",
             FilterKind::OdCof => "OD-COF",
             FilterKind::Calibrated => "CAL",
+            FilterKind::IcInt8 => "IC-INT8",
+            FilterKind::OdInt8 => "OD-INT8",
+            FilterKind::OdCofInt8 => "OD-COF-INT8",
         }
     }
 
@@ -37,7 +48,14 @@ impl FilterKind {
             FilterKind::Od | FilterKind::OdCof => Stage::OdFilter,
             // The calibrated filter emulates an OD filter's price point.
             FilterKind::Calibrated => Stage::OdFilter,
+            FilterKind::IcInt8 => Stage::IcInt8Filter,
+            FilterKind::OdInt8 | FilterKind::OdCofInt8 => Stage::OdInt8Filter,
         }
+    }
+
+    /// True for the int8-quantized filter families.
+    pub fn is_int8(self) -> bool {
+        matches!(self, FilterKind::IcInt8 | FilterKind::OdInt8 | FilterKind::OdCofInt8)
     }
 }
 
@@ -163,6 +181,16 @@ pub trait FrameFilter: Send + Sync {
 
     /// Filter family.
     fn kind(&self) -> FilterKind;
+
+    /// Which compute backend the filter's inference arithmetic runs on:
+    /// the process-wide SIMD dispatch choice for the learned f32 filters
+    /// (`"scalar"` / `"avx2"` / `"neon"`), `"int8"` for the quantized
+    /// filters, `"none"` for filters that run no network at all. Reported
+    /// per stage row by the bench harness so measurements are attributable
+    /// to the kernels that produced them.
+    fn kernel_backend(&self) -> &'static str {
+        vmq_nn::KernelBackend::active().name()
+    }
 
     /// Grid side length of the localisation maps.
     fn grid_size(&self) -> usize;

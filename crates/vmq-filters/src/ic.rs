@@ -176,6 +176,24 @@ impl CamCountHead {
         (counts, cams)
     }
 
+    /// Rebuilds a head from trained weight / bias copies. Used by the int8
+    /// filter twin ([`crate::QuantizedIcFilter`]), whose CAM/count head
+    /// stays f32: the head is a single tiny matvec plus the CAM sums, so
+    /// quantizing it would save nothing while perturbing exactly the values
+    /// the cascade thresholds.
+    pub(crate) fn from_params(weight: Tensor, bias: Tensor) -> Self {
+        let n_classes = weight.shape()[0];
+        let d = weight.shape()[1];
+        CamCountHead {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            n_classes,
+            d,
+            cached_gap: Vec::new(),
+            cached_pre: Vec::new(),
+        }
+    }
+
     /// Trainable parameters of the head.
     pub fn params(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
@@ -307,6 +325,19 @@ impl IcFilter {
             kind: FilterKind::Ic,
             total_hint: None,
         }
+    }
+}
+
+impl IcFilter {
+    /// Quantizes the trained trunk on rasterised calibration frames and
+    /// copies the f32 CAM/count head — the parts from which
+    /// [`crate::QuantizedIcFilter`] is assembled.
+    pub(crate) fn quantized_parts(&self, calib: &[Frame]) -> (vmq_nn::QuantizedSequential, CamCountHead) {
+        let net = self.net.read();
+        let inputs: Vec<Tensor> = calib.iter().map(|f| image_to_tensor(&self.config.raster.render(f))).collect();
+        let trunk = vmq_nn::QuantizedSequential::quantize(&net.trunk, &inputs);
+        let head = CamCountHead::from_params(net.head.weight.value.clone(), net.head.bias.value.clone());
+        (trunk, head)
     }
 }
 

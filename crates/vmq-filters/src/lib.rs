@@ -40,6 +40,7 @@ pub mod ic;
 pub mod label;
 pub mod metrics;
 pub mod od;
+pub mod quantized;
 pub mod train;
 
 pub use backend::{CalibratedFilter, CalibrationProfile};
@@ -50,4 +51,5 @@ pub use grid::ClassGrid;
 pub use ic::IcFilter;
 pub use metrics::{ClfMetrics, CountMetrics};
 pub use od::OdFilter;
+pub use quantized::{QuantizedCofFilter, QuantizedIcFilter, QuantizedOdFilter};
 pub use train::TrainedFilters;

@@ -199,6 +199,26 @@ impl OdFilter {
     }
 }
 
+impl OdFilter {
+    /// Quantizes all four trained sub-networks on rasterised calibration
+    /// frames for [`crate::QuantizedOdFilter`]: `[trunk, branch, grid_head,
+    /// count_head]`. Each stage is calibrated on the *f32* outputs of the
+    /// stage before it (the standard post-training approximation).
+    pub(crate) fn quantized_nets(&self, calib: &[Frame]) -> [vmq_nn::QuantizedSequential; 4] {
+        let net = self.net.read();
+        let inputs: Vec<Tensor> = calib.iter().map(|f| image_to_tensor(&self.config.raster.render(f))).collect();
+        let mut ws = Workspace::new();
+        let feats: Vec<Tensor> = inputs.iter().map(|x| net.trunk.infer(x, &mut ws)).collect();
+        let branches: Vec<Tensor> = feats.iter().map(|f| net.branch.infer(f, &mut ws)).collect();
+        [
+            vmq_nn::QuantizedSequential::quantize(&net.trunk, &inputs),
+            vmq_nn::QuantizedSequential::quantize(&net.branch, &feats),
+            vmq_nn::QuantizedSequential::quantize(&net.grid_head, &branches),
+            vmq_nn::QuantizedSequential::quantize(&net.count_head, &branches),
+        ]
+    }
+}
+
 impl FrameFilter for OdFilter {
     fn estimate(&self, frame: &Frame) -> FilterEstimate {
         let net = self.net.read();

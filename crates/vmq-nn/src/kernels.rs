@@ -1,0 +1,1668 @@
+//! Runtime-dispatched SIMD variants of the inference kernels.
+//!
+//! [`crate::ops`] holds the scalar reference implementations of the five
+//! `_into` inference kernels. This module wraps them in a dispatch layer
+//! that, once per process, picks the widest instruction set the host
+//! supports — AVX-512 then AVX2 on x86_64 (checked with
+//! `is_x86_feature_detected!`), NEON on aarch64 (baseline there), scalar
+//! everywhere else — and routes every layer's inference through it.
+//!
+//! ## Equivalence contract
+//!
+//! The scalar kernels are the bit-exact reference; goldens and parity pins
+//! are recorded under `VMQ_FORCE_SCALAR=1`. SIMD backends agree with the
+//! reference within a documented per-element tolerance, not bitwise:
+//!
+//! * **Matmul-shaped kernels** (`matmul_into`, the fused `conv2d_into`)
+//!   use FMA and register-blocked accumulation orders chosen for the
+//!   hardware, so individual elements may round differently from the
+//!   scalar loop. The contract is ≤ 128 ULP (or an absolute 10⁻⁶ near
+//!   zero) per element — in practice a relative ~1.5·10⁻⁵ — pinned by the
+//!   dispatch-parity tests below. Within one backend results are still
+//!   fully deterministic: the same inputs produce the same bits on every
+//!   call, which is what the batch/worker-invariance proptests rely on.
+//! * **Element-wise and comparison kernels** (`maxpool2d`, activations,
+//!   `global_avg_pool`, `matvec`) keep the scalar accumulation order and
+//!   remain bit-identical on every backend (modulo the sign of zero for
+//!   ReLU, which compares equal).
+//!
+//! Setting `VMQ_FORCE_SCALAR=1` in the environment pins dispatch to the
+//! scalar reference for the whole process (decided once, at first use).
+//!
+//! Two kernels deserve a note: `im2col` is pure data movement whose
+//! stride-1 span copies already lower to vectorised `memcpy`, so every
+//! backend shares the scalar implementation (the AVX2 fused conv avoids
+//! it entirely for the 3×3/stride-1/pad-1 shape every filter trunk uses,
+//! working from a zero-padded copy of the input instead); `maxpool2d` is
+//! vectorised for the 2×2 window the filter trunks use and falls back to
+//! scalar for other window sizes.
+
+use crate::ops::{self, ConvSpec};
+use std::sync::OnceLock;
+
+/// Maximum per-element ULP distance a SIMD matmul-shaped kernel may land
+/// from the scalar reference (the module-level equivalence contract;
+/// ~1.5·10⁻⁵ relative for f32).
+pub const ULP_TOLERANCE: u64 = 128;
+
+/// Absolute per-element slack near zero, where ULP distance is
+/// meaningless (adjacent subnormals are many ULPs apart in value terms).
+pub const ABS_TOLERANCE: f32 = 1e-6;
+
+/// Which kernel implementation dispatch selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// Portable scalar reference (always available, bit-exact baseline).
+    Scalar,
+    /// 256-bit AVX2+FMA kernels (x86_64 only, runtime-detected).
+    Avx2,
+    /// 512-bit AVX-512 kernels (x86_64 only, runtime-detected; doubles
+    /// the FMA width and adds native masked tails).
+    Avx512,
+    /// 128-bit NEON kernels (aarch64 only, baseline feature there).
+    Neon,
+}
+
+impl KernelBackend {
+    /// Every backend variant, supported on this host or not (see
+    /// [`KernelBackend::is_supported`]).
+    pub const ALL: [KernelBackend; 4] =
+        [KernelBackend::Scalar, KernelBackend::Avx2, KernelBackend::Avx512, KernelBackend::Neon];
+
+    /// Short lower-case name used in bench records and stage metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Avx512 => "avx512",
+            KernelBackend::Neon => "neon",
+        }
+    }
+
+    /// True when the current host can execute this backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            KernelBackend::Scalar => true,
+            KernelBackend::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    // The f32 kernels fuse multiply-adds, so the backend
+                    // needs FMA alongside AVX2 (every AVX2 part ships it,
+                    // but the guard keeps the `target_feature` contract
+                    // honest).
+                    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelBackend::Avx512 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    // The AVX-512 backend delegates its element-wise
+                    // kernels to the AVX2 module, so it requires both
+                    // feature sets.
+                    std::arch::is_x86_feature_detected!("avx512f") && KernelBackend::Avx2.is_supported()
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+            KernelBackend::Neon => cfg!(target_arch = "aarch64"),
+        }
+    }
+
+    /// True for any non-scalar backend.
+    pub fn is_simd(self) -> bool {
+        self != KernelBackend::Scalar
+    }
+
+    /// The backends that can run on this host, scalar first.
+    pub fn supported() -> Vec<KernelBackend> {
+        KernelBackend::ALL.iter().copied().filter(|b| b.is_supported()).collect()
+    }
+
+    /// Detects the widest supported backend, ignoring the env override.
+    pub fn detect() -> KernelBackend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if KernelBackend::Avx512.is_supported() {
+                return KernelBackend::Avx512;
+            }
+            if KernelBackend::Avx2.is_supported() {
+                return KernelBackend::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            return KernelBackend::Neon;
+        }
+        #[allow(unreachable_code)]
+        KernelBackend::Scalar
+    }
+
+    /// True when `VMQ_FORCE_SCALAR` requests the scalar reference path.
+    ///
+    /// Any value other than empty or `0` counts as a request; the decision
+    /// is cached on first use together with [`KernelBackend::active`].
+    pub fn forced_scalar() -> bool {
+        std::env::var_os("VMQ_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+    }
+
+    /// The backend every auto-dispatched kernel call uses, decided once per
+    /// process: `VMQ_FORCE_SCALAR=1` pins scalar, otherwise
+    /// [`KernelBackend::detect`].
+    pub fn active() -> KernelBackend {
+        static ACTIVE: OnceLock<KernelBackend> = OnceLock::new();
+        *ACTIVE.get_or_init(|| {
+            if KernelBackend::forced_scalar() {
+                KernelBackend::Scalar
+            } else {
+                KernelBackend::detect()
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explicit-backend entry points
+//
+// `*_with` lets tests and benches pin a backend regardless of the process
+// cache or environment; unsupported backends fall back to scalar (the only
+// way to reach that fallback is asking for a foreign ISA's backend).
+// ---------------------------------------------------------------------------
+
+/// [`ops::matmul_into`] via the chosen backend.
+// Safety: the unsafe call is guarded by `is_supported()` (runtime AVX2
+// feature detection), satisfying the `target_feature` contract.
+#[allow(unsafe_code)]
+pub fn matmul_into_with(
+    backend: KernelBackend,
+    a: &[f32],
+    m: usize,
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut Vec<f32>,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 if backend.is_supported() => unsafe { avx512::matmul_into(a, m, k, b, n, out) },
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 if backend.is_supported() => unsafe { avx2::matmul_into(a, m, k, b, n, out) },
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => neon::matmul_into(a, m, k, b, n, out),
+        _ => ops::matmul_into(a, m, k, b, n, out),
+    }
+}
+
+/// [`ops::matvec_into`] via the chosen backend.
+// Safety: guarded by `is_supported()` runtime feature detection.
+#[allow(unsafe_code)]
+pub fn matvec_into_with(backend: KernelBackend, a: &[f32], m: usize, k: usize, x: &[f32], out: &mut Vec<f32>) {
+    match backend {
+        // AVX-512 shares the AVX2 matvec: it is bit-identical to scalar
+        // and too small to benefit from wider vectors.
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 | KernelBackend::Avx512 if backend.is_supported() => unsafe {
+            avx2::matvec_into(a, m, k, x, out)
+        },
+        _ => ops::matvec_into(a, m, k, x, out),
+    }
+}
+
+/// [`ops::im2col_into`] via the chosen backend.
+///
+/// All backends share the scalar implementation: im2col is pure data
+/// movement and its stride-1 fast path is already a sequence of `memcpy`
+/// span copies, which the portable code lowers to vectorised moves.
+pub fn im2col_into_with(
+    backend: KernelBackend,
+    input: &[f32],
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    out: &mut Vec<f32>,
+) {
+    let _ = backend;
+    ops::im2col_into(input, h, w, spec, out);
+}
+
+/// [`ops::maxpool2d_into`] via the chosen backend (2×2 windows are
+/// vectorised; other sizes use the scalar loop on every backend).
+// Safety: guarded by `is_supported()` runtime feature detection.
+#[allow(unsafe_code)]
+pub fn maxpool2d_into_with(
+    backend: KernelBackend,
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    size: usize,
+    out: &mut Vec<f32>,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 | KernelBackend::Avx512 if backend.is_supported() && size == 2 => unsafe {
+            avx2::maxpool2d_2x2_into(input, c, h, w, out)
+        },
+        _ => ops::maxpool2d_into(input, c, h, w, size, out),
+    }
+}
+
+/// [`ops::global_avg_pool_into`] via the chosen backend.
+// Safety: guarded by `is_supported()` runtime feature detection.
+#[allow(unsafe_code)]
+pub fn global_avg_pool_into_with(
+    backend: KernelBackend,
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    out: &mut Vec<f32>,
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 | KernelBackend::Avx512 if backend.is_supported() => unsafe {
+            avx2::global_avg_pool_into(input, c, h, w, out)
+        },
+        _ => ops::global_avg_pool_into(input, c, h, w, out),
+    }
+}
+
+/// Fused 2-D convolution: `out = weight (m × c·k²) ⊛ input (c × h × w)`
+/// plus bias, via the chosen backend.
+///
+/// The scalar reference is the composition the conv layer always ran —
+/// `im2col_into` + `matmul_into` + a bias pass — with `scratch` holding the
+/// column matrix. The AVX2 backend replaces the whole composition for the
+/// 3×3 / stride-1 / pad-1 shape every filter trunk uses: it copies the
+/// input into a zero-padded image (`scratch`, a fraction of the column
+/// matrix's size) and runs a register-blocked FMA kernel straight off it,
+/// bias folded into the accumulator init. Non-3×3 specs fall back to
+/// im2col + the backend's matmul.
+// Safety: guarded by `is_supported()` runtime feature detection.
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into_with(
+    backend: KernelBackend,
+    input: &[f32],
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    weight: &[f32],
+    bias: &[f32],
+    scratch: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
+    debug_assert_eq!(weight.len(), spec.out_channels * spec.in_channels * spec.kernel * spec.kernel);
+    debug_assert_eq!(bias.len(), spec.out_channels);
+    #[cfg(target_arch = "x86_64")]
+    if backend.is_supported() && spec.kernel == 3 && spec.stride == 1 && spec.padding == 1 {
+        if backend == KernelBackend::Avx512 {
+            unsafe {
+                avx512::conv3x3_into(input, spec.in_channels, h, w, weight, spec.out_channels, bias, scratch, out)
+            };
+            return;
+        }
+        if backend == KernelBackend::Avx2 {
+            unsafe { avx2::conv3x3_into(input, spec.in_channels, h, w, weight, spec.out_channels, bias, scratch, out) };
+            return;
+        }
+    }
+    let (oh, ow) = spec.out_size(h, w);
+    let ckk = spec.in_channels * spec.kernel * spec.kernel;
+    im2col_into_with(backend, input, h, w, spec, scratch);
+    matmul_into_with(backend, weight, spec.out_channels, ckk, scratch, oh * ow, out);
+    for (co, &b) in bias.iter().enumerate() {
+        for v in &mut out[co * oh * ow..(co + 1) * oh * ow] {
+            *v += b;
+        }
+    }
+}
+
+/// In-place ReLU (`x.max(0.0)`) via the chosen backend. Output values are
+/// identical to the scalar reference; only the sign of zero may differ
+/// (the vector path writes `+0.0` for negative-zero inputs).
+// Safety: guarded by `is_supported()` runtime feature detection.
+#[allow(unsafe_code)]
+pub fn relu_in_place_with(backend: KernelBackend, data: &mut [f32]) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 if backend.is_supported() => unsafe { avx512::relu_in_place(data) },
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 if backend.is_supported() => unsafe { avx2::relu_in_place(data) },
+        _ => {
+            for v in data {
+                *v = v.max(0.0);
+            }
+        }
+    }
+}
+
+/// In-place LeakyReLU (`x >= 0 ? x : slope * x`) via the chosen backend.
+/// Bit-identical on every backend: the vector path blends the same
+/// per-element product the scalar branch computes.
+// Safety: guarded by `is_supported()` runtime feature detection.
+#[allow(unsafe_code)]
+pub fn leaky_relu_in_place_with(backend: KernelBackend, data: &mut [f32], slope: f32) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 if backend.is_supported() => unsafe { avx512::leaky_relu_in_place(data, slope) },
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 if backend.is_supported() => unsafe { avx2::leaky_relu_in_place(data, slope) },
+        _ => {
+            for v in data {
+                if *v < 0.0 {
+                    *v *= slope;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Auto-dispatched wrappers: what the layers call.
+// ---------------------------------------------------------------------------
+
+/// [`conv2d_into_with`] through the process-wide active backend.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_into(
+    input: &[f32],
+    h: usize,
+    w: usize,
+    spec: &ConvSpec,
+    weight: &[f32],
+    bias: &[f32],
+    scratch: &mut Vec<f32>,
+    out: &mut Vec<f32>,
+) {
+    conv2d_into_with(KernelBackend::active(), input, h, w, spec, weight, bias, scratch, out);
+}
+
+/// [`relu_in_place_with`] through the process-wide active backend.
+pub fn relu_in_place(data: &mut [f32]) {
+    relu_in_place_with(KernelBackend::active(), data);
+}
+
+/// [`leaky_relu_in_place_with`] through the process-wide active backend.
+pub fn leaky_relu_in_place(data: &mut [f32], slope: f32) {
+    leaky_relu_in_place_with(KernelBackend::active(), data, slope);
+}
+
+/// [`ops::matmul_into`] through the process-wide active backend.
+pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut Vec<f32>) {
+    matmul_into_with(KernelBackend::active(), a, m, k, b, n, out);
+}
+
+/// [`ops::matvec_into`] through the process-wide active backend.
+pub fn matvec_into(a: &[f32], m: usize, k: usize, x: &[f32], out: &mut Vec<f32>) {
+    matvec_into_with(KernelBackend::active(), a, m, k, x, out);
+}
+
+/// [`ops::im2col_into`] through the process-wide active backend.
+pub fn im2col_into(input: &[f32], h: usize, w: usize, spec: &ConvSpec, out: &mut Vec<f32>) {
+    im2col_into_with(KernelBackend::active(), input, h, w, spec, out);
+}
+
+/// [`ops::maxpool2d_into`] through the process-wide active backend.
+pub fn maxpool2d_into(input: &[f32], c: usize, h: usize, w: usize, size: usize, out: &mut Vec<f32>) {
+    maxpool2d_into_with(KernelBackend::active(), input, c, h, w, size, out);
+}
+
+/// [`ops::global_avg_pool_into`] through the process-wide active backend.
+pub fn global_avg_pool_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
+    global_avg_pool_into_with(KernelBackend::active(), input, c, h, w, out);
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86_64).
+//
+// The matmul-shaped kernels use FMA register tiles — the per-element
+// accumulation order differs from the scalar loop within the module-level
+// ULP tolerance. The element-wise/comparison kernels (maxpool, gap,
+// matvec, activations) keep the scalar order and stay bit-identical.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    // Safety: every function in this module requires AVX2 (+FMA for the
+    // fused kernels); the dispatch layer only calls them after
+    // `KernelBackend::is_supported()` runtime detection. Pointer
+    // arithmetic stays inside the slices' bounds: block loops only run
+    // while a full vector fits, with masked or scalar tails for the rest
+    // (the fused conv's masked tails read from a scratch buffer padded
+    // with 8 floats of slack for exactly that purpose).
+
+    /// `out = A (m×k) · B (k×n)` with FMA register tiles: four output rows
+    /// × 24 columns per pass, every streamed B vector feeding all four
+    /// rows. Ascending-`k` accumulation from zero, fused multiply-add per
+    /// step — deterministic, but not the scalar rounding sequence.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut Vec<f32>) {
+        debug_assert_eq!(a.len(), m * k, "matmul_into lhs size mismatch");
+        debug_assert_eq!(b.len(), k * n, "matmul_into rhs size mismatch");
+        out.clear();
+        out.resize(m * n, 0.0);
+        let bp = b.as_ptr();
+        let ap = a.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            row_quad(ap.add(i * k), k, bp, n, op.add(i * n));
+            i += 4;
+        }
+        while i < m {
+            row_one(ap.add(i * k), k, bp, n, op.add(i * n));
+            i += 1;
+        }
+    }
+
+    /// Four output rows (`o..o+4`, weight rows contiguous at `a`).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn row_quad(a: *const f32, k: usize, b: *const f32, n: usize, o: *mut f32) {
+        let (a0, a1, a2, a3) = (a, a.add(k), a.add(2 * k), a.add(3 * k));
+        let (o0, o1, o2, o3) = (o, o.add(n), o.add(2 * n), o.add(3 * n));
+        let mut j = 0;
+        while j + 24 <= n {
+            let mut x00 = _mm256_setzero_ps();
+            let mut x01 = _mm256_setzero_ps();
+            let mut x02 = _mm256_setzero_ps();
+            let mut x10 = _mm256_setzero_ps();
+            let mut x11 = _mm256_setzero_ps();
+            let mut x12 = _mm256_setzero_ps();
+            let mut x20 = _mm256_setzero_ps();
+            let mut x21 = _mm256_setzero_ps();
+            let mut x22 = _mm256_setzero_ps();
+            let mut x30 = _mm256_setzero_ps();
+            let mut x31 = _mm256_setzero_ps();
+            let mut x32 = _mm256_setzero_ps();
+            for kk in 0..k {
+                let bq = b.add(kk * n + j);
+                let b0 = _mm256_loadu_ps(bq);
+                let b1 = _mm256_loadu_ps(bq.add(8));
+                let b2 = _mm256_loadu_ps(bq.add(16));
+                let c0 = _mm256_broadcast_ss(&*a0.add(kk));
+                x00 = _mm256_fmadd_ps(c0, b0, x00);
+                x01 = _mm256_fmadd_ps(c0, b1, x01);
+                x02 = _mm256_fmadd_ps(c0, b2, x02);
+                let c1 = _mm256_broadcast_ss(&*a1.add(kk));
+                x10 = _mm256_fmadd_ps(c1, b0, x10);
+                x11 = _mm256_fmadd_ps(c1, b1, x11);
+                x12 = _mm256_fmadd_ps(c1, b2, x12);
+                let c2 = _mm256_broadcast_ss(&*a2.add(kk));
+                x20 = _mm256_fmadd_ps(c2, b0, x20);
+                x21 = _mm256_fmadd_ps(c2, b1, x21);
+                x22 = _mm256_fmadd_ps(c2, b2, x22);
+                let c3 = _mm256_broadcast_ss(&*a3.add(kk));
+                x30 = _mm256_fmadd_ps(c3, b0, x30);
+                x31 = _mm256_fmadd_ps(c3, b1, x31);
+                x32 = _mm256_fmadd_ps(c3, b2, x32);
+            }
+            _mm256_storeu_ps(o0.add(j), x00);
+            _mm256_storeu_ps(o0.add(j + 8), x01);
+            _mm256_storeu_ps(o0.add(j + 16), x02);
+            _mm256_storeu_ps(o1.add(j), x10);
+            _mm256_storeu_ps(o1.add(j + 8), x11);
+            _mm256_storeu_ps(o1.add(j + 16), x12);
+            _mm256_storeu_ps(o2.add(j), x20);
+            _mm256_storeu_ps(o2.add(j + 8), x21);
+            _mm256_storeu_ps(o2.add(j + 16), x22);
+            _mm256_storeu_ps(o3.add(j), x30);
+            _mm256_storeu_ps(o3.add(j + 8), x31);
+            _mm256_storeu_ps(o3.add(j + 16), x32);
+            j += 24;
+        }
+        while j + 8 <= n {
+            let mut x0 = _mm256_setzero_ps();
+            let mut x1 = _mm256_setzero_ps();
+            let mut x2 = _mm256_setzero_ps();
+            let mut x3 = _mm256_setzero_ps();
+            for kk in 0..k {
+                let bv = _mm256_loadu_ps(b.add(kk * n + j));
+                x0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(kk)), bv, x0);
+                x1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a1.add(kk)), bv, x1);
+                x2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a2.add(kk)), bv, x2);
+                x3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a3.add(kk)), bv, x3);
+            }
+            _mm256_storeu_ps(o0.add(j), x0);
+            _mm256_storeu_ps(o1.add(j), x1);
+            _mm256_storeu_ps(o2.add(j), x2);
+            _mm256_storeu_ps(o3.add(j), x3);
+            j += 8;
+        }
+        while j < n {
+            let mut s0 = 0.0f32;
+            let mut s1 = 0.0f32;
+            let mut s2 = 0.0f32;
+            let mut s3 = 0.0f32;
+            for kk in 0..k {
+                let bv = *b.add(kk * n + j);
+                // mul_add lowers to scalar FMA inside this target_feature
+                // scope, matching the vector lanes' one-rounding step.
+                s0 = (*a0.add(kk)).mul_add(bv, s0);
+                s1 = (*a1.add(kk)).mul_add(bv, s1);
+                s2 = (*a2.add(kk)).mul_add(bv, s2);
+                s3 = (*a3.add(kk)).mul_add(bv, s3);
+            }
+            *o0.add(j) = s0;
+            *o1.add(j) = s1;
+            *o2.add(j) = s2;
+            *o3.add(j) = s3;
+            j += 1;
+        }
+    }
+
+    /// One remaining output row (`m % 4` tail).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn row_one(a0: *const f32, k: usize, b: *const f32, n: usize, o0: *mut f32) {
+        let mut j = 0;
+        while j + 8 <= n {
+            let mut x = _mm256_setzero_ps();
+            for kk in 0..k {
+                x = _mm256_fmadd_ps(_mm256_broadcast_ss(&*a0.add(kk)), _mm256_loadu_ps(b.add(kk * n + j)), x);
+            }
+            _mm256_storeu_ps(o0.add(j), x);
+            j += 8;
+        }
+        while j < n {
+            let mut s = 0.0f32;
+            for kk in 0..k {
+                s = (*a0.add(kk)).mul_add(*b.add(kk * n + j), s);
+            }
+            *o0.add(j) = s;
+            j += 1;
+        }
+    }
+
+    /// All-ones prefix mask for an `rem`-lane (1..=8) partial store.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn tail_mask(rem: usize) -> __m256i {
+        debug_assert!((1..=8).contains(&rem));
+        let mut lanes = [0i32; 8];
+        for l in lanes.iter_mut().take(rem) {
+            *l = -1;
+        }
+        _mm256_loadu_si256(lanes.as_ptr() as *const __m256i)
+    }
+
+    /// Fused 3×3 / stride-1 / pad-1 convolution with bias: the shape every
+    /// filter trunk and branch conv uses. Copies the input into a
+    /// zero-padded image (`padded`, with 8 floats of slack so masked
+    /// column tails can load full vectors) and accumulates straight off
+    /// it with FMA tiles of four output channels × 16 pixels — no im2col
+    /// matrix is ever materialised, so B traffic is the (L1/L2-resident)
+    /// input image instead of a `9×` unfolded copy of it.
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn conv3x3_into(
+        input: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        weight: &[f32],
+        m: usize,
+        bias: &[f32],
+        padded: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(input.len(), c * h * w, "conv3x3_into input size mismatch");
+        debug_assert_eq!(weight.len(), m * c * 9, "conv3x3_into weight size mismatch");
+        debug_assert_eq!(bias.len(), m, "conv3x3_into bias size mismatch");
+        let (ph, pw) = (h + 2, w + 2);
+        let phpw = ph * pw;
+        padded.clear();
+        padded.resize(c * phpw + 8, 0.0);
+        for ch in 0..c {
+            for y in 0..h {
+                let dst = ch * phpw + (y + 1) * pw + 1;
+                padded[dst..dst + w].copy_from_slice(&input[ch * h * w + y * w..ch * h * w + (y + 1) * w]);
+            }
+        }
+        out.clear();
+        out.resize(m * h * w, 0.0);
+        let pp = padded.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut o = 0;
+        while o + 4 <= m {
+            conv3x3_rows4(pp, c, h, w, pw, phpw, weight, bias, o, op);
+            o += 4;
+        }
+        while o < m {
+            conv3x3_rows1(pp, c, h, w, pw, phpw, weight, bias, o, op);
+            o += 1;
+        }
+    }
+
+    /// Four output channels of the fused conv (`o..o+4`).
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn conv3x3_rows4(
+        pp: *const f32,
+        c: usize,
+        h: usize,
+        w: usize,
+        pw: usize,
+        phpw: usize,
+        weight: &[f32],
+        bias: &[f32],
+        o: usize,
+        op: *mut f32,
+    ) {
+        let k = c * 9;
+        let w0 = weight.as_ptr().add(o * k);
+        let (w1, w2, w3) = (w0.add(k), w0.add(2 * k), w0.add(3 * k));
+        let o0 = op.add(o * h * w);
+        let (o1, o2, o3) = (o0.add(h * w), o0.add(2 * h * w), o0.add(3 * h * w));
+        for y in 0..h {
+            let orow = y * w;
+            let mut x = 0;
+            while x + 16 <= w {
+                let mut x00 = _mm256_set1_ps(bias[o]);
+                let mut x01 = _mm256_set1_ps(bias[o]);
+                let mut x10 = _mm256_set1_ps(bias[o + 1]);
+                let mut x11 = _mm256_set1_ps(bias[o + 1]);
+                let mut x20 = _mm256_set1_ps(bias[o + 2]);
+                let mut x21 = _mm256_set1_ps(bias[o + 2]);
+                let mut x30 = _mm256_set1_ps(bias[o + 3]);
+                let mut x31 = _mm256_set1_ps(bias[o + 3]);
+                let mut r = 0;
+                for ch in 0..c {
+                    // Top-left of the receptive field for output (y, x) in
+                    // the padded image.
+                    let rf = pp.add(ch * phpw + y * pw + x);
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            let off = ky * pw + kx;
+                            let b0 = _mm256_loadu_ps(rf.add(off));
+                            let b1 = _mm256_loadu_ps(rf.add(off + 8));
+                            let c0 = _mm256_broadcast_ss(&*w0.add(r));
+                            x00 = _mm256_fmadd_ps(c0, b0, x00);
+                            x01 = _mm256_fmadd_ps(c0, b1, x01);
+                            let c1 = _mm256_broadcast_ss(&*w1.add(r));
+                            x10 = _mm256_fmadd_ps(c1, b0, x10);
+                            x11 = _mm256_fmadd_ps(c1, b1, x11);
+                            let c2 = _mm256_broadcast_ss(&*w2.add(r));
+                            x20 = _mm256_fmadd_ps(c2, b0, x20);
+                            x21 = _mm256_fmadd_ps(c2, b1, x21);
+                            let c3 = _mm256_broadcast_ss(&*w3.add(r));
+                            x30 = _mm256_fmadd_ps(c3, b0, x30);
+                            x31 = _mm256_fmadd_ps(c3, b1, x31);
+                            r += 1;
+                        }
+                    }
+                }
+                _mm256_storeu_ps(o0.add(orow + x), x00);
+                _mm256_storeu_ps(o0.add(orow + x + 8), x01);
+                _mm256_storeu_ps(o1.add(orow + x), x10);
+                _mm256_storeu_ps(o1.add(orow + x + 8), x11);
+                _mm256_storeu_ps(o2.add(orow + x), x20);
+                _mm256_storeu_ps(o2.add(orow + x + 8), x21);
+                _mm256_storeu_ps(o3.add(orow + x), x30);
+                _mm256_storeu_ps(o3.add(orow + x + 8), x31);
+                x += 16;
+            }
+            while x < w {
+                let rem = (w - x).min(8);
+                let mask = tail_mask(rem);
+                let mut x0 = _mm256_set1_ps(bias[o]);
+                let mut x1 = _mm256_set1_ps(bias[o + 1]);
+                let mut x2 = _mm256_set1_ps(bias[o + 2]);
+                let mut x3 = _mm256_set1_ps(bias[o + 3]);
+                let mut r = 0;
+                for ch in 0..c {
+                    let rf = pp.add(ch * phpw + y * pw + x);
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            // Full-vector load; lanes past `rem` read the
+                            // padded buffer's slack and are masked away at
+                            // the store.
+                            let bv = _mm256_loadu_ps(rf.add(ky * pw + kx));
+                            x0 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*w0.add(r)), bv, x0);
+                            x1 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*w1.add(r)), bv, x1);
+                            x2 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*w2.add(r)), bv, x2);
+                            x3 = _mm256_fmadd_ps(_mm256_broadcast_ss(&*w3.add(r)), bv, x3);
+                            r += 1;
+                        }
+                    }
+                }
+                _mm256_maskstore_ps(o0.add(orow + x), mask, x0);
+                _mm256_maskstore_ps(o1.add(orow + x), mask, x1);
+                _mm256_maskstore_ps(o2.add(orow + x), mask, x2);
+                _mm256_maskstore_ps(o3.add(orow + x), mask, x3);
+                x += rem;
+            }
+        }
+    }
+
+    /// One remaining output channel of the fused conv (`m % 4` tail).
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn conv3x3_rows1(
+        pp: *const f32,
+        c: usize,
+        h: usize,
+        w: usize,
+        pw: usize,
+        phpw: usize,
+        weight: &[f32],
+        bias: &[f32],
+        o: usize,
+        op: *mut f32,
+    ) {
+        let k = c * 9;
+        let w0 = weight.as_ptr().add(o * k);
+        let o0 = op.add(o * h * w);
+        for y in 0..h {
+            let orow = y * w;
+            let mut x = 0;
+            while x < w {
+                let rem = (w - x).min(8);
+                let mut acc = _mm256_set1_ps(bias[o]);
+                let mut r = 0;
+                for ch in 0..c {
+                    let rf = pp.add(ch * phpw + y * pw + x);
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            let bv = _mm256_loadu_ps(rf.add(ky * pw + kx));
+                            acc = _mm256_fmadd_ps(_mm256_broadcast_ss(&*w0.add(r)), bv, acc);
+                            r += 1;
+                        }
+                    }
+                }
+                if rem == 8 {
+                    _mm256_storeu_ps(o0.add(orow + x), acc);
+                } else {
+                    _mm256_maskstore_ps(o0.add(orow + x), tail_mask(rem), acc);
+                }
+                x += rem;
+            }
+        }
+    }
+
+    /// In-place ReLU. `max_ps(v, 0)` returns the second operand for NaN
+    /// and `-0.0` inputs, matching scalar `f32::max(0.0)` values (the sign
+    /// of a zero result may differ; the values compare equal).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn relu_in_place(data: &mut [f32]) {
+        let z = _mm256_setzero_ps();
+        let n = data.len();
+        let p = data.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            _mm256_storeu_ps(p.add(i), _mm256_max_ps(_mm256_loadu_ps(p.add(i)), z));
+            i += 8;
+        }
+        for i in i..n {
+            let v = *p.add(i);
+            *p.add(i) = v.max(0.0);
+        }
+    }
+
+    /// In-place LeakyReLU: blends `slope * x` under `x` on a `>= 0`
+    /// compare — the scalar branch's exact per-element arithmetic.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn leaky_relu_in_place(data: &mut [f32], slope: f32) {
+        let z = _mm256_setzero_ps();
+        let vs = _mm256_set1_ps(slope);
+        let n = data.len();
+        let p = data.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_loadu_ps(p.add(i));
+            let ge = _mm256_cmp_ps::<_CMP_GE_OQ>(v, z);
+            _mm256_storeu_ps(p.add(i), _mm256_blendv_ps(_mm256_mul_ps(v, vs), v, ge));
+            i += 8;
+        }
+        for i in i..n {
+            let v = *p.add(i);
+            if v < 0.0 {
+                *p.add(i) = v * slope;
+            }
+        }
+    }
+
+    /// `y = A (m×k) · x`: eight output rows per pass, gathering one column
+    /// of `A` per `kk` step. Per lane: the scalar fold `acc += a * x` in
+    /// ascending `kk` (no zero skipping — the scalar reference has none).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn matvec_into(a: &[f32], m: usize, k: usize, x: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(a.len(), m * k, "matvec_into size mismatch");
+        debug_assert_eq!(x.len(), k, "matvec_into dimension mismatch");
+        out.clear();
+        out.resize(m, 0.0);
+        let ap = a.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        if k <= (i32::MAX as usize) / 8 {
+            let stride = k as i32;
+            let vindex =
+                _mm256_setr_epi32(0, stride, 2 * stride, 3 * stride, 4 * stride, 5 * stride, 6 * stride, 7 * stride);
+            while i + 8 <= m {
+                let base = ap.add(i * k);
+                let mut acc = _mm256_setzero_ps();
+                for (kk, &xv) in x.iter().enumerate() {
+                    let col = _mm256_i32gather_ps::<4>(base.add(kk), vindex);
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(col, _mm256_set1_ps(xv)));
+                }
+                _mm256_storeu_ps(op.add(i), acc);
+                i += 8;
+            }
+        }
+        for row in i..m {
+            out[row] = a[row * k..(row + 1) * k].iter().zip(x).map(|(a, b)| a * b).sum::<f32>();
+        }
+    }
+
+    /// 2×2 max pooling, eight output columns per pass. The four window
+    /// positions are visited in the scalar scan order and compared with the
+    /// same `v > best` / keep-first semantics (`GT_OQ` compare + blend), so
+    /// results are bit-identical even around `-0.0` and NaN.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn maxpool2d_2x2_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
+        debug_assert_eq!(input.len(), c * h * w, "maxpool2d_into input size mismatch");
+        assert!(
+            h.is_multiple_of(2) && w.is_multiple_of(2),
+            "maxpool2d requires divisible spatial dims ({}x{} by 2)",
+            h,
+            w
+        );
+        let (oh, ow) = (h / 2, w / 2);
+        out.clear();
+        out.resize(c * oh * ow, 0.0);
+        let ip = input.as_ptr();
+        let op = out.as_mut_ptr();
+        for ch in 0..c {
+            for oy in 0..oh {
+                let r0 = ip.add(ch * h * w + (2 * oy) * w);
+                let r1 = r0.add(w);
+                let orow = op.add(ch * oh * ow + oy * ow);
+                let mut ox = 0;
+                while ox + 8 <= ow {
+                    let (e0, d0) = deinterleave(_mm256_loadu_ps(r0.add(2 * ox)), _mm256_loadu_ps(r0.add(2 * ox + 8)));
+                    let (e1, d1) = deinterleave(_mm256_loadu_ps(r1.add(2 * ox)), _mm256_loadu_ps(r1.add(2 * ox + 8)));
+                    let mut best = _mm256_set1_ps(f32::NEG_INFINITY);
+                    for v in [e0, d0, e1, d1] {
+                        let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(v, best);
+                        best = _mm256_blendv_ps(best, v, gt);
+                    }
+                    _mm256_storeu_ps(orow.add(ox), best);
+                    ox += 8;
+                }
+                for ox in ox..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let v = *ip.add(ch * h * w + (oy * 2 + dy) * w + ox * 2 + dx);
+                            if v > best {
+                                best = v;
+                            }
+                        }
+                    }
+                    *orow.add(ox) = best;
+                }
+            }
+        }
+    }
+
+    /// Splits two consecutive 8-lane loads covering 16 columns into their
+    /// even- and odd-column halves.
+    #[target_feature(enable = "avx2")]
+    unsafe fn deinterleave(a: __m256, b: __m256) -> (__m256, __m256) {
+        let lo = _mm256_shuffle_ps::<0b10_00_10_00>(a, b);
+        let hi = _mm256_shuffle_ps::<0b11_01_11_01>(a, b);
+        let even = _mm256_castpd_ps(_mm256_permute4x64_pd::<0xD8>(_mm256_castps_pd(lo)));
+        let odd = _mm256_castpd_ps(_mm256_permute4x64_pd::<0xD8>(_mm256_castps_pd(hi)));
+        (even, odd)
+    }
+
+    /// Global average pooling, eight channels per pass via strided gathers.
+    /// Per lane: the scalar per-channel ascending sum, then one IEEE divide.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn global_avg_pool_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
+        debug_assert_eq!(input.len(), c * h * w, "global_avg_pool_into input size mismatch");
+        let hw = h * w;
+        let area = hw as f32;
+        out.clear();
+        out.resize(c, 0.0);
+        let ip = input.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut ch = 0;
+        if hw > 0 && hw <= (i32::MAX as usize) / 8 {
+            let stride = hw as i32;
+            let vindex =
+                _mm256_setr_epi32(0, stride, 2 * stride, 3 * stride, 4 * stride, 5 * stride, 6 * stride, 7 * stride);
+            let varea = _mm256_set1_ps(area);
+            while ch + 8 <= c {
+                let base = ip.add(ch * hw);
+                let mut acc = _mm256_setzero_ps();
+                for i in 0..hw {
+                    acc = _mm256_add_ps(acc, _mm256_i32gather_ps::<4>(base.add(i), vindex));
+                }
+                _mm256_storeu_ps(op.add(ch), _mm256_div_ps(acc, varea));
+                ch += 8;
+            }
+        }
+        for ch in ch..c {
+            out[ch] = input[ch * hw..(ch + 1) * hw].iter().sum::<f32>() / area;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX-512 kernels (x86_64).
+//
+// Same equivalence contract as AVX2 (FMA within the module-level ULP
+// tolerance for matmul-shaped kernels), but with 16-lane vectors, twice
+// the register file and native masked loads/stores, so tails never fall
+// back to scalar arithmetic. Element-wise kernels (activations here;
+// maxpool/gap/matvec delegate to the AVX2 module) stay bit-identical to
+// the scalar reference.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    // Safety: every function requires AVX-512F; the dispatch layer only
+    // calls them after `KernelBackend::is_supported()` runtime detection.
+    // Masked loads/stores never touch masked-out lanes, and the fused
+    // conv's full-width tail loads read from a scratch buffer padded with
+    // 16 floats of slack.
+
+    /// All-ones prefix mask for an `rem`-lane (0..=16) partial vector.
+    #[inline]
+    fn prefix_mask(rem: usize) -> __mmask16 {
+        debug_assert!(rem <= 16);
+        if rem >= 16 {
+            !0
+        } else {
+            (1u16 << rem) - 1
+        }
+    }
+
+    /// `out = A (m×k) · B (k×n)` with zmm FMA tiles: four output rows ×
+    /// 48 columns per pass, 16-wide then masked tails. Same rounding
+    /// caveat as the AVX2 twin.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut Vec<f32>) {
+        debug_assert_eq!(a.len(), m * k, "matmul_into lhs size mismatch");
+        debug_assert_eq!(b.len(), k * n, "matmul_into rhs size mismatch");
+        out.clear();
+        out.resize(m * n, 0.0);
+        let bp = b.as_ptr();
+        let ap = a.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= m {
+            row_quad(ap.add(i * k), k, bp, n, op.add(i * n));
+            i += 4;
+        }
+        while i < m {
+            row_one(ap.add(i * k), k, bp, n, op.add(i * n));
+            i += 1;
+        }
+    }
+
+    /// Four output rows (`o..o+4`, weight rows contiguous at `a`).
+    #[target_feature(enable = "avx512f")]
+    unsafe fn row_quad(a: *const f32, k: usize, b: *const f32, n: usize, o: *mut f32) {
+        let (a0, a1, a2, a3) = (a, a.add(k), a.add(2 * k), a.add(3 * k));
+        let (o0, o1, o2, o3) = (o, o.add(n), o.add(2 * n), o.add(3 * n));
+        let mut j = 0;
+        while j + 48 <= n {
+            let mut x00 = _mm512_setzero_ps();
+            let mut x01 = _mm512_setzero_ps();
+            let mut x02 = _mm512_setzero_ps();
+            let mut x10 = _mm512_setzero_ps();
+            let mut x11 = _mm512_setzero_ps();
+            let mut x12 = _mm512_setzero_ps();
+            let mut x20 = _mm512_setzero_ps();
+            let mut x21 = _mm512_setzero_ps();
+            let mut x22 = _mm512_setzero_ps();
+            let mut x30 = _mm512_setzero_ps();
+            let mut x31 = _mm512_setzero_ps();
+            let mut x32 = _mm512_setzero_ps();
+            for kk in 0..k {
+                let bq = b.add(kk * n + j);
+                let b0 = _mm512_loadu_ps(bq);
+                let b1 = _mm512_loadu_ps(bq.add(16));
+                let b2 = _mm512_loadu_ps(bq.add(32));
+                let c0 = _mm512_set1_ps(*a0.add(kk));
+                x00 = _mm512_fmadd_ps(c0, b0, x00);
+                x01 = _mm512_fmadd_ps(c0, b1, x01);
+                x02 = _mm512_fmadd_ps(c0, b2, x02);
+                let c1 = _mm512_set1_ps(*a1.add(kk));
+                x10 = _mm512_fmadd_ps(c1, b0, x10);
+                x11 = _mm512_fmadd_ps(c1, b1, x11);
+                x12 = _mm512_fmadd_ps(c1, b2, x12);
+                let c2 = _mm512_set1_ps(*a2.add(kk));
+                x20 = _mm512_fmadd_ps(c2, b0, x20);
+                x21 = _mm512_fmadd_ps(c2, b1, x21);
+                x22 = _mm512_fmadd_ps(c2, b2, x22);
+                let c3 = _mm512_set1_ps(*a3.add(kk));
+                x30 = _mm512_fmadd_ps(c3, b0, x30);
+                x31 = _mm512_fmadd_ps(c3, b1, x31);
+                x32 = _mm512_fmadd_ps(c3, b2, x32);
+            }
+            _mm512_storeu_ps(o0.add(j), x00);
+            _mm512_storeu_ps(o0.add(j + 16), x01);
+            _mm512_storeu_ps(o0.add(j + 32), x02);
+            _mm512_storeu_ps(o1.add(j), x10);
+            _mm512_storeu_ps(o1.add(j + 16), x11);
+            _mm512_storeu_ps(o1.add(j + 32), x12);
+            _mm512_storeu_ps(o2.add(j), x20);
+            _mm512_storeu_ps(o2.add(j + 16), x21);
+            _mm512_storeu_ps(o2.add(j + 32), x22);
+            _mm512_storeu_ps(o3.add(j), x30);
+            _mm512_storeu_ps(o3.add(j + 16), x31);
+            _mm512_storeu_ps(o3.add(j + 32), x32);
+            j += 48;
+        }
+        while j < n {
+            let rem = (n - j).min(16);
+            let mask = prefix_mask(rem);
+            let mut x0 = _mm512_setzero_ps();
+            let mut x1 = _mm512_setzero_ps();
+            let mut x2 = _mm512_setzero_ps();
+            let mut x3 = _mm512_setzero_ps();
+            for kk in 0..k {
+                // Masked-out lanes load as 0.0 and never reach the store,
+                // so the live lanes round exactly like the full-width
+                // tiles.
+                let bv = _mm512_maskz_loadu_ps(mask, b.add(kk * n + j));
+                x0 = _mm512_fmadd_ps(_mm512_set1_ps(*a0.add(kk)), bv, x0);
+                x1 = _mm512_fmadd_ps(_mm512_set1_ps(*a1.add(kk)), bv, x1);
+                x2 = _mm512_fmadd_ps(_mm512_set1_ps(*a2.add(kk)), bv, x2);
+                x3 = _mm512_fmadd_ps(_mm512_set1_ps(*a3.add(kk)), bv, x3);
+            }
+            _mm512_mask_storeu_ps(o0.add(j), mask, x0);
+            _mm512_mask_storeu_ps(o1.add(j), mask, x1);
+            _mm512_mask_storeu_ps(o2.add(j), mask, x2);
+            _mm512_mask_storeu_ps(o3.add(j), mask, x3);
+            j += rem;
+        }
+    }
+
+    /// One remaining output row (`m % 4` tail).
+    #[target_feature(enable = "avx512f")]
+    unsafe fn row_one(a0: *const f32, k: usize, b: *const f32, n: usize, o0: *mut f32) {
+        let mut j = 0;
+        while j < n {
+            let rem = (n - j).min(16);
+            let mask = prefix_mask(rem);
+            let mut x = _mm512_setzero_ps();
+            for kk in 0..k {
+                let bv = _mm512_maskz_loadu_ps(mask, b.add(kk * n + j));
+                x = _mm512_fmadd_ps(_mm512_set1_ps(*a0.add(kk)), bv, x);
+            }
+            _mm512_mask_storeu_ps(o0.add(j), mask, x);
+            j += rem;
+        }
+    }
+
+    /// Fused 3×3 / stride-1 / pad-1 convolution with bias — the zmm twin
+    /// of [`super::avx2::conv3x3_into`]. Works from a zero-padded input
+    /// copy (16 floats of slack for full-width tail loads) and blocks
+    /// eight output channels per pass: 32- and 16-pixel tiles plus a
+    /// masked tail, so the whole output is written by vector stores.
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn conv3x3_into(
+        input: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        weight: &[f32],
+        m: usize,
+        bias: &[f32],
+        padded: &mut Vec<f32>,
+        out: &mut Vec<f32>,
+    ) {
+        debug_assert_eq!(input.len(), c * h * w, "conv3x3_into input size mismatch");
+        debug_assert_eq!(weight.len(), m * c * 9, "conv3x3_into weight size mismatch");
+        debug_assert_eq!(bias.len(), m, "conv3x3_into bias size mismatch");
+        let (ph, pw) = (h + 2, w + 2);
+        let phpw = ph * pw;
+        padded.clear();
+        padded.resize(c * phpw + 16, 0.0);
+        for ch in 0..c {
+            for y in 0..h {
+                let dst = ch * phpw + (y + 1) * pw + 1;
+                padded[dst..dst + w].copy_from_slice(&input[ch * h * w + y * w..ch * h * w + (y + 1) * w]);
+            }
+        }
+        out.clear();
+        out.resize(m * h * w, 0.0);
+        let pp = padded.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut o = 0;
+        while o + 8 <= m {
+            conv3x3_rows8(pp, c, h, w, pw, phpw, weight, bias, o, op);
+            o += 8;
+        }
+        while o < m {
+            conv3x3_rows1(pp, c, h, w, pw, phpw, weight, bias, o, op);
+            o += 1;
+        }
+    }
+
+    /// Eight output channels of the fused conv (`o..o+8`).
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn conv3x3_rows8(
+        pp: *const f32,
+        c: usize,
+        h: usize,
+        w: usize,
+        pw: usize,
+        phpw: usize,
+        weight: &[f32],
+        bias: &[f32],
+        o: usize,
+        op: *mut f32,
+    ) {
+        let k = c * 9;
+        let wp = weight.as_ptr().add(o * k);
+        let ob = op.add(o * h * w);
+        for y in 0..h {
+            let orow = y * w;
+            let mut x = 0;
+            // 8 channels × 32 pixels: 16 accumulators, FMA-bound.
+            while x + 32 <= w {
+                let mut x0a = _mm512_set1_ps(bias[o]);
+                let mut x0b = _mm512_set1_ps(bias[o]);
+                let mut x1a = _mm512_set1_ps(bias[o + 1]);
+                let mut x1b = _mm512_set1_ps(bias[o + 1]);
+                let mut x2a = _mm512_set1_ps(bias[o + 2]);
+                let mut x2b = _mm512_set1_ps(bias[o + 2]);
+                let mut x3a = _mm512_set1_ps(bias[o + 3]);
+                let mut x3b = _mm512_set1_ps(bias[o + 3]);
+                let mut x4a = _mm512_set1_ps(bias[o + 4]);
+                let mut x4b = _mm512_set1_ps(bias[o + 4]);
+                let mut x5a = _mm512_set1_ps(bias[o + 5]);
+                let mut x5b = _mm512_set1_ps(bias[o + 5]);
+                let mut x6a = _mm512_set1_ps(bias[o + 6]);
+                let mut x6b = _mm512_set1_ps(bias[o + 6]);
+                let mut x7a = _mm512_set1_ps(bias[o + 7]);
+                let mut x7b = _mm512_set1_ps(bias[o + 7]);
+                let mut r = 0;
+                for ch in 0..c {
+                    let rf = pp.add(ch * phpw + y * pw + x);
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            let off = ky * pw + kx;
+                            let ba = _mm512_loadu_ps(rf.add(off));
+                            let bb = _mm512_loadu_ps(rf.add(off + 16));
+                            let c0 = _mm512_set1_ps(*wp.add(r));
+                            x0a = _mm512_fmadd_ps(c0, ba, x0a);
+                            x0b = _mm512_fmadd_ps(c0, bb, x0b);
+                            let c1 = _mm512_set1_ps(*wp.add(k + r));
+                            x1a = _mm512_fmadd_ps(c1, ba, x1a);
+                            x1b = _mm512_fmadd_ps(c1, bb, x1b);
+                            let c2 = _mm512_set1_ps(*wp.add(2 * k + r));
+                            x2a = _mm512_fmadd_ps(c2, ba, x2a);
+                            x2b = _mm512_fmadd_ps(c2, bb, x2b);
+                            let c3 = _mm512_set1_ps(*wp.add(3 * k + r));
+                            x3a = _mm512_fmadd_ps(c3, ba, x3a);
+                            x3b = _mm512_fmadd_ps(c3, bb, x3b);
+                            let c4 = _mm512_set1_ps(*wp.add(4 * k + r));
+                            x4a = _mm512_fmadd_ps(c4, ba, x4a);
+                            x4b = _mm512_fmadd_ps(c4, bb, x4b);
+                            let c5 = _mm512_set1_ps(*wp.add(5 * k + r));
+                            x5a = _mm512_fmadd_ps(c5, ba, x5a);
+                            x5b = _mm512_fmadd_ps(c5, bb, x5b);
+                            let c6 = _mm512_set1_ps(*wp.add(6 * k + r));
+                            x6a = _mm512_fmadd_ps(c6, ba, x6a);
+                            x6b = _mm512_fmadd_ps(c6, bb, x6b);
+                            let c7 = _mm512_set1_ps(*wp.add(7 * k + r));
+                            x7a = _mm512_fmadd_ps(c7, ba, x7a);
+                            x7b = _mm512_fmadd_ps(c7, bb, x7b);
+                            r += 1;
+                        }
+                    }
+                }
+                let hw = h * w;
+                _mm512_storeu_ps(ob.add(orow + x), x0a);
+                _mm512_storeu_ps(ob.add(orow + x + 16), x0b);
+                _mm512_storeu_ps(ob.add(hw + orow + x), x1a);
+                _mm512_storeu_ps(ob.add(hw + orow + x + 16), x1b);
+                _mm512_storeu_ps(ob.add(2 * hw + orow + x), x2a);
+                _mm512_storeu_ps(ob.add(2 * hw + orow + x + 16), x2b);
+                _mm512_storeu_ps(ob.add(3 * hw + orow + x), x3a);
+                _mm512_storeu_ps(ob.add(3 * hw + orow + x + 16), x3b);
+                _mm512_storeu_ps(ob.add(4 * hw + orow + x), x4a);
+                _mm512_storeu_ps(ob.add(4 * hw + orow + x + 16), x4b);
+                _mm512_storeu_ps(ob.add(5 * hw + orow + x), x5a);
+                _mm512_storeu_ps(ob.add(5 * hw + orow + x + 16), x5b);
+                _mm512_storeu_ps(ob.add(6 * hw + orow + x), x6a);
+                _mm512_storeu_ps(ob.add(6 * hw + orow + x + 16), x6b);
+                _mm512_storeu_ps(ob.add(7 * hw + orow + x), x7a);
+                _mm512_storeu_ps(ob.add(7 * hw + orow + x + 16), x7b);
+                x += 32;
+            }
+            // 8 channels × ≤16 pixels (full or masked).
+            while x < w {
+                let rem = (w - x).min(16);
+                let mask = prefix_mask(rem);
+                let mut x0 = _mm512_set1_ps(bias[o]);
+                let mut x1 = _mm512_set1_ps(bias[o + 1]);
+                let mut x2 = _mm512_set1_ps(bias[o + 2]);
+                let mut x3 = _mm512_set1_ps(bias[o + 3]);
+                let mut x4 = _mm512_set1_ps(bias[o + 4]);
+                let mut x5 = _mm512_set1_ps(bias[o + 5]);
+                let mut x6 = _mm512_set1_ps(bias[o + 6]);
+                let mut x7 = _mm512_set1_ps(bias[o + 7]);
+                let mut r = 0;
+                for ch in 0..c {
+                    let rf = pp.add(ch * phpw + y * pw + x);
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            // Full-width load; lanes past `rem` read the
+                            // padded buffer's slack and are masked away at
+                            // the store.
+                            let bv = _mm512_loadu_ps(rf.add(ky * pw + kx));
+                            x0 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(r)), bv, x0);
+                            x1 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(k + r)), bv, x1);
+                            x2 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(2 * k + r)), bv, x2);
+                            x3 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(3 * k + r)), bv, x3);
+                            x4 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(4 * k + r)), bv, x4);
+                            x5 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(5 * k + r)), bv, x5);
+                            x6 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(6 * k + r)), bv, x6);
+                            x7 = _mm512_fmadd_ps(_mm512_set1_ps(*wp.add(7 * k + r)), bv, x7);
+                            r += 1;
+                        }
+                    }
+                }
+                let hw = h * w;
+                _mm512_mask_storeu_ps(ob.add(orow + x), mask, x0);
+                _mm512_mask_storeu_ps(ob.add(hw + orow + x), mask, x1);
+                _mm512_mask_storeu_ps(ob.add(2 * hw + orow + x), mask, x2);
+                _mm512_mask_storeu_ps(ob.add(3 * hw + orow + x), mask, x3);
+                _mm512_mask_storeu_ps(ob.add(4 * hw + orow + x), mask, x4);
+                _mm512_mask_storeu_ps(ob.add(5 * hw + orow + x), mask, x5);
+                _mm512_mask_storeu_ps(ob.add(6 * hw + orow + x), mask, x6);
+                _mm512_mask_storeu_ps(ob.add(7 * hw + orow + x), mask, x7);
+                x += rem;
+            }
+        }
+    }
+
+    /// One remaining output channel of the fused conv (`m % 8` tail).
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn conv3x3_rows1(
+        pp: *const f32,
+        c: usize,
+        h: usize,
+        w: usize,
+        pw: usize,
+        phpw: usize,
+        weight: &[f32],
+        bias: &[f32],
+        o: usize,
+        op: *mut f32,
+    ) {
+        let k = c * 9;
+        let w0 = weight.as_ptr().add(o * k);
+        let o0 = op.add(o * h * w);
+        for y in 0..h {
+            let orow = y * w;
+            let mut x = 0;
+            while x < w {
+                let rem = (w - x).min(16);
+                let mask = prefix_mask(rem);
+                let mut acc = _mm512_set1_ps(bias[o]);
+                let mut r = 0;
+                for ch in 0..c {
+                    let rf = pp.add(ch * phpw + y * pw + x);
+                    for ky in 0..3 {
+                        for kx in 0..3 {
+                            let bv = _mm512_loadu_ps(rf.add(ky * pw + kx));
+                            acc = _mm512_fmadd_ps(_mm512_set1_ps(*w0.add(r)), bv, acc);
+                            r += 1;
+                        }
+                    }
+                }
+                _mm512_mask_storeu_ps(o0.add(orow + x), mask, acc);
+                x += rem;
+            }
+        }
+    }
+
+    /// In-place ReLU; see the AVX2 twin for the NaN / sign-of-zero notes.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn relu_in_place(data: &mut [f32]) {
+        let z = _mm512_setzero_ps();
+        let n = data.len();
+        let p = data.as_mut_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            _mm512_storeu_ps(p.add(i), _mm512_max_ps(_mm512_loadu_ps(p.add(i)), z));
+            i += 16;
+        }
+        if i < n {
+            let mask = prefix_mask(n - i);
+            _mm512_mask_storeu_ps(p.add(i), mask, _mm512_max_ps(_mm512_maskz_loadu_ps(mask, p.add(i)), z));
+        }
+    }
+
+    /// In-place LeakyReLU: mask-selects `slope * x` under `x` on a `>= 0`
+    /// compare — the scalar branch's exact per-element arithmetic.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn leaky_relu_in_place(data: &mut [f32], slope: f32) {
+        let z = _mm512_setzero_ps();
+        let vs = _mm512_set1_ps(slope);
+        let n = data.len();
+        let p = data.as_mut_ptr();
+        let mut i = 0;
+        while i + 16 <= n {
+            let v = _mm512_loadu_ps(p.add(i));
+            let ge = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(v, z);
+            _mm512_storeu_ps(p.add(i), _mm512_mask_blend_ps(ge, _mm512_mul_ps(v, vs), v));
+            i += 16;
+        }
+        if i < n {
+            let mask = prefix_mask(n - i);
+            let v = _mm512_maskz_loadu_ps(mask, p.add(i));
+            let ge = _mm512_cmp_ps_mask::<_CMP_GE_OQ>(v, z);
+            _mm512_mask_storeu_ps(p.add(i), mask, _mm512_mask_blend_ps(ge, _mm512_mul_ps(v, vs), v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON kernels (aarch64).
+//
+// NEON is a baseline feature of aarch64, so no runtime detection or
+// `target_feature` gating is needed and the kernels stay safe apart from
+// the raw-pointer loads. Only the dominant kernel (matmul) is vectorised;
+// the others delegate to scalar, which the dispatch table encodes.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    use std::arch::aarch64::*;
+
+    /// `out = A (m×k) · B (k×n)` with 4-lane tiles; per element the scalar
+    /// ascending-`kk` skip-zero multiply + add order, so NEON stays
+    /// bit-identical to the scalar reference (unlike the FMA-based AVX2
+    /// path, which only promises the module-level ULP tolerance).
+    pub fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut Vec<f32>) {
+        debug_assert_eq!(a.len(), m * k, "matmul_into lhs size mismatch");
+        debug_assert_eq!(b.len(), k * n, "matmul_into rhs size mismatch");
+        out.clear();
+        out.resize(m * n, 0.0);
+        let bp = b.as_ptr();
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            let op = o_row.as_mut_ptr();
+            let mut j = 0;
+            while j + 16 <= n {
+                unsafe {
+                    let mut acc0 = vdupq_n_f32(0.0);
+                    let mut acc1 = vdupq_n_f32(0.0);
+                    let mut acc2 = vdupq_n_f32(0.0);
+                    let mut acc3 = vdupq_n_f32(0.0);
+                    for (kk, &c) in a_row.iter().enumerate() {
+                        if c == 0.0 {
+                            continue;
+                        }
+                        let bq = bp.add(kk * n + j);
+                        let vc = vdupq_n_f32(c);
+                        // vmulq + vaddq, not vfmaq: the scalar reference
+                        // rounds the product before the add.
+                        acc0 = vaddq_f32(acc0, vmulq_f32(vc, vld1q_f32(bq)));
+                        acc1 = vaddq_f32(acc1, vmulq_f32(vc, vld1q_f32(bq.add(4))));
+                        acc2 = vaddq_f32(acc2, vmulq_f32(vc, vld1q_f32(bq.add(8))));
+                        acc3 = vaddq_f32(acc3, vmulq_f32(vc, vld1q_f32(bq.add(12))));
+                    }
+                    vst1q_f32(op.add(j), acc0);
+                    vst1q_f32(op.add(j + 4), acc1);
+                    vst1q_f32(op.add(j + 8), acc2);
+                    vst1q_f32(op.add(j + 12), acc3);
+                }
+                j += 16;
+            }
+            while j + 4 <= n {
+                unsafe {
+                    let mut acc = vdupq_n_f32(0.0);
+                    for (kk, &c) in a_row.iter().enumerate() {
+                        if c == 0.0 {
+                            continue;
+                        }
+                        acc = vaddq_f32(acc, vmulq_f32(vdupq_n_f32(c), vld1q_f32(bp.add(kk * n + j))));
+                    }
+                    vst1q_f32(op.add(j), acc);
+                }
+                j += 4;
+            }
+            if j < n {
+                for (kk, &c) in a_row.iter().enumerate() {
+                    if c == 0.0 {
+                        continue;
+                    }
+                    let row = &b[kk * n + j..(kk + 1) * n];
+                    for (o, &v) in o_row[j..].iter_mut().zip(row) {
+                        *o += c * v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(len: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..len).map(f).collect()
+    }
+
+    /// Asserts the module-level equivalence contract against the scalar
+    /// reference: bit-exact for non-SIMD backends, within `ULP_TOLERANCE`
+    /// (or `ABS_TOLERANCE` near zero) per element for SIMD ones.
+    #[track_caller]
+    fn assert_within_contract(backend: KernelBackend, out: &[f32], reference: &[f32], what: &str) {
+        assert_eq!(out.len(), reference.len(), "{} {what} length", backend.name());
+        if !backend.is_simd() {
+            assert_eq!(out, reference, "{} {what} must be bit-exact", backend.name());
+            return;
+        }
+        for (i, (&got, &want)) in out.iter().zip(reference).enumerate() {
+            let ulps = (got.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
+            let close = got == want || (got - want).abs() <= ABS_TOLERANCE || ulps <= ULP_TOLERANCE;
+            assert!(close, "{} {what} [{i}]: got {got}, want {want} ({ulps} ulps)", backend.name());
+        }
+    }
+
+    /// Every supported backend must match the scalar reference within the
+    /// documented tolerance on shapes covering all tile paths (odd rows,
+    /// column tails, zero coefficients). The scalar backend itself is the
+    /// reference; SIMD backends that re-associate with FMA get the ULP
+    /// budget, NEON (same accumulation order) comes out bit-exact anyway.
+    #[test]
+    fn dispatch_matmul_matches_reference_within_tolerance() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 4, 32), (3, 5, 37), (8, 144, 196), (5, 7, 70), (2, 9, 8)] {
+            let mut a = seq(m * k, |v| (v as f32 * 0.37).sin());
+            // Sprinkle exact zeros: the scalar reference skips them, SIMD
+            // paths must still land within tolerance.
+            for v in a.iter_mut().step_by(5) {
+                *v = 0.0;
+            }
+            let b = seq(k * n, |v| (v as f32 * 0.11).cos());
+            let mut reference = Vec::new();
+            ops::matmul_into(&a, m, k, &b, n, &mut reference);
+            for backend in KernelBackend::supported() {
+                let mut out = vec![f32::NAN; 2];
+                matmul_into_with(backend, &a, m, k, &b, n, &mut out);
+                assert_within_contract(backend, &out, &reference, &format!("matmul {m}x{k}x{n}"));
+            }
+        }
+    }
+
+    /// The fused conv path (3×3/s1/p1 on AVX2) and the im2col fallback
+    /// must both match the scalar conv within the matmul tolerance.
+    #[test]
+    fn dispatch_conv2d_matches_reference_within_tolerance() {
+        let shapes = [
+            // (c, m, h, w, kernel, stride, padding); first three take the
+            // fused 3×3 path on AVX2 (w covers 16-tiles, 8-tails and
+            // masked sub-8 tails), the last is the im2col fallback.
+            (3usize, 8usize, 28usize, 28usize, 3usize, 1usize, 1usize),
+            (8, 16, 14, 14, 3, 1, 1),
+            (2, 5, 7, 19, 3, 1, 1),
+            (4, 6, 12, 12, 3, 2, 1),
+        ];
+        for &(c, m, h, w, kernel, stride, padding) in &shapes {
+            let spec = ConvSpec { in_channels: c, out_channels: m, kernel, stride, padding };
+            let input = seq(c * h * w, |v| (v as f32 * 0.29).sin());
+            let weight = seq(m * c * kernel * kernel, |v| (v as f32 * 0.17).cos() * 0.2);
+            let bias = seq(m, |v| (v as f32 * 0.41).sin() * 0.1);
+            let (oh, ow) = spec.out_size(h, w);
+            let mut scratch = Vec::new();
+            let mut reference = Vec::new();
+            conv2d_into_with(KernelBackend::Scalar, &input, h, w, &spec, &weight, &bias, &mut scratch, &mut reference);
+            // The scalar dispatch arm must agree bit-exactly with the
+            // training-path conv (im2col + scalar matmul + bias).
+            let mut cols = Vec::new();
+            ops::im2col_into(&input, h, w, &spec, &mut cols);
+            let mut train_ref = Vec::new();
+            ops::matmul_into(&weight, m, c * kernel * kernel, &cols, oh * ow, &mut train_ref);
+            for (ch, chunk) in train_ref.chunks_exact_mut(oh * ow).enumerate() {
+                for v in chunk {
+                    *v += bias[ch];
+                }
+            }
+            assert_eq!(reference, train_ref, "scalar conv2d vs training path {c}ch {h}x{w}");
+            for backend in KernelBackend::supported() {
+                let mut out = vec![f32::NAN; 2];
+                conv2d_into_with(backend, &input, h, w, &spec, &weight, &bias, &mut scratch, &mut out);
+                assert_within_contract(backend, &out, &reference, &format!("conv2d {c}ch {h}x{w} k{kernel}s{stride}"));
+            }
+        }
+    }
+
+    /// Activations are element-wise: every backend must agree with the
+    /// scalar loop by value on every length (vector body + scalar tail),
+    /// including negative zeros and exact zeros.
+    #[test]
+    fn dispatch_activations_bit_identical_across_backends() {
+        for len in [0usize, 1, 7, 8, 9, 40, 67] {
+            let mut base = seq(len, |v| (v as f32 * 0.47).sin());
+            if len > 3 {
+                base[1] = 0.0;
+                base[2] = -0.0;
+                base[3] = -1.5;
+            }
+            let mut relu_ref = base.clone();
+            relu_in_place_with(KernelBackend::Scalar, &mut relu_ref);
+            let mut leaky_ref = base.clone();
+            leaky_relu_in_place_with(KernelBackend::Scalar, &mut leaky_ref, 0.1);
+            for backend in KernelBackend::supported() {
+                let mut relu_out = base.clone();
+                relu_in_place_with(backend, &mut relu_out);
+                assert_eq!(relu_out, relu_ref, "{} relu len {len}", backend.name());
+                let mut leaky_out = base.clone();
+                leaky_relu_in_place_with(backend, &mut leaky_out, 0.1);
+                assert_eq!(leaky_out, leaky_ref, "{} leaky_relu len {len}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_matvec_bit_identical_across_backends() {
+        for &(m, k) in &[(1usize, 3usize), (8, 16), (17, 144), (3, 1)] {
+            let a = seq(m * k, |v| (v as f32 * 0.23).sin());
+            let x = seq(k, |v| (v as f32 * 0.71).cos());
+            let mut reference = Vec::new();
+            ops::matvec_into(&a, m, k, &x, &mut reference);
+            for backend in KernelBackend::supported() {
+                let mut out = vec![f32::NAN; 1];
+                matvec_into_with(backend, &a, m, k, &x, &mut out);
+                assert_eq!(out, reference, "{} matvec {}x{}", backend.name(), m, k);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_maxpool_bit_identical_across_backends() {
+        // Includes -0.0 / +0.0 ties, which `max_ps` would get wrong; the
+        // compare+blend implementation must keep the first of equal values.
+        for &(c, h, w) in &[(1usize, 2usize, 2usize), (3, 4, 20), (2, 8, 8), (16, 28, 28)] {
+            let mut input = seq(c * h * w, |v| (v as f32 * 0.53).sin());
+            for v in input.iter_mut().step_by(7) {
+                *v = -0.0;
+            }
+            for v in input.iter_mut().step_by(11) {
+                *v = 0.0;
+            }
+            let mut reference = Vec::new();
+            ops::maxpool2d_into(&input, c, h, w, 2, &mut reference);
+            for backend in KernelBackend::supported() {
+                let mut out = vec![f32::NAN; 1];
+                maxpool2d_into_with(backend, &input, c, h, w, 2, &mut out);
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} maxpool {}x{}x{}",
+                    backend.name(),
+                    c,
+                    h,
+                    w
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_gap_bit_identical_across_backends() {
+        for &(c, h, w) in &[(1usize, 1usize, 1usize), (8, 14, 14), (17, 7, 7), (16, 3, 5)] {
+            let input = seq(c * h * w, |v| (v as f32 * 0.31).sin());
+            let mut reference = Vec::new();
+            ops::global_avg_pool_into(&input, c, h, w, &mut reference);
+            for backend in KernelBackend::supported() {
+                let mut out = vec![f32::NAN; 1];
+                global_avg_pool_into_with(backend, &input, c, h, w, &mut out);
+                assert_eq!(out, reference, "{} gap {}x{}x{}", backend.name(), c, h, w);
+            }
+        }
+    }
+
+    #[test]
+    fn active_backend_is_supported_and_named() {
+        let active = KernelBackend::active();
+        assert!(active.is_supported());
+        assert!(["scalar", "avx2", "avx512", "neon"].contains(&active.name()));
+        // The supported list always starts with the scalar reference.
+        assert_eq!(KernelBackend::supported()[0], KernelBackend::Scalar);
+        assert!(KernelBackend::Scalar.is_supported());
+        assert!(!KernelBackend::Scalar.is_simd());
+    }
+
+    #[test]
+    fn detect_matches_arch_capabilities() {
+        let detected = KernelBackend::detect();
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                assert_eq!(detected, KernelBackend::Avx512);
+            } else {
+                assert_eq!(detected, KernelBackend::Avx2);
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        assert_eq!(detected, KernelBackend::Neon);
+        assert!(detected.is_supported());
+    }
+}

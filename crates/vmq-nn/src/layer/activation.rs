@@ -20,6 +20,41 @@ pub enum Act {
     Tanh,
 }
 
+impl Act {
+    /// Applies the activation function to one value (shared by the f32
+    /// layer below and the int8 inference path in [`crate::quant`], so the
+    /// two modes use the same nonlinearity arithmetic).
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Act::Relu => x.max(0.0),
+            Act::LeakyRelu(slope) => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    slope * x
+                }
+            }
+            Act::Sigmoid => sigmoid(x),
+            Act::Tanh => x.tanh(),
+        }
+    }
+
+    /// Applies the activation to a whole buffer in place, routing ReLU and
+    /// LeakyReLU through the dispatched SIMD kernels (bit-identical to the
+    /// per-element [`Act::apply`] modulo the sign of zero for ReLU).
+    pub fn apply_slice(self, data: &mut [f32]) {
+        match self {
+            Act::Relu => crate::kernels::relu_in_place(data),
+            Act::LeakyRelu(slope) => crate::kernels::leaky_relu_in_place(data, slope),
+            _ => {
+                for v in data {
+                    *v = self.apply(*v);
+                }
+            }
+        }
+    }
+}
+
 /// An element-wise activation layer.
 pub struct Activation {
     act: Act,
@@ -39,18 +74,7 @@ impl Activation {
     }
 
     fn apply(&self, x: f32) -> f32 {
-        match self.act {
-            Act::Relu => x.max(0.0),
-            Act::LeakyRelu(slope) => {
-                if x >= 0.0 {
-                    x
-                } else {
-                    slope * x
-                }
-            }
-            Act::Sigmoid => sigmoid(x),
-            Act::Tanh => x.tanh(),
-        }
+        self.act.apply(x)
     }
 
     fn derivative(&self, x: f32, y: f32) -> f32 {
@@ -85,9 +109,7 @@ impl Layer for Activation {
 
     fn infer(&self, ws: &mut Workspace) {
         // Element-wise: applied in place, no buffer rotation needed.
-        for v in ws.data_mut() {
-            *v = self.apply(*v);
-        }
+        self.act.apply_slice(ws.data_mut());
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -105,6 +127,10 @@ impl Layer for Activation {
 
     fn name(&self) -> &'static str {
         "Activation"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

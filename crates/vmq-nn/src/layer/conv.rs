@@ -1,9 +1,10 @@
 //! 2-D convolution layer built on the im2col kernels in [`crate::ops`].
 
 use crate::init::{kaiming_uniform, seeded_rng};
+use crate::kernels::conv2d_into;
 use crate::layer::Layer;
 use crate::net::Param;
-use crate::ops::{conv2d_backward, conv2d_forward, im2col_into, matmul_into, ConvSpec};
+use crate::ops::{conv2d_backward, conv2d_forward, ConvSpec};
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
 
@@ -54,6 +55,17 @@ impl Conv2d {
     pub fn num_weights(&self) -> usize {
         self.weight.value.len() + self.bias.value.len()
     }
+
+    /// Read-only access to the `[out_channels, in_channels*k*k]` weight
+    /// matrix (used by post-training quantization).
+    pub fn weight(&self) -> &crate::tensor::Tensor {
+        &self.weight.value
+    }
+
+    /// Read-only access to the bias vector.
+    pub fn bias(&self) -> &crate::tensor::Tensor {
+        &self.bias.value
+    }
 }
 
 impl Layer for Conv2d {
@@ -71,16 +83,12 @@ impl Layer for Conv2d {
         debug_assert_eq!(ws.shape()[0], self.spec.in_channels, "Conv2d channel mismatch");
         let (h, w) = (ws.shape()[1], ws.shape()[2]);
         let (oh, ow) = self.spec.out_size(h, w);
-        let ckk = self.spec.in_channels * self.spec.kernel * self.spec.kernel;
         {
+            // The fused kernel uses `cols` as its padded-image scratch on
+            // the direct 3×3 path and as the column matrix on the im2col
+            // fallback.
             let (input, out, cols) = ws.split();
-            im2col_into(input, h, w, &self.spec, cols);
-            matmul_into(self.weight.value.data(), self.spec.out_channels, ckk, cols, oh * ow, out);
-            for (co, &b) in self.bias.value.data().iter().enumerate() {
-                for v in &mut out[co * oh * ow..(co + 1) * oh * ow] {
-                    *v += b;
-                }
-            }
+            conv2d_into(input, h, w, &self.spec, self.weight.value.data(), self.bias.value.data(), cols, out);
         }
         ws.commit(&[self.spec.out_channels, oh, ow]);
     }
@@ -102,6 +110,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

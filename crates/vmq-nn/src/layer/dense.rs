@@ -1,9 +1,10 @@
 //! Fully-connected (dense) layer.
 
 use crate::init::{kaiming_uniform, seeded_rng};
+use crate::kernels::matvec_into;
 use crate::layer::Layer;
 use crate::net::Param;
-use crate::ops::{matvec, matvec_into};
+use crate::ops::matvec;
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
 
@@ -111,6 +112,10 @@ impl Layer for Dense {
 
     fn name(&self) -> &'static str {
         "Dense"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

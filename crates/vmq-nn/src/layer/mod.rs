@@ -51,6 +51,11 @@ pub trait Layer: Send + Sync {
 
     /// Short layer name for architecture summaries.
     fn name(&self) -> &'static str;
+
+    /// The layer as [`std::any::Any`], so structure-aware consumers (e.g.
+    /// post-training quantization in [`crate::quant`]) can downcast a boxed
+    /// `dyn Layer` back to its concrete type.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// Reshapes any tensor into a flat vector (and restores the shape on backward).
@@ -87,6 +92,10 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "Flatten"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -1,11 +1,9 @@
 //! Pooling layers: max pooling and global average pooling.
 
+use crate::kernels::{global_avg_pool_into, maxpool2d_into};
 use crate::layer::Layer;
 use crate::net::Param;
-use crate::ops::{
-    global_avg_pool, global_avg_pool_backward, global_avg_pool_into, maxpool2d_backward, maxpool2d_forward,
-    maxpool2d_into,
-};
+use crate::ops::{global_avg_pool, global_avg_pool_backward, maxpool2d_backward, maxpool2d_forward};
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
 
@@ -58,6 +56,10 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// Global average pooling `[C, H, W] -> [C]` (the GAP block of Figs. 2, 4, 5).
@@ -100,6 +102,10 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

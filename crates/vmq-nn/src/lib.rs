@@ -5,6 +5,8 @@
 //!
 //! * a dense [`Tensor`] type with shape tracking ([`tensor`]),
 //! * the numeric kernels (matmul, im2col convolution, pooling) ([`ops`]),
+//!   with runtime-dispatched SIMD variants behind [`kernels`] and an int8
+//!   post-training-quantized inference mode in [`quant`],
 //! * layer types with explicit forward/backward passes ([`layer`]),
 //! * the losses used by the paper — SmoothL1 for counts, MSE for class
 //!   activation maps, and the masked grid loss of Eq. 3 ([`loss`]),
@@ -41,20 +43,27 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide; the only exceptions are the scoped
+// `#[allow(unsafe_code)]` SIMD modules inside [`kernels`] and [`quant`],
+// which need `std::arch` intrinsics (see the equivalence contract there).
+#![deny(unsafe_code)]
 
 pub mod init;
+pub mod kernels;
 pub mod layer;
 pub mod loss;
 pub mod net;
 pub mod ops;
 pub mod optim;
+pub mod quant;
 pub mod tensor;
 pub mod train;
 pub mod workspace;
 
+pub use kernels::KernelBackend;
 pub use layer::{Act, Activation, Conv2d, Dense, Flatten, GlobalAvgPool, Layer, MaxPool2d};
 pub use net::{Param, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
+pub use quant::QuantizedSequential;
 pub use tensor::Tensor;
 pub use workspace::Workspace;

@@ -130,6 +130,13 @@ impl Sequential {
     pub fn layer_names(&self) -> Vec<&'static str> {
         self.layers.iter().map(|l| l.name()).collect()
     }
+
+    /// Read-only access to the layer stack (used by structure-aware
+    /// consumers such as post-training quantization, via
+    /// [`Layer::as_any`]).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
 }
 
 impl std::fmt::Debug for Sequential {
@@ -178,8 +185,14 @@ mod tests {
         assert!(net.parameters().iter().all(|p| p.grad.norm() == 0.0));
     }
 
+    /// `forward` (training) always runs the scalar reference; `infer` goes
+    /// through the dispatched kernels, which on SIMD backends may differ
+    /// per element within the documented ULP tolerance (bit-exact when
+    /// scalar is active, e.g. under `VMQ_FORCE_SCALAR=1`). The sigmoid and
+    /// the small dense head squash the conv-stack divergence, so a tight
+    /// relative bound holds either way.
     #[test]
-    fn infer_is_bit_identical_to_forward_and_reuses_buffers() {
+    fn infer_matches_forward_within_kernel_tolerance_and_reuses_buffers() {
         use crate::layer::{Conv2d, Flatten, GlobalAvgPool, MaxPool2d};
         let mut net = Sequential::new(vec![
             Box::new(Conv2d::same(2, 4, 3)),
@@ -203,7 +216,16 @@ mod tests {
             // leak stale state between frames).
             let inferred = net.infer(&x, &mut ws);
             assert_eq!(inferred.shape(), reference.shape());
-            assert_eq!(inferred.data(), reference.data(), "infer must be bit-identical to forward");
+            if !crate::kernels::KernelBackend::active().is_simd() {
+                assert_eq!(inferred.data(), reference.data(), "scalar infer must be bit-identical to forward");
+            } else {
+                for (got, want) in inferred.data().iter().zip(reference.data()) {
+                    assert!(
+                        (got - want).abs() <= 1e-5 * want.abs().max(1.0),
+                        "infer {got} vs forward {want} beyond kernel tolerance"
+                    );
+                }
+            }
         }
     }
 

@@ -2,7 +2,9 @@
 //!
 //! These are the hot loops of filter training and inference. They are written
 //! with a cache-friendly `i-k-j` loop order and flat slices so the compiler
-//! can vectorise them; no unsafe code is used.
+//! can vectorise them; no unsafe code is used here. The scalar `_into`
+//! kernels below are the bit-exact reference the runtime-dispatched SIMD
+//! variants in [`crate::kernels`] are held to.
 
 use crate::tensor::Tensor;
 

@@ -25,6 +25,12 @@
 use crate::tensor::Tensor;
 
 /// Reusable scratch buffers for one thread's inference passes.
+///
+/// The three `q_*` buffers extend the workspace for int8 quantized
+/// inference ([`crate::quant`]): the quantized activation, the quantized
+/// patch (im2row) matrix and the i32 GEMM accumulator. Like the f32
+/// buffers they grow once and are reused, so quantized passes are also
+/// allocation-free in steady state.
 #[derive(Debug, Default)]
 pub struct Workspace {
     cur: Vec<f32>,
@@ -33,6 +39,9 @@ pub struct Workspace {
     stash_buf: Vec<f32>,
     shape: Vec<usize>,
     stash_shape: Vec<usize>,
+    q_act: Vec<i8>,
+    q_cols: Vec<i8>,
+    q_acc: Vec<i32>,
 }
 
 impl Workspace {
@@ -83,6 +92,14 @@ impl Workspace {
     /// back buffer (and, for convolutions, its columns into `cols`).
     pub fn split(&mut self) -> (&[f32], &mut Vec<f32>, &mut Vec<f32>) {
         (&self.cur, &mut self.nxt, &mut self.cols)
+    }
+
+    /// [`Workspace::split`] for int8 layers: `(current f32 input, f32
+    /// output buffer, i8 activation buffer, i8 patch buffer, i32
+    /// accumulator buffer)`.
+    #[allow(clippy::type_complexity)]
+    pub fn split_quant(&mut self) -> (&[f32], &mut Vec<f32>, &mut Vec<i8>, &mut Vec<i8>, &mut Vec<i32>) {
+        (&self.cur, &mut self.nxt, &mut self.q_act, &mut self.q_cols, &mut self.q_acc)
     }
 
     /// Promotes the back buffer (filled via [`Workspace::split`]) to the

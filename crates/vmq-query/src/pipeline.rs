@@ -242,6 +242,14 @@ pub struct StageMetrics {
     /// operators). Speedup arithmetic on `wall_ms` stays honest: dividing by
     /// a baseline compares elapsed spans, not CPU time.
     pub workers: usize,
+    /// The compute kernel backend the operator's inference ran on (`"avx2"`,
+    /// `"neon"`, `"scalar"` for dispatched f32 kernels; `"int8"` for
+    /// quantized filters; `"none"` for filters that run no network). `None`
+    /// for operators without filter inference. Keeps wall-clock claims
+    /// auditable: a bench row that says `wall_ms` dropped also says which
+    /// kernel path produced the number.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kernel_backend: Option<String>,
 }
 
 impl StageMetrics {
@@ -266,12 +274,19 @@ impl StageMetrics {
             virtual_ms: stage.map_or(0.0, |s| model.cost_ms(s) * charged as f64),
             wall_ms,
             workers: 1,
+            kernel_backend: None,
         }
     }
 
     /// Sets the worker count of a sharded operator's row.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Records the kernel backend the operator's inference ran on.
+    pub fn with_kernel_backend(mut self, backend: &str) -> Self {
+        self.kernel_backend = Some(backend.to_string());
         self
     }
 
@@ -316,6 +331,13 @@ pub trait Operator {
     /// sequential operators); recorded in the operator's [`StageMetrics`].
     fn workers(&self) -> usize {
         1
+    }
+
+    /// The compute kernel backend the operator's inference runs on, if it
+    /// runs filter inference at all; recorded in the operator's
+    /// [`StageMetrics`] so bench rows carry the dispatch choice.
+    fn kernel_backend(&self) -> Option<&'static str> {
+        None
     }
 
     /// Processes one batch, returning the surviving rows.
@@ -363,6 +385,10 @@ impl Operator for CascadeFilterOp<'_> {
 
     fn workers(&self) -> usize {
         self.workers
+    }
+
+    fn kernel_backend(&self) -> Option<&'static str> {
+        Some(self.filter.kernel_backend())
     }
 
     fn process(&mut self, mut batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
@@ -529,6 +555,10 @@ impl Operator for WindowFilterOp<'_> {
 
     fn workers(&self) -> usize {
         self.workers
+    }
+
+    fn kernel_backend(&self) -> Option<&'static str> {
+        Some(self.filter.kernel_backend())
     }
 
     fn process(&mut self, mut batch: FrameBatch, ctx: &mut ExecContext) -> FrameBatch {
@@ -794,6 +824,7 @@ impl<'a> PhysicalPlan<'a> {
             virtual_ms: report.calibration_ms,
             wall_ms: report.calibration_wall_ms,
             workers: 1,
+            kernel_backend: None,
         });
         (plan, report)
     }
@@ -896,6 +927,7 @@ impl<'a> PhysicalPlan<'a> {
                     virtual_ms,
                     wall_ms: acc.wall_ms,
                     workers: op.workers(),
+                    kernel_backend: op.kernel_backend().map(str::to_string),
                 }
             }))
             .collect();
@@ -1552,14 +1584,17 @@ impl<'a> SharedStreamPlan<'a> {
                         if let Some(b) = backend {
                             let stage = self.backends[*b].kind().stage();
                             filter_wall_ms = backend_wall[*b] + check_wall_ms;
-                            stage_metrics.push(row(
-                                "cascade-filter",
-                                Some(stage),
-                                frames_total,
-                                survivors,
-                                frames_total as u64,
-                                filter_wall_ms,
-                            ));
+                            stage_metrics.push(
+                                row(
+                                    "cascade-filter",
+                                    Some(stage),
+                                    frames_total,
+                                    survivors,
+                                    frames_total as u64,
+                                    filter_wall_ms,
+                                )
+                                .with_kernel_backend(self.backends[*b].kernel_backend()),
+                            );
                         }
                         stage_metrics.push(row(
                             "detect",
@@ -1603,14 +1638,17 @@ impl<'a> SharedStreamPlan<'a> {
                         for &b in backends {
                             let stage = self.backends[b].kind().stage();
                             filter_wall_ms += backend_wall[b];
-                            stage_metrics.push(row(
-                                "window-filter",
-                                Some(stage),
-                                frames_total,
-                                frames_total,
-                                frames_total as u64,
-                                backend_wall[b],
-                            ));
+                            stage_metrics.push(
+                                row(
+                                    "window-filter",
+                                    Some(stage),
+                                    frames_total,
+                                    frames_total,
+                                    frames_total as u64,
+                                    backend_wall[b],
+                                )
+                                .with_kernel_backend(self.backends[b].kernel_backend()),
+                            );
                         }
                         stage_metrics.push(row(
                             "aggregate-sink",
@@ -1723,6 +1761,11 @@ mod tests {
         assert_eq!(cascade.frames_in, ds.test().len());
         assert_eq!(cascade.frames_out, run.frames_passed_filter);
         assert!((0.0..=1.0).contains(&cascade.pass_rate()));
+        // Filter rows carry the kernel dispatch choice; the calibrated
+        // backend runs no network, so its rows say so explicitly.
+        assert_eq!(cascade.kernel_backend.as_deref(), Some("none"));
+        assert!(run.stage_metrics[0].kernel_backend.is_none(), "source rows carry no kernel");
+        assert!(run.stage_metrics[2].kernel_backend.is_none(), "detect rows carry no kernel");
 
         let detect = &run.stage_metrics[2];
         assert_eq!(detect.frames_in, run.frames_detected);
