@@ -68,20 +68,32 @@ pub struct AggregateReport {
 
 impl AggregateReport {
     /// Variance-reduction factor of the single-CV estimator.
+    ///
+    /// Degenerate windows where *both* the plain and the CV estimator have
+    /// zero variance (every trial returned the same estimate — e.g. a window
+    /// with no true frames at all) report a reduction of exactly 1.0: the CV
+    /// neither helped nor hurt, and downstream consumers (bench JSON, table
+    /// rows) get a finite number. Only a genuinely variance-free CV estimator
+    /// against a *varying* plain estimator reports `INFINITY`.
     pub fn cv_reduction(&self) -> f64 {
-        if self.cv_variance <= 0.0 {
-            f64::INFINITY
-        } else {
-            self.plain_variance / self.cv_variance
-        }
+        Self::reduction(self.plain_variance, self.cv_variance)
     }
 
-    /// Variance-reduction factor of the multiple-CV estimator.
+    /// Variance-reduction factor of the multiple-CV estimator (same
+    /// degenerate-window semantics as [`AggregateReport::cv_reduction`]).
     pub fn mcv_reduction(&self) -> f64 {
-        if self.mcv_variance <= 0.0 {
-            f64::INFINITY
+        Self::reduction(self.plain_variance, self.mcv_variance)
+    }
+
+    fn reduction(plain: f64, reduced: f64) -> f64 {
+        if reduced <= 0.0 {
+            if plain <= 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
         } else {
-            self.plain_variance / self.mcv_variance
+            plain / reduced
         }
     }
 
@@ -385,6 +397,48 @@ mod tests {
             plain_sum / mcv_sum > 1.0,
             "control variates must reduce variance at paper scale: plain {plain_sum} vs mcv {mcv_sum}"
         );
+    }
+
+    #[test]
+    fn degenerate_windows_report_finite_unit_reduction() {
+        // A window where every trial returns the same estimate (e.g. no true
+        // frames at all) has zero variance under every estimator; the CV did
+        // not help or hurt, so the reduction is exactly 1.0 — a finite number
+        // for the bench JSON, never `inf`/`null`.
+        let mut report = AggregateReport {
+            query: "a3".to_string(),
+            trials: 10,
+            sample_size: 5,
+            window_frames: 40,
+            true_fraction: 0.0,
+            plain_mean: 0.0,
+            cv_mean: 0.0,
+            mcv_mean: 0.0,
+            plain_variance: 0.0,
+            cv_variance: 0.0,
+            mcv_variance: 0.0,
+            mean_correlation: 0.0,
+            time_per_sample_ms: 201.9,
+            filter_wall_ms: 0.0,
+            window_index: 0,
+            window_start: 0,
+            backend: "OD".to_string(),
+        };
+        assert_eq!(report.cv_reduction(), 1.0);
+        assert_eq!(report.mcv_reduction(), 1.0);
+        assert_eq!(report.best_reduction(), 1.0);
+        assert!(report.table_row().contains("variance reduction=1"));
+        // A genuinely variance-free CV against a varying plain estimator is
+        // still an infinite reduction.
+        report.plain_variance = 0.25;
+        assert_eq!(report.cv_reduction(), f64::INFINITY);
+        assert_eq!(report.best_reduction(), f64::INFINITY);
+        // And the ordinary ratio path is untouched.
+        report.cv_variance = 0.05;
+        report.mcv_variance = 0.025;
+        assert!((report.cv_reduction() - 5.0).abs() < 1e-12);
+        assert!((report.mcv_reduction() - 10.0).abs() < 1e-12);
+        assert!((report.best_reduction() - 10.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! E-DRIFT — drifted-stream scenario: online drift monitoring vs a stale
+//! one-shot plan.
+//!
+//! Runs the [`vmq_bench::drift`] scenario twice on the identical two-regime
+//! stream (sparse → dense at the flip point, see the module docs):
+//!
+//! * **audit on** — the drift monitor's seeded audit channel escalates a
+//!   fraction of filter-rejected frames, notices the post-flip recall
+//!   contradictions, re-plans mid-stream to a still-certifiable cascade and
+//!   repairs the missed window frames; audit, replan and catch-up are all
+//!   billed to the query's ledger.
+//! * **audit off** — today's one-shot path: the plan committed on the
+//!   (sparse) prefix runs unchanged and silently loses the dense regime's
+//!   true frames.
+//!
+//! Setting `VMQ_BENCH_JSON=<path>` appends a `"drift"` section to the JSON
+//! baseline the `table3_queries`/`table4_aggregates` benches write, so the
+//! committed `BENCH_pipeline.json` pins the recovery claim: replans ≥ 1 to
+//! a cascade (not brute force), recall 1.0 and net speedup ≥ 1.0 with the
+//! monitor, stale recall < 1.0 without it.
+
+use vmq_bench::drift::{
+    run_drift_scenario, scenario_drift_config, DriftOutcome, DRIFT_FLIP_AT, DRIFT_PREFIX, DRIFT_TOTAL_FRAMES,
+};
+use vmq_core::Report;
+
+fn audit_on_json(o: &DriftOutcome) -> String {
+    let last = o.run.replans.last().expect("audit-on run replans");
+    format!(
+        concat!(
+            "    \"audit_on\": {{\"mode\":\"{}\",\"replans\":{},\"replan_at\":{},",
+            "\"recertified_cascade\":{},\"contradictions\":{},\"audit_frames\":{},",
+            "\"recall\":{:.4},\"virtual_ms\":{:.3},\"calibration_ms\":{:.3},",
+            "\"brute_virtual_ms\":{:.3},\"adaptive_net_speedup\":{:.3}}}"
+        ),
+        o.run.mode,
+        o.run.replans.len(),
+        last.at_offset,
+        !last.brute_force,
+        last.contradictions,
+        o.run.audit_frames,
+        o.recall,
+        o.run.virtual_ms,
+        o.calibration.calibration_ms,
+        o.brute_virtual_ms,
+        o.net_speedup,
+    )
+}
+
+fn audit_off_json(o: &DriftOutcome) -> String {
+    format!(
+        concat!(
+            "    \"audit_off\": {{\"mode\":\"{}\",\"replans\":{},\"audit_frames\":{},",
+            "\"stale_recall\":{:.4},\"virtual_ms\":{:.3},\"adaptive_net_speedup\":{:.3}}}"
+        ),
+        o.run.mode,
+        o.run.replans.len(),
+        o.run.audit_frames,
+        o.recall,
+        o.run.virtual_ms,
+        o.net_speedup,
+    )
+}
+
+/// Appends (or replaces) the `"drift"` section of the JSON baseline without
+/// disturbing what the table benches wrote. Like the `"aggregates"` writer,
+/// an existing section is replaced so reruns are idempotent; regenerate in
+/// `table3 → table4 → drift_stream` order since each writer truncates at its
+/// own key.
+fn write_json(path: &str, on: &DriftOutcome, off: &DriftOutcome) {
+    let config = scenario_drift_config();
+    let section = format!(
+        "  \"drift\": {{\n    \"scenario\": {{\"frames\":{},\"flip_at\":{},\"prefix\":{},\"audit_fraction\":{:.3},\"window_frames\":{}}},\n{},\n{}\n  }}",
+        DRIFT_TOTAL_FRAMES,
+        DRIFT_FLIP_AT,
+        DRIFT_PREFIX,
+        config.audit_fraction,
+        config.window_frames,
+        audit_on_json(on),
+        audit_off_json(off),
+    );
+    let head = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let cut = existing.find("\"drift\"").or_else(|| existing.rfind('}')).unwrap_or(0);
+            existing[..cut].trim_end().trim_end_matches(',').trim_end().to_string()
+        }
+        Err(_) => String::new(),
+    };
+    let text = if head.is_empty() || head == "{" {
+        format!("{{\n  \"bench\": \"drift_stream\",\n{section}\n}}\n")
+    } else {
+        format!("{head},\n{section}\n}}\n")
+    };
+    std::fs::write(path, text).expect("write bench JSON");
+    eprintln!("wrote drift scenario rows to {path}");
+}
+
+fn main() {
+    let on = run_drift_scenario(1, Some(scenario_drift_config()));
+    let off = run_drift_scenario(1, None);
+
+    let mut report = Report::new("Drifted stream — online monitor vs stale one-shot plan").header(&[
+        "run",
+        "final mode",
+        "replans",
+        "audit frames",
+        "recall",
+        "virtual (s)",
+        "net speedup",
+    ]);
+    for (name, o) in [("audit on", &on), ("audit off", &off)] {
+        report.row(&[
+            name.to_string(),
+            o.run.mode.clone(),
+            format!("{}", o.run.replans.len()),
+            format!("{}", o.run.audit_frames),
+            format!("{:.1}%", o.recall * 100.0),
+            format!("{:.1}", o.run.virtual_seconds()),
+            format!("{:.2}x", o.net_speedup),
+        ]);
+    }
+    report.note(&format!(
+        "two-regime stream: {DRIFT_TOTAL_FRAMES} frames, sparse→dense flip at {DRIFT_FLIP_AT}, plan committed on a {DRIFT_PREFIX}-frame sparse prefix"
+    ));
+    report.note("audit on: seeded sentinel escalations catch the post-flip recall contradictions; the monitor re-certifies a looser cascade mid-stream and repairs the window misses — recall back to 100% with audit+replan+catch-up billed");
+    report.note("audit off: the stale prefix plan silently rejects every post-flip true frame");
+    println!("{}", report.render());
+
+    if let Ok(path) = std::env::var("VMQ_BENCH_JSON") {
+        write_json(&path, &on, &off);
+    }
+}

@@ -73,8 +73,15 @@ impl AggRecord {
     }
 
     fn to_json(&self) -> String {
-        let best =
-            if self.best_reduction.is_finite() { format!("{:.3}", self.best_reduction) } else { "null".to_string() };
+        // `best_reduction()` is finite on degenerate zero/zero windows by
+        // definition (1.0); the only non-finite case left is a variance-free
+        // CV estimator against a varying plain one, which the JSON reports
+        // as a saturated ceiling so the baseline never carries a bare null.
+        let best = if self.best_reduction.is_finite() {
+            format!("{:.3}", self.best_reduction)
+        } else {
+            format!("{:.3}", 1.0e9)
+        };
         format!(
             concat!(
                 "    {{\"query\":\"{}\",\"dataset\":\"{}\",\"mode\":\"{}\",\"window_index\":{},",

@@ -20,6 +20,8 @@ use vmq_detect::OracleDetector;
 use vmq_filters::{label::FrameLabels, FilterConfig, TrainedFilters};
 use vmq_video::{Dataset, DatasetKind, DatasetProfile};
 
+pub mod drift;
+
 /// Experiment scale selected by the `VMQ_SCALE` environment variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

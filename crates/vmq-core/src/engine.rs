@@ -7,8 +7,8 @@ use vmq_aggregate::{AggregateReport, HoppingWindow};
 use vmq_detect::OracleDetector;
 use vmq_filters::{CalibratedFilter, FrameFilter, TrainedFilters};
 use vmq_query::{
-    exec, CalibrationReport, CascadeConfig, CvBackendChoice, ParsedStatement, PlanChoice, Query, QueryAccuracy,
-    QueryExecutor, QueryRun, SpeedupReport,
+    exec, CalibrationReport, CascadeConfig, CvBackendChoice, DriftConfig, ParsedStatement, PlanChoice, Query,
+    QueryAccuracy, QueryExecutor, QueryRun, ReplanEvent, SpeedupReport,
 };
 use vmq_video::Dataset;
 
@@ -58,6 +58,12 @@ impl AdaptiveOutcome {
     /// The plan the calibration selected.
     pub fn plan(&self) -> &PlanChoice {
         &self.calibration.choice
+    }
+
+    /// Plan swaps the drift monitor performed mid-stream, in stream order
+    /// (empty without a monitor, or while the committed plan holds up).
+    pub fn replans(&self) -> &[ReplanEvent] {
+        &self.outcome.run.replans
     }
 
     /// A one-line Table III style summary; the mode column carries the
@@ -233,7 +239,29 @@ impl VmqEngine {
     /// reported speedup is what a caller would actually observe. A thin
     /// single-query registration of the shared [`StreamRuntime`].
     pub fn run_adaptive(&self, query: &Query, calibration: &CalibrationConfig) -> AdaptiveOutcome {
-        let statement = RuntimeQuery::SelectAdaptive { query: query.clone(), calibration: calibration.clone() };
+        let statement =
+            RuntimeQuery::SelectAdaptive { query: query.clone(), calibration: calibration.clone(), drift: None };
+        match self.run_many(&[statement]).outcomes.remove(0) {
+            StatementOutcome::Adaptive(outcome) => outcome,
+            _ => unreachable!("a SelectAdaptive statement yields an Adaptive outcome"),
+        }
+    }
+
+    /// Like [`VmqEngine::run_adaptive`], additionally attaching an online
+    /// drift monitor: a seeded fraction of filter-rejected frames is
+    /// escalated to the detector as a recall sentinel (billed through the
+    /// ledger's audit phase) and the plan is re-selected mid-stream when the
+    /// audit contradicts the committed calibration. With a disabled config
+    /// (`audit_fraction = 0`) the result is bit-identical to
+    /// [`VmqEngine::run_adaptive`].
+    pub fn run_adaptive_drifted(
+        &self,
+        query: &Query,
+        calibration: &CalibrationConfig,
+        drift: DriftConfig,
+    ) -> AdaptiveOutcome {
+        let statement =
+            RuntimeQuery::SelectAdaptive { query: query.clone(), calibration: calibration.clone(), drift: Some(drift) };
         match self.run_many(&[statement]).outcomes.remove(0) {
             StatementOutcome::Adaptive(outcome) => outcome,
             _ => unreachable!("a SelectAdaptive statement yields an Adaptive outcome"),

@@ -32,3 +32,4 @@ pub use config::{CalibrationConfig, EngineConfig, FilterChoice};
 pub use engine::{AdaptiveOutcome, QueryOutcome, VmqEngine, WindowedAggregateOutcome};
 pub use report::Report;
 pub use runtime::{MultiQueryOutcome, RuntimeQuery, StatementOutcome, StreamRuntime};
+pub use vmq_query::{DriftConfig, ReplanEvent};

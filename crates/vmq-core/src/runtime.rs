@@ -33,8 +33,8 @@ use vmq_detect::{CachedDetector, CostLedger, CostModel, DetectionCache, Detector
 use vmq_filters::{FilterProfile, FrameFilter};
 use vmq_query::planner::plan_cascade_from_profiles;
 use vmq_query::{
-    AggregateSpec, CascadeConfig, ParsedStatement, PipelineConfig, Query, QueryAccuracy, QueryRun, SharedStreamPlan,
-    SpeedupReport, StageMetrics,
+    AggregateSpec, CascadeConfig, DriftConfig, DriftSetup, ParsedStatement, PipelineConfig, Query, QueryAccuracy,
+    QueryRun, ReplanEvent, SharedStreamPlan, SpeedupReport, StageMetrics,
 };
 use vmq_video::Frame;
 
@@ -58,6 +58,11 @@ pub enum RuntimeQuery {
         query: Query,
         /// Candidate backends, tolerances and prefix length.
         calibration: CalibrationConfig,
+        /// Optional online drift monitor: audit a seeded fraction of
+        /// filter-rejected frames and replan mid-stream when the audit
+        /// contradicts the committed calibration. `None` (or a disabled
+        /// config) keeps the one-shot plan forever.
+        drift: Option<DriftConfig>,
     },
     /// A windowed aggregate — the registration form of
     /// [`VmqEngine::run_aggregate_windows`].
@@ -145,6 +150,12 @@ impl StatementOutcome {
             StatementOutcome::Aggregate(o) => Some(o),
             _ => None,
         }
+    }
+
+    /// Plan swaps the drift monitor performed for this statement, in stream
+    /// order (empty for statements without an attached monitor).
+    pub fn replans(&self) -> &[ReplanEvent] {
+        &self.run().replans
     }
 }
 
@@ -304,7 +315,7 @@ impl<'e> StreamRuntime<'e> {
         }
         let mut plans: Vec<Option<(vmq_query::CalibrationReport, usize)>> = Vec::with_capacity(self.statements.len());
         for (q, statement) in self.statements.iter().enumerate() {
-            let RuntimeQuery::SelectAdaptive { query, calibration } = statement else {
+            let RuntimeQuery::SelectAdaptive { query, calibration, .. } = statement else {
                 plans.push(None);
                 continue;
             };
@@ -378,29 +389,50 @@ impl<'e> StreamRuntime<'e> {
                         ledger.clone(),
                     );
                 }
-                RuntimeQuery::SelectAdaptive { query, .. } => {
+                RuntimeQuery::SelectAdaptive { query, calibration, drift } => {
                     let (report, chosen) = plans[q].as_ref().expect("adaptive statements are planned");
                     // A brute-force plan choice registers with no backend:
                     // every frame escalates to the (shared, deduplicated)
                     // detector, exactly like an isolated brute run.
                     let backend = if report.choice.brute_force { None } else { Some(plan_backends[*chosen]) };
-                    plan.register_select_with(
-                        query.clone(),
-                        report.choice.cascade,
-                        backend,
-                        ledger.clone(),
-                        format!("adaptive {}", report.choice.label),
-                        Some(StageMetrics {
-                            operator: "calibrate".to_string(),
-                            stage: None,
-                            frames_in: report.prefix_frames,
-                            frames_out: report.prefix_frames,
-                            virtual_ms: report.calibration_ms,
-                            wall_ms: report.calibration_wall_ms,
-                            workers: 1,
-                            kernel_backend: None,
-                        }),
-                    );
+                    let mode_label = format!("adaptive {}", report.choice.label);
+                    let calibrate_row = Some(StageMetrics {
+                        operator: "calibrate".to_string(),
+                        stage: None,
+                        frames_in: report.prefix_frames,
+                        frames_out: report.prefix_frames,
+                        virtual_ms: report.calibration_ms,
+                        wall_ms: report.calibration_wall_ms,
+                        workers: 1,
+                        kernel_backend: None,
+                    });
+                    match drift.as_ref().filter(|config| config.enabled()) {
+                        Some(config) => {
+                            plan.register_select_drifted(
+                                query.clone(),
+                                report.choice.cascade,
+                                backend,
+                                ledger.clone(),
+                                mode_label,
+                                calibrate_row,
+                                DriftSetup {
+                                    config: config.clone(),
+                                    candidate_backends: backend_indices.iter().map(|&b| plan_backends[b]).collect(),
+                                    tolerances: calibration.candidate_tolerances.clone(),
+                                },
+                            );
+                        }
+                        None => {
+                            plan.register_select_with(
+                                query.clone(),
+                                report.choice.cascade,
+                                backend,
+                                ledger.clone(),
+                                mode_label,
+                                calibrate_row,
+                            );
+                        }
+                    }
                 }
                 RuntimeQuery::Aggregate { query, window, .. } => {
                     plan.register_aggregate(
@@ -523,6 +555,8 @@ pub(crate) fn synthetic_brute_force(query: &Query, frames: &[Frame], model: &Cos
             row("predicate-eval", None, n, matched.len(), 0),
             row("sink", None, matched.len(), matched.len(), 0),
         ],
+        replans: Vec::new(),
+        audit_frames: 0,
     }
 }
 
@@ -578,6 +612,7 @@ mod tests {
             RuntimeQuery::SelectAdaptive {
                 query: Query::paper_q4(),
                 calibration: CalibrationConfig::calibrated(vec![CalibrationProfile::od_like()]).with_prefix(24),
+                drift: None,
             },
             RuntimeQuery::Aggregate {
                 query: Query::paper_a1(),

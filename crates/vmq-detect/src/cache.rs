@@ -28,26 +28,101 @@ use vmq_video::Frame;
 /// camera stream.
 type FrameKey = (u32, u64);
 
-#[derive(Debug, Default)]
+/// Default entry budget: generous enough that every in-process stream pass
+/// (tests, benches, the quick/default/full scales) sees zero evictions — the
+/// budget exists so a *long-lived* fleet runtime (ROADMAP item 1) cannot grow
+/// without bound, not to make short passes forget anything.
+pub const DEFAULT_ENTRY_BUDGET: usize = 1 << 20;
+
+#[derive(Debug)]
 struct CacheInner {
     entries: BTreeMap<FrameKey, Arc<FrameDetections>>,
     users: BTreeMap<FrameKey, BTreeSet<usize>>,
+    /// LRU bookkeeping: a monotone access tick, the tick at which each
+    /// resident key was last touched, and the inverse map used to find the
+    /// least-recently-used key in `O(log n)`.
+    tick: u64,
+    stamps: BTreeMap<FrameKey, u64>,
+    recency: BTreeMap<u64, FrameKey>,
+    budget: usize,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl Default for CacheInner {
+    fn default() -> Self {
+        CacheInner {
+            entries: BTreeMap::new(),
+            users: BTreeMap::new(),
+            tick: 0,
+            stamps: BTreeMap::new(),
+            recency: BTreeMap::new(),
+            budget: DEFAULT_ENTRY_BUDGET,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl CacheInner {
+    /// Marks `key` most-recently-used.
+    fn touch(&mut self, key: FrameKey) {
+        self.tick += 1;
+        if let Some(old) = self.stamps.insert(key, self.tick) {
+            self.recency.remove(&old);
+        }
+        self.recency.insert(self.tick, key);
+    }
+
+    /// Inserts `key → detections`, touching it and evicting the
+    /// least-recently-used entries beyond the budget. The per-frame consumer
+    /// sets in `users` survive eviction: the frame's single detector charge
+    /// was already paid, and attribution must keep splitting it among
+    /// everyone who consumed it.
+    fn insert_and_evict(&mut self, key: FrameKey, detections: Arc<FrameDetections>) {
+        self.entries.insert(key, detections);
+        self.touch(key);
+        while self.entries.len() > self.budget {
+            let (&oldest_tick, &oldest_key) = self.recency.iter().next().expect("non-empty recency index");
+            self.recency.remove(&oldest_tick);
+            self.stamps.remove(&oldest_key);
+            self.entries.remove(&oldest_key);
+            self.evictions += 1;
+        }
+    }
 }
 
 /// Memoised detector results shared by all queries of a stream pass.
 ///
-/// Cheap to clone (`Arc` internally); clones share the same cache.
+/// Cheap to clone (`Arc` internally); clones share the same cache. Resident
+/// entries are bounded by an entry budget with LRU eviction
+/// ([`DetectionCache::with_entry_budget`]); the default
+/// [`DEFAULT_ENTRY_BUDGET`] is large enough that ordinary stream passes
+/// never evict.
 #[derive(Debug, Clone, Default)]
 pub struct DetectionCache {
     inner: Arc<Mutex<CacheInner>>,
 }
 
 impl DetectionCache {
-    /// An empty cache.
+    /// An empty cache with the default entry budget.
     pub fn new() -> Self {
         DetectionCache::default()
+    }
+
+    /// An empty cache holding at most `budget` entries (≥ 1); the
+    /// least-recently-used entry is evicted when an insert would exceed it.
+    pub fn with_entry_budget(budget: usize) -> Self {
+        let cache = DetectionCache::default();
+        cache.inner.lock().budget = budget.max(1);
+        cache
+    }
+
+    /// The configured entry budget.
+    pub fn entry_budget(&self) -> usize {
+        self.inner.lock().budget
     }
 
     /// Returns the detections for `frame`, invoking `detector` only when the
@@ -76,11 +151,12 @@ impl DetectionCache {
         inner.users.entry(key).or_default().insert(user);
         if let Some(hit) = inner.entries.get(&key).map(Arc::clone) {
             inner.hits += 1;
+            inner.touch(key);
             return (hit, false);
         }
         inner.misses += 1;
         let detections = Arc::new(detector.detect(frame));
-        inner.entries.insert(key, Arc::clone(&detections));
+        inner.insert_and_evict(key, Arc::clone(&detections));
         (detections, true)
     }
 
@@ -91,6 +167,7 @@ impl DetectionCache {
         let hit = inner.entries.get(&key).map(Arc::clone)?;
         inner.users.entry(key).or_default().insert(user);
         inner.hits += 1;
+        inner.touch(key);
         Some(hit)
     }
 
@@ -105,10 +182,11 @@ impl DetectionCache {
         let mut inner = self.inner.lock();
         inner.users.entry(key).or_default().insert(user);
         if inner.entries.contains_key(&key) {
+            inner.touch(key);
             return;
         }
         inner.misses += 1;
-        inner.entries.insert(key, detections);
+        inner.insert_and_evict(key, detections);
     }
 
     /// True when `frame` is already cached.
@@ -116,8 +194,11 @@ impl DetectionCache {
         self.inner.lock().entries.contains_key(&(frame.camera_id, frame.frame_id))
     }
 
-    /// Number of distinct frames detected — exactly the number of detector
-    /// invocations the cache allowed through (== [`DetectionCache::misses`]).
+    /// Number of frames currently *resident*. With no evictions this equals
+    /// the number of detector invocations the cache allowed through
+    /// ([`DetectionCache::misses`]); once the budget forces evictions,
+    /// `misses()` remains the invocation count while `len()` only counts
+    /// what is still cached.
     pub fn len(&self) -> usize {
         self.inner.lock().entries.len()
     }
@@ -136,6 +217,13 @@ impl DetectionCache {
     /// number of actual detector invocations under this cache.
     pub fn misses(&self) -> u64 {
         self.inner.lock().misses
+    }
+
+    /// Entries dropped by LRU eviction to respect the entry budget. Zero for
+    /// every short-lived pass under the default budget; an evicted frame
+    /// that is requested again re-detects (a new miss).
+    pub fn evictions(&self) -> u64 {
+        self.inner.lock().evictions
     }
 
     /// Per-frame consumer sets, in `(camera_id, frame_id)` order. The shared
@@ -317,6 +405,74 @@ mod tests {
         assert_eq!(cache.hits(), 1);
         assert!(cache.get(&frame(10), 2).is_none());
         assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_respects_entry_budget_and_recency() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::with_entry_budget(3);
+        assert_eq!(cache.entry_budget(), 3);
+        for id in 0..3 {
+            let _ = cache.get_or_detect(&oracle, &frame(id), 0);
+        }
+        assert_eq!(cache.evictions(), 0);
+        // Touch frame 0 so frame 1 becomes the LRU, then overflow.
+        assert!(cache.get(&frame(0), 0).is_some());
+        let _ = cache.get_or_detect(&oracle, &frame(3), 0);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.contains(&frame(0)), "recently touched entry survives");
+        assert!(!cache.contains(&frame(1)), "LRU entry is evicted");
+        assert!(cache.contains(&frame(2)) && cache.contains(&frame(3)));
+        // Re-requesting the evicted frame re-detects: a new miss, so misses()
+        // stays the invocation count while len() stays within budget.
+        let _ = cache.get_or_detect(&oracle, &frame(1), 0);
+        assert_eq!(cache.misses(), 5);
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn eviction_preserves_user_attribution() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::with_entry_budget(1);
+        let _ = cache.get_or_detect(&oracle, &frame(0), 0);
+        let _ = cache.get_or_detect(&oracle, &frame(0), 1);
+        let _ = cache.get_or_detect(&oracle, &frame(5), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Frame 0 was evicted but its charge was already paid; its consumer
+        // set must keep splitting that charge.
+        assert_eq!(cache.frame_users(), vec![((0, 0), vec![0, 1]), ((0, 5), vec![2])]);
+        let ledger = CostLedger::paper();
+        cache.attribute_detections(&ledger, Stage::MaskRcnn);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 0) - 0.5).abs() < 1e-12);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 1) - 0.5).abs() < 1e-12);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_budget_is_generous() {
+        let cache = DetectionCache::new();
+        assert_eq!(cache.entry_budget(), DEFAULT_ENTRY_BUDGET);
+        assert!(cache.entry_budget() >= 1 << 20);
+        // Budgets clamp to at least one entry.
+        assert_eq!(DetectionCache::with_entry_budget(0).entry_budget(), 1);
+    }
+
+    #[test]
+    fn insert_touches_existing_entries() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::with_entry_budget(2);
+        cache.insert(&frame(0), Arc::new(oracle.detect(&frame(0))), 0);
+        cache.insert(&frame(1), Arc::new(oracle.detect(&frame(1))), 0);
+        // Re-inserting frame 0 marks it most-recently-used...
+        cache.insert(&frame(0), Arc::new(oracle.detect(&frame(0))), 1);
+        assert_eq!(cache.misses(), 2, "re-insert is not a new invocation");
+        // ...so the overflow evicts frame 1.
+        cache.insert(&frame(2), Arc::new(oracle.detect(&frame(2))), 0);
+        assert!(cache.contains(&frame(0)));
+        assert!(!cache.contains(&frame(1)));
+        assert_eq!(cache.evictions(), 1);
     }
 
     #[test]

@@ -216,6 +216,7 @@ impl SharedCost {
 struct LedgerInner {
     invocations: BTreeMap<Stage, u64>,
     calibration: BTreeMap<Stage, u64>,
+    audit: BTreeMap<Stage, u64>,
     /// Fractional per-query frame attribution of shared charges:
     /// `(query, stage) → frames` (fractions from equal splits).
     attribution: BTreeMap<(usize, Stage), f64>,
@@ -228,6 +229,10 @@ impl LedgerInner {
 
     fn calibration_frames(&self, stage: Stage) -> u64 {
         self.calibration.get(&stage).copied().unwrap_or(0)
+    }
+
+    fn audit_frames(&self, stage: Stage) -> u64 {
+        self.audit.get(&stage).copied().unwrap_or(0)
     }
 }
 
@@ -257,6 +262,18 @@ impl CostLedger {
         let mut inner = self.inner.lock();
         *inner.invocations.entry(stage).or_insert(0) += frames;
         *inner.calibration.entry(stage).or_insert(0) += frames;
+    }
+
+    /// Charges `frames` frames to `stage` as *audit* work: the drift
+    /// monitor's recall sentinel (randomly escalated filter-rejected frames)
+    /// and any catch-up detections a mid-stream replan triggers. Like
+    /// [`CostLedger::charge_calibration`] the charge counts towards all
+    /// totals — audit work is never free — but is additionally tracked
+    /// separately so reports can state what the drift monitor cost.
+    pub fn charge_audit(&self, stage: Stage, frames: u64) {
+        let mut inner = self.inner.lock();
+        *inner.invocations.entry(stage).or_insert(0) += frames;
+        *inner.audit.entry(stage).or_insert(0) += frames;
     }
 
     /// Charges `frames` frames to `stage` once globally and splits the
@@ -325,6 +342,32 @@ impl CostLedger {
     /// Number of frames charged to a stage during calibration.
     pub fn calibration_invocations(&self, stage: Stage) -> u64 {
         self.inner.lock().calibration_frames(stage)
+    }
+
+    /// Number of frames charged to a stage by the drift monitor's audit
+    /// channel.
+    pub fn audit_invocations(&self, stage: Stage) -> u64 {
+        self.inner.lock().audit_frames(stage)
+    }
+
+    /// Virtual milliseconds charged by the drift monitor's audit channel (a
+    /// subset of [`CostLedger::total_ms`], never an addition to it).
+    pub fn audit_ms(&self) -> f64 {
+        let inner = self.inner.lock();
+        Stage::ALL.iter().map(|&s| self.model.cost_ms(s) * inner.audit_frames(s) as f64).sum()
+    }
+
+    /// The [`Stage`]-tagged audit cost breakdown, in [`Stage::ALL`] order
+    /// (one entry per stage charged at least one audit frame).
+    pub fn audit_breakdown(&self) -> Vec<StageCost> {
+        let inner = self.inner.lock();
+        Stage::ALL
+            .iter()
+            .filter_map(|&stage| {
+                let frames = inner.audit_frames(stage);
+                (frames > 0).then(|| StageCost { stage, frames, virtual_ms: self.model.cost_ms(stage) * frames as f64 })
+            })
+            .collect()
     }
 
     /// Virtual milliseconds charged during the calibration phase (a subset of
@@ -499,6 +542,35 @@ mod tests {
         assert_eq!(breakdown.len(), 1);
         assert_eq!(breakdown[0].stage, Stage::MaskRcnn);
         assert_eq!(breakdown[0].frames, 4);
+    }
+
+    #[test]
+    fn audit_charges_count_towards_totals_and_are_tracked() {
+        let ledger = CostLedger::paper();
+        ledger.charge_audit(Stage::MaskRcnn, 3);
+        ledger.charge(Stage::MaskRcnn, 7);
+        ledger.charge_calibration(Stage::MaskRcnn, 2);
+        assert_eq!(ledger.invocations(Stage::MaskRcnn), 12);
+        assert_eq!(ledger.audit_invocations(Stage::MaskRcnn), 3);
+        assert_eq!(ledger.calibration_invocations(Stage::MaskRcnn), 2);
+        assert_eq!(ledger.audit_invocations(Stage::OdFilter), 0);
+        assert!((ledger.audit_ms() - 600.0).abs() < 1e-9);
+        assert!((ledger.total_ms() - 2400.0).abs() < 1e-9, "audit is a subset of the total, not an addition");
+        let breakdown = ledger.audit_breakdown();
+        assert_eq!(breakdown.len(), 1);
+        assert_eq!(breakdown[0].stage, Stage::MaskRcnn);
+        assert_eq!(breakdown[0].frames, 3);
+        assert!((breakdown[0].virtual_ms - 600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_resets_with_the_ledger() {
+        let ledger = CostLedger::paper();
+        ledger.charge_audit(Stage::MaskRcnn, 5);
+        ledger.reset();
+        assert_eq!(ledger.audit_ms(), 0.0);
+        assert!(ledger.audit_breakdown().is_empty());
+        assert_eq!(ledger.audit_invocations(Stage::MaskRcnn), 0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod noise;
 pub mod oracle;
 
 pub use annotation::{Detection, FrameDetections};
-pub use cache::{CachedDetector, DetectionCache};
+pub use cache::{CachedDetector, DetectionCache, DEFAULT_ENTRY_BUDGET};
 pub use cost::{CostLedger, CostModel, QueryCostShare, SharedCost, Stage, StageCost};
 pub use mid::MidDetector;
 pub use noise::NoiseModel;

@@ -1,0 +1,555 @@
+//! Online drift monitoring and rolling recalibration.
+//!
+//! The adaptive planner (see [`crate::planner`]) calibrates on a stream
+//! prefix and commits to one cascade plan. Real streams drift: the regime
+//! that made a strict cascade certified-lossless on the prefix (sparse
+//! traffic, daylight) can flip mid-stream, after which the committed plan
+//! silently drops true frames — and nothing in the one-shot path would ever
+//! notice, because rejected frames never reach the detector again.
+//!
+//! This module adds the missing feedback loop:
+//!
+//! * **Audit channel** — a seeded pseudo-random fraction of filter-*rejected*
+//!   frames is escalated to the detector anyway, as a recall sentinel. The
+//!   schedule is a pure function of `(audit_seed, camera_id, frame_id)`
+//!   using the same splitmix64 mix as [`OracleDetector`]'s per-frame noise
+//!   stream, so audit decisions are bit-reproducible across reruns, worker
+//!   counts, and batch boundaries. Audit detections are charged to the
+//!   private [`CostLedger`](vmq_detect::CostLedger) through the dedicated
+//!   `charge_audit` phase (they count toward totals — net-speedup honesty —
+//!   and are separately reportable).
+//! * **Sliding window** — the monitor keeps the last `window_frames` frames
+//!   together with every monitored backend's estimate for them and, where
+//!   known, the ground truth (survivors and audited frames know their truth;
+//!   silently rejected frames do not).
+//! * **Replan trigger** — when an audited frame turns out to be a true match
+//!   the committed plan rejected (a *contradiction*), or when the committed
+//!   plan is the brute-force floor and enough truth has accumulated to try
+//!   certifying something cheaper, the window is replayed through the
+//!   existing [`plan_cascade_from_profiles`] planner and the pipeline swaps
+//!   plans between batches. On a swap, rejected frames still inside the
+//!   window that the *new* cascade would have passed are escalated
+//!   retroactively (catch-up repair), which is what lets recall return to
+//!   1.0 instead of merely stopping the bleeding.
+//!
+//! [`OracleDetector`]: vmq_detect::OracleDetector
+
+use crate::ast::Query;
+use crate::plan::{CascadeConfig, FilterCascade};
+use crate::planner::{plan_cascade_from_profiles, CalibrationReport};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use vmq_detect::{CostModel, Stage};
+use vmq_filters::{FilterEstimate, FilterProfile, FrameFilter};
+use vmq_video::Frame;
+
+/// Default fraction of rejected frames escalated to the detector as audits.
+pub const DEFAULT_AUDIT_FRACTION: f64 = 0.05;
+/// Default audit schedule seed.
+pub const DEFAULT_AUDIT_SEED: u64 = 0xA0D1_7000;
+/// Default sliding-window length in frames.
+pub const DEFAULT_WINDOW_FRAMES: usize = 128;
+/// Default number of known-truth window frames required before a replan.
+pub const DEFAULT_MIN_TRUTH_FRAMES: usize = 16;
+/// Default cooldown (in stream frames) between speculative replan attempts.
+pub const DEFAULT_COOLDOWN_FRAMES: usize = 64;
+
+/// Configuration of the drift monitor attached to one adaptive statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Fraction of filter-rejected frames escalated to the detector as a
+    /// recall sentinel. `0.0` disables the monitor entirely: the statement
+    /// behaves bit-identically to the one-shot adaptive path.
+    pub audit_fraction: f64,
+    /// Seed of the audit schedule. Audit selection is a pure function of
+    /// `(audit_seed, camera_id, frame_id)`, independent of batch size and
+    /// worker count.
+    pub audit_seed: u64,
+    /// Sliding-window length in frames: how much recent history the monitor
+    /// keeps for replanning and catch-up repair.
+    pub window_frames: usize,
+    /// Minimum number of known-truth frames in the window before the planner
+    /// is consulted (below this, pass-rate/recall estimates are too noisy).
+    pub min_truth_frames: usize,
+    /// Minimum number of stream frames between speculative replan attempts
+    /// while the committed plan is the brute-force floor. Contradiction-
+    /// triggered replans ignore the cooldown — a recall violation is acted
+    /// on at the next batch boundary.
+    pub cooldown_frames: usize,
+}
+
+impl DriftConfig {
+    /// A monitor escalating `audit_fraction` of rejected frames, with default
+    /// window and trigger parameters.
+    pub fn new(audit_fraction: f64) -> Self {
+        DriftConfig {
+            audit_fraction,
+            audit_seed: DEFAULT_AUDIT_SEED,
+            window_frames: DEFAULT_WINDOW_FRAMES,
+            min_truth_frames: DEFAULT_MIN_TRUTH_FRAMES,
+            cooldown_frames: DEFAULT_COOLDOWN_FRAMES,
+        }
+    }
+
+    /// Replaces the audit-schedule seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.audit_seed = seed;
+        self
+    }
+
+    /// Replaces the sliding-window length.
+    pub fn with_window(mut self, frames: usize) -> Self {
+        self.window_frames = frames.max(1);
+        self
+    }
+
+    /// Replaces the known-truth floor for replan attempts.
+    pub fn with_min_truth(mut self, frames: usize) -> Self {
+        self.min_truth_frames = frames.max(1);
+        self
+    }
+
+    /// Replaces the speculative-replan cooldown.
+    pub fn with_cooldown(mut self, frames: usize) -> Self {
+        self.cooldown_frames = frames;
+        self
+    }
+
+    /// Whether the monitor does anything at all.
+    pub fn enabled(&self) -> bool {
+        self.audit_fraction > 0.0
+    }
+
+    /// The seeded audit schedule: whether this frame, if rejected by the
+    /// committed cascade, is escalated to the detector as an audit.
+    ///
+    /// Pure in `(audit_seed, camera_id, frame_id)` — the same splitmix64
+    /// discipline as `OracleDetector`'s per-frame noise stream — so the
+    /// schedule is invariant to batching, worker count, and replan history.
+    pub fn audits(&self, camera_id: u32, frame_id: u64) -> bool {
+        if self.audit_fraction <= 0.0 {
+            return false;
+        }
+        if self.audit_fraction >= 1.0 {
+            return true;
+        }
+        let unit = (frame_hash(self.audit_seed, camera_id, frame_id) >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.audit_fraction
+    }
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig::new(DEFAULT_AUDIT_FRACTION)
+    }
+}
+
+/// splitmix64 finaliser over `(seed, camera, frame)` — identical mixing
+/// constants to `OracleDetector::frame_rng`, reused here so the audit
+/// schedule inherits the same per-frame purity argument.
+fn frame_hash(seed: u64, camera_id: u32, frame_id: u64) -> u64 {
+    let mut z =
+        seed ^ frame_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (camera_id as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One committed plan swap performed by the drift monitor, surfaced through
+/// `QueryRun::replans` and the statement outcomes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanEvent {
+    /// Stream offset (frames processed so far) at which the swap happened.
+    pub at_offset: usize,
+    /// Label of the plan being abandoned.
+    pub from_label: String,
+    /// Label of the newly committed plan.
+    pub to_label: String,
+    /// Audit contradictions (true frames the old plan rejected) accumulated
+    /// since the previous commit. Zero for speculative brute-force upgrades.
+    pub contradictions: u64,
+    /// Known-truth window frames the replan was planned over.
+    pub truth_frames: usize,
+    /// Expected per-frame cost of the new plan under the cost model.
+    pub expected_cost_ms: f64,
+    /// Whether the new plan is the brute-force floor.
+    pub brute_force: bool,
+}
+
+/// Everything the pipeline needs to attach a drift monitor to a registered
+/// adaptive select: the monitor configuration, which shared-plan backends to
+/// keep warm as replan candidates, and the cascade-tolerance lattice to
+/// search.
+#[derive(Debug, Clone)]
+pub struct DriftSetup {
+    /// Monitor configuration.
+    pub config: DriftConfig,
+    /// Indices (into the shared plan's backend list) of the candidate
+    /// backends the monitor keeps estimates for. The committed backend is
+    /// always monitored, whether listed or not.
+    pub candidate_backends: Vec<usize>,
+    /// Cascade tolerances the replanner searches over.
+    pub tolerances: Vec<CascadeConfig>,
+}
+
+/// One sliding-window observation: a frame, every monitored backend's
+/// estimate for it, whether the committed plan at the time escalated it, and
+/// its ground truth where known.
+#[derive(Debug, Clone)]
+struct WindowObs {
+    frame: Frame,
+    /// Estimates parallel to `DriftMonitor::monitored`.
+    estimates: Vec<FilterEstimate>,
+    /// Whether the committed plan escalated this frame to the detector.
+    passed: bool,
+    /// Ground truth, known for survivors and audited frames.
+    truth: Option<bool>,
+}
+
+/// Per-statement drift state: the sliding window, audit counters, the
+/// committed-plan identity, and the replan log.
+#[derive(Debug)]
+pub(crate) struct DriftMonitor {
+    config: DriftConfig,
+    /// Shared-plan backend indices monitored every batch (committed ∪
+    /// candidates); constant across replans so per-batch billing is constant.
+    monitored: Vec<usize>,
+    tolerances: Vec<CascadeConfig>,
+    window: VecDeque<WindowObs>,
+    /// Identity of the committed plan: backend slot in the shared plan
+    /// (`None` ⇒ brute force) plus the cascade tolerances.
+    committed: (Option<usize>, CascadeConfig),
+    committed_label: String,
+    /// Audit contradictions since the last commit.
+    contradictions: u64,
+    /// Stream frames observed so far.
+    frames_seen: usize,
+    /// `frames_seen` at the last planner consultation (cooldown anchor).
+    frames_at_attempt: usize,
+    /// Audited frames escalated inline (sentinel detections).
+    audited: u64,
+    /// Window frames escalated retroactively after a plan swap.
+    caught_up: u64,
+    replans: Vec<ReplanEvent>,
+}
+
+impl DriftMonitor {
+    pub(crate) fn new(
+        setup: DriftSetup,
+        committed_backend: Option<usize>,
+        committed_cascade: CascadeConfig,
+        committed_label: String,
+    ) -> Self {
+        let mut monitored = setup.candidate_backends;
+        if let Some(b) = committed_backend {
+            if !monitored.contains(&b) {
+                monitored.push(b);
+            }
+        }
+        assert!(!monitored.is_empty(), "drift monitor needs at least one candidate backend");
+        assert!(!setup.tolerances.is_empty(), "drift monitor needs a non-empty tolerance lattice");
+        DriftMonitor {
+            config: setup.config,
+            monitored,
+            tolerances: setup.tolerances,
+            window: VecDeque::new(),
+            committed: (committed_backend, committed_cascade),
+            committed_label,
+            contradictions: 0,
+            frames_seen: 0,
+            frames_at_attempt: 0,
+            audited: 0,
+            caught_up: 0,
+            replans: Vec::new(),
+        }
+    }
+
+    /// Backends whose estimates the monitor records every batch.
+    pub(crate) fn monitored_backends(&self) -> &[usize] {
+        &self.monitored
+    }
+
+    /// Whether the audit schedule selects this frame.
+    pub(crate) fn audits(&self, frame: &Frame) -> bool {
+        self.config.audits(frame.camera_id, frame.frame_id)
+    }
+
+    /// Records one stream frame: the monitored backends' estimates (parallel
+    /// to [`DriftMonitor::monitored_backends`]) and whether the committed
+    /// plan escalated it.
+    pub(crate) fn observe(&mut self, frame: &Frame, estimates: Vec<FilterEstimate>, passed: bool) {
+        debug_assert_eq!(estimates.len(), self.monitored.len());
+        self.frames_seen += 1;
+        self.window.push_back(WindowObs { frame: frame.clone(), estimates, passed, truth: None });
+        while self.window.len() > self.config.window_frames {
+            self.window.pop_front();
+        }
+    }
+
+    /// Records ground truth for a frame the detector just evaluated. A true
+    /// frame the committed plan rejected is a contradiction — direct evidence
+    /// the committed calibration is stale.
+    pub(crate) fn record_truth(&mut self, frame_id: u64, truth: bool) {
+        if let Some(obs) = self.window.iter_mut().rev().find(|o| o.frame.frame_id == frame_id) {
+            if obs.truth.is_none() && truth && !obs.passed {
+                self.contradictions += 1;
+            }
+            obs.truth = Some(truth);
+        }
+    }
+
+    /// Notes `n` inline audit escalations (for reporting).
+    pub(crate) fn note_audited(&mut self, n: u64) {
+        self.audited += n;
+    }
+
+    /// Known-truth frames currently in the window.
+    fn truth_frames(&self) -> usize {
+        self.window.iter().filter(|o| o.truth.is_some()).count()
+    }
+
+    /// Whether the planner should be consulted at this batch boundary:
+    /// always on a contradiction (recall violation), and speculatively — on
+    /// a cooldown — while the committed plan is the brute-force floor.
+    pub(crate) fn should_attempt(&self) -> bool {
+        if self.truth_frames() < self.config.min_truth_frames {
+            return false;
+        }
+        if self.contradictions > 0 {
+            return true;
+        }
+        self.committed.0.is_none() && self.frames_seen - self.frames_at_attempt >= self.config.cooldown_frames
+    }
+
+    /// Replays the known-truth window through the adaptive planner and
+    /// returns its report. Candidate profiles are built from the estimates
+    /// the monitor already recorded — no additional filter inference is
+    /// charged; the only new information since calibration came through the
+    /// audit channel, which was billed as it happened.
+    pub(crate) fn plan(
+        &mut self,
+        query: &Query,
+        backends: &[&dyn FrameFilter],
+        detector_stage: Stage,
+        model: &CostModel,
+    ) -> CalibrationReport {
+        self.frames_at_attempt = self.frames_seen;
+        let known: Vec<&WindowObs> = self.window.iter().filter(|o| o.truth.is_some()).collect();
+        let truth: Vec<bool> = known.iter().map(|o| o.truth.unwrap()).collect();
+        let candidate_refs: Vec<&dyn FrameFilter> = self.monitored.iter().map(|&b| backends[b]).collect();
+        let profiles: Vec<FilterProfile> = self
+            .monitored
+            .iter()
+            .enumerate()
+            .map(|(slot, &b)| FilterProfile {
+                estimates: known.iter().map(|o| o.estimates[slot].clone()).collect(),
+                virtual_ms_per_frame: model.cost_ms(backends[b].kind().stage()),
+                wall_ms: 0.0,
+            })
+            .collect();
+        plan_cascade_from_profiles(
+            query,
+            &truth,
+            &candidate_refs,
+            &profiles,
+            &self.tolerances,
+            detector_stage,
+            model,
+            0.0,
+        )
+    }
+
+    /// The committed plan identity `(backend slot, cascade)`.
+    pub(crate) fn committed(&self) -> (Option<usize>, CascadeConfig) {
+        self.committed
+    }
+
+    /// Commits a plan swap: records the event, resets the contradiction
+    /// counter, and re-anchors the cooldown.
+    pub(crate) fn commit(
+        &mut self,
+        backend: Option<usize>,
+        cascade: CascadeConfig,
+        label: String,
+        at_offset: usize,
+        expected_cost_ms: f64,
+    ) {
+        let event = ReplanEvent {
+            at_offset,
+            from_label: std::mem::replace(&mut self.committed_label, label.clone()),
+            to_label: label,
+            contradictions: self.contradictions,
+            truth_frames: self.truth_frames(),
+            expected_cost_ms,
+            brute_force: backend.is_none(),
+        };
+        self.committed = (backend, cascade);
+        self.contradictions = 0;
+        self.replans.push(event);
+    }
+
+    /// Window frames with unknown truth that the newly committed cascade
+    /// would have escalated: the catch-up repair set. `slot` indexes the
+    /// monitored-backend list.
+    pub(crate) fn catchup_targets(&self, slot: usize, cascade: &FilterCascade, threshold: f32) -> Vec<Frame> {
+        self.window
+            .iter()
+            .filter(|o| o.truth.is_none() && !o.passed && cascade.passes(&o.estimates[slot], threshold))
+            .map(|o| o.frame.clone())
+            .collect()
+    }
+
+    /// Catch-up targets for a swap to the brute-force floor: every rejected
+    /// window frame with unknown truth (brute force escalates everything).
+    pub(crate) fn catchup_targets_brute(&self) -> Vec<Frame> {
+        self.window.iter().filter(|o| o.truth.is_none() && !o.passed).map(|o| o.frame.clone()).collect()
+    }
+
+    /// Records the outcome of one catch-up escalation (truth is set without
+    /// contradiction counting — the frame was repaired, not missed, under
+    /// the newly committed plan).
+    pub(crate) fn record_catchup(&mut self, frame_id: u64, truth: bool) {
+        if let Some(obs) = self.window.iter_mut().rev().find(|o| o.frame.frame_id == frame_id) {
+            obs.truth = Some(truth);
+        }
+        self.caught_up += 1;
+    }
+
+    /// Replan events so far.
+    pub(crate) fn replans(&self) -> &[ReplanEvent] {
+        &self.replans
+    }
+
+    /// Total frames escalated by the monitor (inline audits + catch-up).
+    pub(crate) fn audit_frames(&self) -> u64 {
+        self.audited + self.caught_up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn audit_schedule_is_pure_and_respects_fraction_bounds() {
+        let config = DriftConfig::new(0.25).with_seed(7);
+        let a: Vec<bool> = (0..512).map(|f| config.audits(0, f)).collect();
+        let b: Vec<bool> = (0..512).map(|f| config.audits(0, f)).collect();
+        assert_eq!(a, b, "schedule is a pure function of (seed, camera, frame)");
+        let hits = a.iter().filter(|&&x| x).count();
+        assert!(hits > 64 && hits < 192, "fraction 0.25 over 512 frames, got {hits}");
+
+        let off = DriftConfig::new(0.0);
+        assert!((0..512).all(|f| !off.audits(0, f)), "fraction 0 never audits");
+        let all = DriftConfig::new(1.0);
+        assert!((0..512).all(|f| all.audits(0, f)), "fraction 1 always audits");
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = DriftConfig::new(0.5).with_seed(1);
+        let b = DriftConfig::new(0.5).with_seed(2);
+        let diverges = (0..256).any(|f| a.audits(0, f) != b.audits(0, f));
+        assert!(diverges);
+    }
+
+    #[test]
+    fn disabled_config_is_disabled() {
+        assert!(!DriftConfig::new(0.0).enabled());
+        assert!(DriftConfig::default().enabled());
+    }
+
+    fn obs_frame(frame_id: u64) -> Frame {
+        Frame { camera_id: 0, frame_id, timestamp: 0.0, objects: vec![] }
+    }
+
+    fn est(count: f32) -> FilterEstimate {
+        FilterEstimate {
+            classes: vec![vmq_video::ObjectClass::Car],
+            counts: vec![count],
+            grids: vec![vmq_filters::ClassGrid::empty(4)],
+            kind: vmq_filters::FilterKind::Od,
+            total_hint: None,
+        }
+    }
+
+    fn monitor() -> DriftMonitor {
+        DriftMonitor::new(
+            DriftSetup {
+                config: DriftConfig::new(0.25).with_window(8).with_min_truth(2),
+                candidate_backends: vec![0],
+                tolerances: vec![CascadeConfig::strict()],
+            },
+            Some(0),
+            CascadeConfig::strict(),
+            "adaptive OD-CCF".to_string(),
+        )
+    }
+
+    #[test]
+    fn contradictions_require_true_and_rejected() {
+        let mut m = monitor();
+        for f in 0..4u64 {
+            m.observe(&obs_frame(f), vec![est(0.0)], f % 2 == 0);
+        }
+        m.record_truth(0, true); // passed — not a contradiction
+        m.record_truth(1, false); // rejected but false — not a contradiction
+        m.record_truth(3, true); // rejected and true — contradiction
+        assert_eq!(m.contradictions, 1);
+        assert_eq!(m.truth_frames(), 3);
+        assert!(m.should_attempt(), "contradiction with enough truth triggers");
+    }
+
+    #[test]
+    fn window_evicts_and_truth_floor_gates_attempts() {
+        let mut m = monitor();
+        for f in 0..20u64 {
+            m.observe(&obs_frame(f), vec![est(0.0)], false);
+        }
+        assert_eq!(m.window.len(), 8, "window capped at configured length");
+        m.record_truth(0, true);
+        assert_eq!(m.contradictions, 0, "evicted frames are forgotten");
+        m.record_truth(19, true);
+        assert_eq!(m.contradictions, 1);
+        assert!(!m.should_attempt(), "one truth frame is below the min_truth floor");
+        m.record_truth(18, false);
+        assert!(m.should_attempt());
+    }
+
+    #[test]
+    fn commit_logs_event_and_resets_contradictions() {
+        let mut m = monitor();
+        for f in 0..4u64 {
+            m.observe(&obs_frame(f), vec![est(3.0)], false);
+        }
+        m.record_truth(2, true);
+        assert_eq!(m.contradictions, 1);
+        m.commit(None, CascadeConfig::tolerant(), "brute-force".to_string(), 4, 200.05);
+        assert_eq!(m.contradictions, 0);
+        assert_eq!(m.replans().len(), 1);
+        let event = &m.replans()[0];
+        assert_eq!(event.from_label, "adaptive OD-CCF");
+        assert_eq!(event.to_label, "brute-force");
+        assert_eq!(event.contradictions, 1);
+        assert!(event.brute_force);
+        assert_eq!(m.committed(), (None, CascadeConfig::tolerant()));
+    }
+
+    #[test]
+    fn catchup_targets_are_unknown_rejected_passers() {
+        let mut m = monitor();
+        m.observe(&obs_frame(0), vec![est(3.0)], false); // unknown, would pass CCF-0 for "3 cars"? depends on cascade
+        m.observe(&obs_frame(1), vec![est(0.0)], false); // unknown, would fail
+        m.observe(&obs_frame(2), vec![est(3.0)], true); // survivor
+        m.record_truth(2, true);
+        let query =
+            crate::parser::parse_statement("q", "SELECT frames WHERE count(car) = 3").expect("query parses").query;
+        let cascade = FilterCascade::new(query, CascadeConfig::strict());
+        let targets = m.catchup_targets(0, &cascade, 0.5);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].frame_id, 0);
+        m.record_catchup(0, true);
+        assert_eq!(m.contradictions, 0, "catch-up truth never counts as a contradiction");
+        assert_eq!(m.audit_frames(), 1);
+    }
+}

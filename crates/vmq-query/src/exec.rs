@@ -10,6 +10,7 @@
 //! reports unified per-operator [`StageMetrics`].
 
 use crate::ast::Query;
+use crate::drift::ReplanEvent;
 use crate::metrics::QueryAccuracy;
 use crate::pipeline::{
     AggregateSpec, IterSource, PhysicalPlan, PipelineConfig, SharedStreamPlan, StageMetrics, WindowEstimator,
@@ -54,6 +55,15 @@ pub struct QueryRun {
     pub filter_wall_ms: f64,
     /// Per-operator metrics of the pipeline that produced this run.
     pub stage_metrics: Vec<StageMetrics>,
+    /// Plan swaps performed by the drift monitor, in stream order (empty for
+    /// every run without an attached monitor).
+    #[serde(default)]
+    pub replans: Vec<ReplanEvent>,
+    /// Frames the drift monitor escalated to the detector (inline audit
+    /// sentinels plus post-replan catch-up repair), already included in
+    /// `virtual_ms` through the ledger's audit phase.
+    #[serde(default)]
+    pub audit_frames: u64,
 }
 
 impl QueryRun {

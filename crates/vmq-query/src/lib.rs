@@ -34,6 +34,7 @@
 
 pub mod ast;
 pub mod catalog;
+pub mod drift;
 pub mod exec;
 pub mod metrics;
 pub mod order;
@@ -45,6 +46,7 @@ pub mod spatial;
 
 pub use ast::{CountTarget, ObjectRef, Predicate, Query};
 pub use catalog::RegionCatalog;
+pub use drift::{DriftConfig, DriftSetup, ReplanEvent};
 pub use exec::{run_streaming, ExecutionMode, QueryExecutor, QueryRun};
 pub use metrics::{QueryAccuracy, SpeedupReport};
 pub use order::{FilterOrdering, PredicateStats};

@@ -50,6 +50,7 @@
 //! bit-identical to isolated runs and to any worker count.
 
 use crate::ast::Query;
+use crate::drift::{DriftMonitor, DriftSetup};
 use crate::exec::{ExecutionMode, QueryRun};
 use crate::plan::{CascadeConfig, FilterCascade};
 use crate::planner::{plan_cascade, CalibrationReport};
@@ -963,6 +964,8 @@ impl<'a> PhysicalPlan<'a> {
             virtual_ms: self.ledger.total_ms(),
             filter_wall_ms,
             stage_metrics,
+            replans: Vec::new(),
+            audit_frames: 0,
         }
     }
 }
@@ -989,6 +992,9 @@ enum SharedQueryKind<'a> {
         /// Wall spent in this query's tolerance checks + predicate eval.
         check_wall_ms: f64,
         eval_wall_ms: f64,
+        /// Online drift monitor (audit channel + rolling recalibration);
+        /// `None` keeps the one-shot committed plan forever.
+        drift: Option<DriftMonitor>,
     },
     /// A windowed aggregate: window-wide indicators → per-window estimation.
     Aggregate {
@@ -1143,9 +1149,47 @@ impl<'a> SharedStreamPlan<'a> {
             ledger,
             calibration,
             matched: Vec::new(),
-            kind: SharedQueryKind::Select { backend, cascade: fc, survivors: 0, check_wall_ms: 0.0, eval_wall_ms: 0.0 },
+            kind: SharedQueryKind::Select {
+                backend,
+                cascade: fc,
+                survivors: 0,
+                check_wall_ms: 0.0,
+                eval_wall_ms: 0.0,
+                drift: None,
+            },
         });
         self.queries.len() - 1
+    }
+
+    /// Like [`SharedStreamPlan::register_select_with`], additionally
+    /// attaching an online drift monitor: a seeded audit channel over
+    /// filter-rejected frames, a sliding truth window over the listed
+    /// candidate backends (the committed backend is always monitored), and
+    /// mid-stream plan re-selection at batch boundaries via the adaptive
+    /// planner. A disabled config (`audit_fraction = 0`) attaches no monitor
+    /// at all, so execution is bit-identical to the one-shot registration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_select_drifted(
+        &mut self,
+        query: Query,
+        cascade: CascadeConfig,
+        backend: Option<usize>,
+        ledger: CostLedger,
+        mode_label: String,
+        calibration: Option<StageMetrics>,
+        setup: DriftSetup,
+    ) -> usize {
+        for &b in &setup.candidate_backends {
+            assert!(b < self.backends.len(), "unknown candidate backend index {b}");
+        }
+        let q = self.register_select_with(query, cascade, backend, ledger, mode_label, calibration);
+        if setup.config.enabled() {
+            let state = &mut self.queries[q];
+            let label = state.mode_label.clone();
+            let SharedQueryKind::Select { drift, .. } = &mut state.kind else { unreachable!() };
+            *drift = Some(DriftMonitor::new(setup, backend, cascade, label));
+        }
+        q
     }
 
     /// Registers a windowed-aggregate query over the listed backends (its
@@ -1237,8 +1281,21 @@ impl<'a> SharedStreamPlan<'a> {
         let mut backend_users: Vec<Vec<usize>> = vec![Vec::new(); self.backends.len()];
         for (q, state) in self.queries.iter().enumerate() {
             match &state.kind {
-                SharedQueryKind::Select { backend: Some(b), .. } => backend_users[*b].push(q),
-                SharedQueryKind::Select { backend: None, .. } => {}
+                SharedQueryKind::Select { backend, drift, .. } => {
+                    if let Some(b) = backend {
+                        backend_users[*b].push(q);
+                    }
+                    // Drift candidates stay warm: the monitor consumes every
+                    // monitored backend's shared inference each batch, so the
+                    // per-batch bill is constant across replans.
+                    if let Some(monitor) = drift {
+                        for &b in monitor.monitored_backends() {
+                            if !backend_users[b].contains(&q) {
+                                backend_users[b].push(q);
+                            }
+                        }
+                    }
+                }
                 SharedQueryKind::Aggregate { backends, .. } => {
                     for &b in backends {
                         if !backend_users[b].contains(&q) {
@@ -1261,6 +1318,9 @@ impl<'a> SharedStreamPlan<'a> {
         } {
             frames_total += frames.len();
             self.process_batch(&frames, &all_users, &backend_users, &mut wall, &mut backend_wall);
+            // Batch boundaries are the plan-swap points: consult every drift
+            // monitor whose audit evidence warrants a replan.
+            self.maybe_replan(frames_total);
         }
 
         // Settle the detector attribution: every cached frame's single
@@ -1311,26 +1371,55 @@ impl<'a> SharedStreamPlan<'a> {
             self.stream_frames.extend(frames.iter().cloned());
         }
         let mut escalations: Vec<Vec<usize>> = vec![Vec::new(); n];
+        // Escalations the audit channel added (query, batch position):
+        // detected like survivors, but billed through the ledger's audit
+        // phase and fed back to the drift monitor as ground truth.
+        let mut audit_marks: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
         for (q, state) in self.queries.iter_mut().enumerate() {
             match &mut state.kind {
-                SharedQueryKind::Select { backend, cascade, survivors, check_wall_ms, .. } => {
+                SharedQueryKind::Select { backend, cascade, survivors, check_wall_ms, drift, .. } => {
                     let start = Instant::now();
+                    let mut passes: Vec<bool> = Vec::new();
                     match backend {
                         None => {
                             for users in escalations.iter_mut() {
                                 users.push(q);
                             }
                             *survivors += n;
+                            if drift.is_some() {
+                                passes = vec![true; n];
+                            }
                         }
                         Some(b) => {
                             let ests = estimates[*b].as_ref().expect("backend inference ran for its users");
                             let threshold = self.backends[*b].threshold();
-                            for (est, users) in ests.iter().zip(escalations.iter_mut()) {
-                                if cascade.passes(est, threshold) {
+                            for (i, (est, users)) in ests.iter().zip(escalations.iter_mut()).enumerate() {
+                                let pass = cascade.passes(est, threshold);
+                                if pass {
                                     users.push(q);
                                     *survivors += 1;
+                                } else if let Some(monitor) = drift.as_ref() {
+                                    // Audit tap: a seeded fraction of rejected
+                                    // frames goes to the detector anyway.
+                                    if monitor.audits(&frames[i]) {
+                                        users.push(q);
+                                        audit_marks.insert((q, i));
+                                    }
+                                }
+                                if drift.is_some() {
+                                    passes.push(pass);
                                 }
                             }
+                        }
+                    }
+                    if let Some(monitor) = drift.as_mut() {
+                        let monitored: Vec<usize> = monitor.monitored_backends().to_vec();
+                        for (i, frame) in frames.iter().enumerate() {
+                            let row: Vec<FilterEstimate> = monitored
+                                .iter()
+                                .map(|&mb| estimates[mb].as_ref().expect("monitored backend inference ran")[i].clone())
+                                .collect();
+                            monitor.observe(frame, row, passes[i]);
                         }
                     }
                     *check_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
@@ -1362,27 +1451,114 @@ impl<'a> SharedStreamPlan<'a> {
         let detector_stage = self.detector.stage();
         for (q, state) in self.queries.iter_mut().enumerate() {
             let SharedQueryState { kind, matched, ledger, .. } = state;
-            let SharedQueryKind::Select { cascade, eval_wall_ms, .. } = kind else { continue };
+            let SharedQueryKind::Select { cascade, eval_wall_ms, drift, .. } = kind else { continue };
             let start = Instant::now();
             let mut detected = 0u64;
+            let mut audited = 0u64;
             for (i, users) in escalations.iter().enumerate() {
                 if !users.contains(&q) {
                     continue;
                 }
-                detected += 1;
+                if audit_marks.contains(&(q, i)) {
+                    audited += 1;
+                } else {
+                    detected += 1;
+                }
                 let detections = resolved[i].as_ref().expect("escalated frames are detected");
-                if cascade.query().matches_detections(detections) {
+                let truth = cascade.query().matches_detections(detections);
+                if truth {
+                    // Audit sentinels double as corrections: a true frame the
+                    // committed plan rejected still reaches the result set.
                     matched.push(frames[i].frame_id);
+                }
+                if let Some(monitor) = drift.as_mut() {
+                    monitor.record_truth(frames[i].frame_id, truth);
                 }
             }
             if detected > 0 {
                 ledger.charge(detector_stage, detected);
+            }
+            if audited > 0 {
+                ledger.charge_audit(detector_stage, audited);
+                if let Some(monitor) = drift.as_mut() {
+                    monitor.note_audited(audited);
+                }
             }
             *eval_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
         }
 
         // Phase 6 — aggregate sinks emit every completed hopping window.
         self.emit_ready_windows();
+    }
+
+    /// Consults every drift monitor at a batch boundary (`stream_offset`
+    /// frames processed so far) and swaps committed plans where the audit
+    /// evidence demands it: the known-truth window is replayed through the
+    /// adaptive planner, and — on a swap — rejected window frames the new
+    /// plan would have escalated are detected retroactively (catch-up
+    /// repair, billed as audit work), which restores recall instead of
+    /// merely stopping future misses.
+    fn maybe_replan(&mut self, stream_offset: usize) {
+        let detector_stage = self.detector.stage();
+        let model = self.global.model().clone();
+        for (q, state) in self.queries.iter_mut().enumerate() {
+            let SharedQueryState { kind, matched, ledger, mode_label, .. } = state;
+            let SharedQueryKind::Select { backend, cascade, drift, .. } = kind else { continue };
+            let Some(monitor) = drift.as_mut() else { continue };
+            if !monitor.should_attempt() {
+                continue;
+            }
+            let report = monitor.plan(cascade.query(), &self.backends, detector_stage, &model);
+            let choice = &report.choice;
+            let new_backend =
+                if choice.brute_force { None } else { Some(monitor.monitored_backends()[choice.backend_index]) };
+            if monitor.committed() == (new_backend, choice.cascade) {
+                // The planner re-affirmed the committed plan; the cooldown
+                // was re-anchored and contradictions stay until new audit
+                // evidence changes the window's verdict.
+                continue;
+            }
+            let query = cascade.query().clone();
+            let new_cascade = FilterCascade::new(query.clone(), choice.cascade);
+            // Catch-up repair over the still-windowed history.
+            let targets = match new_backend {
+                Some(_) => monitor.catchup_targets(
+                    choice.backend_index,
+                    &new_cascade,
+                    self.backends[monitor.monitored_backends()[choice.backend_index]].threshold(),
+                ),
+                None => monitor.catchup_targets_brute(),
+            };
+            let mut fresh = 0u64;
+            for frame in &targets {
+                let detections = match self.cache.get(frame, q) {
+                    Some(hit) => hit,
+                    None => {
+                        fresh += 1;
+                        let arc = std::sync::Arc::new(self.detector.detect(frame));
+                        self.cache.insert(frame, std::sync::Arc::clone(&arc), q);
+                        arc
+                    }
+                };
+                let truth = query.matches_detections(&detections);
+                if truth {
+                    matched.push(frame.frame_id);
+                }
+                monitor.record_catchup(frame.frame_id, truth);
+            }
+            if fresh > 0 {
+                self.global.charge(detector_stage, fresh);
+            }
+            if !targets.is_empty() {
+                ledger.charge_audit(detector_stage, targets.len() as u64);
+            }
+            // Commit the swap: subsequent batches run the new plan.
+            let label = choice.label.clone();
+            *mode_label = format!("adaptive {label}");
+            monitor.commit(new_backend, choice.cascade, label, stream_offset, choice.expected_cost);
+            *backend = new_backend;
+            *cascade = new_cascade;
+        }
     }
 
     /// Detects every frame at least one query escalated, reusing cached
@@ -1569,9 +1745,17 @@ impl<'a> SharedStreamPlan<'a> {
                             .with_workers(if sharded { workers } else { 1 })
                     };
                 match &state.kind {
-                    SharedQueryKind::Select { backend, survivors, check_wall_ms, eval_wall_ms, .. } => {
+                    SharedQueryKind::Select { backend, survivors, check_wall_ms, eval_wall_ms, drift, .. } => {
                         let survivors = *survivors;
-                        let matched = state.matched.len();
+                        let audit_frames = drift.as_ref().map_or(0, |m| m.audit_frames());
+                        let detected = survivors + audit_frames as usize;
+                        let mut matched_frames = state.matched.clone();
+                        if drift.is_some() {
+                            // Audit corrections and catch-up repair append out
+                            // of stream order; restore it for reporting.
+                            matched_frames.sort_unstable();
+                        }
+                        let matched = matched_frames.len();
                         stage_metrics.push(row(
                             "source",
                             Some(Stage::Decode),
@@ -1596,26 +1780,49 @@ impl<'a> SharedStreamPlan<'a> {
                                 .with_kernel_backend(self.backends[*b].kernel_backend()),
                             );
                         }
+                        // Candidate backends the drift monitor kept warm are
+                        // billed every frame; report them as their own rows so
+                        // the stage sum still equals the private ledger.
+                        if let Some(monitor) = drift {
+                            for &mb in monitor.monitored_backends() {
+                                if Some(mb) == *backend {
+                                    continue;
+                                }
+                                stage_metrics.push(
+                                    row(
+                                        "drift-monitor",
+                                        Some(self.backends[mb].kind().stage()),
+                                        frames_total,
+                                        frames_total,
+                                        frames_total as u64,
+                                        backend_wall[mb],
+                                    )
+                                    .with_kernel_backend(self.backends[mb].kernel_backend()),
+                                );
+                            }
+                        }
                         stage_metrics.push(row(
                             "detect",
                             Some(detector_stage),
-                            survivors,
-                            survivors,
-                            survivors as u64,
+                            detected,
+                            detected,
+                            detected as u64,
                             wall.detect_ms,
                         ));
-                        stage_metrics.push(row("predicate-eval", None, survivors, matched, 0, *eval_wall_ms));
+                        stage_metrics.push(row("predicate-eval", None, detected, matched, 0, *eval_wall_ms));
                         stage_metrics.push(row("sink", None, matched, matched, 0, 0.0));
                         QueryRun {
                             query: state.name.clone(),
                             mode: state.mode_label.clone(),
-                            matched_frames: state.matched.clone(),
+                            matched_frames,
                             frames_total,
                             frames_passed_filter: if backend.is_some() { survivors } else { frames_total },
-                            frames_detected: survivors,
+                            frames_detected: detected,
                             virtual_ms: state.ledger.total_ms(),
                             filter_wall_ms,
                             stage_metrics,
+                            replans: drift.as_ref().map_or_else(Vec::new, |m| m.replans().to_vec()),
+                            audit_frames,
                         }
                     }
                     SharedQueryKind::Aggregate {
@@ -1668,6 +1875,8 @@ impl<'a> SharedStreamPlan<'a> {
                             virtual_ms: state.ledger.total_ms(),
                             filter_wall_ms,
                             stage_metrics,
+                            replans: Vec::new(),
+                            audit_frames: 0,
                         }
                     }
                 }

@@ -32,6 +32,7 @@ fn main() {
         RuntimeQuery::SelectAdaptive {
             query: Query::paper_q5(),
             calibration: CalibrationConfig::calibrated(vec![CalibrationProfile::od_like()]).with_prefix(40),
+            drift: None,
         },
         RuntimeQuery::Aggregate {
             query: Query::paper_a1(),

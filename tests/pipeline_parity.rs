@@ -427,6 +427,7 @@ fn run_many_sharded_outcomes_are_unchanged_by_filter_stage_workers() {
                 candidate_backends: vec![choice],
                 candidate_tolerances: SharedCascade::lattice(),
             },
+            drift: None,
         },
         RuntimeQuery::Aggregate {
             query: Query::paper_a1(),
