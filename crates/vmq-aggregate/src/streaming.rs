@@ -42,6 +42,13 @@ pub struct WindowedAggregator {
     calibration_prefix: Option<usize>,
     reports: Vec<AggregateReport>,
     selections: Vec<CvBackendChoice>,
+    /// Current overload shed level (0 = none): each level halves the
+    /// detector sample size per trial, floored at 2 samples. Estimates stay
+    /// unbiased — sampling is still uniform — only their confidence
+    /// intervals widen, and `shed_windows` reports how many windows ran
+    /// degraded.
+    shed_level: u32,
+    shed_windows: usize,
 }
 
 impl WindowedAggregator {
@@ -57,6 +64,8 @@ impl WindowedAggregator {
             calibration_prefix: None,
             reports: Vec::new(),
             selections: Vec::new(),
+            shed_level: 0,
+            shed_windows: 0,
         }
     }
 
@@ -92,6 +101,23 @@ impl WindowedAggregator {
     /// than one backend was available).
     pub fn selections(&self) -> &[CvBackendChoice] {
         &self.selections
+    }
+
+    /// Number of windows estimated while a shed level was active (degraded
+    /// sampling; see [`WindowEstimator::set_shed_level`]).
+    pub fn shed_windows(&self) -> usize {
+        self.shed_windows
+    }
+
+    /// The currently active shed level.
+    pub fn shed_level(&self) -> u32 {
+        self.shed_level
+    }
+
+    /// Detector samples per trial at the current shed level: each level
+    /// halves the configured sample size, floored at 2.
+    fn effective_sample_size(&self) -> usize {
+        (self.sample_size >> self.shed_level.min(31)).max(2)
     }
 }
 
@@ -133,10 +159,13 @@ impl WindowEstimator for WindowedAggregator {
         // 2. Run the shared trial engine. Window 0 uses trial keys 0..trials
         //    (the legacy one-shot sequence); later windows shift their keys
         //    into a disjoint range.
+        if self.shed_level > 0 {
+            self.shed_windows += 1;
+        }
         let engine = TrialEngine {
             query: &self.query,
             sampler: &self.sampler,
-            sample_size: self.sample_size,
+            sample_size: self.effective_sample_size(),
             trials: self.trials,
         };
         let trial_offset = (window.index as u64) << 32;
@@ -149,6 +178,10 @@ impl WindowEstimator for WindowedAggregator {
         self.reports.push(report);
 
         WindowCharge { estimation_frames, calibration_frames }
+    }
+
+    fn set_shed_level(&mut self, level: u32) {
+        self.shed_level = level;
     }
 }
 

@@ -1,0 +1,428 @@
+//! E-FLEET — fleet-scale monitoring: hundreds of cameras × 7 standing
+//! statements each, in one process.
+//!
+//! Exercises the [`vmq_core::FleetRuntime`] end to end:
+//!
+//! * **scaling tiers** — the same per-camera statement set at increasing
+//!   fleet sizes; per-camera wall-clock must stay flat (the scheduler and
+//!   the fleet-global cache/ledger add no super-linear overhead);
+//! * **parity spot-check** — a few cameras re-run isolated (fresh cache and
+//!   ledger, different worker count); every statement's matched frames,
+//!   detector counts and virtual time must be bit-identical to the fleet
+//!   pass;
+//! * **byte-budgeted dedup** — the fleet-global detection cache runs under a
+//!   deliberately tight byte budget, so eviction and its accounting are on
+//!   the hot path while resident memory stays bounded;
+//! * **injected overload burst** — frames arrive faster than the bounded
+//!   ingest queues accept; the edge drops and counts the overflow, the
+//!   scheduler sheds aggregate detector *sampling* while the backlog is
+//!   high, and certified select recall stays exactly 1.0 on every admitted
+//!   frame.
+//!
+//! Setting `VMQ_BENCH_JSON=<path>` appends a `"fleet"` section to the JSON
+//! baseline (idempotent; regenerate in `table3 → table4 → drift_stream →
+//! fleet_scale` order since each writer truncates at its own key).
+
+use std::time::Instant;
+
+use vmq_aggregate::WindowedAggregator;
+use vmq_bench::Scale;
+use vmq_core::{FleetConfig, FleetOutcome, FleetRuntime, Report};
+use vmq_detect::{CostLedger, DetectionCache, OracleDetector};
+use vmq_filters::{CalibratedFilter, CalibrationProfile};
+use vmq_query::{AggregateSpec, CascadeConfig, PipelineConfig, Query, SharedStreamPlan};
+use vmq_video::{DatasetProfile, Frame, Scene, SceneConfig};
+
+const STATEMENTS_PER_CAMERA: usize = 7;
+const AGGREGATES_PER_CAMERA: usize = 2;
+const TENANTS: [&str; 3] = ["acme", "globex", "initech"];
+const BATCH: usize = 16;
+
+/// The seven standing statements registered on every camera: five selects
+/// across the paper's query catalog plus two `a1` aggregates — one
+/// frame-hopping, one wall-clock-hopping (so mixed-fps cameras exercise the
+/// time-based window path).
+fn select_statements() -> [(Query, CascadeConfig); 5] {
+    [
+        (Query::paper_q1(), CascadeConfig::strict()),
+        (Query::paper_q3(), CascadeConfig::strict()),
+        (Query::paper_q4(), CascadeConfig::tolerant()),
+        (Query::paper_q5(), CascadeConfig::tolerant()),
+        (Query::paper_q7(), CascadeConfig::strict()),
+    ]
+}
+
+fn camera_scene(c: usize) -> Scene {
+    let profile = DatasetProfile::jackson();
+    // Alternate frame rates so wall-clock windows genuinely cover different
+    // frame counts per camera.
+    let fps = if c.is_multiple_of(2) { 30.0 } else { 15.0 };
+    Scene::new(SceneConfig::from_profile(&profile).with_camera(c as u32).with_fps(fps), 0xF1EE7 + c as u64)
+}
+
+fn camera_filter(c: usize, profile: CalibrationProfile) -> CalibratedFilter {
+    CalibratedFilter::new(DatasetProfile::jackson().class_list(), 14, profile, 0x0D + c as u64)
+}
+
+fn camera_estimators(c: usize) -> [WindowedAggregator; AGGREGATES_PER_CAMERA] {
+    [
+        WindowedAggregator::new(Query::paper_a1(), 4, 3, 0xA1 + c as u64),
+        WindowedAggregator::new(Query::paper_a1(), 4, 3, 0xA2 + c as u64),
+    ]
+}
+
+fn aggregate_specs() -> [AggregateSpec; AGGREGATES_PER_CAMERA] {
+    [AggregateSpec::new(20, 20), AggregateSpec::hopping_seconds(1.0, 1.0)]
+}
+
+fn tenant_of(c: usize) -> &'static str {
+    TENANTS[c % TENANTS.len()]
+}
+
+/// Registers the standard 7-statement set for camera `c` on `fleet`.
+fn register_camera<'a>(
+    fleet: &mut FleetRuntime<'a>,
+    c: usize,
+    filter: &'a CalibratedFilter,
+    estimators: &'a mut [WindowedAggregator],
+) {
+    let cam = fleet.add_camera(camera_scene(c));
+    let b = fleet.add_backend(cam, filter);
+    for (query, cascade) in select_statements() {
+        fleet.register_select(cam, tenant_of(c), query, cascade, Some(b));
+    }
+    for (spec, estimator) in aggregate_specs().into_iter().zip(estimators.iter_mut()) {
+        fleet.register_aggregate(cam, tenant_of(c), Query::paper_a1(), spec, &[b], estimator);
+    }
+}
+
+struct FleetRun {
+    outcome: FleetOutcome,
+    drain_ms: f64,
+    cameras: usize,
+}
+
+/// Builds a fleet of `cameras`, ingests `frames` per camera and drains it,
+/// timing the scheduling + processing (not construction).
+fn run_fleet(cameras: usize, frames: usize, workers: usize, cache_bytes: usize) -> FleetRun {
+    let oracle = OracleDetector::perfect();
+    let filters: Vec<CalibratedFilter> =
+        (0..cameras).map(|c| camera_filter(c, CalibrationProfile::od_like())).collect();
+    let mut estimators: Vec<WindowedAggregator> = (0..cameras).flat_map(camera_estimators).collect();
+    let mut fleet = FleetRuntime::new(
+        &oracle,
+        FleetConfig { batch_size: BATCH, workers, queue_capacity: frames, cache_bytes, ..FleetConfig::default() },
+    );
+    for (c, (filter, ests)) in filters.iter().zip(estimators.chunks_mut(AGGREGATES_PER_CAMERA)).enumerate() {
+        register_camera(&mut fleet, c, filter, ests);
+    }
+    let dropped = fleet.ingest(frames);
+    assert_eq!(dropped, 0, "the scaling tiers run without overload");
+    let start = Instant::now();
+    fleet.drain();
+    let drain_ms = start.elapsed().as_secs_f64() * 1000.0;
+    FleetRun { outcome: fleet.finish(), drain_ms, cameras }
+}
+
+/// Re-runs camera `c`'s seven statements through an isolated single-camera
+/// plan (fresh unbounded cache, fresh ledger, different worker count) and
+/// returns the per-statement runs in the same registration order.
+fn isolated_camera(c: usize, frames: usize, workers: usize) -> Vec<vmq_query::QueryRun> {
+    let oracle = OracleDetector::perfect();
+    let filter = camera_filter(c, CalibrationProfile::od_like());
+    let mut estimators = camera_estimators(c);
+    let mut scene = camera_scene(c);
+    let stream: Vec<Frame> = (0..frames).map(|_| scene.step()).collect();
+    let mut plan = SharedStreamPlan::new(
+        &oracle,
+        DetectionCache::new(),
+        CostLedger::paper(),
+        PipelineConfig::with_batch_size(BATCH),
+    )
+    .with_workers(workers);
+    let b = plan.add_backend(&filter);
+    for (query, cascade) in select_statements() {
+        plan.register_select(query, cascade, Some(b), CostLedger::paper());
+    }
+    for (spec, estimator) in aggregate_specs().into_iter().zip(estimators.iter_mut()) {
+        plan.register_aggregate(Query::paper_a1(), spec, &[b], estimator, CostLedger::paper());
+    }
+    plan.execute_slice(&stream)
+}
+
+/// Bit-identity between the fleet pass and isolated re-runs of a few
+/// cameras, across a different worker count.
+fn check_parity(run: &FleetRun, frames: usize, check_cameras: &[usize]) -> (usize, bool) {
+    let mut checked = 0;
+    let mut identical = true;
+    for &c in check_cameras {
+        let isolated = isolated_camera(c, frames, 2);
+        for (s, iso) in isolated.iter().enumerate() {
+            let stmt = &run.outcome.statements[c * STATEMENTS_PER_CAMERA + s];
+            assert_eq!(stmt.camera, c);
+            checked += 1;
+            identical &= stmt.run.matched_frames == iso.matched_frames
+                && stmt.run.frames_detected == iso.frames_detected
+                && stmt.run.frames_passed_filter == iso.frames_passed_filter
+                && stmt.run.virtual_ms.to_bits() == iso.virtual_ms.to_bits();
+        }
+    }
+    (checked, identical)
+}
+
+struct OverloadResult {
+    cameras: usize,
+    frames_dropped: u64,
+    shed_events: u64,
+    max_shed_level: u32,
+    shed_windows: usize,
+    select_recall: f64,
+    shed_sampled: usize,
+    unshed_sampled: usize,
+}
+
+/// The injected overload burst: frames arrive in bursts larger than the
+/// ingest queues, so the edge drops the overflow and the scheduler sheds
+/// aggregate sampling while the backlog is high. A twin fleet with shedding
+/// disabled processes the identical admitted stream for comparison.
+fn run_overload(cameras: usize) -> OverloadResult {
+    const BURSTS: usize = 3;
+    const BURST_FRAMES: usize = 40;
+    const CAPACITY: usize = 24;
+    let run = |shed_per_level: usize| -> (FleetOutcome, usize) {
+        let oracle = OracleDetector::perfect();
+        // Perfect filters make expected select recall exactly 1.0, so any
+        // shed leakage into the select path is observable.
+        let filters: Vec<CalibratedFilter> =
+            (0..cameras).map(|c| camera_filter(c, CalibrationProfile::perfect())).collect();
+        let mut estimators: Vec<WindowedAggregator> =
+            (0..cameras).map(|c| WindowedAggregator::new(Query::paper_a1(), 8, 3, 0xB0 + c as u64)).collect();
+        let mut fleet = FleetRuntime::new(
+            &oracle,
+            FleetConfig {
+                batch_size: 12,
+                queue_capacity: CAPACITY,
+                shed_backlog_per_level: shed_per_level,
+                ..FleetConfig::default()
+            },
+        );
+        for (c, (filter, estimator)) in filters.iter().zip(estimators.iter_mut()).enumerate() {
+            let cam = fleet.add_camera(camera_scene(c));
+            let b = fleet.add_backend(cam, filter);
+            fleet.register_select(cam, tenant_of(c), Query::paper_q3(), CascadeConfig::strict(), Some(b));
+            fleet.register_aggregate(cam, tenant_of(c), Query::paper_a1(), AggregateSpec::new(12, 12), &[b], estimator);
+        }
+        for _ in 0..BURSTS {
+            fleet.ingest(BURST_FRAMES);
+            fleet.drain();
+        }
+        let outcome = fleet.finish();
+        let shed_windows = estimators.iter().map(|e| e.shed_windows()).sum();
+        (outcome, shed_windows)
+    };
+
+    let (shed, shed_windows) = run(cameras * CAPACITY / 2);
+    let (unshed, unshed_windows) = run(usize::MAX);
+    assert_eq!(unshed_windows, 0, "the twin fleet never sheds");
+    assert_eq!(shed.frames_dropped, unshed.frames_dropped, "identical admission in both fleets");
+
+    // Certified recall on every admitted frame: each burst admits the first
+    // CAPACITY frames and drops the rest at the edge, so the admitted frame
+    // ids are exactly reconstructible per camera.
+    let mut recall_num = 0usize;
+    let mut recall_den = 0usize;
+    for c in 0..cameras {
+        let mut scene = camera_scene(c);
+        let stream: Vec<Frame> = (0..BURSTS * BURST_FRAMES).map(|_| scene.step()).collect();
+        let query = Query::paper_q3();
+        let truth: Vec<u64> = (0..BURSTS)
+            .flat_map(|b| &stream[b * BURST_FRAMES..b * BURST_FRAMES + CAPACITY])
+            .filter(|f| query.matches_ground_truth(f))
+            .map(|f| f.frame_id)
+            .collect();
+        let matched = &shed.statements[2 * c].run.matched_frames;
+        recall_den += truth.len();
+        recall_num += truth.iter().filter(|id| matched.contains(id)).count();
+    }
+    let select_recall = if recall_den == 0 { 1.0 } else { recall_num as f64 / recall_den as f64 };
+
+    let sampled =
+        |o: &FleetOutcome| o.statements.iter().filter(|s| s.name == "a1").map(|s| s.run.frames_detected).sum::<usize>();
+    OverloadResult {
+        cameras,
+        frames_dropped: shed.frames_dropped,
+        shed_events: shed.shed_events,
+        max_shed_level: shed.max_shed_level,
+        shed_windows,
+        select_recall,
+        shed_sampled: sampled(&shed),
+        unshed_sampled: sampled(&unshed),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_json(
+    path: &str,
+    tiers: &[FleetRun],
+    frames: usize,
+    workers: usize,
+    cache_bytes: usize,
+    overhead_ratio: f64,
+    parity: (usize, bool),
+    overload: &OverloadResult,
+) {
+    let main = tiers.last().expect("at least one tier");
+    let tier_rows: Vec<String> = tiers
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{\"cameras\":{},\"wall_ms\":{:.1},\"wall_ms_per_camera\":{:.3}}}",
+                t.cameras,
+                t.drain_ms,
+                t.drain_ms / t.cameras as f64
+            )
+        })
+        .collect();
+    let tenant_rows: Vec<String> = main
+        .outcome
+        .by_tenant
+        .iter()
+        .map(|g| {
+            format!(
+                "      {{\"tenant\":\"{}\",\"statements\":{},\"attributed_ms\":{:.1},\"isolated_ms\":{:.1}}}",
+                g.group, g.statements, g.attributed_ms, g.isolated_ms
+            )
+        })
+        .collect();
+    let section = format!(
+        concat!(
+            "  \"fleet\": {{\n",
+            "    \"scale\": {{\"cameras\":{},\"statements_per_camera\":{},\"statements\":{},\"frames_per_camera\":{},\"workers\":{}}},\n",
+            "    \"tiers\": [\n{}\n    ],\n",
+            "    \"per_camera_overhead_ratio\": {:.3},\n",
+            "    \"parity\": {{\"cameras_checked\":{},\"statements_checked\":{},\"bit_identical\":{}}},\n",
+            "    \"dedup\": {{\"detector_invocations\":{},\"cache_hits\":{},\"cache_evictions\":{},\"cache_byte_budget\":{},\"cache_resident_bytes\":{},\"cache_evicted_bytes\":{},\"shared_total_ms\":{:.1},\"isolated_total_ms\":{:.1},\"saved_ms\":{:.1}}},\n",
+            "    \"tenants\": [\n{}\n    ],\n",
+            "    \"overload\": {{\"cameras\":{},\"frames_dropped\":{},\"shed_events\":{},\"max_shed_level\":{},\"shed_windows\":{},\"select_recall\":{:.4},\"sampled_detections_shed\":{},\"sampled_detections_unshed\":{}}}\n",
+            "  }}"
+        ),
+        main.cameras,
+        STATEMENTS_PER_CAMERA,
+        main.outcome.statements.len(),
+        frames,
+        workers,
+        tier_rows.join(",\n"),
+        overhead_ratio,
+        parity.0 / STATEMENTS_PER_CAMERA,
+        parity.0,
+        u8::from(parity.1),
+        main.outcome.detector_invocations,
+        main.outcome.cache_hits,
+        main.outcome.cache_evictions,
+        cache_bytes,
+        main.outcome.cache_resident_bytes,
+        main.outcome.cache_evicted_bytes,
+        main.outcome.shared.shared_total_ms,
+        main.outcome.shared.isolated_total_ms,
+        main.outcome.shared.saved_ms(),
+        tenant_rows.join(",\n"),
+        overload.cameras,
+        overload.frames_dropped,
+        overload.shed_events,
+        overload.max_shed_level,
+        overload.shed_windows,
+        overload.select_recall,
+        overload.shed_sampled,
+        overload.unshed_sampled,
+    );
+    let head = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let cut = existing.find("\"fleet\"").or_else(|| existing.rfind('}')).unwrap_or(0);
+            existing[..cut].trim_end().trim_end_matches(',').trim_end().to_string()
+        }
+        Err(_) => String::new(),
+    };
+    let text = if head.is_empty() || head == "{" {
+        format!("{{\n  \"bench\": \"fleet_scale\",\n{section}\n}}\n")
+    } else {
+        format!("{head},\n{section}\n}}\n")
+    };
+    std::fs::write(path, text).expect("write bench JSON");
+    eprintln!("wrote fleet scenario rows to {path}");
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (cameras, frames) = match scale {
+        Scale::Quick => (500, 40),
+        Scale::Default => (600, 60),
+        Scale::Full => (1000, 60),
+    };
+    let workers = 1;
+    let cache_bytes = 1 << 20; // deliberately tight: eviction on the hot path
+    let tier_sizes = [cameras / 10, cameras / 2, cameras];
+
+    let tiers: Vec<FleetRun> = tier_sizes.iter().map(|&n| run_fleet(n, frames, workers, cache_bytes)).collect();
+    let per_camera: Vec<f64> = tiers.iter().map(|t| t.drain_ms / t.cameras as f64).collect();
+    let overhead_ratio = per_camera.iter().cloned().fold(f64::MIN, f64::max)
+        / per_camera.iter().cloned().fold(f64::MAX, f64::min).max(1e-9);
+
+    let main_run = tiers.last().expect("tiers");
+    let parity = check_parity(main_run, frames, &[0, cameras / 2, cameras - 1]);
+    let overload = run_overload((cameras / 10).max(8));
+
+    let mut report = Report::new("Fleet runtime — M cameras × 7 standing statements, one process").header(&[
+        "cameras",
+        "statements",
+        "drain (ms)",
+        "ms/camera",
+        "detector calls",
+        "cache hits",
+        "evictions",
+    ]);
+    for t in &tiers {
+        report.row(&[
+            format!("{}", t.cameras),
+            format!("{}", t.outcome.statements.len()),
+            format!("{:.0}", t.drain_ms),
+            format!("{:.3}", t.drain_ms / t.cameras as f64),
+            format!("{}", t.outcome.detector_invocations),
+            format!("{}", t.outcome.cache_hits),
+            format!("{}", t.outcome.cache_evictions),
+        ]);
+    }
+    report.note(&format!(
+        "per-camera overhead ratio across tiers: {overhead_ratio:.2}x (flat scheduling — no super-linear fleet cost)"
+    ));
+    report.note(&format!(
+        "parity: {} statements on {} cameras re-run isolated at a different worker count — bit-identical: {}",
+        parity.0,
+        parity.0 / STATEMENTS_PER_CAMERA,
+        parity.1
+    ));
+    report.note(&format!(
+        "fleet-global cache: {} B budget, {} B resident, {} evictions (accounting survives eviction)",
+        cache_bytes, main_run.outcome.cache_resident_bytes, main_run.outcome.cache_evictions
+    ));
+    report.note(&format!(
+        "overload burst ({} cameras): {} frames dropped at the edge, {} shed events (max level {}), {} windows degraded, aggregate sampling {} → {}, select recall {:.2}%",
+        overload.cameras,
+        overload.frames_dropped,
+        overload.shed_events,
+        overload.max_shed_level,
+        overload.shed_windows,
+        overload.unshed_sampled,
+        overload.shed_sampled,
+        overload.select_recall * 100.0
+    ));
+    println!("{}", report.render());
+
+    assert!(parity.1, "fleet statements must be bit-identical to isolated runs");
+    assert!(overload.select_recall >= 1.0 - 1e-12, "shedding must never touch select recall");
+    assert!(overload.shed_sampled < overload.unshed_sampled, "shedding must reduce aggregate sampling");
+    assert!(main_run.outcome.cache_resident_bytes <= cache_bytes, "cache memory stays bounded");
+
+    if let Ok(path) = std::env::var("VMQ_BENCH_JSON") {
+        write_json(&path, &tiers, frames, workers, cache_bytes, overhead_ratio, parity, &overload);
+    }
+}

@@ -1,0 +1,630 @@
+//! The multi-camera fleet runtime: M cameras × N standing statements in one
+//! process.
+//!
+//! [`StreamRuntime`](crate::StreamRuntime) answers the paper's monitoring
+//! setting for a *single* camera — N standing queries share one stream pass.
+//! [`FleetRuntime`] scales that to a camera fleet: every camera brings its
+//! own [`Scene`] (seed, frame rate, regime profile) and its own
+//! [`SharedStreamPlan`] of standing statements, while the fleet provides the
+//! shared substrate those plans plug into:
+//!
+//! * **one fleet-global [`DetectionCache`]** with a byte budget — detections
+//!   are deduplicated *across* plans (cache keys carry the camera id, so
+//!   streams never collide) and evicted under memory pressure with exact
+//!   eviction accounting;
+//! * **one fleet-global [`CostLedger`]** — each statement is aliased to a
+//!   fleet-unique attribution id ([`SharedStreamPlan::alias_user`]), so the
+//!   deduplicated bill splits per statement exactly as in the single-camera
+//!   runtime, and [`SharedCost::rollup`] folds it into per-camera and
+//!   per-tenant totals;
+//! * **bounded per-camera ingest queues** — producers enqueue frames up to a
+//!   capacity; overflow is *dropped at the edge* and counted, never silently
+//!   absorbed;
+//! * **a round-robin scheduler** — [`FleetRuntime::poll`] drains one batch
+//!   per camera per sweep through the plans' incremental
+//!   [`push_batch`](SharedStreamPlan::push_batch) entry point, so every
+//!   camera's statements make progress and all per-batch machinery (drift
+//!   replans, window emission, sharded workers) runs exactly as it would
+//!   stand-alone;
+//! * **graceful overload shedding** — when the total backlog crosses the
+//!   configured threshold the scheduler raises the shed level, which halves
+//!   aggregate detector *sampling* per level (wider confidence intervals,
+//!   reported per estimator). Select queries are never shed: certified
+//!   filter recall is a correctness property, not a load knob.
+//!
+//! Because each camera's plan runs the same phases with the same private
+//! ledgers and the same per-frame-pure backends it would run alone, every
+//! statement outcome is **bit-identical** to executing that camera's plan in
+//! isolation — the fleet only changes who pays for shared work, never what
+//! any statement computes. The fleet bench and the tests below pin this.
+
+use std::collections::VecDeque;
+
+use vmq_detect::{CostLedger, DetectionCache, Detector, GroupCost, SharedCost};
+use vmq_filters::FrameFilter;
+use vmq_query::{AggregateSpec, CascadeConfig, PipelineConfig, Query, QueryRun, SharedStreamPlan, WindowEstimator};
+use vmq_video::{Frame, Scene};
+
+/// Tuning knobs of a [`FleetRuntime`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Frames per scheduler batch per camera.
+    pub batch_size: usize,
+    /// Scoped-thread worker count each plan's filter/detect stages shard
+    /// over (bit-identical for any value).
+    pub workers: usize,
+    /// Per-camera ingest queue capacity; frames arriving at a full queue are
+    /// dropped at the edge and counted.
+    pub queue_capacity: usize,
+    /// Byte budget of the fleet-global detection cache.
+    pub cache_bytes: usize,
+    /// Total backlog (queued frames across all cameras) per shed level: the
+    /// scheduler sets `level = backlog / shed_backlog_per_level`, so a
+    /// backlog below the threshold runs unshed and deeper overload sheds
+    /// harder. Aggregates only — selects never degrade.
+    pub shed_backlog_per_level: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            batch_size: PipelineConfig::DEFAULT_BATCH_SIZE,
+            workers: 1,
+            queue_capacity: 256,
+            cache_bytes: 64 << 20,
+            shed_backlog_per_level: usize::MAX,
+        }
+    }
+}
+
+/// One standing statement's fleet-level identity.
+#[derive(Debug, Clone)]
+struct StatementInfo {
+    name: String,
+    camera: usize,
+    camera_id: u32,
+    tenant: String,
+    ledger: CostLedger,
+}
+
+/// One registered camera: its scene, its standing-statement plan, and its
+/// bounded ingest queue.
+struct CameraState<'a> {
+    scene: Scene,
+    plan: SharedStreamPlan<'a>,
+    queue: VecDeque<Frame>,
+    ingested: u64,
+    dropped: u64,
+}
+
+/// One statement's result: who it belongs to plus the per-statement
+/// [`QueryRun`] (bit-identical to the camera's isolated run).
+#[derive(Debug, Clone)]
+pub struct FleetStatementOutcome {
+    /// Query name.
+    pub name: String,
+    /// Camera index within the fleet (registration order).
+    pub camera: usize,
+    /// The camera's stream id (as stamped on its frames).
+    pub camera_id: u32,
+    /// Owning tenant.
+    pub tenant: String,
+    /// The statement's execution report.
+    pub run: QueryRun,
+}
+
+/// Everything one fleet pass produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Per-statement outcomes in fleet registration order.
+    pub statements: Vec<FleetStatementOutcome>,
+    /// Fleet-wide shared-vs-isolated attribution, one row per statement.
+    pub shared: SharedCost,
+    /// Attribution rolled up per camera.
+    pub by_camera: Vec<GroupCost>,
+    /// Attribution rolled up per tenant.
+    pub by_tenant: Vec<GroupCost>,
+    /// Expensive-detector invocations actually performed fleet-wide.
+    pub detector_invocations: u64,
+    /// Detector lookups served by the fleet-global cache.
+    pub cache_hits: u64,
+    /// Entries evicted from the fleet-global cache under its byte budget.
+    pub cache_evictions: u64,
+    /// Bytes resident in the cache at the end of the pass.
+    pub cache_resident_bytes: usize,
+    /// Bytes evicted over the pass (accounting survives eviction).
+    pub cache_evicted_bytes: u64,
+    /// Frames accepted into ingest queues fleet-wide.
+    pub frames_ingested: u64,
+    /// Frames dropped at full ingest queues fleet-wide.
+    pub frames_dropped: u64,
+    /// Times the scheduler *raised* the shed level.
+    pub shed_events: u64,
+    /// Highest shed level reached.
+    pub max_shed_level: u32,
+}
+
+/// Registers M cameras × N standing statements and drives them all through
+/// per-camera shared plans against one fleet-global cache and ledger. See
+/// the module docs for the scheduling and attribution semantics.
+pub struct FleetRuntime<'a> {
+    detector: &'a dyn Detector,
+    cache: DetectionCache,
+    global: CostLedger,
+    config: FleetConfig,
+    cameras: Vec<CameraState<'a>>,
+    statements: Vec<StatementInfo>,
+    shed_level: u32,
+    shed_events: u64,
+    max_shed_level: u32,
+}
+
+impl<'a> FleetRuntime<'a> {
+    /// An empty fleet over one shared expensive detector.
+    pub fn new(detector: &'a dyn Detector, config: FleetConfig) -> Self {
+        FleetRuntime {
+            detector,
+            cache: DetectionCache::with_byte_budget(config.cache_bytes),
+            global: CostLedger::paper(),
+            config,
+            cameras: Vec::new(),
+            statements: Vec::new(),
+            shed_level: 0,
+            shed_events: 0,
+            max_shed_level: 0,
+        }
+    }
+
+    /// Registers a camera; returns its fleet index. The camera's plan shares
+    /// the fleet cache and global ledger but keeps its own statement set and
+    /// ingest queue.
+    pub fn add_camera(&mut self, scene: Scene) -> usize {
+        let plan = SharedStreamPlan::new(
+            self.detector,
+            self.cache.clone(),
+            self.global.clone(),
+            PipelineConfig::with_batch_size(self.config.batch_size),
+        )
+        .with_workers(self.config.workers);
+        self.cameras.push(CameraState { scene, plan, queue: VecDeque::new(), ingested: 0, dropped: 0 });
+        self.cameras.len() - 1
+    }
+
+    /// Number of registered cameras.
+    pub fn camera_count(&self) -> usize {
+        self.cameras.len()
+    }
+
+    /// Number of registered statements fleet-wide.
+    pub fn statement_count(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Registers a filter backend on `camera`'s plan; returns its per-camera
+    /// backend index. Per-frame-pure filters (the trained and quantized
+    /// kinds) may be shared by reference across every camera.
+    pub fn add_backend(&mut self, camera: usize, filter: &'a dyn FrameFilter) -> usize {
+        self.cameras[camera].plan.add_backend(filter)
+    }
+
+    /// Registers a standing select on `camera` for `tenant`; returns the
+    /// statement's fleet-global id (= its outcome/attribution row).
+    pub fn register_select(
+        &mut self,
+        camera: usize,
+        tenant: &str,
+        query: Query,
+        cascade: CascadeConfig,
+        backend: Option<usize>,
+    ) -> usize {
+        let ledger = CostLedger::paper();
+        let name = query.name.clone();
+        let q = self.cameras[camera].plan.register_select(query, cascade, backend, ledger.clone());
+        self.finish_registration(camera, tenant, q, name, ledger)
+    }
+
+    /// Registers a standing windowed aggregate on `camera` for `tenant`;
+    /// returns the statement's fleet-global id. The estimator is borrowed
+    /// for the fleet's lifetime (callers keep their estimators alongside the
+    /// fleet and read the per-window reports back afterwards).
+    pub fn register_aggregate(
+        &mut self,
+        camera: usize,
+        tenant: &str,
+        query: Query,
+        spec: AggregateSpec,
+        backends: &[usize],
+        estimator: &'a mut dyn WindowEstimator,
+    ) -> usize {
+        let ledger = CostLedger::paper();
+        let name = query.name.clone();
+        let q = self.cameras[camera].plan.register_aggregate(query, spec, backends, estimator, ledger.clone());
+        self.finish_registration(camera, tenant, q, name, ledger)
+    }
+
+    /// Assigns the statement its fleet-global attribution id.
+    fn finish_registration(
+        &mut self,
+        camera: usize,
+        tenant: &str,
+        q: usize,
+        name: String,
+        ledger: CostLedger,
+    ) -> usize {
+        let gid = self.statements.len();
+        let state = &mut self.cameras[camera];
+        state.plan.alias_user(q, gid);
+        self.statements.push(StatementInfo {
+            name,
+            camera,
+            camera_id: state.scene.config().camera_id,
+            tenant: tenant.to_string(),
+            ledger,
+        });
+        gid
+    }
+
+    /// Steps every camera's scene `frames` times, enqueueing into its
+    /// bounded ingest queue; overflow frames are dropped and counted.
+    /// Returns the number of frames dropped by this call.
+    pub fn ingest(&mut self, frames: usize) -> u64 {
+        let mut dropped = 0;
+        for state in &mut self.cameras {
+            for _ in 0..frames {
+                let frame = state.scene.step();
+                if state.queue.len() < self.config.queue_capacity {
+                    state.queue.push_back(frame);
+                    state.ingested += 1;
+                } else {
+                    state.dropped += 1;
+                    dropped += 1;
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Total frames currently queued across all cameras.
+    pub fn backlog(&self) -> usize {
+        self.cameras.iter().map(|c| c.queue.len()).sum()
+    }
+
+    /// Total frames dropped at full ingest queues so far.
+    pub fn dropped(&self) -> u64 {
+        self.cameras.iter().map(|c| c.dropped).sum()
+    }
+
+    /// The currently active shed level (0 = no shedding).
+    pub fn shed_level(&self) -> u32 {
+        self.shed_level
+    }
+
+    /// One scheduler sweep: re-evaluates the shed level against the current
+    /// backlog, then round-robins one batch per camera through its plan.
+    /// Returns the number of frames processed.
+    pub fn poll(&mut self) -> usize {
+        self.update_shed();
+        let mut processed = 0;
+        for state in &mut self.cameras {
+            if state.queue.is_empty() {
+                continue;
+            }
+            let take = state.queue.len().min(self.config.batch_size);
+            let batch: Vec<Frame> = state.queue.drain(..take).collect();
+            state.plan.push_batch(&batch);
+            processed += take;
+        }
+        processed
+    }
+
+    /// Drains every ingest queue: sweeps until no camera has queued frames.
+    pub fn drain(&mut self) {
+        while self.poll() > 0 {}
+    }
+
+    /// Recomputes the shed level from the backlog and propagates changes to
+    /// every camera's aggregate estimators. Raising the level counts as one
+    /// shed event; recovery (backlog clearing) lowers it again.
+    fn update_shed(&mut self) {
+        let level = (self.backlog() / self.config.shed_backlog_per_level.max(1)).min(16) as u32;
+        if level == self.shed_level {
+            return;
+        }
+        if level > self.shed_level {
+            self.shed_events += 1;
+            self.max_shed_level = self.max_shed_level.max(level);
+        }
+        for state in &mut self.cameras {
+            state.plan.set_shed_level(level);
+        }
+        self.shed_level = level;
+    }
+
+    /// Ends the fleet pass: finishes every camera's plan (settling the
+    /// fleet-global detector attribution), assembles per-statement outcomes
+    /// in fleet registration order, and rolls the shared bill up per camera
+    /// and per tenant.
+    pub fn finish(mut self) -> FleetOutcome {
+        assert!(!self.statements.is_empty(), "register at least one statement before finishing");
+        self.drain();
+        let mut runs: Vec<Option<QueryRun>> = (0..self.statements.len()).map(|_| None).collect();
+        for state in &mut self.cameras {
+            let gids: Vec<usize> = state.plan.user_ids().to_vec();
+            for (q, run) in state.plan.finish().into_iter().enumerate() {
+                runs[gids[q]] = Some(run);
+            }
+        }
+        let statements: Vec<FleetStatementOutcome> = self
+            .statements
+            .iter()
+            .zip(runs)
+            .map(|(info, run)| FleetStatementOutcome {
+                name: info.name.clone(),
+                camera: info.camera,
+                camera_id: info.camera_id,
+                tenant: info.tenant.clone(),
+                run: run.expect("every registered statement produced a run"),
+            })
+            .collect();
+        let shares: Vec<(String, f64)> =
+            self.statements.iter().map(|info| (info.name.clone(), info.ledger.total_ms())).collect();
+        let shared = self.global.shared_cost(&shares);
+        let infos = &self.statements;
+        let by_camera = shared.rollup(|i| format!("camera-{:04}", infos[i].camera_id));
+        let by_tenant = shared.rollup(|i| infos[i].tenant.clone());
+        FleetOutcome {
+            statements,
+            shared,
+            by_camera,
+            by_tenant,
+            detector_invocations: self.global.invocations(self.detector.stage()),
+            cache_hits: self.cache.hits(),
+            cache_evictions: self.cache.evictions(),
+            cache_resident_bytes: self.cache.resident_bytes(),
+            cache_evicted_bytes: self.cache.evicted_bytes(),
+            frames_ingested: self.cameras.iter().map(|c| c.ingested).sum(),
+            frames_dropped: self.cameras.iter().map(|c| c.dropped).sum(),
+            shed_events: self.shed_events,
+            max_shed_level: self.max_shed_level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vmq_aggregate::WindowedAggregator;
+    use vmq_detect::OracleDetector;
+    use vmq_filters::{CalibratedFilter, CalibrationProfile};
+    use vmq_video::{DatasetProfile, SceneConfig};
+
+    const CAMERA_FPS: [f32; 2] = [30.0, 15.0];
+    const FRAMES_PER_CAMERA: usize = 80;
+
+    fn scene_for(camera: u32) -> Scene {
+        let profile = DatasetProfile::jackson();
+        let config = SceneConfig::from_profile(&profile).with_camera(camera).with_fps(CAMERA_FPS[camera as usize]);
+        Scene::new(config, 1000 + camera as u64)
+    }
+
+    fn filter_for(camera: u32, profile: CalibrationProfile) -> CalibratedFilter {
+        CalibratedFilter::new(DatasetProfile::jackson().class_list(), 14, profile, 500 + camera as u64)
+    }
+
+    fn estimator_for(camera: u32) -> WindowedAggregator {
+        WindowedAggregator::new(Query::paper_a1(), 6, 4, 90 + camera as u64)
+    }
+
+    /// Runs camera `c`'s two statements (q3 select + a1 time-windowed
+    /// aggregate) through an isolated single-camera plan and returns the
+    /// runs plus the estimator.
+    fn isolated_run(camera: u32, workers: usize) -> (Vec<QueryRun>, WindowedAggregator) {
+        let oracle = OracleDetector::perfect();
+        let filter = filter_for(camera, CalibrationProfile::od_like());
+        let mut estimator = estimator_for(camera);
+        let mut scene = scene_for(camera);
+        let frames: Vec<Frame> = (0..FRAMES_PER_CAMERA).map(|_| scene.step()).collect();
+        let mut plan = SharedStreamPlan::new(
+            &oracle,
+            DetectionCache::new(),
+            CostLedger::paper(),
+            PipelineConfig::with_batch_size(24),
+        )
+        .with_workers(workers);
+        let b = plan.add_backend(&filter);
+        plan.register_select(Query::paper_q3(), CascadeConfig::strict(), Some(b), CostLedger::paper());
+        plan.register_aggregate(
+            Query::paper_a1(),
+            AggregateSpec::hopping_seconds(1.0, 1.0),
+            &[b],
+            &mut estimator,
+            CostLedger::paper(),
+        );
+        let runs = plan.execute_slice(&frames);
+        (runs, estimator)
+    }
+
+    #[test]
+    fn fleet_statements_are_bit_identical_to_isolated_single_camera_runs() {
+        let oracle = OracleDetector::perfect();
+        let filters: Vec<CalibratedFilter> = (0..2).map(|c| filter_for(c, CalibrationProfile::od_like())).collect();
+        let mut estimators: Vec<WindowedAggregator> = (0..2).map(estimator_for).collect();
+        let mut fleet = FleetRuntime::new(
+            &oracle,
+            FleetConfig { batch_size: 24, workers: 3, queue_capacity: 512, ..FleetConfig::default() },
+        );
+        for (c, (filter, estimator)) in filters.iter().zip(estimators.iter_mut()).enumerate() {
+            let cam = fleet.add_camera(scene_for(c as u32));
+            assert_eq!(cam, c);
+            let b = fleet.add_backend(cam, filter);
+            let tenant = if c == 0 { "acme" } else { "globex" };
+            fleet.register_select(cam, tenant, Query::paper_q3(), CascadeConfig::strict(), Some(b));
+            fleet.register_aggregate(
+                cam,
+                tenant,
+                Query::paper_a1(),
+                AggregateSpec::hopping_seconds(1.0, 1.0),
+                &[b],
+                estimator,
+            );
+        }
+        // Interleave ingest and scheduling so batches from both cameras
+        // genuinely alternate through the shared substrate.
+        for _ in 0..4 {
+            assert_eq!(fleet.ingest(FRAMES_PER_CAMERA / 4), 0);
+            fleet.poll();
+        }
+        let outcome = fleet.finish();
+
+        assert_eq!(outcome.statements.len(), 4);
+        assert_eq!(outcome.frames_ingested, 2 * FRAMES_PER_CAMERA as u64);
+        assert_eq!(outcome.frames_dropped, 0);
+        for (c, fleet_estimator) in estimators.iter().enumerate() {
+            // Worker counts differ between fleet (3) and isolated (1) on
+            // purpose: bit-identity must hold across any sharding.
+            let (isolated, isolated_estimator) = isolated_run(c as u32, 1);
+            for (s, isolated_run) in isolated.iter().enumerate() {
+                let fleet_run = &outcome.statements[2 * c + s].run;
+                assert_eq!(outcome.statements[2 * c + s].camera, c);
+                assert_eq!(fleet_run.matched_frames, isolated_run.matched_frames, "camera {c} statement {s}");
+                assert_eq!(fleet_run.frames_passed_filter, isolated_run.frames_passed_filter);
+                assert_eq!(fleet_run.frames_detected, isolated_run.frames_detected);
+                assert_eq!(
+                    fleet_run.virtual_ms.to_bits(),
+                    isolated_run.virtual_ms.to_bits(),
+                    "camera {c} statement {s}: {} vs {}",
+                    fleet_run.virtual_ms,
+                    isolated_run.virtual_ms
+                );
+            }
+            // Time-based windows line up with the camera's own clock: the
+            // 30 fps camera completes 2 one-second windows over 80 frames,
+            // the 15 fps camera 5 — and every per-window estimate matches
+            // the isolated pass to the bit.
+            assert_eq!(fleet_estimator.reports().len(), if c == 0 { 2 } else { 5 });
+            assert_eq!(fleet_estimator.reports().len(), isolated_estimator.reports().len());
+            for (a, b) in fleet_estimator.reports().iter().zip(isolated_estimator.reports()) {
+                assert_eq!(a.window_index, b.window_index);
+                assert_eq!(a.window_start, b.window_start);
+                assert_eq!(a.window_frames, b.window_frames);
+                assert_eq!(a.plain_mean.to_bits(), b.plain_mean.to_bits());
+                assert_eq!(a.mcv_mean.to_bits(), b.mcv_mean.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_rollups_split_the_shared_bill_per_camera_and_tenant() {
+        let oracle = OracleDetector::perfect();
+        let filters: Vec<CalibratedFilter> = (0..2).map(|c| filter_for(c, CalibrationProfile::od_like())).collect();
+        let mut fleet =
+            FleetRuntime::new(&oracle, FleetConfig { batch_size: 24, queue_capacity: 512, ..FleetConfig::default() });
+        for (c, filter) in filters.iter().enumerate() {
+            let cam = fleet.add_camera(scene_for(c as u32));
+            let b = fleet.add_backend(cam, filter);
+            let tenant = if c == 0 { "acme" } else { "globex" };
+            fleet.register_select(cam, tenant, Query::paper_q3(), CascadeConfig::strict(), Some(b));
+            fleet.register_select(cam, "acme", Query::paper_q1(), CascadeConfig::strict(), Some(b));
+        }
+        fleet.ingest(FRAMES_PER_CAMERA);
+        let outcome = fleet.finish();
+
+        assert_eq!(outcome.shared.queries.len(), 4);
+        assert_eq!(outcome.by_camera.len(), 2);
+        assert_eq!(outcome.by_tenant.len(), 2);
+        for group in &outcome.by_camera {
+            assert_eq!(group.statements, 2, "{}", group.group);
+        }
+        let acme = outcome.by_tenant.iter().find(|g| g.group == "acme").expect("acme rollup");
+        let globex = outcome.by_tenant.iter().find(|g| g.group == "globex").expect("globex rollup");
+        assert_eq!(acme.statements, 3);
+        assert_eq!(globex.statements, 1);
+        // Rollups are a partition of the per-statement attribution: both
+        // groupings sum to the same fleet-wide bill.
+        let total: f64 = outcome.shared.queries.iter().map(|q| q.attributed_ms).sum();
+        let by_camera: f64 = outcome.by_camera.iter().map(|g| g.attributed_ms).sum();
+        let by_tenant: f64 = outcome.by_tenant.iter().map(|g| g.attributed_ms).sum();
+        assert!((by_camera - total).abs() < 1e-6);
+        assert!((by_tenant - total).abs() < 1e-6);
+        assert!(total > 0.0);
+    }
+
+    #[test]
+    fn bounded_ingest_queues_drop_at_the_edge_and_count() {
+        let oracle = OracleDetector::perfect();
+        let filter = filter_for(0, CalibrationProfile::od_like());
+        let mut fleet =
+            FleetRuntime::new(&oracle, FleetConfig { batch_size: 8, queue_capacity: 16, ..FleetConfig::default() });
+        let cam = fleet.add_camera(scene_for(0));
+        let b = fleet.add_backend(cam, &filter);
+        fleet.register_select(cam, "acme", Query::paper_q3(), CascadeConfig::strict(), Some(b));
+        let dropped = fleet.ingest(50);
+        assert_eq!(dropped, 34, "16 queued, the rest dropped at the edge");
+        assert_eq!(fleet.backlog(), 16);
+        fleet.drain();
+        assert_eq!(fleet.backlog(), 0);
+        // Draining makes room: a second ingest of exactly the capacity fits.
+        assert_eq!(fleet.ingest(16), 0);
+        let outcome = fleet.finish();
+        assert_eq!(outcome.frames_dropped, 34);
+        assert_eq!(outcome.frames_ingested, 32);
+        assert_eq!(outcome.statements[0].run.frames_total, 32);
+    }
+
+    #[test]
+    fn overload_sheds_aggregate_sampling_but_never_select_recall() {
+        let oracle = OracleDetector::perfect();
+        // A perfect filter makes expected recall exactly 1.0, so any shed
+        // leakage into the select path would show up as a missed frame.
+        let filter = filter_for(0, CalibrationProfile::perfect());
+        let mut estimator = WindowedAggregator::new(Query::paper_a1(), 8, 4, 90);
+        let mut unshed = WindowedAggregator::new(Query::paper_a1(), 8, 4, 90);
+        let mut fleet = FleetRuntime::new(
+            &oracle,
+            FleetConfig { batch_size: 16, queue_capacity: 512, shed_backlog_per_level: 24, ..FleetConfig::default() },
+        );
+        let cam = fleet.add_camera(scene_for(0));
+        let b = fleet.add_backend(cam, &filter);
+        fleet.register_select(cam, "acme", Query::paper_q3(), CascadeConfig::strict(), Some(b));
+        fleet.register_aggregate(cam, "acme", Query::paper_a1(), AggregateSpec::new(20, 20), &[b], &mut estimator);
+        // Burst: the whole stream arrives at once, far past the shed
+        // threshold, and stays backlogged while early windows emit.
+        fleet.ingest(120);
+        assert!(fleet.backlog() > 24);
+        fleet.drain();
+        assert_eq!(fleet.shed_level(), 0, "backlog cleared, shed recovered");
+        let outcome = fleet.finish();
+        assert!(outcome.shed_events >= 1, "overload must be reported");
+        assert!(outcome.max_shed_level >= 1);
+        assert!(estimator.shed_windows() > 0, "some windows ran degraded");
+
+        // Degraded means *fewer detector samples*, not different answers to
+        // the select: recall against ground truth stays exactly 1.0.
+        let mut scene = scene_for(0);
+        let frames: Vec<Frame> = (0..120).map(|_| scene.step()).collect();
+        let truth: Vec<u64> =
+            frames.iter().filter(|f| Query::paper_q3().matches_ground_truth(f)).map(|f| f.frame_id).collect();
+        assert_eq!(outcome.statements[0].run.matched_frames, truth);
+
+        // And the shed estimator really did less sampling than an unshed
+        // pass over the same stream.
+        let mut plan = SharedStreamPlan::new(
+            &oracle,
+            DetectionCache::new(),
+            CostLedger::paper(),
+            PipelineConfig::with_batch_size(16),
+        );
+        let filter2 = filter_for(0, CalibrationProfile::perfect());
+        let b2 = plan.add_backend(&filter2);
+        plan.register_aggregate(Query::paper_a1(), AggregateSpec::new(20, 20), &[b2], &mut unshed, CostLedger::paper());
+        let unshed_runs = plan.execute_slice(&frames);
+        let shed_run = &outcome.statements[1].run;
+        assert!(
+            shed_run.frames_detected < unshed_runs[0].frames_detected,
+            "shed {} vs unshed {}",
+            shed_run.frames_detected,
+            unshed_runs[0].frames_detected
+        );
+        assert_eq!(estimator.reports().len(), unshed.reports().len(), "every window still reports");
+    }
+}

@@ -25,11 +25,13 @@
 
 pub mod config;
 pub mod engine;
+pub mod fleet;
 pub mod report;
 pub mod runtime;
 
 pub use config::{CalibrationConfig, EngineConfig, FilterChoice};
 pub use engine::{AdaptiveOutcome, QueryOutcome, VmqEngine, WindowedAggregateOutcome};
+pub use fleet::{FleetConfig, FleetOutcome, FleetRuntime, FleetStatementOutcome};
 pub use report::Report;
 pub use runtime::{MultiQueryOutcome, RuntimeQuery, StatementOutcome, StreamRuntime};
 pub use vmq_query::{DriftConfig, ReplanEvent};

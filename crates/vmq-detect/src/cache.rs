@@ -16,7 +16,7 @@
 //! `(seed, camera_id, frame_id)`, so a cached result is bit-identical to a
 //! fresh invocation regardless of order.
 
-use crate::annotation::FrameDetections;
+use crate::annotation::{Detection, FrameDetections};
 use crate::cost::{CostLedger, Stage};
 use crate::Detector;
 use parking_lot::Mutex;
@@ -34,10 +34,27 @@ type FrameKey = (u32, u64);
 /// without bound, not to make short passes forget anything.
 pub const DEFAULT_ENTRY_BUDGET: usize = 1 << 20;
 
+/// Fixed per-entry overhead charged against the byte budget on top of the
+/// detections themselves: key, `Arc` header, and the three B-tree index
+/// slots (entries/stamps/recency) each resident frame occupies.
+const ENTRY_OVERHEAD_BYTES: usize = 128;
+
+/// Bytes a cached frame is accounted at: fixed bookkeeping overhead plus its
+/// detection payload.
+fn entry_bytes(detections: &FrameDetections) -> usize {
+    ENTRY_OVERHEAD_BYTES + detections.detections.len() * std::mem::size_of::<Detection>()
+}
+
 #[derive(Debug)]
 struct CacheInner {
     entries: BTreeMap<FrameKey, Arc<FrameDetections>>,
     users: BTreeMap<FrameKey, BTreeSet<usize>>,
+    /// Per-user detector shares folded out of evicted keys: when a frame is
+    /// evicted its consumer set is settled into these exact aggregate
+    /// counters (one unit split equally), so attribution stays correct while
+    /// resident maps stay bounded — a long-lived fleet must not keep one
+    /// `BTreeSet` per frame it ever detected.
+    settled: BTreeMap<usize, f64>,
     /// LRU bookkeeping: a monotone access tick, the tick at which each
     /// resident key was last touched, and the inverse map used to find the
     /// least-recently-used key in `O(log n)`.
@@ -45,6 +62,9 @@ struct CacheInner {
     stamps: BTreeMap<FrameKey, u64>,
     recency: BTreeMap<u64, FrameKey>,
     budget: usize,
+    byte_budget: usize,
+    resident_bytes: usize,
+    evicted_bytes: u64,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -55,10 +75,14 @@ impl Default for CacheInner {
         CacheInner {
             entries: BTreeMap::new(),
             users: BTreeMap::new(),
+            settled: BTreeMap::new(),
             tick: 0,
             stamps: BTreeMap::new(),
             recency: BTreeMap::new(),
             budget: DEFAULT_ENTRY_BUDGET,
+            byte_budget: usize::MAX,
+            resident_bytes: 0,
+            evicted_bytes: 0,
             hits: 0,
             misses: 0,
             evictions: 0,
@@ -76,20 +100,42 @@ impl CacheInner {
         self.recency.insert(self.tick, key);
     }
 
-    /// Inserts `key → detections`, touching it and evicting the
-    /// least-recently-used entries beyond the budget. The per-frame consumer
-    /// sets in `users` survive eviction: the frame's single detector charge
-    /// was already paid, and attribution must keep splitting it among
-    /// everyone who consumed it.
+    /// Evicts the least-recently-used entry, folding its consumer set into
+    /// the `settled` per-user counters: the frame's one paid detector charge
+    /// keeps being split among exactly the users recorded at eviction time.
+    /// (If the frame is later re-detected, that is a *new* charge with its
+    /// own fresh consumer set — attributed units always equal charge events.)
+    fn evict_lru(&mut self) {
+        let (&oldest_tick, &oldest_key) = self.recency.iter().next().expect("non-empty recency index");
+        self.recency.remove(&oldest_tick);
+        self.stamps.remove(&oldest_key);
+        if let Some(entry) = self.entries.remove(&oldest_key) {
+            self.resident_bytes = self.resident_bytes.saturating_sub(entry_bytes(&entry));
+            self.evicted_bytes += entry_bytes(&entry) as u64;
+        }
+        if let Some(users) = self.users.remove(&oldest_key) {
+            if !users.is_empty() {
+                let share = 1.0 / users.len() as f64;
+                for user in users {
+                    *self.settled.entry(user).or_insert(0.0) += share;
+                }
+            }
+        }
+        self.evictions += 1;
+    }
+
+    /// Inserts `key → detections`, touching it and evicting least-recently-
+    /// used entries until both the entry budget and the byte budget are
+    /// respected (the most recent entry always stays resident, so a single
+    /// oversized frame cannot empty the cache).
     fn insert_and_evict(&mut self, key: FrameKey, detections: Arc<FrameDetections>) {
-        self.entries.insert(key, detections);
+        self.resident_bytes += entry_bytes(&detections);
+        if let Some(old) = self.entries.insert(key, detections) {
+            self.resident_bytes = self.resident_bytes.saturating_sub(entry_bytes(&old));
+        }
         self.touch(key);
-        while self.entries.len() > self.budget {
-            let (&oldest_tick, &oldest_key) = self.recency.iter().next().expect("non-empty recency index");
-            self.recency.remove(&oldest_tick);
-            self.stamps.remove(&oldest_key);
-            self.entries.remove(&oldest_key);
-            self.evictions += 1;
+        while self.entries.len() > self.budget || (self.resident_bytes > self.byte_budget && self.entries.len() > 1) {
+            self.evict_lru();
         }
     }
 }
@@ -120,9 +166,35 @@ impl DetectionCache {
         cache
     }
 
+    /// An empty cache bounded by *bytes* of resident detections (accounted
+    /// as a fixed per-entry overhead plus the detection payload) in addition
+    /// to the default entry budget. The fleet runtime sizes its one global
+    /// cache this way: entry counts say nothing about memory when cameras
+    /// produce frames with wildly different object counts.
+    pub fn with_byte_budget(byte_budget: usize) -> Self {
+        let cache = DetectionCache::default();
+        cache.inner.lock().byte_budget = byte_budget.max(ENTRY_OVERHEAD_BYTES);
+        cache
+    }
+
     /// The configured entry budget.
     pub fn entry_budget(&self) -> usize {
         self.inner.lock().budget
+    }
+
+    /// The configured byte budget (`usize::MAX` when unset).
+    pub fn byte_budget(&self) -> usize {
+        self.inner.lock().byte_budget
+    }
+
+    /// Bytes currently accounted to resident entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().resident_bytes
+    }
+
+    /// Cumulative bytes reclaimed by LRU eviction over the cache's lifetime.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.inner.lock().evicted_bytes
     }
 
     /// Returns the detections for `frame`, invoking `detector` only when the
@@ -226,20 +298,34 @@ impl DetectionCache {
         self.inner.lock().evictions
     }
 
-    /// Per-frame consumer sets, in `(camera_id, frame_id)` order. The shared
-    /// runtime turns this into the per-query detector-cost split — each
-    /// frame's single charge divides equally among its users.
+    /// Per-frame consumer sets of the *resident* (not yet evicted) frames,
+    /// in `(camera_id, frame_id)` order. The shared runtime turns this —
+    /// together with [`DetectionCache::settled_shares`] — into the per-query
+    /// detector-cost split: each frame's single charge divides equally among
+    /// its users. Evicted frames no longer appear here; their splits were
+    /// folded into the settled counters at eviction time, which is what
+    /// keeps a long-lived fleet's memory bounded.
     pub fn frame_users(&self) -> Vec<((u32, u64), Vec<usize>)> {
         self.inner.lock().users.iter().map(|(&key, users)| (key, users.iter().copied().collect())).collect()
     }
 
-    /// Splits every cached frame's single detector charge equally among its
-    /// recorded users, writing the fractions into `ledger`'s attribution
-    /// table for `stage`. *Replaces* any attribution previously settled for
-    /// `stage`, so re-settling — a plan executed twice, or several plans
-    /// sharing one cache and global ledger — recomputes the split over the
-    /// full user sets instead of double-counting. (User indices must be
-    /// consistent across everything that shares the cache.)
+    /// Per-user detector shares folded out of evicted frames, in user order.
+    /// Each evicted frame contributed exactly one unit split equally among
+    /// the consumers recorded at its eviction, so
+    /// `Σ settled + Σ resident splits ==` total charge events.
+    pub fn settled_shares(&self) -> Vec<(usize, f64)> {
+        self.inner.lock().settled.iter().map(|(&user, &share)| (user, share)).collect()
+    }
+
+    /// Splits every charged frame's detector cost equally among its recorded
+    /// users, writing the fractions into `ledger`'s attribution table for
+    /// `stage`: resident frames from their live consumer sets, evicted
+    /// frames from the exact per-user counters folded at eviction time.
+    /// *Replaces* any attribution previously settled for `stage`, so
+    /// re-settling — a plan executed twice, or several plans sharing one
+    /// cache and global ledger — recomputes the split instead of
+    /// double-counting. (User indices must be consistent across everything
+    /// that shares the cache.)
     pub fn attribute_detections(&self, ledger: &CostLedger, stage: Stage) {
         ledger.clear_attribution(stage);
         for (_, users) in self.frame_users() {
@@ -250,6 +336,9 @@ impl DetectionCache {
             for user in users {
                 ledger.attribute(stage, user, share);
             }
+        }
+        for (user, share) in self.settled_shares() {
+            ledger.attribute(stage, user, share);
         }
     }
 }
@@ -441,13 +530,125 @@ mod tests {
         let _ = cache.get_or_detect(&oracle, &frame(5), 2);
         assert_eq!(cache.evictions(), 1);
         // Frame 0 was evicted but its charge was already paid; its consumer
-        // set must keep splitting that charge.
-        assert_eq!(cache.frame_users(), vec![((0, 0), vec![0, 1]), ((0, 5), vec![2])]);
+        // set was folded into the settled per-user counters at eviction, so
+        // only the resident frame keeps a live set...
+        assert_eq!(cache.frame_users(), vec![((0, 5), vec![2])]);
+        assert_eq!(cache.settled_shares(), vec![(0, 0.5), (1, 0.5)]);
+        // ...and attribution still splits frame 0 between queries 0 and 1.
         let ledger = CostLedger::paper();
         cache.attribute_detections(&ledger, Stage::MaskRcnn);
         assert!((ledger.attributed_frames(Stage::MaskRcnn, 0) - 0.5).abs() < 1e-12);
         assert!((ledger.attributed_frames(Stage::MaskRcnn, 1) - 0.5).abs() < 1e-12);
         assert!((ledger.attributed_frames(Stage::MaskRcnn, 2) - 1.0).abs() < 1e-12);
+    }
+
+    /// The leak regression: running far past the budget must keep every
+    /// cache-side map bounded by the budget while attribution totals match a
+    /// never-evicting cache exactly. (Before the fix the `users` map kept
+    /// one `BTreeSet` per frame *forever*.)
+    #[test]
+    fn users_map_stays_bounded_past_eviction_with_exact_attribution() {
+        let oracle = OracleDetector::perfect();
+        let bounded = DetectionCache::with_entry_budget(4);
+        let unbounded = DetectionCache::new();
+        for id in 0..100 {
+            let user = (id % 3) as usize;
+            let _ = bounded.get_or_detect(&oracle, &frame(id), user);
+            let _ = unbounded.get_or_detect(&oracle, &frame(id), user);
+        }
+        assert_eq!(bounded.misses(), 100);
+        assert_eq!(bounded.evictions(), 96);
+        assert_eq!(bounded.len(), 4);
+        assert!(bounded.frame_users().len() <= 4, "users map must shrink with eviction");
+        assert!(bounded.settled_shares().len() <= 3, "settled counters are per *user*, not per frame");
+        let (lb, lu) = (CostLedger::paper(), CostLedger::paper());
+        bounded.attribute_detections(&lb, Stage::MaskRcnn);
+        unbounded.attribute_detections(&lu, Stage::MaskRcnn);
+        let mut total = 0.0;
+        for user in 0..3 {
+            let b = lb.attributed_frames(Stage::MaskRcnn, user);
+            let u = lu.attributed_frames(Stage::MaskRcnn, user);
+            assert!((b - u).abs() < 1e-9, "user {user}: bounded {b} != unbounded {u}");
+            total += b;
+        }
+        assert!((total - 100.0).abs() < 1e-9, "every charge unit stays attributed, got {total}");
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_memory() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::with_byte_budget(4 * 1024);
+        assert_eq!(cache.byte_budget(), 4 * 1024);
+        assert_eq!(cache.entry_budget(), DEFAULT_ENTRY_BUDGET, "byte budget composes with the entry budget");
+        for id in 0..64 {
+            let _ = cache.get_or_detect(&oracle, &frame(id), 0);
+        }
+        assert!(cache.resident_bytes() <= 4 * 1024, "resident bytes exceed budget: {}", cache.resident_bytes());
+        assert!(cache.evictions() > 0, "64 single-object frames must overflow 4 KiB");
+        assert!(cache.evicted_bytes() > 0);
+        assert_eq!(cache.len() as u64 + cache.evictions(), 64, "every miss is resident or evicted");
+        // Attribution still covers all 64 charges.
+        let ledger = CostLedger::paper();
+        cache.attribute_detections(&ledger, Stage::MaskRcnn);
+        assert!((ledger.attributed_frames(Stage::MaskRcnn, 0) - 64.0).abs() < 1e-9);
+    }
+
+    /// Two cameras reusing a `frame_id` must get distinct cache entries and
+    /// — under a noisy oracle — distinct per-frame noise draws, because the
+    /// RNG is keyed on `(seed, camera_id, frame_id)`.
+    #[test]
+    fn cameras_sharing_a_frame_id_get_distinct_entries_and_noise() {
+        let noisy = OracleDetector::with_noise(crate::NoiseModel::mid_tier(), None, 77);
+        let cache = DetectionCache::new();
+        let mut cam0 = frame(42);
+        let mut cam1 = frame(42);
+        cam1.camera_id = 1;
+        // Give both frames enough objects that jitter has something to move.
+        for _ in 0..6 {
+            cam0.objects.push(cam0.objects[0]);
+            cam1.objects.push(cam1.objects[0]);
+        }
+        let a = cache.get_or_detect(&noisy, &cam0, 0);
+        let b = cache.get_or_detect(&noisy, &cam1, 1);
+        assert_eq!(cache.misses(), 2, "same frame_id on two cameras is two distinct keys");
+        assert_eq!(cache.len(), 2);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.frame_users(), vec![((0, 42), vec![0]), ((1, 42), vec![1])]);
+        // Same ground-truth objects, different camera → different noise draw.
+        let boxes = |d: &FrameDetections| d.detections.iter().map(|det| det.bbox).collect::<Vec<_>>();
+        assert_ne!(boxes(&a), boxes(&b), "per-camera RNG keys must decorrelate the noise streams");
+        // And each cached draw is bit-identical to a fresh invocation.
+        assert_eq!(boxes(&a), boxes(&noisy.detect(&cam0)));
+        assert_eq!(boxes(&b), boxes(&noisy.detect(&cam1)));
+    }
+
+    /// LRU order under the full mixed API: `fetch` misses, `get` hits and
+    /// external `insert`s all count as touches, in call order.
+    #[test]
+    fn lru_eviction_order_under_interleaved_get_fetch_insert() {
+        let oracle = OracleDetector::perfect();
+        let cache = DetectionCache::with_entry_budget(3);
+        let (_, fresh) = cache.fetch(&oracle, &frame(0), 0);
+        assert!(fresh);
+        cache.insert(&frame(1), Arc::new(oracle.detect(&frame(1))), 0);
+        let (_, fresh) = cache.fetch(&oracle, &frame(2), 0);
+        assert!(fresh);
+        // Recency now 0 < 1 < 2. A `get` hit on 0 promotes it: 1 < 2 < 0.
+        assert!(cache.get(&frame(0), 1).is_some());
+        // Overflow via external insert evicts 1 (the LRU), not 0.
+        cache.insert(&frame(3), Arc::new(oracle.detect(&frame(3))), 0);
+        assert!(!cache.contains(&frame(1)));
+        assert!(cache.contains(&frame(0)));
+        // A `fetch` hit on 2 promotes it: 0 < 3 < 2; overflow evicts 0.
+        let (_, fresh) = cache.fetch(&oracle, &frame(2), 1);
+        assert!(!fresh);
+        let _ = cache.get_or_detect(&oracle, &frame(4), 0);
+        assert!(!cache.contains(&frame(0)));
+        assert!(cache.contains(&frame(2)) && cache.contains(&frame(3)) && cache.contains(&frame(4)));
+        assert_eq!(cache.evictions(), 2);
+        // The two evicted frames' consumer sets were folded: frame 1 had
+        // user 0 only; frame 0 had users {0, 1}.
+        assert_eq!(cache.settled_shares(), vec![(0, 1.5), (1, 0.5)]);
     }
 
     #[test]

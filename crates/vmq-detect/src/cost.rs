@@ -210,6 +210,50 @@ impl SharedCost {
         }
         lines.join("\n")
     }
+
+    /// Rolls the per-statement rows up into named groups — the fleet
+    /// runtime's per-camera and per-tenant billing views. `group_of` maps a
+    /// row index (registration order, i.e. the global user id under the
+    /// fleet's identity assignment) to its group key; rows mapping to the
+    /// same key sum. Groups come back sorted by key, and their attributed /
+    /// isolated columns sum to the corresponding [`SharedCost`] totals.
+    pub fn rollup(&self, group_of: impl Fn(usize) -> String) -> Vec<GroupCost> {
+        let mut groups: std::collections::BTreeMap<String, GroupCost> = std::collections::BTreeMap::new();
+        for (i, share) in self.queries.iter().enumerate() {
+            let key = group_of(i);
+            let entry = groups.entry(key.clone()).or_insert_with(|| GroupCost {
+                group: key,
+                statements: 0,
+                attributed_ms: 0.0,
+                isolated_ms: 0.0,
+            });
+            entry.statements += 1;
+            entry.attributed_ms += share.attributed_ms;
+            entry.isolated_ms += share.isolated_ms;
+        }
+        groups.into_values().collect()
+    }
+}
+
+/// One rolled-up row of a [`SharedCost::rollup`]: the summed attribution of
+/// every statement in a group (a camera, a tenant, …).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupCost {
+    /// Group key (e.g. `camera-17` or a tenant name).
+    pub group: String,
+    /// Number of statements rolled into the group.
+    pub statements: usize,
+    /// Summed attributed share of the shared bill.
+    pub attributed_ms: f64,
+    /// Summed as-if-isolated cost.
+    pub isolated_ms: f64,
+}
+
+impl GroupCost {
+    /// Virtual milliseconds the group saved by sharing the fleet pass.
+    pub fn saved_ms(&self) -> f64 {
+        self.isolated_ms - self.attributed_ms
+    }
 }
 
 #[derive(Debug, Default)]

@@ -37,7 +37,7 @@ pub mod oracle;
 
 pub use annotation::{Detection, FrameDetections};
 pub use cache::{CachedDetector, DetectionCache, DEFAULT_ENTRY_BUDGET};
-pub use cost::{CostLedger, CostModel, QueryCostShare, SharedCost, Stage, StageCost};
+pub use cost::{CostLedger, CostModel, GroupCost, QueryCostShare, SharedCost, Stage, StageCost};
 pub use mid::MidDetector;
 pub use noise::NoiseModel;
 pub use oracle::OracleDetector;

@@ -99,8 +99,20 @@ impl Default for PipelineConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AggregateSpec {
     /// Hopping window `(size, advance)` in frames — the parser's
-    /// `WINDOW HOPPING (SIZE n, ADVANCE BY m)` clause.
+    /// `WINDOW HOPPING (SIZE n, ADVANCE BY m)` clause. Ignored when
+    /// [`AggregateSpec::seconds`] is set.
     pub window: (usize, usize),
+    /// Time-based hopping window `(size, advance)` in *seconds* of stream
+    /// time. When set, window segmentation follows [`Frame::timestamp`]
+    /// instead of frame counts: window `k` covers timestamps
+    /// `[k·advance, k·advance + size)` anchored at stream time zero, so two
+    /// cameras with different `fps` produce wall-clock-aligned windows for
+    /// the same statement (the frame-count mode would silently misalign
+    /// them). A window emits once a frame at or past its end timestamp is
+    /// observed; empty windows are skipped but still consume their index, so
+    /// window `k` refers to the same wall-clock interval on every camera.
+    #[serde(default)]
+    pub seconds: Option<(f64, f64)>,
     /// Cascade tolerances used to derive the indicator columns.
     pub cascade: CascadeConfig,
     /// Grid threshold override for the indicators. The control only needs to
@@ -114,7 +126,27 @@ impl AggregateSpec {
     /// A spec with the given window, the strict cascade and per-filter
     /// thresholds (the defaults of the legacy one-shot estimator).
     pub fn new(size: usize, advance: usize) -> Self {
-        AggregateSpec { window: (size, advance), cascade: CascadeConfig::strict(), indicator_threshold: None }
+        AggregateSpec {
+            window: (size, advance),
+            seconds: None,
+            cascade: CascadeConfig::strict(),
+            indicator_threshold: None,
+        }
+    }
+
+    /// A spec with a *time-based* hopping window (`size`, `advance` in
+    /// seconds of stream time), the strict cascade and per-filter
+    /// thresholds. See [`AggregateSpec::seconds`] for the segmentation
+    /// semantics.
+    pub fn hopping_seconds(size_s: f64, advance_s: f64) -> Self {
+        assert!(size_s > 0.0, "aggregate window size must be positive");
+        assert!(advance_s > 0.0, "aggregate window advance must be positive");
+        AggregateSpec {
+            window: (0, 0),
+            seconds: Some((size_s, advance_s)),
+            cascade: CascadeConfig::strict(),
+            indicator_threshold: None,
+        }
     }
 
     /// Overrides the indicator grid threshold.
@@ -146,20 +178,22 @@ pub struct FrameIndicators {
 
 impl FrameIndicators {
     /// Builds the control-variate indicator row for one filter estimate:
-    /// per-predicate [`FilterCascade::cv_indicators`], their conjunction as
-    /// `pass`, and — for multi-predicate queries — the conjunction appended
-    /// as an extra trailing control (the MCV regression's linear span cannot
-    /// express `z₁∧…∧z_d`, yet for a conjunctive query that is the single
-    /// most informative feature; including it guarantees MCV explains at
-    /// least as much variance as the single-CV control).
+    /// per-predicate [`FilterCascade::cv_indicators`] (graded in `[0, 1]`),
+    /// their product as `pass` (the soft conjunction — identical to the
+    /// boolean conjunction when every indicator is 0/1), and — for
+    /// multi-predicate queries — the product appended as an extra trailing
+    /// control (the MCV regression's linear span cannot express `z₁·…·z_d`,
+    /// yet for a conjunctive query that is the single most informative
+    /// feature; including it guarantees MCV explains at least as much
+    /// variance as the single-CV control).
     ///
     /// Both the `window-filter` operator and the legacy one-shot estimator
     /// derive their indicator columns through this one function — that
     /// single code path is part of what keeps the two bit-identical.
     pub fn from_estimate(cascade: &FilterCascade, estimate: &FilterEstimate, threshold: f32) -> Self {
         let indicators = cascade.cv_indicators(estimate, threshold);
-        let pass = if indicators.iter().all(|&b| b) { 1.0 } else { 0.0 };
-        let mut predicates: Vec<f64> = indicators.into_iter().map(|b| if b { 1.0 } else { 0.0 }).collect();
+        let pass: f64 = indicators.iter().product();
+        let mut predicates = indicators;
         if predicates.len() > 1 {
             predicates.push(pass);
         }
@@ -530,6 +564,14 @@ pub trait WindowEstimator {
     /// calibration) inference and `ledger` for cost-model prices only.
     fn estimate_window(&mut self, window: WindowData<'_>, detector: &dyn Detector, ledger: &CostLedger)
         -> WindowCharge;
+
+    /// Overload feedback from the runtime. Level 0 is normal operation;
+    /// each higher level asks the estimator to shed detector *sampling*
+    /// work (graceful degradation: estimates stay unbiased, confidence
+    /// intervals widen, and the shed is reported). Only aggregate sampling
+    /// is ever shed — select-query filter recall is not negotiable under
+    /// load. Estimators that cannot shed may ignore this (the default).
+    fn set_shed_level(&mut self, _level: u32) {}
 }
 
 /// `WindowFilter`: window-wide batched filter inference for aggregate
@@ -584,54 +626,90 @@ struct AggregateSinkOp<'a> {
     estimator: &'a mut dyn WindowEstimator,
     size: usize,
     advance: usize,
+    /// Time-based `(size, advance)` in seconds; overrides the frame-count
+    /// fields when set (see [`AggregateSpec::seconds`]).
+    seconds: Option<(f64, f64)>,
     backends: Vec<(&'static str, Stage)>,
     /// Buffered rows from stream offset `buffer_start` onwards.
     frames: Vec<Frame>,
     indicators: Vec<Vec<FrameIndicators>>,
     buffer_start: usize,
     next_window_start: usize,
+    /// Timestamp the next time-based window starts at (seconds mode only).
+    next_window_time: f64,
     window_index: usize,
     detector_frames: u64,
 }
 
 impl AggregateSinkOp<'_> {
+    /// Hands buffered rows `lo..hi` to the estimator as one completed window
+    /// and charges its reported detector work.
+    fn emit_window(&mut self, lo: usize, hi: usize, ctx: &mut ExecContext) {
+        let columns: Vec<WindowBackendColumns> = self
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(b, &(backend, stage))| {
+                let rows = &self.indicators[lo..hi];
+                let n_predicates = rows.first().map_or(0, |r| r[b].predicates.len());
+                WindowBackendColumns {
+                    backend,
+                    stage,
+                    pass: rows.iter().map(|r| r[b].pass).collect(),
+                    predicates: (0..n_predicates).map(|p| rows.iter().map(|r| r[b].predicates[p]).collect()).collect(),
+                }
+            })
+            .collect();
+        let window = WindowData {
+            index: self.window_index,
+            start: self.buffer_start + lo,
+            frames: &self.frames[lo..hi],
+            backends: &columns,
+        };
+        let charge = self.estimator.estimate_window(window, self.detector, &ctx.ledger);
+        if charge.estimation_frames > 0 {
+            ctx.ledger.charge(self.detector.stage(), charge.estimation_frames);
+        }
+        if charge.calibration_frames > 0 {
+            ctx.ledger.charge_calibration(self.detector.stage(), charge.calibration_frames);
+        }
+        self.detector_frames += charge.total();
+        self.window_index += 1;
+    }
+
     fn emit_ready_windows(&mut self, ctx: &mut ExecContext) {
-        while self.next_window_start + self.size <= self.buffer_start + self.frames.len() {
-            let lo = self.next_window_start - self.buffer_start;
-            let hi = lo + self.size;
-            let columns: Vec<WindowBackendColumns> = self
-                .backends
-                .iter()
-                .enumerate()
-                .map(|(b, &(backend, stage))| {
-                    let rows = &self.indicators[lo..hi];
-                    let n_predicates = rows.first().map_or(0, |r| r[b].predicates.len());
-                    WindowBackendColumns {
-                        backend,
-                        stage,
-                        pass: rows.iter().map(|r| r[b].pass).collect(),
-                        predicates: (0..n_predicates)
-                            .map(|p| rows.iter().map(|r| r[b].predicates[p]).collect())
-                            .collect(),
-                    }
-                })
-                .collect();
-            let window = WindowData {
-                index: self.window_index,
-                start: self.next_window_start,
-                frames: &self.frames[lo..hi],
-                backends: &columns,
-            };
-            let charge = self.estimator.estimate_window(window, self.detector, &ctx.ledger);
-            if charge.estimation_frames > 0 {
-                ctx.ledger.charge(self.detector.stage(), charge.estimation_frames);
+        match self.seconds {
+            None => {
+                while self.next_window_start + self.size <= self.buffer_start + self.frames.len() {
+                    let lo = self.next_window_start - self.buffer_start;
+                    self.emit_window(lo, lo + self.size, ctx);
+                    self.next_window_start += self.advance;
+                }
             }
-            if charge.calibration_frames > 0 {
-                ctx.ledger.charge_calibration(self.detector.stage(), charge.calibration_frames);
-            }
-            self.detector_frames += charge.total();
-            self.window_index += 1;
-            self.next_window_start += self.advance;
+            Some((size_s, advance_s)) => loop {
+                // A time window is complete once a frame at or past its end
+                // timestamp arrives (timestamps are monotone per stream);
+                // like the frame-count mode, a partial trailing window never
+                // emits.
+                let end = self.next_window_time + size_s;
+                let Some(last) = self.frames.last() else { break };
+                if last.timestamp < end {
+                    break;
+                }
+                let lo = self.frames.partition_point(|f| f.timestamp < self.next_window_time);
+                let hi = self.frames.partition_point(|f| f.timestamp < end);
+                if hi > lo {
+                    self.emit_window(lo, hi, ctx);
+                } else {
+                    // Empty windows skip the estimator but keep their index,
+                    // so window k means the same wall-clock interval on
+                    // every camera.
+                    self.window_index += 1;
+                }
+                self.next_window_time += advance_s;
+                self.next_window_start =
+                    self.buffer_start + self.frames.partition_point(|f| f.timestamp < self.next_window_time);
+            },
         }
         // Evict rows no future window can reach.
         let evict = self.next_window_start.saturating_sub(self.buffer_start).min(self.frames.len());
@@ -849,8 +927,10 @@ impl<'a> PhysicalPlan<'a> {
         config: PipelineConfig,
     ) -> Self {
         let (size, advance) = spec.window;
-        assert!(size > 0, "aggregate window size must be positive");
-        assert!(advance > 0, "aggregate window advance must be positive");
+        if spec.seconds.is_none() {
+            assert!(size > 0, "aggregate window size must be positive");
+            assert!(advance > 0, "aggregate window advance must be positive");
+        }
         assert!(!backends.is_empty(), "aggregate plans need at least one filter backend");
         let mut operators: Vec<Box<dyn Operator + 'a>> = vec![Box::new(SourceOp)];
         for &filter in backends {
@@ -866,16 +946,21 @@ impl<'a> PhysicalPlan<'a> {
             estimator,
             size,
             advance,
+            seconds: spec.seconds,
             backends: backends.iter().map(|f| (f.kind().name(), f.kind().stage())).collect(),
             frames: Vec::new(),
             indicators: Vec::new(),
             buffer_start: 0,
             next_window_start: 0,
+            next_window_time: 0.0,
             window_index: 0,
             detector_frames: 0,
         }));
         let names: Vec<&str> = backends.iter().map(|f| f.kind().name()).collect();
-        let mode_label = format!("aggregate {} window {size}/{advance}", names.join("+"));
+        let mode_label = match spec.seconds {
+            Some((s, a)) => format!("aggregate {} window {s}s/{a}s", names.join("+")),
+            None => format!("aggregate {} window {size}/{advance}", names.join("+")),
+        };
         PhysicalPlan { query_name: query.name.clone(), mode_label, config, ledger, operators, calibration: None }
     }
 
@@ -981,6 +1066,19 @@ struct SharedWall {
     detect_ms: f64,
 }
 
+/// Accumulated mid-stream state of an incremental shared pass: built lazily
+/// by the first [`SharedStreamPlan::push_batch`], consumed by
+/// [`SharedStreamPlan::finish`].
+struct ExecState {
+    /// Every registered query, by local index.
+    all_users: Vec<usize>,
+    /// Backend → the local indices of the queries consuming its inference.
+    backend_users: Vec<Vec<usize>>,
+    frames_total: usize,
+    wall: SharedWall,
+    backend_wall: Vec<f64>,
+}
+
 /// The shape-specific state of one registered query.
 enum SharedQueryKind<'a> {
     /// A frame-selection query: cascade → detect survivors → exact predicate.
@@ -1010,9 +1108,14 @@ enum SharedQueryKind<'a> {
         indicators: Vec<Vec<FrameIndicators>>,
         indicator_start: usize,
         next_window_start: usize,
+        /// Timestamp the next time-based window starts at (seconds mode).
+        next_window_time: f64,
         window_index: usize,
         size: usize,
         advance: usize,
+        /// Time-based `(size, advance)` in seconds; overrides the
+        /// frame-count fields when set (see [`AggregateSpec::seconds`]).
+        seconds: Option<(f64, f64)>,
         estimation_frames: u64,
         calibration_frames: u64,
         sink_wall_ms: f64,
@@ -1057,11 +1160,19 @@ pub struct SharedStreamPlan<'a> {
     workers: usize,
     backends: Vec<&'a dyn FrameFilter>,
     queries: Vec<SharedQueryState<'a>>,
+    /// Global attribution user id per query (parallel to `queries`).
+    /// Identity by default; a fleet scheduler running many plans against
+    /// one shared cache/ledger re-addresses each statement via
+    /// [`SharedStreamPlan::alias_user`] so fleet-wide attribution stays
+    /// per-statement exact.
+    user_ids: Vec<usize>,
     /// One shared window buffer for every aggregate query (frames are
     /// cloned once per batch, not once per aggregate); rows before
     /// `stream_start` — no longer reachable by any window — are evicted.
     stream_frames: Vec<Frame>,
     stream_start: usize,
+    /// In-flight incremental pass (`push_batch`/`finish`), if any.
+    exec: Option<ExecState>,
 }
 
 impl<'a> SharedStreamPlan<'a> {
@@ -1083,8 +1194,10 @@ impl<'a> SharedStreamPlan<'a> {
             workers: 1,
             backends: Vec::new(),
             queries: Vec::new(),
+            user_ids: Vec::new(),
             stream_frames: Vec::new(),
             stream_start: 0,
+            exec: None,
         }
     }
 
@@ -1158,6 +1271,7 @@ impl<'a> SharedStreamPlan<'a> {
                 drift: None,
             },
         });
+        self.user_ids.push(self.queries.len() - 1);
         self.queries.len() - 1
     }
 
@@ -1208,8 +1322,10 @@ impl<'a> SharedStreamPlan<'a> {
         ledger: CostLedger,
     ) -> usize {
         let (size, advance) = spec.window;
-        assert!(size > 0, "aggregate window size must be positive");
-        assert!(advance > 0, "aggregate window advance must be positive");
+        if spec.seconds.is_none() {
+            assert!(size > 0, "aggregate window size must be positive");
+            assert!(advance > 0, "aggregate window advance must be positive");
+        }
         assert!(!backends.is_empty(), "aggregate queries need at least one backend");
         for &b in backends {
             assert!(b < self.backends.len(), "unknown backend index {b}");
@@ -1219,7 +1335,10 @@ impl<'a> SharedStreamPlan<'a> {
             .map(|&b| spec.indicator_threshold.unwrap_or_else(|| self.backends[b].threshold()))
             .collect();
         let names: Vec<&str> = backends.iter().map(|&b| self.backends[b].kind().name()).collect();
-        let mode_label = format!("aggregate {} window {size}/{advance}", names.join("+"));
+        let mode_label = match spec.seconds {
+            Some((s, a)) => format!("aggregate {} window {s}s/{a}s", names.join("+")),
+            None => format!("aggregate {} window {size}/{advance}", names.join("+")),
+        };
         self.queries.push(SharedQueryState {
             name: query.name.clone(),
             mode_label,
@@ -1234,14 +1353,17 @@ impl<'a> SharedStreamPlan<'a> {
                 indicators: Vec::new(),
                 indicator_start: 0,
                 next_window_start: 0,
+                next_window_time: 0.0,
                 window_index: 0,
                 size,
                 advance,
+                seconds: spec.seconds,
                 estimation_frames: 0,
                 calibration_frames: 0,
                 sink_wall_ms: 0.0,
             },
         });
+        self.user_ids.push(self.queries.len() - 1);
         self.queries.len() - 1
     }
 
@@ -1261,6 +1383,44 @@ impl<'a> SharedStreamPlan<'a> {
         &self.global
     }
 
+    /// Re-addresses query `q`'s *global* attribution — shared-ledger charge
+    /// splits, cache consumer sets, sampled-detector dedup — to
+    /// `global_id`. A fleet scheduler driving many per-camera plans against
+    /// one shared cache and ledger assigns each statement a fleet-unique id
+    /// so per-statement attribution never collides across plans. Identity
+    /// by default; private ledgers and per-query results are untouched, so
+    /// aliasing cannot change any statement's outcome.
+    ///
+    /// Must be called before the first [`SharedStreamPlan::push_batch`].
+    pub fn alias_user(&mut self, q: usize, global_id: usize) {
+        assert!(self.exec.is_none(), "alias users before pushing batches");
+        self.user_ids[q] = global_id;
+    }
+
+    /// The global attribution user ids, indexed by query (identity unless
+    /// [`SharedStreamPlan::alias_user`]ed).
+    pub fn user_ids(&self) -> &[usize] {
+        &self.user_ids
+    }
+
+    /// Maps local query indices to global attribution user ids.
+    fn uids(&self, qs: &[usize]) -> Vec<usize> {
+        qs.iter().map(|&q| self.user_ids[q]).collect()
+    }
+
+    /// Propagates an overload shed level to every registered aggregate
+    /// estimator (see [`WindowEstimator::set_shed_level`]): level 0 is
+    /// normal operation, higher levels shed detector *sampling* work so
+    /// aggregates degrade gracefully (wider confidence intervals). Select
+    /// queries are untouched — certified filter recall is never shed.
+    pub fn set_shed_level(&mut self, level: u32) {
+        for state in &mut self.queries {
+            if let SharedQueryKind::Aggregate { estimator, .. } = &mut state.kind {
+                estimator.set_shed_level(level);
+            }
+        }
+    }
+
     /// Executes the shared pass over an in-memory slice of frames.
     pub fn execute_slice(&mut self, frames: &[Frame]) -> Vec<QueryRun> {
         self.execute(&mut SliceSource::new(frames))
@@ -1275,8 +1435,26 @@ impl<'a> SharedStreamPlan<'a> {
     /// bill with per-query attribution settled (detections split equally
     /// among each frame's users).
     pub fn execute(&mut self, source: &mut dyn FrameSource) -> Vec<QueryRun> {
+        self.ensure_exec();
+        loop {
+            let start = Instant::now();
+            let batch = source.next_batch(self.config.batch_size);
+            let source_ms = start.elapsed().as_secs_f64() * 1000.0;
+            if let Some(st) = self.exec.as_mut() {
+                st.wall.source_ms += source_ms;
+            }
+            let Some(frames) = batch else { break };
+            self.push_batch(&frames);
+        }
+        self.finish()
+    }
+
+    /// Builds the incremental execution state on the first pushed batch.
+    fn ensure_exec(&mut self) {
+        if self.exec.is_some() {
+            return;
+        }
         assert!(!self.queries.is_empty(), "register at least one query before executing");
-        let all_users: Vec<usize> = (0..self.queries.len()).collect();
         // Backend → the queries consuming its shared inference.
         let mut backend_users: Vec<Vec<usize>> = vec![Vec::new(); self.backends.len()];
         for (q, state) in self.queries.iter().enumerate() {
@@ -1305,29 +1483,45 @@ impl<'a> SharedStreamPlan<'a> {
                 }
             }
         }
+        self.exec = Some(ExecState {
+            all_users: (0..self.queries.len()).collect(),
+            backend_users,
+            frames_total: 0,
+            wall: SharedWall::default(),
+            backend_wall: vec![0.0; self.backends.len()],
+        });
+    }
 
-        let mut frames_total = 0usize;
-        let mut wall = SharedWall::default();
-        let mut backend_wall: Vec<f64> = vec![0.0; self.backends.len()];
+    /// Pushes one batch of frames through every phase of the shared pass —
+    /// the incremental entry point a fleet scheduler interleaves across
+    /// many per-camera plans. Equivalent to what [`SharedStreamPlan::execute`]
+    /// does per source batch (including drift-replan consultation at the
+    /// batch boundary); call [`SharedStreamPlan::finish`] to settle
+    /// attribution and collect the per-query runs.
+    pub fn push_batch(&mut self, frames: &[Frame]) {
+        self.ensure_exec();
+        let mut st = self.exec.take().expect("exec state built");
+        st.frames_total += frames.len();
+        self.process_batch(frames, &st.all_users, &st.backend_users, &mut st.wall, &mut st.backend_wall);
+        let frames_total = st.frames_total;
+        self.exec = Some(st);
+        // Batch boundaries are the plan-swap points: consult every drift
+        // monitor whose audit evidence warrants a replan.
+        self.maybe_replan(frames_total);
+    }
 
-        while let Some(frames) = {
-            let start = Instant::now();
-            let batch = source.next_batch(self.config.batch_size);
-            wall.source_ms += start.elapsed().as_secs_f64() * 1000.0;
-            batch
-        } {
-            frames_total += frames.len();
-            self.process_batch(&frames, &all_users, &backend_users, &mut wall, &mut backend_wall);
-            // Batch boundaries are the plan-swap points: consult every drift
-            // monitor whose audit evidence warrants a replan.
-            self.maybe_replan(frames_total);
-        }
-
+    /// Ends an incremental pass: settles the cache's detector attribution
+    /// on the global ledger and returns one [`QueryRun`] per registered
+    /// query (registration order), exactly as [`SharedStreamPlan::execute`]
+    /// would have. The pass state is consumed; a subsequent `push_batch`
+    /// starts a fresh pass over the same registrations.
+    pub fn finish(&mut self) -> Vec<QueryRun> {
+        self.ensure_exec();
+        let st = self.exec.take().expect("exec state built");
         // Settle the detector attribution: every cached frame's single
         // global charge splits equally among the queries that used it.
         self.cache.attribute_detections(&self.global, self.detector.stage());
-
-        self.finalize(frames_total, &wall, &backend_wall)
+        self.finalize(st.frames_total, &st.wall, &st.backend_wall)
     }
 
     /// One batch through every phase of the shared pass.
@@ -1340,9 +1534,10 @@ impl<'a> SharedStreamPlan<'a> {
         backend_wall: &mut [f64],
     ) {
         let n = frames.len();
-        // Phase 1 — decode: once globally, split across every query; each
+        // Phase 1 — decode: once globally, split across every query (global
+        // charges address queries by their fleet-global user ids); each
         // private ledger pays the full batch (as isolated).
-        self.global.charge_shared(Stage::Decode, n as u64, all_users);
+        self.global.charge_shared(Stage::Decode, n as u64, &self.uids(all_users));
         for state in &self.queries {
             state.ledger.charge(Stage::Decode, n as u64);
         }
@@ -1355,7 +1550,7 @@ impl<'a> SharedStreamPlan<'a> {
             }
             let filter = self.backends[b];
             let stage = filter.kind().stage();
-            self.global.charge_shared(stage, n as u64, users);
+            self.global.charge_shared(stage, n as u64, &self.uids(users));
             for &q in users {
                 self.queries[q].ledger.charge(stage, n as u64);
             }
@@ -1531,12 +1726,12 @@ impl<'a> SharedStreamPlan<'a> {
             };
             let mut fresh = 0u64;
             for frame in &targets {
-                let detections = match self.cache.get(frame, q) {
+                let detections = match self.cache.get(frame, self.user_ids[q]) {
                     Some(hit) => hit,
                     None => {
                         fresh += 1;
                         let arc = std::sync::Arc::new(self.detector.detect(frame));
-                        self.cache.insert(frame, std::sync::Arc::clone(&arc), q);
+                        self.cache.insert(frame, std::sync::Arc::clone(&arc), self.user_ids[q]);
                         arc
                     }
                 };
@@ -1574,10 +1769,10 @@ impl<'a> SharedStreamPlan<'a> {
         let mut missing: Vec<usize> = Vec::new();
         for (i, users) in escalations.iter().enumerate() {
             let Some(&first) = users.first() else { continue };
-            match self.cache.get(&frames[i], first) {
+            match self.cache.get(&frames[i], self.user_ids[first]) {
                 Some(hit) => {
                     for &u in &users[1..] {
-                        let _ = self.cache.get(&frames[i], u);
+                        let _ = self.cache.get(&frames[i], self.user_ids[u]);
                     }
                     resolved[i] = Some(hit);
                 }
@@ -1592,12 +1787,12 @@ impl<'a> SharedStreamPlan<'a> {
             for (i, d) in missing.into_iter().zip(detections) {
                 let arc = std::sync::Arc::new(d);
                 let users = &escalations[i];
-                self.cache.insert(&frames[i], std::sync::Arc::clone(&arc), users[0]);
+                self.cache.insert(&frames[i], std::sync::Arc::clone(&arc), self.user_ids[users[0]]);
                 // The frame's other escalators share the fresh detection:
                 // record them through `get` so same-batch sharing counts as
                 // cache hits, exactly like cross-batch sharing does.
                 for &u in &users[1..] {
-                    let _ = self.cache.get(&frames[i], u);
+                    let _ = self.cache.get(&frames[i], self.user_ids[u]);
                 }
                 resolved[i] = Some(arc);
             }
@@ -1647,9 +1842,11 @@ impl<'a> SharedStreamPlan<'a> {
                 indicators,
                 indicator_start,
                 next_window_start,
+                next_window_time,
                 window_index,
                 size,
                 advance,
+                seconds,
                 estimation_frames,
                 calibration_frames,
                 sink_wall_ms,
@@ -1659,48 +1856,91 @@ impl<'a> SharedStreamPlan<'a> {
                 continue;
             };
             let start = Instant::now();
-            while *next_window_start + *size <= self.stream_start + self.stream_frames.len() {
-                let lo = *next_window_start - *indicator_start;
-                let hi = lo + *size;
-                let flo = *next_window_start - self.stream_start;
-                let columns: Vec<WindowBackendColumns> = backends
-                    .iter()
-                    .enumerate()
-                    .map(|(slot, &b)| {
-                        let rows = &indicators[lo..hi];
-                        let n_predicates = rows.first().map_or(0, |r| r[slot].predicates.len());
-                        WindowBackendColumns {
-                            backend: self.backends[b].kind().name(),
-                            stage: self.backends[b].kind().stage(),
-                            pass: rows.iter().map(|r| r[slot].pass).collect(),
-                            predicates: (0..n_predicates)
-                                .map(|p| rows.iter().map(|r| r[slot].predicates[p]).collect())
-                                .collect(),
+            loop {
+                // The next completed window's frame range `flo..fhi`
+                // (offsets into the shared stream buffer), or break when no
+                // further window is complete. Frame-count windows complete
+                // once `size` rows are buffered past their start; time
+                // windows complete once a frame at or past their end
+                // timestamp arrives (timestamps are monotone per stream).
+                // Either way, a partial trailing window never emits.
+                let (flo, fhi) = match *seconds {
+                    None => {
+                        if *next_window_start + *size > self.stream_start + self.stream_frames.len() {
+                            break;
                         }
-                    })
-                    .collect();
-                let window = WindowData {
-                    index: *window_index,
-                    start: *next_window_start,
-                    frames: &self.stream_frames[flo..flo + *size],
-                    backends: &columns,
+                        let flo = *next_window_start - self.stream_start;
+                        (flo, flo + *size)
+                    }
+                    Some((size_s, _)) => {
+                        let end = *next_window_time + size_s;
+                        let Some(last) = self.stream_frames.last() else { break };
+                        if last.timestamp < end {
+                            break;
+                        }
+                        (
+                            self.stream_frames.partition_point(|f| f.timestamp < *next_window_time),
+                            self.stream_frames.partition_point(|f| f.timestamp < end),
+                        )
+                    }
                 };
-                // The estimator samples through a cache-backed detector on
-                // behalf of this query: misses charge the global ledger
-                // inside the wrapper, while the private ledger is charged
-                // here with the full as-if-isolated bill.
-                let cached = vmq_detect::CachedDetector::new(self.detector, &self.cache, q, Some(self.global.clone()));
-                let charge = estimator.estimate_window(window, &cached, ledger);
-                if charge.estimation_frames > 0 {
-                    ledger.charge(detector_stage, charge.estimation_frames);
+                if fhi > flo {
+                    let lo = self.stream_start + flo - *indicator_start;
+                    let hi = self.stream_start + fhi - *indicator_start;
+                    let columns: Vec<WindowBackendColumns> = backends
+                        .iter()
+                        .enumerate()
+                        .map(|(slot, &b)| {
+                            let rows = &indicators[lo..hi];
+                            let n_predicates = rows.first().map_or(0, |r| r[slot].predicates.len());
+                            WindowBackendColumns {
+                                backend: self.backends[b].kind().name(),
+                                stage: self.backends[b].kind().stage(),
+                                pass: rows.iter().map(|r| r[slot].pass).collect(),
+                                predicates: (0..n_predicates)
+                                    .map(|p| rows.iter().map(|r| r[slot].predicates[p]).collect())
+                                    .collect(),
+                            }
+                        })
+                        .collect();
+                    let window = WindowData {
+                        index: *window_index,
+                        start: self.stream_start + flo,
+                        frames: &self.stream_frames[flo..fhi],
+                        backends: &columns,
+                    };
+                    // The estimator samples through a cache-backed detector on
+                    // behalf of this query: misses charge the global ledger
+                    // inside the wrapper, while the private ledger is charged
+                    // here with the full as-if-isolated bill.
+                    let cached = vmq_detect::CachedDetector::new(
+                        self.detector,
+                        &self.cache,
+                        self.user_ids[q],
+                        Some(self.global.clone()),
+                    );
+                    let charge = estimator.estimate_window(window, &cached, ledger);
+                    if charge.estimation_frames > 0 {
+                        ledger.charge(detector_stage, charge.estimation_frames);
+                    }
+                    if charge.calibration_frames > 0 {
+                        ledger.charge_calibration(detector_stage, charge.calibration_frames);
+                    }
+                    *estimation_frames += charge.estimation_frames;
+                    *calibration_frames += charge.calibration_frames;
                 }
-                if charge.calibration_frames > 0 {
-                    ledger.charge_calibration(detector_stage, charge.calibration_frames);
-                }
-                *estimation_frames += charge.estimation_frames;
-                *calibration_frames += charge.calibration_frames;
+                // Empty time windows skip the estimator but keep their
+                // index, so window k means the same wall-clock interval on
+                // every camera.
                 *window_index += 1;
-                *next_window_start += *advance;
+                match *seconds {
+                    None => *next_window_start += *advance,
+                    Some((_, advance_s)) => {
+                        *next_window_time += advance_s;
+                        *next_window_start =
+                            self.stream_start + self.stream_frames.partition_point(|f| f.timestamp < *next_window_time);
+                    }
+                }
             }
             let evict = next_window_start.saturating_sub(*indicator_start).min(indicators.len());
             if evict > 0 {
@@ -2044,6 +2284,92 @@ mod tests {
             self.pass_sums.push(window.backends[0].pass.iter().sum());
             WindowCharge { estimation_frames: self.samples_per_window, calibration_frames: self.calibration_per_window }
         }
+    }
+
+    #[test]
+    fn time_windows_align_across_camera_fps() {
+        let (ds, filter, oracle) = setup();
+        let query = Query::paper_q3();
+        let backends: Vec<&dyn FrameFilter> = vec![&filter];
+        // The same 2 s hopping statement over a camera at `fps`: frames get
+        // real wall-clock timestamps (frame_id / fps), exactly as
+        // `Scene::step` stamps them.
+        let frames_at = |fps: u32, n: usize| -> Vec<Frame> {
+            (0..n)
+                .map(|i| {
+                    let mut f = ds.test()[i % ds.test().len()].clone();
+                    f.frame_id = i as u64;
+                    f.timestamp = i as f64 / fps as f64;
+                    f
+                })
+                .collect()
+        };
+        let windows_at = |fps: u32, n: usize| -> Vec<(usize, usize, usize)> {
+            let frames = frames_at(fps, n);
+            let mut est = RecordingEstimator {
+                samples_per_window: 0,
+                calibration_per_window: 0,
+                windows: Vec::new(),
+                pass_sums: Vec::new(),
+            };
+            let mut plan = PhysicalPlan::new_aggregate(
+                &query,
+                AggregateSpec::hopping_seconds(2.0, 2.0),
+                &backends,
+                &oracle,
+                &mut est,
+                CostLedger::paper(),
+                PipelineConfig::default(),
+            );
+            let run = plan.execute_slice(&frames);
+            assert!(run.mode.contains("window 2s/2s"), "mode {}", run.mode);
+            drop(plan);
+            est.windows.iter().map(|&(i, s, l, _)| (i, s, l)).collect()
+        };
+        // 15 fps, 100 frames (6.6 s): three complete 2 s windows of 30
+        // frames each, pinned at t = 0, 2, 4 s. The frame-count mode would
+        // have put "window of 2 s at 30 fps" boundaries (size 60) here —
+        // misaligned by 2× for the same statement.
+        let slow = windows_at(15, 100);
+        assert_eq!(slow, vec![(0, 0, 30), (1, 30, 30), (2, 60, 30)]);
+        // 30 fps, 200 frames (6.63 s): same wall-clock boundaries, 60-frame
+        // windows.
+        let fast = windows_at(30, 200);
+        assert_eq!(fast, vec![(0, 0, 60), (1, 60, 60), (2, 120, 60)]);
+        // Window k covers the identical wall-clock interval on both cameras.
+        for (&(ks, start_s, len_s), &(kf, start_f, len_f)) in slow.iter().zip(&fast) {
+            assert_eq!(ks, kf);
+            assert_eq!(start_s * 2, start_f);
+            assert_eq!(len_s * 2, len_f);
+        }
+
+        // The shared plan's window emission follows the same time
+        // segmentation bit-for-bit.
+        let frames = frames_at(15, 100);
+        let mut shared_est = RecordingEstimator {
+            samples_per_window: 0,
+            calibration_per_window: 0,
+            windows: Vec::new(),
+            pass_sums: Vec::new(),
+        };
+        let mut plan = SharedStreamPlan::new(
+            &oracle,
+            vmq_detect::DetectionCache::new(),
+            CostLedger::paper(),
+            PipelineConfig::default(),
+        );
+        let b = plan.add_backend(&filter);
+        plan.register_aggregate(
+            query.clone(),
+            AggregateSpec::hopping_seconds(2.0, 2.0),
+            &[b],
+            &mut shared_est,
+            CostLedger::paper(),
+        );
+        let _ = plan.execute_slice(&frames);
+        drop(plan);
+        let shared: Vec<(usize, usize, usize)> = shared_est.windows.iter().map(|&(i, s, l, _)| (i, s, l)).collect();
+        assert_eq!(shared, slow);
     }
 
     #[test]

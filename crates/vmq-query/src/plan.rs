@@ -127,32 +127,84 @@ impl FilterCascade {
         self.query.predicates.iter().map(|p| self.predicate_possible(p, estimate, threshold)).collect()
     }
 
-    /// Per-predicate *control-variate* indicators (one boolean per query
-    /// predicate, in declaration order) — the controls of the (multiple-)
-    /// control-variate estimators of Sec. III.
+    /// Per-predicate *control-variate* indicators (one value in `[0, 1]` per
+    /// query predicate, in declaration order) — the controls of the
+    /// (multiple-) control-variate estimators of Sec. III.
     ///
     /// Unlike [`FilterCascade::predicate_indicators`] these are tuned for
     /// *correlation* with the detector verdict rather than for
     /// conservativeness: a cascade check may never drop a true frame, but an
-    /// estimator control is free to, so region predicates compare the
-    /// occupied-cell count inside the region against `min_count` instead of
-    /// the presence-only check (two people in the lower-left quadrant
-    /// occupy two grid cells virtually always). Count and spatial
-    /// predicates coincide with the cascade checks.
-    pub fn cv_indicators(&self, estimate: &FilterEstimate, threshold: f32) -> Vec<bool> {
+    /// estimator control is free to — and free to be *graded* rather than
+    /// boolean, because a control only needs to co-vary with the truth. A
+    /// boolean that is (nearly) constant over a stream is a dead control:
+    /// zero variance means zero correlation and no variance reduction at
+    /// all, which is exactly what shipped for a2/a3/a5 in the committed
+    /// baseline. The graded arms below keep each column varying:
+    ///
+    /// Each gradable arm blends the old boolean decision with a graded score
+    /// in `[0, 1]` — `(boolean + score) / 2` — so the column keeps the
+    /// boolean's discrimination where the boolean varies (an accurate
+    /// calibrated backend on a rare-event window) *and* keeps varying where
+    /// the boolean saturates to a constant (a noisy trained backend on a
+    /// busy scene, which is exactly what shipped dead columns for a2/a3/a5
+    /// in the committed baseline):
+    ///
+    /// * **Region** — boolean `occupied ≥ min_count` inside the region,
+    ///   graded by `occupied / min_count` clamped to 1 (identical to the old
+    ///   boolean when `min_count ≤ 1`). No dilation: tolerance is a
+    ///   conservativeness mechanism the control does not need.
+    /// * **Spatial** — boolean existential relation check, graded by the
+    ///   fraction of occupied cell pairs satisfying the relation
+    ///   ([`SpatialRelation::pair_fraction`](crate::SpatialRelation::pair_fraction)
+    ///   is positive exactly when the existential check holds, and
+    ///   continuous in how robustly it holds).
+    /// * **Count `Exactly`** — the tolerance boolean on the rounded
+    ///   estimate, graded by the closeness kernel `1 / (1 + (est − value)²)`
+    ///   of the *unrounded* estimate (the rounded equality test alone is
+    ///   almost never satisfied under a noisy count head).
+    /// * Everything else (`AtLeast`/`AtMost`, colour-blind class-colour
+    ///   counts) — the cascade boolean as `0.0`/`1.0`.
+    pub fn cv_indicators(&self, estimate: &FilterEstimate, threshold: f32) -> Vec<f64> {
+        let boolean = |b: bool| if b { 1.0 } else { 0.0 };
+        let blend = |b: bool, score: f64| (boolean(b) + score) / 2.0;
         self.query
             .predicates
             .iter()
             .map(|p| match p {
                 Predicate::Region { object, region, min_count } => {
-                    let Some(grid) = estimate.binary_grid_for(object.class, threshold) else { return true };
-                    let Some(r) = self.query.catalog.get(region) else { return false };
-                    // No dilation: dilating would inflate the cell count and
-                    // break the `min_count` comparison; tolerance is a
-                    // conservativeness mechanism the control does not need.
-                    grid.masked_by_region(&r).occupied() >= *min_count as usize
+                    let Some(grid) = estimate.binary_grid_for(object.class, threshold) else { return 1.0 };
+                    let Some(r) = self.query.catalog.get(region) else { return 0.0 };
+                    if *min_count == 0 {
+                        return 1.0;
+                    }
+                    let occupied = grid.masked_by_region(&r).occupied();
+                    blend(occupied >= *min_count as usize, (occupied as f64 / *min_count as f64).min(1.0))
                 }
-                other => self.predicate_possible(other, estimate, threshold),
+                Predicate::Spatial { first, relation, second } => {
+                    let (Some(a), Some(b)) = (
+                        estimate.binary_grid_for(first.class, threshold),
+                        estimate.binary_grid_for(second.class, threshold),
+                    ) else {
+                        return 1.0;
+                    };
+                    let fraction = relation.pair_fraction(&a, &b);
+                    blend(fraction > 0.0, fraction)
+                }
+                Predicate::Count { target, op: CountOp::Exactly, value } => {
+                    let est = match target {
+                        CountTarget::Total => Some((estimate.total_count(), estimate.total_count_rounded())),
+                        CountTarget::Class(c) => estimate.count_for(*c).zip(estimate.count_for_rounded(*c)),
+                        CountTarget::ClassColor(..) => None,
+                    };
+                    match est {
+                        Some((est, rounded)) => {
+                            let d = est as f64 - *value as f64;
+                            blend(self.count_possible(CountOp::Exactly, rounded, *value as i64), 1.0 / (1.0 + d * d))
+                        }
+                        None => boolean(self.predicate_possible(p, estimate, threshold)),
+                    }
+                }
+                other => boolean(self.predicate_possible(other, estimate, threshold)),
             })
             .collect()
     }

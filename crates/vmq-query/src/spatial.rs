@@ -78,6 +78,46 @@ impl SpatialRelation {
     pub fn holds_any_pair(self, first: &[BoundingBox], second: &[BoundingBox]) -> bool {
         first.iter().any(|a| second.iter().any(|b| self.holds_boxes(a, b)))
     }
+
+    /// Graded grid evaluation for control variates: the fraction of occupied
+    /// cell pairs `(a, b)` standing in the relation, in `[0, 1]`. Strictly
+    /// positive exactly when [`SpatialRelation::holds_grids`] is true, but
+    /// continuous in how *robustly* the configuration satisfies the relation
+    /// — on a busy scene where some pair nearly always exists, the boolean
+    /// is a constant (a dead control) while this fraction still varies with
+    /// the layout and keeps its correlation with the detector verdict.
+    pub fn pair_fraction(self, a: &ClassGrid, b: &ClassGrid) -> f64 {
+        // Reduce everything to "index(x) < index(y)" on one axis.
+        let (x, y, by_col) = match self {
+            SpatialRelation::LeftOf => (a, b, true),
+            SpatialRelation::RightOf => (b, a, true),
+            SpatialRelation::Above => (a, b, false),
+            SpatialRelation::Below => (b, a, false),
+        };
+        assert_eq!(x.size(), y.size(), "grid size mismatch");
+        let g = x.size();
+        let mut hx = vec![0u64; g];
+        let mut hy = vec![0u64; g];
+        for (r, c) in x.occupied_cells() {
+            hx[if by_col { c } else { r }] += 1;
+        }
+        for (r, c) in y.occupied_cells() {
+            hy[if by_col { c } else { r }] += 1;
+        }
+        let (tx, ty) = (hx.iter().sum::<u64>(), hy.iter().sum::<u64>());
+        if tx == 0 || ty == 0 {
+            return 0.0;
+        }
+        let mut pairs = 0u64;
+        let mut x_before = 0u64;
+        for i in 0..g {
+            if i > 0 {
+                x_before += hx[i - 1];
+            }
+            pairs += x_before * hy[i];
+        }
+        pairs as f64 / (tx as f64 * ty as f64)
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,6 @@ pub use dataset::{Dataset, Split};
 pub use object::{BoundingBox, Color, ObjectClass, SceneObject};
 pub use profile::{DatasetKind, DatasetProfile};
 pub use raster::{Image, RasterConfig};
-pub use scene::{Scene, SceneConfig};
+pub use scene::{camera_fleet, Scene, SceneConfig};
 pub use stats::DatasetStats;
 pub use stream::{Frame, FrameStream};

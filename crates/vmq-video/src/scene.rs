@@ -56,6 +56,40 @@ impl SceneConfig {
         self.camera_id = camera_id;
         self
     }
+
+    /// Overrides the frame rate (must be positive). Timestamps advance by
+    /// `1 / fps` per frame, so two cameras at different rates stay aligned
+    /// on wall-clock (time-based) aggregate windows.
+    pub fn with_fps(mut self, fps: f32) -> Self {
+        assert!(fps > 0.0, "fps must be positive");
+        self.fps = fps;
+        self
+    }
+}
+
+/// Builds a deterministic fleet of `n` camera scenes: camera `i` takes the
+/// profile `profiles[i % profiles.len()]`, camera id `i`, and a seed derived
+/// from `base_seed` by a SplitMix64 step — so every camera runs its own
+/// independent stochastic stream, and the same `(profiles, n, base_seed)`
+/// triple always reproduces the same fleet.
+pub fn camera_fleet(profiles: &[DatasetProfile], n: usize, base_seed: u64) -> Vec<Scene> {
+    assert!(!profiles.is_empty(), "camera_fleet needs at least one profile");
+    (0..n)
+        .map(|i| {
+            let profile = &profiles[i % profiles.len()];
+            let config = SceneConfig::from_profile(profile).with_camera(i as u32);
+            Scene::new(config, splitmix64(base_seed.wrapping_add(i as u64)))
+        })
+        .collect()
+}
+
+/// SplitMix64 finaliser: decorrelates sequential camera indices into
+/// well-separated seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// A stateful scene simulator producing one [`Frame`] per [`Scene::step`].
@@ -301,6 +335,38 @@ mod tests {
         let c = collect_counts(&DatasetProfile::jackson(), 100, 50);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn camera_fleet_is_deterministic_and_distinct() {
+        let profiles = [DatasetProfile::jackson(), DatasetProfile::detrac()];
+        let mut a = camera_fleet(&profiles, 4, 17);
+        let mut b = camera_fleet(&profiles, 4, 17);
+        assert_eq!(a.len(), 4);
+        for (i, (sa, sb)) in a.iter_mut().zip(b.iter_mut()).enumerate() {
+            assert_eq!(sa.config().camera_id, i as u32);
+            let fa = sa.step();
+            let fb = sb.step();
+            assert_eq!(fa.camera_id, i as u32);
+            assert_eq!(fa.objects.len(), fb.objects.len(), "same fleet seed reproduces camera {i}");
+        }
+        // Adjacent cameras run independent streams: identical first-frame
+        // counts across ALL of them would mean the seeds collided.
+        let counts: Vec<Vec<usize>> = camera_fleet(&[DatasetProfile::detrac()], 3, 23)
+            .iter_mut()
+            .map(|s| (0..30).map(|_| s.step().object_count()).collect())
+            .collect();
+        assert!(counts[0] != counts[1] || counts[1] != counts[2], "camera streams must differ");
+    }
+
+    #[test]
+    fn with_fps_drives_timestamps() {
+        let config = SceneConfig::from_profile(&DatasetProfile::jackson()).with_fps(10.0);
+        let mut scene = Scene::new(config, 1);
+        let f0 = scene.step();
+        let f1 = scene.step();
+        assert_eq!(f0.timestamp, 0.0);
+        assert!((f1.timestamp - 0.1).abs() < 1e-9);
     }
 
     #[test]
