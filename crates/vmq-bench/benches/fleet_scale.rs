@@ -17,7 +17,12 @@
 //!   ingest queues accept; the edge drops and counts the overflow, the
 //!   scheduler sheds aggregate detector *sampling* while the backlog is
 //!   high, and certified select recall stays exactly 1.0 on every admitted
-//!   frame.
+//!   frame;
+//! * **persistent executor** — the main tier runs on the warm `vmq_exec`
+//!   pool with cross-camera detect coalescing; the harness measures
+//!   steady-state thread spawns (must be 0) and scratch growth, and re-runs
+//!   the main tier uncoalesced and in `VMQ_NO_POOL`-style spawn-per-task
+//!   mode to report the per-poll wall-clock of all three paths.
 //!
 //! Setting `VMQ_BENCH_JSON=<path>` appends a `"fleet"` section to the JSON
 //! baseline (idempotent; regenerate in `table3 → table4 → drift_stream →
@@ -103,15 +108,23 @@ struct FleetRun {
 }
 
 /// Builds a fleet of `cameras`, ingests `frames` per camera and drains it,
-/// timing the scheduling + processing (not construction).
-fn run_fleet(cameras: usize, frames: usize, workers: usize, cache_bytes: usize) -> FleetRun {
+/// timing the scheduling + processing (not construction). `coalesce` is the
+/// fleet-wide detect coalescing budget (0 = per-camera reference path).
+fn run_fleet(cameras: usize, frames: usize, workers: usize, cache_bytes: usize, coalesce: usize) -> FleetRun {
     let oracle = OracleDetector::perfect();
     let filters: Vec<CalibratedFilter> =
         (0..cameras).map(|c| camera_filter(c, CalibrationProfile::od_like())).collect();
     let mut estimators: Vec<WindowedAggregator> = (0..cameras).flat_map(camera_estimators).collect();
     let mut fleet = FleetRuntime::new(
         &oracle,
-        FleetConfig { batch_size: BATCH, workers, queue_capacity: frames, cache_bytes, ..FleetConfig::default() },
+        FleetConfig {
+            batch_size: BATCH,
+            workers,
+            queue_capacity: frames,
+            cache_bytes,
+            coalesce_budget: coalesce,
+            ..FleetConfig::default()
+        },
     );
     for (c, (filter, ests)) in filters.iter().zip(estimators.chunks_mut(AGGREGATES_PER_CAMERA)).enumerate() {
         register_camera(&mut fleet, c, filter, ests);
@@ -156,7 +169,7 @@ fn check_parity(run: &FleetRun, frames: usize, check_cameras: &[usize]) -> (usiz
     let mut checked = 0;
     let mut identical = true;
     for &c in check_cameras {
-        let isolated = isolated_camera(c, frames, 2);
+        let isolated = isolated_camera(c, frames, 3);
         for (s, iso) in isolated.iter().enumerate() {
             let stmt = &run.outcome.statements[c * STATEMENTS_PER_CAMERA + s];
             assert_eq!(stmt.camera, c);
@@ -168,6 +181,29 @@ fn check_parity(run: &FleetRun, frames: usize, check_cameras: &[usize]) -> (usiz
         }
     }
     (checked, identical)
+}
+
+/// Executor + coalescing measurements over the main tier: the warm pool's
+/// steady-state behaviour, and per-poll wall-clock for the coalesced pooled
+/// path vs the uncoalesced pooled path vs the spawn-per-task reference.
+struct PoolReport {
+    steady_state_spawns: u64,
+    steady_scratch_growth: u64,
+    tasks_executed: u64,
+    max_queue_depth: usize,
+    coalesce_budget: usize,
+    coalesced_dispatches: u64,
+    coalesced_frames: u64,
+    max_coalesced_batch: usize,
+    polls: u64,
+    per_poll_wall_ms_pooled: f64,
+    per_poll_wall_ms_uncoalesced: f64,
+    per_poll_wall_ms_spawn: f64,
+    spawn_mode_spawns: u64,
+}
+
+fn per_poll_ms(run: &FleetRun) -> f64 {
+    run.outcome.poll_wall_ms / (run.outcome.polls.max(1)) as f64
 }
 
 struct OverloadResult {
@@ -270,6 +306,7 @@ fn write_json(
     overhead_ratio: f64,
     parity: (usize, bool),
     overload: &OverloadResult,
+    pool: &PoolReport,
 ) {
     let main = tiers.last().expect("at least one tier");
     let tier_rows: Vec<String> = tiers
@@ -298,6 +335,7 @@ fn write_json(
         concat!(
             "  \"fleet\": {{\n",
             "    \"scale\": {{\"cameras\":{},\"statements_per_camera\":{},\"statements\":{},\"frames_per_camera\":{},\"workers\":{}}},\n",
+            "    \"pool\": {{\"steady_state_spawns\":{},\"steady_scratch_growth\":{},\"tasks_executed\":{},\"max_queue_depth\":{},\"coalesce_budget\":{},\"coalesced_dispatches\":{},\"coalesced_frames\":{},\"max_coalesced_batch\":{},\"polls\":{},\"per_poll_wall_ms_pooled\":{:.3},\"per_poll_wall_ms_uncoalesced\":{:.3},\"per_poll_wall_ms_spawn\":{:.3},\"spawn_mode_spawns\":{}}},\n",
             "    \"tiers\": [\n{}\n    ],\n",
             "    \"per_camera_overhead_ratio\": {:.3},\n",
             "    \"parity\": {{\"cameras_checked\":{},\"statements_checked\":{},\"bit_identical\":{}}},\n",
@@ -311,6 +349,19 @@ fn write_json(
         main.outcome.statements.len(),
         frames,
         workers,
+        pool.steady_state_spawns,
+        pool.steady_scratch_growth,
+        pool.tasks_executed,
+        pool.max_queue_depth,
+        pool.coalesce_budget,
+        pool.coalesced_dispatches,
+        pool.coalesced_frames,
+        pool.max_coalesced_batch,
+        pool.polls,
+        pool.per_poll_wall_ms_pooled,
+        pool.per_poll_wall_ms_uncoalesced,
+        pool.per_poll_wall_ms_spawn,
+        pool.spawn_mode_spawns,
         tier_rows.join(",\n"),
         overhead_ratio,
         parity.0 / STATEMENTS_PER_CAMERA,
@@ -358,16 +409,77 @@ fn main() {
         Scale::Default => (600, 60),
         Scale::Full => (1000, 60),
     };
-    let workers = 1;
+    // Two workers so every shard path actually goes through the executor
+    // (at workers == 1 the shard helpers run inline and dispatch nothing).
+    let workers = 2;
+    let coalesce = FleetConfig::default().coalesce_budget;
     let cache_bytes = 1 << 20; // deliberately tight: eviction on the hot path
     let tier_sizes = [cameras / 10, cameras / 2, cameras];
 
-    let tiers: Vec<FleetRun> = tier_sizes.iter().map(|&n| run_fleet(n, frames, workers, cache_bytes)).collect();
+    // The first tier warms the pool and the per-worker scratch; from then on
+    // a healthy executor spawns no threads and grows no workspace buffers.
+    let mut tiers: Vec<FleetRun> = Vec::new();
+    let mut spawns_before_main = 0;
+    let mut growth_before_main = 0;
+    for (i, &n) in tier_sizes.iter().enumerate() {
+        if i == tier_sizes.len() - 1 {
+            spawns_before_main = vmq_exec::stats().threads_spawned;
+            growth_before_main = vmq_nn::scratch_growth_events();
+        }
+        tiers.push(run_fleet(n, frames, workers, cache_bytes, coalesce));
+    }
+    let steady_state_spawns = vmq_exec::stats().threads_spawned - spawns_before_main;
+    let steady_scratch_growth = vmq_nn::scratch_growth_events() - growth_before_main;
+
     let per_camera: Vec<f64> = tiers.iter().map(|t| t.drain_ms / t.cameras as f64).collect();
     let overhead_ratio = per_camera.iter().cloned().fold(f64::MIN, f64::max)
         / per_camera.iter().cloned().fold(f64::MAX, f64::min).max(1e-9);
 
     let main_run = tiers.last().expect("tiers");
+
+    // Re-run the main tier for the executor comparison: pooled but
+    // uncoalesced (per-camera detect dispatch), and the spawn-per-task
+    // reference mode that pins the pre-pool behaviour. The workload is
+    // deterministic, so the min over a few repeats is the noise-robust
+    // per-poll wall estimate on a shared core.
+    let best_of = |coalesce: usize, repeats: usize| -> (f64, FleetRun) {
+        let mut best = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..repeats {
+            let r = run_fleet(cameras, frames, workers, cache_bytes, coalesce);
+            best = best.min(per_poll_ms(&r));
+            last = Some(r);
+        }
+        (best, last.expect("at least one repeat"))
+    };
+    let (best_coalesced, coalesced_extra) = best_of(coalesce, 2);
+    let per_poll_wall_ms_pooled = per_poll_ms(main_run).min(best_coalesced);
+    let (per_poll_wall_ms_uncoalesced, uncoalesced) = best_of(0, 3);
+    let was_spawn = vmq_exec::spawn_mode();
+    vmq_exec::set_spawn_mode(true);
+    let spawns_before_ref = vmq_exec::stats().threads_spawned;
+    let (per_poll_wall_ms_spawn, spawn_run) = best_of(0, 2);
+    let spawn_mode_spawns = (vmq_exec::stats().threads_spawned - spawns_before_ref) / 2;
+    vmq_exec::set_spawn_mode(was_spawn);
+    drop(coalesced_extra);
+
+    let stats = vmq_exec::stats();
+    let pool = PoolReport {
+        steady_state_spawns,
+        steady_scratch_growth,
+        tasks_executed: stats.tasks_executed,
+        max_queue_depth: stats.max_queue_depth,
+        coalesce_budget: coalesce,
+        coalesced_dispatches: main_run.outcome.coalesced_dispatches,
+        coalesced_frames: main_run.outcome.coalesced_frames,
+        max_coalesced_batch: main_run.outcome.max_coalesced_batch,
+        polls: main_run.outcome.polls,
+        per_poll_wall_ms_pooled,
+        per_poll_wall_ms_uncoalesced,
+        per_poll_wall_ms_spawn,
+        spawn_mode_spawns,
+    };
+
     let parity = check_parity(main_run, frames, &[0, cameras / 2, cameras - 1]);
     let overload = run_overload((cameras / 10).max(8));
 
@@ -415,14 +527,43 @@ fn main() {
         overload.shed_sampled,
         overload.select_recall * 100.0
     ));
+    report.note(&format!(
+        "executor: {} threads spawned over the main tier (warm pool), {} scratch growth events, {} coalesced dispatches (max batch {}, budget {})",
+        pool.steady_state_spawns,
+        pool.steady_scratch_growth,
+        pool.coalesced_dispatches,
+        pool.max_coalesced_batch,
+        pool.coalesce_budget
+    ));
+    report.note(&format!(
+        "per-poll wall at {} cameras: {:.2} ms coalesced+pooled vs {:.2} ms uncoalesced vs {:.2} ms spawn-per-task reference ({} threads spawned per run)",
+        cameras,
+        pool.per_poll_wall_ms_pooled,
+        pool.per_poll_wall_ms_uncoalesced,
+        pool.per_poll_wall_ms_spawn,
+        pool.spawn_mode_spawns
+    ));
     println!("{}", report.render());
 
     assert!(parity.1, "fleet statements must be bit-identical to isolated runs");
     assert!(overload.select_recall >= 1.0 - 1e-12, "shedding must never touch select recall");
     assert!(overload.shed_sampled < overload.unshed_sampled, "shedding must reduce aggregate sampling");
     assert!(main_run.outcome.cache_resident_bytes <= cache_bytes, "cache memory stays bounded");
+    if !was_spawn {
+        assert_eq!(pool.steady_state_spawns, 0, "a warm pool must spawn no threads in steady state");
+        assert!(pool.coalesced_dispatches > 0, "the main tier must exercise coalesced dispatch");
+        assert!(pool.spawn_mode_spawns > 0, "the spawn reference must actually spawn per task");
+    }
+    // The comparison runs are knob twins of the main tier: same statements,
+    // bit-identical outcomes.
+    for twin in [&uncoalesced, &spawn_run] {
+        for (a, b) in main_run.outcome.statements.iter().zip(&twin.outcome.statements) {
+            assert_eq!(a.run.matched_frames, b.run.matched_frames, "executor mode must not change answers");
+            assert_eq!(a.run.virtual_ms.to_bits(), b.run.virtual_ms.to_bits(), "executor mode must not change bills");
+        }
+    }
 
     if let Ok(path) = std::env::var("VMQ_BENCH_JSON") {
-        write_json(&path, &tiers, frames, workers, cache_bytes, overhead_ratio, parity, &overload);
+        write_json(&path, &tiers, frames, workers, cache_bytes, overhead_ratio, parity, &overload, &pool);
     }
 }

@@ -39,10 +39,13 @@
 //! any statement computes. The fleet bench and the tests below pin this.
 
 use std::collections::VecDeque;
+use std::time::Instant;
 
-use vmq_detect::{CostLedger, DetectionCache, Detector, GroupCost, SharedCost};
+use vmq_detect::{CostLedger, DetectionCache, Detector, FrameDetections, GroupCost, SharedCost};
 use vmq_filters::FrameFilter;
-use vmq_query::{AggregateSpec, CascadeConfig, PipelineConfig, Query, QueryRun, SharedStreamPlan, WindowEstimator};
+use vmq_query::{
+    AggregateSpec, CascadeConfig, PipelineConfig, PreparedBatch, Query, QueryRun, SharedStreamPlan, WindowEstimator,
+};
 use vmq_video::{Frame, Scene};
 
 /// Tuning knobs of a [`FleetRuntime`].
@@ -63,6 +66,13 @@ pub struct FleetConfig {
     /// backlog below the threshold runs unshed and deeper overload sheds
     /// harder. Aggregates only — selects never degrade.
     pub shed_backlog_per_level: usize,
+    /// Upper bound on frames per fleet-wide coalesced detector dispatch:
+    /// each [`FleetRuntime::poll`] sweep gathers every camera's
+    /// cache-missing escalations into batches of at most this many frames
+    /// and runs each batch once through the persistent pool, instead of one
+    /// under-filled sharded detect per camera. `0` disables coalescing (the
+    /// per-camera reference path); outcomes are bit-identical either way.
+    pub coalesce_budget: usize,
 }
 
 impl Default for FleetConfig {
@@ -73,6 +83,7 @@ impl Default for FleetConfig {
             queue_capacity: 256,
             cache_bytes: 64 << 20,
             shed_backlog_per_level: usize::MAX,
+            coalesce_budget: 1024,
         }
     }
 }
@@ -142,6 +153,16 @@ pub struct FleetOutcome {
     pub shed_events: u64,
     /// Highest shed level reached.
     pub max_shed_level: u32,
+    /// Scheduler sweeps performed over the pass.
+    pub polls: u64,
+    /// Wall-clock spent inside [`FleetRuntime::poll`] across the pass.
+    pub poll_wall_ms: f64,
+    /// Fleet-wide coalesced detector dispatches (0 when coalescing is off).
+    pub coalesced_dispatches: u64,
+    /// Frames detected through coalesced dispatches.
+    pub coalesced_frames: u64,
+    /// Largest single coalesced dispatch, in frames.
+    pub max_coalesced_batch: usize,
 }
 
 /// Registers M cameras × N standing statements and drives them all through
@@ -157,6 +178,11 @@ pub struct FleetRuntime<'a> {
     shed_level: u32,
     shed_events: u64,
     max_shed_level: u32,
+    polls: u64,
+    poll_wall_ms: f64,
+    coalesced_dispatches: u64,
+    coalesced_frames: u64,
+    max_coalesced_batch: usize,
 }
 
 impl<'a> FleetRuntime<'a> {
@@ -172,6 +198,11 @@ impl<'a> FleetRuntime<'a> {
             shed_level: 0,
             shed_events: 0,
             max_shed_level: 0,
+            polls: 0,
+            poll_wall_ms: 0.0,
+            coalesced_dispatches: 0,
+            coalesced_frames: 0,
+            max_coalesced_batch: 0,
         }
     }
 
@@ -301,9 +332,23 @@ impl<'a> FleetRuntime<'a> {
 
     /// One scheduler sweep: re-evaluates the shed level against the current
     /// backlog, then round-robins one batch per camera through its plan.
-    /// Returns the number of frames processed.
+    /// With a non-zero [`FleetConfig::coalesce_budget`] the sweep runs the
+    /// cheap shared phases of every camera first and dispatches all cameras'
+    /// cache-missing escalations as fleet-wide coalesced detector batches;
+    /// with `0` each camera detects its own micro-batch inline. Outcomes are
+    /// bit-identical either way. Returns the number of frames processed.
     pub fn poll(&mut self) -> usize {
+        let start = Instant::now();
         self.update_shed();
+        let processed = if self.config.coalesce_budget == 0 { self.poll_uncoalesced() } else { self.poll_coalesced() };
+        self.polls += 1;
+        self.poll_wall_ms += start.elapsed().as_secs_f64() * 1000.0;
+        processed
+    }
+
+    /// The reference sweep: each camera's batch runs all phases inline,
+    /// detector escalations included, exactly as a stand-alone plan would.
+    fn poll_uncoalesced(&mut self) -> usize {
         let mut processed = 0;
         for state in &mut self.cameras {
             if state.queue.is_empty() {
@@ -313,6 +358,85 @@ impl<'a> FleetRuntime<'a> {
             let batch: Vec<Frame> = state.queue.drain(..take).collect();
             state.plan.push_batch(&batch);
             processed += take;
+        }
+        processed
+    }
+
+    /// The coalescing sweep. Three stages:
+    ///
+    /// 1. every camera's batch runs its cheap shared phases
+    ///    ([`SharedStreamPlan::prepare_batch`]: decode charge, backend
+    ///    inference, fan-out, cache probe), leaving per-camera missing sets;
+    /// 2. the missing frames of *all* cameras are concatenated (camera
+    ///    order, batch order within a camera) and detected in dispatches of
+    ///    at most `coalesce_budget` frames, each sharded once across the
+    ///    persistent pool with a position-keyed merge;
+    /// 3. results fan back per camera through
+    ///    [`SharedStreamPlan::complete_batch`], which installs them in the
+    ///    `(camera_id, frame_id)`-keyed cache and charges the global ledger
+    ///    per fresh frame — the same per-camera charges, in the same cache
+    ///    order, as the reference sweep, so ledger totals, attribution and
+    ///    every statement outcome stay bit-identical. Detector wall is
+    ///    attributed to cameras proportional to their share of the
+    ///    coalesced work.
+    fn poll_coalesced(&mut self) -> usize {
+        let mut processed = 0;
+        let mut batches: Vec<(usize, Vec<Frame>)> = Vec::new();
+        for (c, state) in self.cameras.iter_mut().enumerate() {
+            if state.queue.is_empty() {
+                continue;
+            }
+            let take = state.queue.len().min(self.config.batch_size);
+            batches.push((c, state.queue.drain(..take).collect()));
+            processed += take;
+        }
+        let mut prepared: Vec<(usize, PreparedBatch<'_>)> = Vec::with_capacity(batches.len());
+        for (c, frames) in &batches {
+            prepared.push((*c, self.cameras[*c].plan.prepare_batch(frames)));
+        }
+        // The fleet-wide work list: (prepared index, missing position).
+        let jobs: Vec<(usize, usize)> = prepared
+            .iter()
+            .enumerate()
+            .flat_map(|(p, (_, pending))| (0..pending.missing_len()).map(move |j| (p, j)))
+            .collect();
+        let detect_start = Instant::now();
+        let mut results: Vec<Option<FrameDetections>> = vec![None; jobs.len()];
+        let budget = self.config.coalesce_budget;
+        let detector = self.detector;
+        let prepared_ref = &prepared;
+        for (chunk_jobs, chunk_out) in jobs.chunks(budget).zip(results.chunks_mut(budget)) {
+            let m = chunk_jobs.len();
+            self.coalesced_dispatches += 1;
+            self.coalesced_frames += m as u64;
+            self.max_coalesced_batch = self.max_coalesced_batch.max(m);
+            let workers = self.config.workers.min(m).max(1);
+            if workers == 1 {
+                for (slot, &(p, j)) in chunk_out.iter_mut().zip(chunk_jobs) {
+                    *slot = Some(detector.detect(prepared_ref[p].1.missing_frame(j)));
+                }
+            } else {
+                let task_chunk = m.div_ceil(workers);
+                vmq_exec::scope(workers, |scope| {
+                    for (slots, part) in chunk_out.chunks_mut(task_chunk).zip(chunk_jobs.chunks(task_chunk)) {
+                        scope.spawn(move || {
+                            for (slot, &(p, j)) in slots.iter_mut().zip(part) {
+                                *slot = Some(detector.detect(prepared_ref[p].1.missing_frame(j)));
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        let detect_ms = detect_start.elapsed().as_secs_f64() * 1000.0;
+        let total_missing = jobs.len();
+        let mut results = results.into_iter();
+        for (c, pending) in prepared {
+            let k = pending.missing_len();
+            let detections: Vec<FrameDetections> =
+                results.by_ref().take(k).map(|d| d.expect("every coalesced frame detected")).collect();
+            let share = if total_missing == 0 { 0.0 } else { detect_ms * k as f64 / total_missing as f64 };
+            self.cameras[c].plan.complete_batch(pending, detections, share);
         }
         processed
     }
@@ -386,6 +510,11 @@ impl<'a> FleetRuntime<'a> {
             frames_dropped: self.cameras.iter().map(|c| c.dropped).sum(),
             shed_events: self.shed_events,
             max_shed_level: self.max_shed_level,
+            polls: self.polls,
+            poll_wall_ms: self.poll_wall_ms,
+            coalesced_dispatches: self.coalesced_dispatches,
+            coalesced_frames: self.coalesced_frames,
+            max_coalesced_batch: self.max_coalesced_batch,
         }
     }
 }
@@ -511,6 +640,93 @@ mod tests {
                 assert_eq!(a.mcv_mean.to_bits(), b.mcv_mean.to_bits());
             }
         }
+    }
+
+    /// Two cameras × two statements through the fleet with the given
+    /// coalesce budget, interleaving ingest and polls.
+    fn run_fleet_with_budget(budget: usize) -> (FleetOutcome, Vec<WindowedAggregator>) {
+        let oracle = OracleDetector::perfect();
+        let filters: Vec<CalibratedFilter> = (0..2).map(|c| filter_for(c, CalibrationProfile::od_like())).collect();
+        let mut estimators: Vec<WindowedAggregator> = (0..2).map(estimator_for).collect();
+        let mut fleet = FleetRuntime::new(
+            &oracle,
+            FleetConfig {
+                batch_size: 24,
+                workers: 2,
+                queue_capacity: 512,
+                coalesce_budget: budget,
+                ..FleetConfig::default()
+            },
+        );
+        for (c, (filter, estimator)) in filters.iter().zip(estimators.iter_mut()).enumerate() {
+            let cam = fleet.add_camera(scene_for(c as u32));
+            let b = fleet.add_backend(cam, filter);
+            let tenant = if c == 0 { "acme" } else { "globex" };
+            fleet.register_select(cam, tenant, Query::paper_q3(), CascadeConfig::strict(), Some(b));
+            fleet.register_aggregate(
+                cam,
+                tenant,
+                Query::paper_a1(),
+                AggregateSpec::hopping_seconds(1.0, 1.0),
+                &[b],
+                estimator,
+            );
+        }
+        for _ in 0..4 {
+            assert_eq!(fleet.ingest(FRAMES_PER_CAMERA / 4), 0);
+            fleet.poll();
+        }
+        (fleet.finish(), estimators)
+    }
+
+    fn assert_outcomes_bit_identical(a: &FleetOutcome, b: &FleetOutcome) {
+        assert_eq!(a.detector_invocations, b.detector_invocations);
+        assert_eq!(a.cache_hits, b.cache_hits);
+        assert_eq!(a.statements.len(), b.statements.len());
+        for (sa, sb) in a.statements.iter().zip(&b.statements) {
+            assert_eq!(sa.run.matched_frames, sb.run.matched_frames, "{}", sa.name);
+            assert_eq!(sa.run.frames_detected, sb.run.frames_detected, "{}", sa.name);
+            assert_eq!(sa.run.frames_passed_filter, sb.run.frames_passed_filter, "{}", sa.name);
+            assert_eq!(sa.run.virtual_ms.to_bits(), sb.run.virtual_ms.to_bits(), "{}", sa.name);
+        }
+        let total_a: f64 = a.shared.queries.iter().map(|q| q.attributed_ms).sum();
+        let total_b: f64 = b.shared.queries.iter().map(|q| q.attributed_ms).sum();
+        assert!((total_a - total_b).abs() < 1e-9, "attributed bills diverged: {total_a} vs {total_b}");
+    }
+
+    #[test]
+    fn coalesced_detect_is_bit_identical_to_uncoalesced() {
+        let (coalesced, est_c) = run_fleet_with_budget(1024);
+        let (uncoalesced, est_u) = run_fleet_with_budget(0);
+        assert!(coalesced.coalesced_dispatches > 0, "default budget must coalesce");
+        // Escalation-union detections flow through the coalescer; aggregate
+        // window sampling detects separately, so the totals need not match.
+        assert!(coalesced.coalesced_frames > 0);
+        assert!(coalesced.coalesced_frames <= coalesced.detector_invocations);
+        assert_eq!(uncoalesced.coalesced_dispatches, 0, "budget 0 is the reference path");
+        assert_eq!(uncoalesced.coalesced_frames, 0);
+        assert_outcomes_bit_identical(&coalesced, &uncoalesced);
+        for (ea, eb) in est_c.iter().zip(&est_u) {
+            assert_eq!(ea.reports().len(), eb.reports().len());
+            for (ra, rb) in ea.reports().iter().zip(eb.reports()) {
+                assert_eq!(ra.window_index, rb.window_index);
+                assert_eq!(ra.window_frames, rb.window_frames);
+                assert_eq!(ra.plain_mean.to_bits(), rb.plain_mean.to_bits());
+                assert_eq!(ra.mcv_mean.to_bits(), rb.mcv_mean.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_coalesce_budget_chunks_dispatches_without_changing_outcomes() {
+        let (tiny, _) = run_fleet_with_budget(3);
+        let (uncoalesced, _) = run_fleet_with_budget(0);
+        assert!(tiny.max_coalesced_batch <= 3, "dispatches must respect the budget");
+        assert!(
+            tiny.coalesced_dispatches >= tiny.coalesced_frames.div_ceil(3),
+            "budget 3 must split the work into many dispatches"
+        );
+        assert_outcomes_bit_identical(&tiny, &uncoalesced);
     }
 
     #[test]

@@ -187,9 +187,9 @@ impl FrameFilter for CalibratedFilter {
     fn estimate_batch_sharded(&self, frames: &[Frame], workers: usize) -> Vec<FilterEstimate> {
         // The expensive part — building `frames × classes` ground-truth
         // occupancy grids — is a pure per-frame function, so it shards
-        // across scoped threads with a position-keyed merge. The calibrated
-        // noise, by contrast, is one sequential RNG stream (that is the
-        // filter's determinism contract), so the noise pass stays
+        // across the persistent pool with a position-keyed merge. The
+        // calibrated noise, by contrast, is one sequential RNG stream (that
+        // is the filter's determinism contract), so the noise pass stays
         // single-threaded and the estimates are bit-identical to the
         // per-frame path for any worker count.
         let workers = workers.min(frames.len()).max(1);
@@ -198,7 +198,7 @@ impl FrameFilter for CalibratedFilter {
         }
         let chunk = frames.len().div_ceil(workers);
         let mut truth: Vec<Vec<ClassGrid>> = vec![Vec::new(); frames.len()];
-        std::thread::scope(|scope| {
+        vmq_exec::scope(workers, |scope| {
             for (slots, part) in truth.chunks_mut(chunk).zip(frames.chunks(chunk)) {
                 scope.spawn(move || {
                     let groups: Vec<_> = part.iter().flat_map(|frame| self.truth_box_groups(frame)).collect();

@@ -207,12 +207,14 @@ pub fn image_to_tensor(image: &Image) -> Tensor {
     Tensor::from_vec(image.data.clone(), vec![image.channels, image.height, image.width])
 }
 
-/// Shards a batch of frames across up to `workers` scoped worker threads,
-/// each owning one inference [`Workspace`](vmq_nn::Workspace), and merges the
-/// per-frame results position-keyed — the same worker-invariance recipe the
-/// detect stage uses, so any worker count yields the identical estimate
-/// vector. With one worker (or one frame) no thread is spawned and a single
-/// workspace serves the whole batch sequentially.
+/// Shards a batch of frames across up to `workers` tasks on the persistent
+/// [`vmq_exec`] pool, each task running on a worker's thread-local inference
+/// [`Workspace`](vmq_nn::Workspace) (reused across batches, so steady-state
+/// sharded inference neither spawns threads nor grows scratch), and merges
+/// the per-frame results position-keyed — the same worker-invariance recipe
+/// the detect stage uses, so any worker count yields the identical estimate
+/// vector. With one worker (or one frame) the calling thread's workspace
+/// serves the whole batch sequentially.
 pub(crate) fn shard_frames<F>(frames: &[Frame], workers: usize, infer_one: F) -> Vec<FilterEstimate>
 where
     F: Fn(&Frame, &mut vmq_nn::Workspace) -> FilterEstimate + Sync,
@@ -223,19 +225,19 @@ where
     }
     let workers = workers.min(n).max(1);
     if workers == 1 {
-        let mut ws = vmq_nn::Workspace::new();
-        return frames.iter().map(|frame| infer_one(frame, &mut ws)).collect();
+        return vmq_nn::with_thread_workspace(|ws| frames.iter().map(|frame| infer_one(frame, ws)).collect());
     }
     let chunk = n.div_ceil(workers);
     let mut out: Vec<Option<FilterEstimate>> = vec![None; n];
     let infer_one = &infer_one;
-    std::thread::scope(|scope| {
+    vmq_exec::scope(workers, |scope| {
         for (slots, part) in out.chunks_mut(chunk).zip(frames.chunks(chunk)) {
             scope.spawn(move || {
-                let mut ws = vmq_nn::Workspace::new();
-                for (slot, frame) in slots.iter_mut().zip(part) {
-                    *slot = Some(infer_one(frame, &mut ws));
-                }
+                vmq_nn::with_thread_workspace(|ws| {
+                    for (slot, frame) in slots.iter_mut().zip(part) {
+                        *slot = Some(infer_one(frame, ws));
+                    }
+                });
             });
         }
     });

@@ -66,4 +66,4 @@ pub use net::{Param, Sequential};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use quant::QuantizedSequential;
 pub use tensor::Tensor;
-pub use workspace::Workspace;
+pub use workspace::{scratch_growth_events, with_thread_workspace, Workspace};

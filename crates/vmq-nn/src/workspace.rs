@@ -23,6 +23,8 @@
 //! concurrently without a lock.
 
 use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Reusable scratch buffers for one thread's inference passes.
 ///
@@ -131,6 +133,54 @@ impl Workspace {
     pub fn output(&self) -> Tensor {
         Tensor::from_vec(self.cur.clone(), self.shape.clone())
     }
+
+    /// Total bytes of heap capacity held across all scratch buffers. Flat
+    /// once the buffers reach their high-water mark — the reuse invariant
+    /// [`scratch_growth_events`] counts violations of.
+    pub fn capacity_bytes(&self) -> usize {
+        std::mem::size_of::<f32>()
+            * (self.cur.capacity() + self.nxt.capacity() + self.cols.capacity() + self.stash_buf.capacity())
+            + std::mem::size_of::<usize>() * (self.shape.capacity() + self.stash_shape.capacity())
+            + self.q_act.capacity()
+            + self.q_cols.capacity()
+            + std::mem::size_of::<i32>() * self.q_acc.capacity()
+    }
+}
+
+thread_local! {
+    /// One workspace per thread, living as long as the thread does. On the
+    /// persistent `vmq_exec` pool workers this is what turns "fresh scratch
+    /// per sharded batch" into "scratch reused across every batch the worker
+    /// ever runs".
+    static THREAD_WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+}
+
+/// Times the thread-local workspace grew past its previous high-water mark,
+/// process-wide. After warm-up this must stop moving; a sharded stage that
+/// re-allocates scratch every batch shows up here (and fails the fleet
+/// bench's steady-state gate).
+static GROWTH_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of thread-local workspace growth events.
+pub fn scratch_growth_events() -> u64 {
+    GROWTH_EVENTS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` with this thread's persistent [`Workspace`], recording a growth
+/// event if the call left the scratch buffers larger than it found them.
+/// Callers must not nest this (the workspace is exclusively borrowed), which
+/// mirrors the old discipline of one locally constructed workspace per shard
+/// loop.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    THREAD_WORKSPACE.with(|cell| {
+        let mut ws = cell.borrow_mut();
+        let before = ws.capacity_bytes();
+        let out = f(&mut ws);
+        if ws.capacity_bytes() > before {
+            GROWTH_EVENTS.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    })
 }
 
 #[cfg(test)]
@@ -161,6 +211,39 @@ mod tests {
         ws.unstash();
         assert_eq!(ws.data(), &[5.0, 6.0]);
         assert_eq!(ws.shape(), &[2]);
+    }
+
+    #[test]
+    fn thread_workspace_capacity_is_flat_after_warmup() {
+        let load = vec![0.5f32; 4096];
+        // First call grows the thread-local buffers to the high-water mark…
+        let warm = with_thread_workspace(|ws| {
+            ws.load_slice(&load, &[4096]);
+            ws.stash();
+            ws.capacity_bytes()
+        });
+        // …after which identical passes must not allocate.
+        for _ in 0..10 {
+            let now = with_thread_workspace(|ws| {
+                ws.load_slice(&load, &[4096]);
+                ws.stash();
+                ws.capacity_bytes()
+            });
+            assert!(now <= warm, "steady-state pass grew scratch: {now} > {warm}");
+        }
+    }
+
+    #[test]
+    fn growth_counter_records_high_water_moves() {
+        let before = scratch_growth_events();
+        std::thread::spawn(|| {
+            // A fresh thread starts from an empty workspace, so this call
+            // must register as growth.
+            with_thread_workspace(|ws| ws.load_slice(&[1.0; 512], &[512]));
+        })
+        .join()
+        .unwrap();
+        assert!(scratch_growth_events() > before);
     }
 
     #[test]

@@ -52,8 +52,8 @@ pub use metrics::{QueryAccuracy, SpeedupReport};
 pub use order::{FilterOrdering, PredicateStats};
 pub use parser::{format_statement, format_where_clause, parse_statement, ParseError, ParsedStatement};
 pub use pipeline::{
-    AggregateSpec, FrameBatch, FrameIndicators, FrameSource, Operator, PhysicalPlan, PipelineConfig, SharedStreamPlan,
-    StageMetrics, WindowBackendColumns, WindowCharge, WindowData, WindowEstimator,
+    AggregateSpec, FrameBatch, FrameIndicators, FrameSource, Operator, PhysicalPlan, PipelineConfig, PreparedBatch,
+    SharedStreamPlan, StageMetrics, WindowBackendColumns, WindowCharge, WindowData, WindowEstimator,
 };
 pub use plan::{CascadeConfig, FilterCascade};
 pub use planner::{

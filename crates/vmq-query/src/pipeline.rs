@@ -1079,6 +1079,37 @@ struct ExecState {
     backend_wall: Vec<f64>,
 }
 
+/// A batch mid-flight through the shared pass: the cheap phases (decode
+/// charge, backend inference, per-query fan-out, detection-cache probe) have
+/// run, and the `missing` frames still await the detector. Produced by
+/// [`SharedStreamPlan::prepare_batch`], consumed by
+/// [`SharedStreamPlan::complete_batch`]; between the two, a fleet scheduler
+/// may pool many plans' missing frames into one coalesced detector dispatch.
+pub struct PreparedBatch<'f> {
+    frames: &'f [Frame],
+    /// Batch position → the local query indices that escalated it.
+    escalations: Vec<Vec<usize>>,
+    /// `(query, batch position)` pairs escalated by the audit channel.
+    audit_marks: std::collections::BTreeSet<(usize, usize)>,
+    /// Batch position → shared annotations, filled for cache hits; the
+    /// missing positions are completed by `complete_batch`.
+    resolved: Vec<Option<std::sync::Arc<FrameDetections>>>,
+    /// Batch positions escalated but absent from the cache, in batch order.
+    missing: Vec<usize>,
+}
+
+impl PreparedBatch<'_> {
+    /// Number of frames awaiting detection.
+    pub fn missing_len(&self) -> usize {
+        self.missing.len()
+    }
+
+    /// The `j`-th frame awaiting detection (batch order).
+    pub fn missing_frame(&self, j: usize) -> &Frame {
+        &self.frames[self.missing[j]]
+    }
+}
+
 /// The shape-specific state of one registered query.
 enum SharedQueryKind<'a> {
     /// A frame-selection query: cascade → detect survivors → exact predicate.
@@ -1499,10 +1530,55 @@ impl<'a> SharedStreamPlan<'a> {
     /// batch boundary); call [`SharedStreamPlan::finish`] to settle
     /// attribution and collect the per-query runs.
     pub fn push_batch(&mut self, frames: &[Frame]) {
+        let pending = self.prepare_batch(frames);
+        let start = Instant::now();
+        let detections = self.detect_pending(&pending);
+        let detect_ms = start.elapsed().as_secs_f64() * 1000.0;
+        self.complete_batch(pending, detections, detect_ms);
+    }
+
+    /// First half of [`SharedStreamPlan::push_batch`]: runs the cheap shared
+    /// phases (decode charge, backend inference, per-query fan-out) and the
+    /// detection-cache probe, returning a [`PreparedBatch`] whose `missing`
+    /// frames still need the detector. A fleet scheduler uses this to gather
+    /// detector work from many per-camera plans before dispatching it as one
+    /// coalesced batch; `push_batch` is exactly
+    /// `prepare_batch` → [`SharedStreamPlan::detect_pending`] →
+    /// [`SharedStreamPlan::complete_batch`].
+    pub fn prepare_batch<'f>(&mut self, frames: &'f [Frame]) -> PreparedBatch<'f> {
         self.ensure_exec();
         let mut st = self.exec.take().expect("exec state built");
         st.frames_total += frames.len();
-        self.process_batch(frames, &st.all_users, &st.backend_users, &mut st.wall, &mut st.backend_wall);
+        let pending =
+            self.process_batch_pre(frames, &st.all_users, &st.backend_users, &mut st.wall, &mut st.backend_wall);
+        self.exec = Some(st);
+        pending
+    }
+
+    /// Detects a prepared batch's missing frames, sharded across the
+    /// persistent pool — the detector work `push_batch` would have run
+    /// inline. Results are keyed by the pending batch's missing positions.
+    pub fn detect_pending(&self, pending: &PreparedBatch<'_>) -> Vec<FrameDetections> {
+        self.detect_sharded(pending.frames, &pending.missing)
+    }
+
+    /// Second half of [`SharedStreamPlan::push_batch`]: installs the
+    /// detections for the pending batch's missing frames (cache insert plus
+    /// same-batch sharing, exactly as the inline path), charges the global
+    /// ledger once per fresh frame, runs per-query exact evaluation and
+    /// window emission, and consults the drift monitors at the batch
+    /// boundary. `detections` must hold one entry per missing frame in
+    /// order; `detect_wall_ms` is the wall time the caller spent producing
+    /// them (a coalescing scheduler passes this plan's share).
+    pub fn complete_batch(
+        &mut self,
+        pending: PreparedBatch<'_>,
+        detections: Vec<FrameDetections>,
+        detect_wall_ms: f64,
+    ) {
+        let mut st = self.exec.take().expect("prepare_batch before complete_batch");
+        st.wall.detect_ms += detect_wall_ms;
+        self.process_batch_post(pending, detections, &mut st.wall);
         let frames_total = st.frames_total;
         self.exec = Some(st);
         // Batch boundaries are the plan-swap points: consult every drift
@@ -1524,15 +1600,18 @@ impl<'a> SharedStreamPlan<'a> {
         self.finalize(st.frames_total, &st.wall, &st.backend_wall)
     }
 
-    /// One batch through every phase of the shared pass.
-    fn process_batch(
+    /// Phases 1–3 of the shared pass plus the detection-cache probe: decode
+    /// charges, shared backend inference, per-query fan-out (escalations,
+    /// indicator rows, drift observation) and the per-frame cache lookups
+    /// that decide which escalated frames still need the detector.
+    fn process_batch_pre<'f>(
         &mut self,
-        frames: &[Frame],
+        frames: &'f [Frame],
         all_users: &[usize],
         backend_users: &[Vec<usize>],
         wall: &mut SharedWall,
         backend_wall: &mut [f64],
-    ) {
+    ) -> PreparedBatch<'f> {
         let n = frames.len();
         // Phase 1 — decode: once globally, split across every query (global
         // charges address queries by their fleet-global user ids); each
@@ -1635,10 +1714,57 @@ impl<'a> SharedStreamPlan<'a> {
             }
         }
 
-        // Phase 4 — deduplicated detection of the escalation union, sharded
-        // across the worker pool with a position-keyed merge.
+        // Phase 4 (first half) — probe the deduplicated detection cache:
+        // frames already annotated resolve here (recording every escalator
+        // as a sharing user); the rest become the batch's missing set.
         let start = Instant::now();
-        let resolved = self.detect_union(frames, &escalations);
+        let mut resolved: Vec<Option<std::sync::Arc<FrameDetections>>> = vec![None; n];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, users) in escalations.iter().enumerate() {
+            let Some(&first) = users.first() else { continue };
+            match self.cache.get(&frames[i], self.user_ids[first]) {
+                Some(hit) => {
+                    for &u in &users[1..] {
+                        let _ = self.cache.get(&frames[i], self.user_ids[u]);
+                    }
+                    resolved[i] = Some(hit);
+                }
+                None => missing.push(i),
+            }
+        }
+        wall.detect_ms += start.elapsed().as_secs_f64() * 1000.0;
+        PreparedBatch { frames, escalations, audit_marks, resolved, missing }
+    }
+
+    /// Detection install plus phases 5–6 of the shared pass, given the
+    /// detector results for a prepared batch's missing frames.
+    fn process_batch_post(
+        &mut self,
+        pending: PreparedBatch<'_>,
+        detections: Vec<FrameDetections>,
+        wall: &mut SharedWall,
+    ) {
+        let PreparedBatch { frames, escalations, audit_marks, mut resolved, missing } = pending;
+        assert_eq!(detections.len(), missing.len(), "one detection per missing frame");
+
+        // Phase 4 (second half) — install the fresh detections: one global
+        // charge per fresh frame (private ledgers pay per query in the
+        // evaluation phase), cache insert for the first escalator and
+        // recorded `get`s for the rest, so same-batch sharing counts as
+        // cache hits exactly like cross-batch sharing does.
+        let start = Instant::now();
+        if !missing.is_empty() {
+            self.global.charge(self.detector.stage(), missing.len() as u64);
+            for (i, d) in missing.into_iter().zip(detections) {
+                let arc = std::sync::Arc::new(d);
+                let users = &escalations[i];
+                self.cache.insert(&frames[i], std::sync::Arc::clone(&arc), self.user_ids[users[0]]);
+                for &u in &users[1..] {
+                    let _ = self.cache.get(&frames[i], self.user_ids[u]);
+                }
+                resolved[i] = Some(arc);
+            }
+        }
         wall.detect_ms += start.elapsed().as_secs_f64() * 1000.0;
 
         // Phase 5 — per-query exact evaluation on the shared annotations;
@@ -1756,54 +1882,10 @@ impl<'a> SharedStreamPlan<'a> {
         }
     }
 
-    /// Detects every frame at least one query escalated, reusing cached
-    /// annotations and sharding fresh detections across the worker pool.
-    /// Returns per-batch-position shared annotations (None where no query
-    /// escalated).
-    fn detect_union(
-        &mut self,
-        frames: &[Frame],
-        escalations: &[Vec<usize>],
-    ) -> Vec<Option<std::sync::Arc<FrameDetections>>> {
-        let mut resolved: Vec<Option<std::sync::Arc<FrameDetections>>> = vec![None; frames.len()];
-        let mut missing: Vec<usize> = Vec::new();
-        for (i, users) in escalations.iter().enumerate() {
-            let Some(&first) = users.first() else { continue };
-            match self.cache.get(&frames[i], self.user_ids[first]) {
-                Some(hit) => {
-                    for &u in &users[1..] {
-                        let _ = self.cache.get(&frames[i], self.user_ids[u]);
-                    }
-                    resolved[i] = Some(hit);
-                }
-                None => missing.push(i),
-            }
-        }
-        if !missing.is_empty() {
-            // One global charge per fresh frame; private ledgers were/are
-            // charged per query in the evaluation phase.
-            self.global.charge(self.detector.stage(), missing.len() as u64);
-            let detections = self.detect_sharded(frames, &missing);
-            for (i, d) in missing.into_iter().zip(detections) {
-                let arc = std::sync::Arc::new(d);
-                let users = &escalations[i];
-                self.cache.insert(&frames[i], std::sync::Arc::clone(&arc), self.user_ids[users[0]]);
-                // The frame's other escalators share the fresh detection:
-                // record them through `get` so same-batch sharing counts as
-                // cache hits, exactly like cross-batch sharing does.
-                for &u in &users[1..] {
-                    let _ = self.cache.get(&frames[i], self.user_ids[u]);
-                }
-                resolved[i] = Some(arc);
-            }
-        }
-        resolved
-    }
-
     /// Runs the detector over `missing` (batch positions), chunked across
-    /// the scoped worker pool. The output is keyed by position, so the merge
-    /// — and with the per-frame detector, every detection — is identical for
-    /// any worker count.
+    /// the persistent worker pool. The output is keyed by position, so the
+    /// merge — and with the per-frame detector, every detection — is
+    /// identical for any worker count.
     fn detect_sharded(&self, frames: &[Frame], missing: &[usize]) -> Vec<FrameDetections> {
         let detector = self.detector;
         let n = missing.len();
@@ -1815,7 +1897,7 @@ impl<'a> SharedStreamPlan<'a> {
             }
         } else {
             let chunk = n.div_ceil(workers);
-            std::thread::scope(|scope| {
+            vmq_exec::scope(workers, |scope| {
                 for (slots, indices) in out.chunks_mut(chunk).zip(missing.chunks(chunk)) {
                     scope.spawn(move || {
                         for (slot, &i) in slots.iter_mut().zip(indices) {

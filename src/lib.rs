@@ -18,6 +18,7 @@
 pub use vmq_aggregate as aggregate;
 pub use vmq_core as engine;
 pub use vmq_detect as detect;
+pub use vmq_exec as exec;
 pub use vmq_filters as filters;
 pub use vmq_nn as nn;
 pub use vmq_query as query;
