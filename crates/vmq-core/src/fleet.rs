@@ -338,6 +338,9 @@ impl<'a> FleetRuntime<'a> {
     /// with `0` each camera detects its own micro-batch inline. Outcomes are
     /// bit-identical either way. Returns the number of frames processed.
     pub fn poll(&mut self) -> usize {
+        // vmq-lint: allow(no-wallclock-in-result-paths) -- the span feeds
+        // only the `poll_wall_ms` stat; shedding and matches key off
+        // backlog depth and ledger cost, never the measured wall time.
         let start = Instant::now();
         self.update_shed();
         let processed = if self.config.coalesce_budget == 0 { self.poll_uncoalesced() } else { self.poll_coalesced() };
@@ -400,6 +403,9 @@ impl<'a> FleetRuntime<'a> {
             .enumerate()
             .flat_map(|(p, (_, pending))| (0..pending.missing_len()).map(move |j| (p, j)))
             .collect();
+        // vmq-lint: allow(no-wallclock-in-result-paths) -- the span feeds
+        // only the `detect_wall_ms` attribution stat; detector outputs and
+        // their position-keyed merge are unaffected by timing.
         let detect_start = Instant::now();
         let mut results: Vec<Option<FrameDetections>> = vec![None; jobs.len()];
         let budget = self.config.coalesce_budget;

@@ -319,6 +319,9 @@ impl<'e> StreamRuntime<'e> {
                 plans.push(None);
                 continue;
             };
+            // vmq-lint: allow(no-wallclock-in-result-paths) -- the span
+            // feeds only the report's `calibration_wall_ms`; thresholds
+            // come from the virtual ledger and the calibration prefix.
             let wall_start = std::time::Instant::now();
             let prefix = calibration.prefix_frames.min(frames.len());
             let ledger = &ledgers[q];

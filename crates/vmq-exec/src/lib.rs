@@ -240,6 +240,12 @@ impl<'env> Scope<'env> {
 /// [`scope`] joins before returning — see the module-level Safety section.
 #[allow(unsafe_code)]
 fn erase(task: Box<dyn FnOnce() + Send + '_>) -> Job {
+    // SAFETY: only the vtable lifetime is erased (same layout, `'_` →
+    // `'static`). The borrows the closure captures outlive every call:
+    // the sole caller is `Scope::spawn`, and `scope` joins the pending
+    // counter to zero before returning, so no erased task can run — or
+    // exist — past `'env`. Panics don't escape this invariant either:
+    // `scope` joins before resuming them.
     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(task) }
 }
 

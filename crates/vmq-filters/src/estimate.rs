@@ -167,6 +167,9 @@ pub trait FrameFilter: Send + Sync {
     /// wall-clock time. Chunking never changes the estimates — the batch
     /// parity guarantee above — so profiles are batch-size invariant.
     fn profile(&self, frames: &[Frame], model: &CostModel, batch_size: usize) -> FilterProfile {
+        // vmq-lint: allow(no-wallclock-in-result-paths) -- the span feeds
+        // only the profile's diagnostic `wall_ms`; planning and billing
+        // use `virtual_ms_per_frame` from the cost model.
         let start = std::time::Instant::now();
         let mut estimates = Vec::with_capacity(frames.len());
         for chunk in frames.chunks(batch_size.max(1)) {

@@ -1,0 +1,461 @@
+//! A small hand-rolled Rust lexer — just enough structure for the rule
+//! engine.
+//!
+//! The lexer splits a source file into a stream of non-trivia [`Token`]s
+//! (identifiers/keywords, literals, punctuation) and a parallel list of
+//! [`Comment`]s with line spans. It understands everything that could make
+//! a naive `grep` lie about the code: line and (nested) block comments,
+//! string/char/byte literals with escapes, raw strings with arbitrary `#`
+//! guards, and lifetimes vs char literals — so the rules only ever see
+//! `unsafe` or `HashMap` when they appear as actual code, never inside a
+//! string or a comment.
+//!
+//! It is *not* a parser: rules work on token patterns plus per-line
+//! classification (code / comment-only / attribute-only / blank), which is
+//! exactly the granularity the invariants need and keeps the crate
+//! dependency-free.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `spawn`, ...).
+    Ident,
+    /// Any literal: string, raw string, byte string, char, or number.
+    Literal,
+    /// A lifetime such as `'env` (kept distinct so `'a` is never
+    /// mistaken for an unterminated char literal).
+    Lifetime,
+    /// Punctuation; multi-char operators `::`, `->`, `=>` are single
+    /// tokens, everything else is one character.
+    Punct,
+}
+
+/// One non-trivia lexeme with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// One comment (line, doc or block) with its 1-indexed line span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line_start: usize,
+    pub line_end: usize,
+}
+
+/// How a source line reads at a glance; used by the SAFETY-comment rule to
+/// walk upward over attributes and comment groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineClass {
+    Blank,
+    /// Only comment text (doc comments included).
+    CommentOnly,
+    /// Only an attribute (`#[...]` / `#![...]`), possibly with a trailing
+    /// comment.
+    AttrOnly,
+    /// Anything with real code on it.
+    Code,
+}
+
+/// A lexed source file: token stream, comments, and per-line classes.
+#[derive(Debug)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    line_classes: Vec<LineClass>,
+}
+
+impl LexedFile {
+    /// Class of a 1-indexed line (lines past the end read as blank).
+    pub fn line_class(&self, line: usize) -> LineClass {
+        if line == 0 || line > self.line_classes.len() {
+            LineClass::Blank
+        } else {
+            self.line_classes[line - 1]
+        }
+    }
+
+    /// All comments that start on the given 1-indexed line.
+    pub fn comments_on_line(&self, line: usize) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line_start <= line && line <= c.line_end)
+    }
+}
+
+/// Tokenizes one Rust source file. Never fails: unterminated constructs
+/// (possible only in malformed files) consume to end of input.
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Lexer { src: source.as_bytes(), pos: 0, line: 1, tokens: Vec::new(), comments: Vec::new() }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) -> u8 {
+        let b = self.src[self.pos];
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn run(mut self) -> LexedFile {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string(),
+                b'r' | b'b' if self.raw_or_byte_prefix() => self.prefixed_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        let classes = classify_lines(&self.tokens, &self.comments, self.line);
+        LexedFile { tokens: self.tokens, comments: self.comments, line_classes: classes }
+    }
+
+    /// True when the `r`/`b` at the cursor starts a raw/byte literal rather
+    /// than an identifier (`r"`, `r#"`, `b"`, `b'`, `br"`, `rb` is not a
+    /// thing, `b"`...).
+    fn raw_or_byte_prefix(&self) -> bool {
+        match self.peek(0) {
+            b'r' => self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_guard_len(1).is_some()),
+            b'b' => match self.peek(1) {
+                b'"' | b'\'' => true,
+                b'r' => self.peek(2) == b'"' || (self.peek(2) == b'#' && self.raw_guard_len(2).is_some()),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Counts the `#` guard of a raw string starting at offset `at`;
+    /// `Some(n)` only when the guard is followed by `"`.
+    fn raw_guard_len(&self, at: usize) -> Option<usize> {
+        let mut n = 0;
+        while self.peek(at + n) == b'#' {
+            n += 1;
+        }
+        (self.peek(at + n) == b'"').then_some(n)
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        self.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line_start: start_line,
+            line_end: start_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start_line = self.line;
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        self.comments.push(Comment {
+            text: String::from_utf8_lossy(&self.src[start..self.pos]).into_owned(),
+            line_start: start_line,
+            line_end: self.line,
+        });
+    }
+
+    /// A `"..."` string with escapes.
+    fn string(&mut self) {
+        let line = self.line;
+        self.bump();
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' if self.pos < self.src.len() => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+    }
+
+    /// `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#` and friends.
+    fn prefixed_literal(&mut self) {
+        let line = self.line;
+        // Consume the `r` / `b` / `br` prefix.
+        if self.peek(0) == b'b' {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            // Byte char `b'x'` — escapes as in char literals.
+            self.bump();
+            while self.pos < self.src.len() {
+                match self.bump() {
+                    b'\\' if self.pos < self.src.len() => {
+                        self.bump();
+                    }
+                    b'\'' => break,
+                    _ => {}
+                }
+            }
+            self.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+            return;
+        }
+        if self.peek(0) == b'r' {
+            self.bump();
+        }
+        let mut guard = 0;
+        while self.peek(0) == b'#' {
+            guard += 1;
+            self.bump();
+        }
+        if self.peek(0) != b'"' {
+            // `r` / `b` that turned out to start an identifier after all.
+            self.ident();
+            return;
+        }
+        if guard == 0 && self.src[self.pos.saturating_sub(1)] != b'r' && self.peek(0) == b'"' {
+            // Plain byte string `b"…"` — escapes allowed.
+            self.string();
+            return;
+        }
+        // Raw (byte) string: ends at `"` followed by `guard` hashes; no
+        // escapes inside.
+        self.bump();
+        'scan: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for i in 0..guard {
+                    if self.peek(i) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..guard {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+    }
+
+    /// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let one = self.peek(1);
+        let two = self.peek(2);
+        let ident_start = one == b'_' || one.is_ascii_alphabetic();
+        if ident_start && two != b'\'' {
+            // Lifetime: consume `'` + identifier.
+            self.bump();
+            let start = self.pos;
+            while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+                self.bump();
+            }
+            let text = format!("'{}", String::from_utf8_lossy(&self.src[start..self.pos]));
+            self.tokens.push(Token { kind: TokenKind::Lifetime, text, line });
+            return;
+        }
+        // Char literal with possible escape.
+        self.bump();
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' if self.pos < self.src.len() => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+        self.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            let numeric = b.is_ascii_alphanumeric() || b == b'_';
+            // A `.` continues the number only when not part of `..`.
+            let dot = b == b'.' && self.peek(1) != b'.';
+            if numeric || dot {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token { kind: TokenKind::Literal, text: String::new(), line });
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.peek(0) == b'_' || self.peek(0).is_ascii_alphanumeric() {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.tokens.push(Token { kind: TokenKind::Ident, text, line });
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let b = self.bump();
+        // Fuse the few multi-char operators rules care about.
+        let text = match (b, self.peek(0)) {
+            (b':', b':') => {
+                self.bump();
+                "::".to_string()
+            }
+            (b'-', b'>') => {
+                self.bump();
+                "->".to_string()
+            }
+            (b'=', b'>') => {
+                self.bump();
+                "=>".to_string()
+            }
+            _ => (b as char).to_string(),
+        };
+        self.tokens.push(Token { kind: TokenKind::Punct, text, line });
+    }
+}
+
+/// Derives per-line classes from the token and comment streams.
+fn classify_lines(tokens: &[Token], comments: &[Comment], last_line: usize) -> Vec<LineClass> {
+    let mut classes = vec![LineClass::Blank; last_line];
+    for c in comments {
+        for line in c.line_start..=c.line_end.min(last_line) {
+            if classes[line - 1] == LineClass::Blank {
+                classes[line - 1] = LineClass::CommentOnly;
+            }
+        }
+    }
+    // Attribute lines: first token `#` (optionally `#!`), last token `]`.
+    let mut i = 0;
+    while i < tokens.len() {
+        let line = tokens[i].line;
+        let mut j = i;
+        while j < tokens.len() && tokens[j].line == line {
+            j += 1;
+        }
+        let line_tokens = &tokens[i..j];
+        let is_attr = line_tokens.first().is_some_and(|t| t.text == "#")
+            && line_tokens.last().is_some_and(|t| t.text == "]")
+            && line_tokens.iter().filter(|t| t.text == "[").count()
+                == line_tokens.iter().filter(|t| t.text == "]").count();
+        classes[line - 1] = if is_attr { LineClass::AttrOnly } else { LineClass::Code };
+        i = j;
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokenKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // unsafe in a comment
+            /* unsafe /* nested unsafe */ still comment */
+            let a = "unsafe { HashMap }";
+            let b = r#"thread::spawn"#;
+            let c = b"Instant::now";
+            let d = 'u';
+            let real = unsafe_marker;
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b", "let", "c", "let", "d", "let", "real", "unsafe_marker"]);
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+        let lifetimes: Vec<_> =
+            lex("fn f<'env>(x: &'env u8) {}").tokens.into_iter().filter(|t| t.kind == TokenKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(lifetimes[0].text, "'env");
+    }
+
+    #[test]
+    fn token_lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<_> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn line_classes_cover_attr_comment_blank_code() {
+        let src = "// comment\n#[inline]\n\nfn x() {}\n#[cfg(test)] mod t {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.line_class(1), LineClass::CommentOnly);
+        assert_eq!(lexed.line_class(2), LineClass::AttrOnly);
+        assert_eq!(lexed.line_class(3), LineClass::Blank);
+        assert_eq!(lexed.line_class(4), LineClass::Code);
+        // Attribute followed by code on the same line is code.
+        assert_eq!(lexed.line_class(5), LineClass::Code);
+    }
+
+    #[test]
+    fn raw_strings_with_guards_terminate_correctly() {
+        let src = "let x = r##\"quote \"# inside\"##; after";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "after"]);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = lex("thread::spawn(x)").tokens;
+        assert_eq!(toks[1].text, "::");
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..10 {}").tokens;
+        let dots = toks.iter().filter(|t| t.text == ".").count();
+        assert_eq!(dots, 2, "0..10 must lex as number, dot, dot, number");
+    }
+}

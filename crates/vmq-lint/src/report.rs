@@ -1,0 +1,78 @@
+//! Rendering findings for humans and machines.
+
+use crate::rules::Finding;
+
+/// Human report: one `path:line: [rule] message` per finding, sorted, plus
+/// a summary line. An empty finding list renders the all-clear.
+pub fn render_human(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.message));
+    }
+    if findings.is_empty() {
+        out.push_str(&format!("vmq-lint: {files_scanned} files scanned, 0 findings\n"));
+    } else {
+        out.push_str(&format!("vmq-lint: {files_scanned} files scanned, {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Machine report: a stable JSON document (hand-rolled — the linter takes
+/// no dependencies) with the finding list and a summary.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            escape(f.rule),
+            escape(&f.path),
+            f.line,
+            escape(&f.message),
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!("  ],\n  \"files_scanned\": {files_scanned},\n  \"total\": {}\n}}\n", findings.len()));
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::NO_UNSEEDED_RNG;
+
+    fn finding() -> Finding {
+        Finding { rule: NO_UNSEEDED_RNG, path: "crates/x/src/lib.rs".into(), line: 7, message: "say \"no\"".into() }
+    }
+
+    #[test]
+    fn human_report_lists_findings_and_summary() {
+        let text = render_human(&[finding()], 3);
+        assert!(text.contains("crates/x/src/lib.rs:7: [no-unseeded-rng]"));
+        assert!(text.contains("3 files scanned, 1 finding(s)"));
+        assert!(render_human(&[], 3).contains("0 findings"));
+    }
+
+    #[test]
+    fn json_report_escapes_and_counts() {
+        let json = render_json(&[finding()], 3);
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("say \\\"no\\\""));
+        assert!(render_json(&[], 0).contains("\"total\": 0"));
+    }
+}

@@ -175,8 +175,6 @@ impl KernelBackend {
 // ---------------------------------------------------------------------------
 
 /// [`ops::matmul_into`] via the chosen backend.
-// Safety: the unsafe call is guarded by `is_supported()` (runtime AVX2
-// feature detection), satisfying the `target_feature` contract.
 #[allow(unsafe_code)]
 pub fn matmul_into_with(
     backend: KernelBackend,
@@ -189,8 +187,13 @@ pub fn matmul_into_with(
 ) {
     match backend {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the arm guard just confirmed AVX-512F (+AVX2/FMA) via
+        // runtime detection, satisfying the callee's `target_feature`
+        // contract; slice sizes are the callee's debug-asserted contract.
         KernelBackend::Avx512 if backend.is_supported() => unsafe { avx512::matmul_into(a, m, k, b, n, out) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX2+FMA at runtime (the callee's
+        // `target_feature` requirement).
         KernelBackend::Avx2 if backend.is_supported() => unsafe { avx2::matmul_into(a, m, k, b, n, out) },
         #[cfg(target_arch = "aarch64")]
         KernelBackend::Neon => neon::matmul_into(a, m, k, b, n, out),
@@ -199,13 +202,14 @@ pub fn matmul_into_with(
 }
 
 /// [`ops::matvec_into`] via the chosen backend.
-// Safety: guarded by `is_supported()` runtime feature detection.
 #[allow(unsafe_code)]
 pub fn matvec_into_with(backend: KernelBackend, a: &[f32], m: usize, k: usize, x: &[f32], out: &mut Vec<f32>) {
     match backend {
         // AVX-512 shares the AVX2 matvec: it is bit-identical to scalar
         // and too small to benefit from wider vectors.
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX2 (implied by AVX-512 support too) at
+        // runtime, satisfying the callee's `target_feature` contract.
         KernelBackend::Avx2 | KernelBackend::Avx512 if backend.is_supported() => unsafe {
             avx2::matvec_into(a, m, k, x, out)
         },
@@ -232,7 +236,6 @@ pub fn im2col_into_with(
 
 /// [`ops::maxpool2d_into`] via the chosen backend (2×2 windows are
 /// vectorised; other sizes use the scalar loop on every backend).
-// Safety: guarded by `is_supported()` runtime feature detection.
 #[allow(unsafe_code)]
 pub fn maxpool2d_into_with(
     backend: KernelBackend,
@@ -245,6 +248,8 @@ pub fn maxpool2d_into_with(
 ) {
     match backend {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX2 at runtime (the callee's
+        // `target_feature` requirement) and pins the vectorised 2×2 shape.
         KernelBackend::Avx2 | KernelBackend::Avx512 if backend.is_supported() && size == 2 => unsafe {
             avx2::maxpool2d_2x2_into(input, c, h, w, out)
         },
@@ -253,7 +258,6 @@ pub fn maxpool2d_into_with(
 }
 
 /// [`ops::global_avg_pool_into`] via the chosen backend.
-// Safety: guarded by `is_supported()` runtime feature detection.
 #[allow(unsafe_code)]
 pub fn global_avg_pool_into_with(
     backend: KernelBackend,
@@ -265,6 +269,8 @@ pub fn global_avg_pool_into_with(
 ) {
     match backend {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX2 at runtime (the callee's
+        // `target_feature` requirement).
         KernelBackend::Avx2 | KernelBackend::Avx512 if backend.is_supported() => unsafe {
             avx2::global_avg_pool_into(input, c, h, w, out)
         },
@@ -283,7 +289,6 @@ pub fn global_avg_pool_into_with(
 /// matrix's size) and runs a register-blocked FMA kernel straight off it,
 /// bias folded into the accumulator init. Non-3×3 specs fall back to
 /// im2col + the backend's matmul.
-// Safety: guarded by `is_supported()` runtime feature detection.
 #[allow(unsafe_code)]
 #[allow(clippy::too_many_arguments)]
 pub fn conv2d_into_with(
@@ -302,12 +307,18 @@ pub fn conv2d_into_with(
     #[cfg(target_arch = "x86_64")]
     if backend.is_supported() && spec.kernel == 3 && spec.stride == 1 && spec.padding == 1 {
         if backend == KernelBackend::Avx512 {
+            // SAFETY: `is_supported()` confirmed AVX-512F/BW at runtime
+            // (the callee's `target_feature` contract); the 3×3/stride-1/
+            // pad-1 guard pins the shape the kernel's padded-scratch
+            // indexing assumes, and slice sizes are debug-asserted above.
             unsafe {
                 avx512::conv3x3_into(input, spec.in_channels, h, w, weight, spec.out_channels, bias, scratch, out)
             };
             return;
         }
         if backend == KernelBackend::Avx2 {
+            // SAFETY: same contract as the AVX-512 arm with AVX2+FMA
+            // confirmed by `is_supported()`.
             unsafe { avx2::conv3x3_into(input, spec.in_channels, h, w, weight, spec.out_channels, bias, scratch, out) };
             return;
         }
@@ -326,13 +337,15 @@ pub fn conv2d_into_with(
 /// In-place ReLU (`x.max(0.0)`) via the chosen backend. Output values are
 /// identical to the scalar reference; only the sign of zero may differ
 /// (the vector path writes `+0.0` for negative-zero inputs).
-// Safety: guarded by `is_supported()` runtime feature detection.
 #[allow(unsafe_code)]
 pub fn relu_in_place_with(backend: KernelBackend, data: &mut [f32]) {
     match backend {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX-512F at runtime (the callee's
+        // `target_feature` requirement).
         KernelBackend::Avx512 if backend.is_supported() => unsafe { avx512::relu_in_place(data) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX2 at runtime.
         KernelBackend::Avx2 if backend.is_supported() => unsafe { avx2::relu_in_place(data) },
         _ => {
             for v in data {
@@ -345,13 +358,15 @@ pub fn relu_in_place_with(backend: KernelBackend, data: &mut [f32]) {
 /// In-place LeakyReLU (`x >= 0 ? x : slope * x`) via the chosen backend.
 /// Bit-identical on every backend: the vector path blends the same
 /// per-element product the scalar branch computes.
-// Safety: guarded by `is_supported()` runtime feature detection.
 #[allow(unsafe_code)]
 pub fn leaky_relu_in_place_with(backend: KernelBackend, data: &mut [f32], slope: f32) {
     match backend {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX-512F at runtime (the callee's
+        // `target_feature` requirement).
         KernelBackend::Avx512 if backend.is_supported() => unsafe { avx512::leaky_relu_in_place(data, slope) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: guard confirmed AVX2 at runtime.
         KernelBackend::Avx2 if backend.is_supported() => unsafe { avx2::leaky_relu_in_place(data, slope) },
         _ => {
             for v in data {
@@ -443,6 +458,10 @@ mod avx2 {
     /// × 24 columns per pass, every streamed B vector feeding all four
     /// rows. Ascending-`k` accumulation from zero, fused multiply-add per
     /// step — deterministic, but not the scalar rounding sequence.
+    // SAFETY: caller must guarantee AVX2+FMA (dispatch checks
+    // `is_supported()`). All pointer arithmetic derives from `a`/`b`/`out`
+    // and stays in bounds: `out` is resized to `m * n` first, row blocks
+    // advance while `i + 4 <= m`, and the row kernels bound `j` by `n`.
     #[target_feature(enable = "avx2,fma")]
     pub unsafe fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut Vec<f32>) {
         debug_assert_eq!(a.len(), m * k, "matmul_into lhs size mismatch");
@@ -464,6 +483,10 @@ mod avx2 {
     }
 
     /// Four output rows (`o..o+4`, weight rows contiguous at `a`).
+    // SAFETY: caller (`matmul_into`) guarantees AVX2+FMA and that `a` has
+    // 4 rows of `k` floats, `b` is `k × n`, and `o` has 4 rows of `n`
+    // floats. Vector loads/stores run only while `j + 24 <= n` or
+    // `j + 8 <= n`; the remainder is scalar.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn row_quad(a: *const f32, k: usize, b: *const f32, n: usize, o: *mut f32) {
         let (a0, a1, a2, a3) = (a, a.add(k), a.add(2 * k), a.add(3 * k));
@@ -559,6 +582,9 @@ mod avx2 {
     }
 
     /// One remaining output row (`m % 4` tail).
+    // SAFETY: caller guarantees AVX2+FMA, `a0` points at `k` floats, `b`
+    // is `k × n`, `o0` at `n` floats. Vector width only while
+    // `j + 8 <= n`; scalar tail after.
     #[target_feature(enable = "avx2,fma")]
     unsafe fn row_one(a0: *const f32, k: usize, b: *const f32, n: usize, o0: *mut f32) {
         let mut j = 0;
@@ -581,6 +607,8 @@ mod avx2 {
     }
 
     /// All-ones prefix mask for an `rem`-lane (1..=8) partial store.
+    // SAFETY: caller guarantees AVX2; the load reads the local 8-lane
+    // stack array, always fully initialised.
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn tail_mask(rem: usize) -> __m256i {
@@ -599,6 +627,11 @@ mod avx2 {
     /// it with FMA tiles of four output channels × 16 pixels — no im2col
     /// matrix is ever materialised, so B traffic is the (L1/L2-resident)
     /// input image instead of a `9×` unfolded copy of it.
+    // SAFETY: caller must guarantee AVX2+FMA (dispatch checks
+    // `is_supported()`); slice sizes are debug-asserted, `out` is resized
+    // to `m * h * w` before any raw store, and `padded` carries 8 floats
+    // of slack past the image so masked column-tail loads of a full
+    // vector stay inside the allocation.
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     pub unsafe fn conv3x3_into(
@@ -641,6 +674,10 @@ mod avx2 {
     }
 
     /// Four output channels of the fused conv (`o..o+4`).
+    // SAFETY: caller (`conv3x3_into`) guarantees AVX2+FMA, `o + 4 <= m`,
+    // `pp` points at the padded image with 8 floats of slack (full-vector
+    // loads past a column tail stay in the allocation), and `op` has
+    // `m * h * w` floats; tail-column stores are masked to `rem` lanes.
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn conv3x3_rows4(
@@ -742,6 +779,10 @@ mod avx2 {
     }
 
     /// One remaining output channel of the fused conv (`m % 4` tail).
+    // SAFETY: caller (`conv3x3_into`) guarantees AVX2+FMA, `pp` points at
+    // the padded image with 8 floats of slack (full-vector loads past a
+    // column tail stay in the allocation), and `op` has `m * h * w`
+    // floats; stores are masked to `rem` lanes.
     #[target_feature(enable = "avx2,fma")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn conv3x3_rows1(
@@ -789,6 +830,8 @@ mod avx2 {
     /// In-place ReLU. `max_ps(v, 0)` returns the second operand for NaN
     /// and `-0.0` inputs, matching scalar `f32::max(0.0)` values (the sign
     /// of a zero result may differ; the values compare equal).
+    // SAFETY: caller must guarantee AVX2; loads/stores stay inside `data`
+    // (vector width only while `i + 8 <= n`, scalar tail after).
     #[target_feature(enable = "avx2")]
     pub unsafe fn relu_in_place(data: &mut [f32]) {
         let z = _mm256_setzero_ps();
@@ -807,6 +850,8 @@ mod avx2 {
 
     /// In-place LeakyReLU: blends `slope * x` under `x` on a `>= 0`
     /// compare — the scalar branch's exact per-element arithmetic.
+    // SAFETY: caller must guarantee AVX2; loads/stores stay inside `data`
+    // (vector width only while `i + 8 <= n`, scalar tail after).
     #[target_feature(enable = "avx2")]
     pub unsafe fn leaky_relu_in_place(data: &mut [f32], slope: f32) {
         let z = _mm256_setzero_ps();
@@ -831,6 +876,10 @@ mod avx2 {
     /// `y = A (m×k) · x`: eight output rows per pass, gathering one column
     /// of `A` per `kk` step. Per lane: the scalar fold `acc += a * x` in
     /// ascending `kk` (no zero skipping — the scalar reference has none).
+    // SAFETY: caller must guarantee AVX2. Gathers run only when
+    // `k <= i32::MAX / 8` so every 32-bit index `7 * stride + kk` stays
+    // positive and inside `a`'s `m * k` floats (`i + 8 <= m` bounds the
+    // rows); leftover rows use safe slice arithmetic.
     #[target_feature(enable = "avx2")]
     pub unsafe fn matvec_into(a: &[f32], m: usize, k: usize, x: &[f32], out: &mut Vec<f32>) {
         debug_assert_eq!(a.len(), m * k, "matvec_into size mismatch");
@@ -864,6 +913,10 @@ mod avx2 {
     /// positions are visited in the scalar scan order and compared with the
     /// same `v > best` / keep-first semantics (`GT_OQ` compare + blend), so
     /// results are bit-identical even around `-0.0` and NaN.
+    // SAFETY: caller must guarantee AVX2. `h`/`w` divisibility is
+    // asserted, `out` is resized to `c * oh * ow` first, and the 16-wide
+    // input loads run only while `ox + 8 <= ow` (i.e. `2*ox + 16 <= w`);
+    // the remainder is scalar indexing.
     #[target_feature(enable = "avx2")]
     pub unsafe fn maxpool2d_2x2_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
         debug_assert_eq!(input.len(), c * h * w, "maxpool2d_into input size mismatch");
@@ -913,6 +966,8 @@ mod avx2 {
 
     /// Splits two consecutive 8-lane loads covering 16 columns into their
     /// even- and odd-column halves.
+    // SAFETY: caller must guarantee AVX2; pure register shuffles, no
+    // memory access.
     #[target_feature(enable = "avx2")]
     unsafe fn deinterleave(a: __m256, b: __m256) -> (__m256, __m256) {
         let lo = _mm256_shuffle_ps::<0b10_00_10_00>(a, b);
@@ -924,6 +979,10 @@ mod avx2 {
 
     /// Global average pooling, eight channels per pass via strided gathers.
     /// Per lane: the scalar per-channel ascending sum, then one IEEE divide.
+    // SAFETY: caller must guarantee AVX2. Gathers run only when
+    // `hw <= i32::MAX / 8` so indices fit i32 and stay inside `input`'s
+    // `c * h * w` floats (`ch + 8 <= c` bounds the channels); leftover
+    // channels use safe slice arithmetic.
     #[target_feature(enable = "avx2")]
     pub unsafe fn global_avg_pool_into(input: &[f32], c: usize, h: usize, w: usize, out: &mut Vec<f32>) {
         debug_assert_eq!(input.len(), c * h * w, "global_avg_pool_into input size mismatch");
@@ -991,6 +1050,10 @@ mod avx512 {
     /// `out = A (m×k) · B (k×n)` with zmm FMA tiles: four output rows ×
     /// 48 columns per pass, 16-wide then masked tails. Same rounding
     /// caveat as the AVX2 twin.
+    // SAFETY: caller must guarantee AVX-512F (dispatch checks
+    // `is_supported()`). `out` is resized to `m * n` before any raw
+    // store; row blocks advance while `i + 4 <= m` and the row kernels
+    // bound `j` by `n` with masked tails.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn matmul_into(a: &[f32], m: usize, k: usize, b: &[f32], n: usize, out: &mut Vec<f32>) {
         debug_assert_eq!(a.len(), m * k, "matmul_into lhs size mismatch");
@@ -1012,6 +1075,10 @@ mod avx512 {
     }
 
     /// Four output rows (`o..o+4`, weight rows contiguous at `a`).
+    // SAFETY: caller (`matmul_into`) guarantees AVX-512F and that `a` has
+    // 4 rows of `k` floats, `b` is `k × n`, and `o` has 4 rows of `n`
+    // floats. Full-width access only while `j + 48 <= n`; the tail loop
+    // masks every load and store to `rem` lanes.
     #[target_feature(enable = "avx512f")]
     unsafe fn row_quad(a: *const f32, k: usize, b: *const f32, n: usize, o: *mut f32) {
         let (a0, a1, a2, a3) = (a, a.add(k), a.add(2 * k), a.add(3 * k));
@@ -1092,6 +1159,9 @@ mod avx512 {
     }
 
     /// One remaining output row (`m % 4` tail).
+    // SAFETY: caller guarantees AVX-512F, `a0` points at `k` floats, `b`
+    // is `k × n`, `o0` at `n` floats; every load and store is masked to
+    // `rem` lanes.
     #[target_feature(enable = "avx512f")]
     unsafe fn row_one(a0: *const f32, k: usize, b: *const f32, n: usize, o0: *mut f32) {
         let mut j = 0;
@@ -1111,8 +1181,14 @@ mod avx512 {
     /// Fused 3×3 / stride-1 / pad-1 convolution with bias — the zmm twin
     /// of [`super::avx2::conv3x3_into`]. Works from a zero-padded input
     /// copy (16 floats of slack for full-width tail loads) and blocks
-    /// eight output channels per pass: 32- and 16-pixel tiles plus a
-    /// masked tail, so the whole output is written by vector stores.
+    /// eight output channels of the fused conv per pass: 32- and 16-pixel
+    /// tiles plus a masked tail, so the whole output is written by vector
+    /// stores.
+    // SAFETY: caller must guarantee AVX-512F (dispatch checks
+    // `is_supported()`); slice sizes are debug-asserted, `out` is resized
+    // to `m * h * w` before any raw store, and `padded` carries 16 floats
+    // of slack past the image so full-width tail loads stay inside the
+    // allocation.
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
     pub unsafe fn conv3x3_into(
@@ -1155,6 +1231,10 @@ mod avx512 {
     }
 
     /// Eight output channels of the fused conv (`o..o+8`).
+    // SAFETY: caller (`conv3x3_into`) guarantees AVX-512F, `o + 8 <= m`,
+    // `pp` points at the padded image with 16 floats of slack (full-width
+    // loads past a column tail stay in the allocation), and `op` has
+    // `m * h * w` floats; tail-column stores are masked to `rem` lanes.
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn conv3x3_rows8(
@@ -1296,6 +1376,9 @@ mod avx512 {
     }
 
     /// One remaining output channel of the fused conv (`m % 8` tail).
+    // SAFETY: caller (`conv3x3_into`) guarantees AVX-512F, `pp` points at
+    // the padded image with 16 floats of slack, and `op` has `m * h * w`
+    // floats; stores are masked to `rem` lanes.
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::too_many_arguments)]
     unsafe fn conv3x3_rows1(
@@ -1338,6 +1421,8 @@ mod avx512 {
     }
 
     /// In-place ReLU; see the AVX2 twin for the NaN / sign-of-zero notes.
+    // SAFETY: caller must guarantee AVX-512F; full-width access only
+    // while `i + 16 <= n`, the tail masked to the remaining lanes.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn relu_in_place(data: &mut [f32]) {
         let z = _mm512_setzero_ps();
@@ -1356,6 +1441,8 @@ mod avx512 {
 
     /// In-place LeakyReLU: mask-selects `slope * x` under `x` on a `>= 0`
     /// compare — the scalar branch's exact per-element arithmetic.
+    // SAFETY: caller must guarantee AVX-512F; full-width access only
+    // while `i + 16 <= n`, the tail masked to the remaining lanes.
     #[target_feature(enable = "avx512f")]
     pub unsafe fn leaky_relu_in_place(data: &mut [f32], slope: f32) {
         let z = _mm512_setzero_ps();
@@ -1408,6 +1495,10 @@ mod neon {
             let op = o_row.as_mut_ptr();
             let mut j = 0;
             while j + 16 <= n {
+                // SAFETY: NEON is baseline on aarch64; the 4×4-lane loads
+                // and stores cover columns `j..j+16` with `j + 16 <= n`
+                // guaranteed by the loop guard, inside `b`'s row `kk` and
+                // `o_row`.
                 unsafe {
                     let mut acc0 = vdupq_n_f32(0.0);
                     let mut acc1 = vdupq_n_f32(0.0);
@@ -1434,6 +1525,9 @@ mod neon {
                 j += 16;
             }
             while j + 4 <= n {
+                // SAFETY: NEON is baseline on aarch64; one 4-lane load and
+                // store at columns `j..j+4` with `j + 4 <= n` guaranteed
+                // by the loop guard.
                 unsafe {
                     let mut acc = vdupq_n_f32(0.0);
                     for (kk, &c) in a_row.iter().enumerate() {

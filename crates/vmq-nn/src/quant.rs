@@ -293,8 +293,6 @@ pub fn i8_gemm(w: &[i8], m: usize, k: usize, xt: &[i8], n: usize, out: &mut Vec<
 }
 
 /// [`i8_gemm`] with an explicit backend (for benches and parity tests).
-// Safety: the unsafe call is guarded by `is_supported()` (runtime AVX2
-// feature detection), satisfying the `target_feature` contract.
 #[allow(unsafe_code)]
 pub fn i8_gemm_with(backend: KernelBackend, w: &[i8], m: usize, k: usize, xt: &[i8], n: usize, out: &mut Vec<i32>) {
     debug_assert_eq!(w.len(), m * k, "i8_gemm weight size mismatch");
@@ -312,6 +310,9 @@ pub fn i8_gemm_with(backend: KernelBackend, w: &[i8], m: usize, k: usize, xt: &[
                 let w_row = &w[o * k..(o + 1) * k];
                 let o_row = &mut out[o * n..(o + 1) * n];
                 for (j, dst) in o_row.iter_mut().enumerate() {
+                    // SAFETY: the arm guard confirmed AVX-512F and
+                    // AVX512BW at runtime, satisfying the callee's
+                    // `target_feature` contract; both rows are `k` codes.
                     *dst = unsafe { avx512::dot_i8(w_row, &xt[j * k..(j + 1) * k]) };
                 }
             }
@@ -322,6 +323,9 @@ pub fn i8_gemm_with(backend: KernelBackend, w: &[i8], m: usize, k: usize, xt: &[
                 let w_row = &w[o * k..(o + 1) * k];
                 let o_row = &mut out[o * n..(o + 1) * n];
                 for (j, dst) in o_row.iter_mut().enumerate() {
+                    // SAFETY: the arm guard confirmed AVX2 at runtime (the
+                    // callee's `target_feature` requirement); both rows
+                    // are `k` codes.
                     *dst = unsafe { avx2::dot_i8(w_row, &xt[j * k..(j + 1) * k]) };
                 }
             }
@@ -347,12 +351,13 @@ fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
 mod avx2 {
     use std::arch::x86_64::*;
 
-    // Safety: requires AVX2 (dispatch checks); loads stay in-bounds — the
-    // vector loop runs only while 16 full lanes remain.
-    //
     // Exactness: codes are in [-127, 127], so each i16 product is at most
     // 16129 and `pmaddwd`'s pairwise i32 sums cannot overflow; the i32
     // lane accumulators are exact integers throughout.
+    //
+    // SAFETY: caller must guarantee AVX2 (dispatch checks
+    // `is_supported()`); loads stay inside `a`/`b` — the vector loop runs
+    // only while 16 full lanes remain, with a scalar tail.
     #[target_feature(enable = "avx2")]
     pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
         debug_assert_eq!(a.len(), b.len());
@@ -386,12 +391,13 @@ mod avx2 {
 mod avx512 {
     use std::arch::x86_64::*;
 
-    // Safety: requires AVX512F+BW (dispatch checks); loads stay in-bounds —
-    // the vector loop runs only while 32 full lanes remain.
-    //
     // Exactness: identical argument to the AVX2 dot — products of codes in
     // [-127, 127] cannot overflow `pmaddwd`'s pairwise i32 sums, so the
     // accumulators are exact and every backend returns the same i32.
+    //
+    // SAFETY: caller must guarantee AVX-512F+BW (the dispatch arm checks
+    // both); loads stay inside `a`/`b` — the vector loop runs only while
+    // 32 full lanes remain, with a scalar tail.
     #[target_feature(enable = "avx512f,avx512bw")]
     pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
         debug_assert_eq!(a.len(), b.len());

@@ -236,6 +236,9 @@ mod tests {
     #[test]
     fn growth_counter_records_high_water_moves() {
         let before = scratch_growth_events();
+        // vmq-lint: allow(no-raw-thread-spawn) -- the test needs a fresh OS
+        // thread whose thread-local workspace starts empty; a pool worker
+        // may already hold a warm workspace from earlier tasks.
         std::thread::spawn(|| {
             // A fresh thread starts from an empty workspace, so this call
             // must register as growth.

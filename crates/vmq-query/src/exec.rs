@@ -252,6 +252,11 @@ where
         format!("streaming {}", config.label(query.has_spatial_constraints())),
         None,
     );
+    // vmq-lint: allow(no-raw-thread-spawn) -- producer/consumer over a
+    // bounded channel needs a truly concurrent producer; on the vmq-exec
+    // pool a nested spawn runs inline on the caller's worker, so the
+    // producer would block on the full channel before `plan.execute` ever
+    // drained it.
     std::thread::scope(|scope| {
         scope.spawn(move || {
             for frame in frames {

@@ -64,6 +64,11 @@ impl FilterOrdering {
         let mut evaluated = 0usize;
         for frame in frames {
             let estimate = filter.estimate(frame);
+            // vmq-lint: allow(no-wallclock-in-result-paths) -- the measured
+            // span feeds `cost_us` and through it the greedy rank, but the
+            // ordering is advisory: nothing in the pipeline consumes it,
+            // and reordering a commutative conjunction could not change
+            // match results anyway.
             let start = Instant::now();
             let indicators = cascade.predicate_indicators(&estimate, filter.threshold());
             let elapsed = start.elapsed().as_secs_f64() * 1e6;

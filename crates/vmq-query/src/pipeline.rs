@@ -986,6 +986,9 @@ impl<'a> PhysicalPlan<'a> {
             let mut batch = FrameBatch::from_frames(frames);
             for (op, acc) in self.operators.iter_mut().zip(accum.iter_mut()) {
                 let frames_in = batch.len();
+                // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds
+                // only the operator's `wall_ms` stat; batches flow on
+                // regardless of the measured span.
                 let start = Instant::now();
                 batch = op.process(batch, &mut ctx);
                 acc.wall_ms += start.elapsed().as_secs_f64() * 1000.0;
@@ -1468,6 +1471,8 @@ impl<'a> SharedStreamPlan<'a> {
     pub fn execute(&mut self, source: &mut dyn FrameSource) -> Vec<QueryRun> {
         self.ensure_exec();
         loop {
+            // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only
+            // the `source_ms` wall attribution stat.
             let start = Instant::now();
             let batch = source.next_batch(self.config.batch_size);
             let source_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -1531,6 +1536,8 @@ impl<'a> SharedStreamPlan<'a> {
     /// attribution and collect the per-query runs.
     pub fn push_batch(&mut self, frames: &[Frame]) {
         let pending = self.prepare_batch(frames);
+        // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only the
+        // `detect_ms` wall attribution stat.
         let start = Instant::now();
         let detections = self.detect_pending(&pending);
         let detect_ms = start.elapsed().as_secs_f64() * 1000.0;
@@ -1633,6 +1640,9 @@ impl<'a> SharedStreamPlan<'a> {
             for &q in users {
                 self.queries[q].ledger.charge(stage, n as u64);
             }
+            // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only
+            // the per-backend wall attribution stat; estimates and charges
+            // are already fixed.
             let start = Instant::now();
             estimates[b] = Some(filter.estimate_batch_sharded(frames, self.workers));
             backend_wall[b] += start.elapsed().as_secs_f64() * 1000.0;
@@ -1652,6 +1662,8 @@ impl<'a> SharedStreamPlan<'a> {
         for (q, state) in self.queries.iter_mut().enumerate() {
             match &mut state.kind {
                 SharedQueryKind::Select { backend, cascade, survivors, check_wall_ms, drift, .. } => {
+                    // vmq-lint: allow(no-wallclock-in-result-paths) --
+                    // feeds only the query's `check_wall_ms` stat.
                     let start = Instant::now();
                     let mut passes: Vec<bool> = Vec::new();
                     match backend {
@@ -1717,6 +1729,8 @@ impl<'a> SharedStreamPlan<'a> {
         // Phase 4 (first half) — probe the deduplicated detection cache:
         // frames already annotated resolve here (recording every escalator
         // as a sharing user); the rest become the batch's missing set.
+        // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only the
+        // `detect_ms` wall attribution stat.
         let start = Instant::now();
         let mut resolved: Vec<Option<std::sync::Arc<FrameDetections>>> = vec![None; n];
         let mut missing: Vec<usize> = Vec::new();
@@ -1752,6 +1766,8 @@ impl<'a> SharedStreamPlan<'a> {
         // evaluation phase), cache insert for the first escalator and
         // recorded `get`s for the rest, so same-batch sharing counts as
         // cache hits exactly like cross-batch sharing does.
+        // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only the
+        // `detect_ms` wall attribution stat.
         let start = Instant::now();
         if !missing.is_empty() {
             self.global.charge(self.detector.stage(), missing.len() as u64);
@@ -1773,6 +1789,8 @@ impl<'a> SharedStreamPlan<'a> {
         for (q, state) in self.queries.iter_mut().enumerate() {
             let SharedQueryState { kind, matched, ledger, .. } = state;
             let SharedQueryKind::Select { cascade, eval_wall_ms, drift, .. } = kind else { continue };
+            // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only
+            // the query's `eval_wall_ms` stat.
             let start = Instant::now();
             let mut detected = 0u64;
             let mut audited = 0u64;
@@ -1937,6 +1955,9 @@ impl<'a> SharedStreamPlan<'a> {
             else {
                 continue;
             };
+            // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only
+            // the aggregate's `sink_wall_ms` stat; window boundaries come
+            // from frame counts and frame timestamps.
             let start = Instant::now();
             loop {
                 // The next completed window's frame range `flo..fhi`

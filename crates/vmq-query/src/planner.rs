@@ -162,6 +162,9 @@ pub fn plan_cascade(
     batch_size: usize,
 ) -> CalibrationReport {
     assert!(!backends.is_empty(), "plan_cascade requires at least one candidate backend");
+    // vmq-lint: allow(no-wallclock-in-result-paths) -- feeds only the
+    // report's `calibration_wall_ms` diagnostic; plan selection ranks by
+    // virtual ledger cost, never the measured span.
     let wall_start = Instant::now();
     let model = ledger.model().clone();
 

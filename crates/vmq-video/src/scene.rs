@@ -311,7 +311,7 @@ mod tests {
         let mut scene = Scene::new(SceneConfig::from_profile(&DatasetProfile::jackson()), 13);
         let mut car = 0usize;
         let mut person = 0usize;
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..3000 {
             let frame = scene.step();
             for o in &frame.objects {

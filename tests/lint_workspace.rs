@@ -1,0 +1,22 @@
+//! Gate: the whole workspace passes `vmq-lint` with zero findings.
+//!
+//! This is the teeth behind the invariant catalog (see DESIGN.md,
+//! "Invariants & lint catalog"): any new `unsafe` without an audited
+//! `// SAFETY:` comment, hash-order iteration, wall-clock read, raw thread
+//! spawn or entropy-seeded RNG fails plain `cargo test` — not just the
+//! dedicated CI lint job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = vmq_lint::run_workspace(root).expect("workspace scan");
+    assert!(report.files_scanned > 50, "suspiciously few files scanned: {}", report.files_scanned);
+    assert!(
+        report.findings.is_empty(),
+        "vmq-lint found {} violation(s):\n{}",
+        report.findings.len(),
+        vmq_lint::report::render_human(&report.findings, report.files_scanned)
+    );
+}
